@@ -1,0 +1,608 @@
+// Benchmarks regenerating every table and figure of the memo (one bench per
+// experiment id in DESIGN.md) plus the scaling and ablation experiments
+// X1-X6. Custom metrics (constraints found, KL to truth, parameter counts)
+// are attached with b.ReportMetric so `go test -bench=.` reproduces the
+// qualitative shape of each result, not just its wall time.
+package pka_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"pka/internal/baseline"
+	"pka/internal/contingency"
+	"pka/internal/core"
+	"pka/internal/crossval"
+	"pka/internal/maxent"
+	"pka/internal/mml"
+	"pka/internal/paperdata"
+	"pka/internal/stats"
+	"pka/internal/sumprod"
+	"pka/internal/synth"
+)
+
+// ---------------------------------------------------------------- Figures
+
+// BenchmarkFigure1_Tabulate measures the Appendix A pipeline: 3428 raw
+// records into the Figure 1 contingency table.
+func BenchmarkFigure1_Tabulate(b *testing.B) {
+	d := paperdata.Records()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Tabulate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2_Marginals measures all Figure 2 marginalizations
+// (three second-order + three first-order sums).
+func BenchmarkFigure2_Marginals(b *testing.B) {
+	tab := paperdata.Table()
+	keeps := []contingency.VarSet{
+		contingency.NewVarSet(0, 1), contingency.NewVarSet(0, 2), contingency.NewVarSet(1, 2),
+		contingency.NewVarSet(0), contingency.NewVarSet(1), contingency.NewVarSet(2),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range keeps {
+			if _, err := tab.Marginalize(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable1_SignificanceScan measures one full 16-cell second-order
+// MML scan with independence predictions — the memo's Table 1.
+func BenchmarkTable1_SignificanceScan(b *testing.B) {
+	tab := paperdata.Table()
+	first, err := tab.FirstOrderProbabilities()
+	if err != nil {
+		b.Fatal(err)
+	}
+	predict := func(fam contingency.VarSet, values []int) (float64, error) {
+		p := 1.0
+		for i, pos := range fam.Members() {
+			p *= first[pos][values[i]]
+		}
+		return p, nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tester, err := mml.NewTester(tab, mml.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tests, err := tester.ScanOrder(2, predict)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tests) != 16 {
+			b.Fatalf("scan produced %d tests", len(tests))
+		}
+	}
+}
+
+// BenchmarkTable2_IterativeScaling measures the memo's Table 2: fitting the
+// first-order model plus the N^AC_12 constraint at the memo's 2-decimal
+// precision, cold start each iteration.
+func BenchmarkTable2_IterativeScaling(b *testing.B) {
+	tab := paperdata.Table()
+	fam, values, target := paperdata.Table2Constraint()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := maxent.NewModel(tab.Names(), tab.Cards())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.AddFirstOrderConstraints(tab); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.AddConstraint(maxent.Constraint{Family: fam, Values: values, Target: target}); err != nil {
+			b.Fatal(err)
+		}
+		rep, err := m.Fit(maxent.SolveOptions{Tol: 1e-3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Converged {
+			b.Fatal("did not converge")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rep.Sweeps), "sweeps")
+		}
+	}
+}
+
+// BenchmarkFigure3_FullDiscovery measures the complete procedure on the
+// memo's data: scans, selections, refits, orders 2 and 3.
+func BenchmarkFigure3_FullDiscovery(b *testing.B) {
+	tab := paperdata.Table()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Discover(tab, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(res.Findings)), "findings")
+		}
+	}
+}
+
+// BenchmarkFigure4_Refit measures one warm refit after adding a constraint —
+// the memo's "starting with the last previously calculated a values".
+func BenchmarkFigure4_Refit(b *testing.B) {
+	tab := paperdata.Table()
+	base, err := maxent.NewModel(tab.Names(), tab.Cards())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := base.AddFirstOrderConstraints(tab); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := base.Fit(maxent.SolveOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	fam, values, target := paperdata.Table2Constraint()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := base.Clone()
+		if err := m.AddConstraint(maxent.Constraint{Family: fam, Values: values, Target: target}); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := m.Fit(maxent.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5_RecordIngest measures building the 3428-record raw
+// dataset (Figure 5's original data form).
+func BenchmarkFigure5_RecordIngest(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := paperdata.Records()
+		if d.Len() != paperdata.TotalN {
+			b.Fatal("wrong record count")
+		}
+	}
+}
+
+// BenchmarkFigure6_Triples measures the triples-form conversion and
+// summation (Figure 6): per-record tuple view plus cell sums.
+func BenchmarkFigure6_Triples(b *testing.B) {
+	d := paperdata.Records()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := d.Tabulate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tab.Total() != paperdata.TotalN {
+			b.Fatal("bad total")
+		}
+	}
+}
+
+// BenchmarkPriorSweep measures the p(H2') sensitivity experiment (the
+// memo's Eq. 63 note: priors 0.5 / 0.6 / 0.8).
+func BenchmarkPriorSweep(b *testing.B) {
+	tab := paperdata.Table()
+	first, err := tab.FirstOrderProbabilities()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fam := contingency.NewVarSet(0, 1)
+	cell := []int{0, 1}
+	p := first[0][0] * first[1][1]
+	priors := []float64{0.5, 0.6, 0.8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, prior := range priors {
+			tester, err := mml.NewTester(tab, mml.Config{PriorH2: prior})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tester.Test(fam, cell, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAppendixB_SumProducts compares the Appendix B recursion against
+// brute-force joint enumeration on a 6-attribute space, reproducing the
+// appendix's point that grouped summation is the cheaper evaluation.
+func BenchmarkAppendixB_SumProducts(b *testing.B) {
+	cards := []int{4, 4, 4, 4, 4, 4} // 4096 cells
+	rng := stats.NewRNG(9)
+	mk := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = 0.5 + rng.Float64()
+		}
+		return out
+	}
+	terms := []sumprod.Term{
+		{Vars: []int{0}, Coeffs: mk(4)},
+		{Vars: []int{1}, Coeffs: mk(4)},
+		{Vars: []int{2}, Coeffs: mk(4)},
+		{Vars: []int{3}, Coeffs: mk(4)},
+		{Vars: []int{4}, Coeffs: mk(4)},
+		{Vars: []int{5}, Coeffs: mk(4)},
+		{Vars: []int{0, 1}, Coeffs: mk(16)},
+		{Vars: []int{2, 3}, Coeffs: mk(16)},
+		{Vars: []int{4, 5}, Coeffs: mk(16)},
+	}
+	ev, err := sumprod.NewEvaluator(cards, terms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("recursion", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = ev.Sum()
+		}
+	})
+	b.Run("bruteforce", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			total := 0.0
+			for _, v := range ev.FullJoint() {
+				total += v
+			}
+			_ = total
+		}
+	})
+}
+
+// ------------------------------------------------------------- Extensions
+
+// BenchmarkScaling_N (X1): discovery cost versus sample count on a fixed
+// 3-attribute space. The table is sampled once per size outside the loop.
+func BenchmarkScaling_N(b *testing.B) {
+	truth, err := synth.SmokingCancer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int64{1_000, 10_000, 100_000, 1_000_000} {
+		tab, err := truth.SampleTable(stats.NewRNG(n), n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Discover(tab, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(len(res.Findings)), "findings")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScaling_Attributes (X2): discovery cost versus attribute count
+// (binary attributes, one planted coupling chain), order-2 scan.
+func BenchmarkScaling_Attributes(b *testing.B) {
+	for _, r := range []int{3, 4, 6, 8, 10} {
+		truth, err := synth.Survey(r-1, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tab, err := truth.SampleTable(stats.NewRNG(int64(r)), 50_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Discover(tab, core.Options{MaxOrder: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(len(res.Findings)), "findings")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_SolverGSvsIPF (X3): sequential (Gauss–Seidel) versus
+// simultaneous damped (Jacobi) iterative scaling on the memo's Table 2
+// problem. Sweep counts are the headline metric.
+func BenchmarkAblation_SolverGSvsIPF(b *testing.B) {
+	tab := paperdata.Table()
+	fam, values, target := paperdata.Table2Constraint()
+	build := func() *maxent.Model {
+		m, err := maxent.NewModel(tab.Names(), tab.Cards())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.AddFirstOrderConstraints(tab); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.AddConstraint(maxent.Constraint{Family: fam, Values: values, Target: target}); err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	for _, method := range []maxent.Method{maxent.GaussSeidel, maxent.Jacobi} {
+		b.Run(method.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := build()
+				rep, err := m.Fit(maxent.SolveOptions{Method: method, MaxSweeps: 100000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Converged {
+					b.Fatal("did not converge")
+				}
+				if i == 0 {
+					b.ReportMetric(float64(rep.Sweeps), "sweeps")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_Criterion (X4): MML versus chi-square versus BIC
+// selection on null data (no structure, 4 attributes × 3 values): the
+// findings metric is the false-positive count.
+func BenchmarkAblation_Criterion(b *testing.B) {
+	truth, err := synth.IndependentUniform(4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := truth.SampleTable(stats.NewRNG(31), 50_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("mml", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.Discover(tab, core.Options{MaxOrder: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(len(res.Findings)), "false_positives")
+			}
+		}
+	})
+	b.Run("chisq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, picks, err := baseline.DiscoverChiSq(tab, 0.05, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(len(picks)), "false_positives")
+			}
+		}
+	})
+	b.Run("bic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, picks, err := baseline.DiscoverBIC(tab, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(len(picks)), "false_positives")
+			}
+		}
+	})
+}
+
+// BenchmarkRecovery_Planted (X5): structure recovery on the survey workload
+// — hits (planted families found) and spurious families, plus KL to truth.
+func BenchmarkRecovery_Planted(b *testing.B) {
+	truth, err := synth.Survey(4, 2.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := truth.SampleTable(stats.NewRNG(37), 40_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	planted := map[contingency.VarSet]bool{}
+	for _, fam := range truth.Planted() {
+		planted[fam] = true
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Discover(tab, core.Options{MaxOrder: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			hit := map[contingency.VarSet]bool{}
+			spurious := 0
+			for _, f := range res.Findings {
+				if planted[f.Test.Family] {
+					hit[f.Test.Family] = true
+				} else {
+					spurious++
+				}
+			}
+			b.ReportMetric(float64(len(hit)), "recovered_families")
+			b.ReportMetric(float64(spurious), "spurious_findings")
+			fitted, err := res.Model.Joint()
+			if err != nil {
+				b.Fatal(err)
+			}
+			kl, err := stats.KLDivergence(truth.Joint(), fitted)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(kl*1000, "mKL_to_truth")
+		}
+	}
+}
+
+// BenchmarkCompactness (X6): parameters and fidelity of the discovered
+// model versus the empirical and independence baselines on the telemetry
+// workload.
+func BenchmarkCompactness(b *testing.B) {
+	truth, err := synth.Telemetry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := truth.SampleTable(stats.NewRNG(41), 60_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	score := func(b *testing.B, m baseline.JointModel) {
+		joint, err := m.Joint()
+		if err != nil {
+			b.Fatal(err)
+		}
+		kl, err := stats.KLDivergence(truth.Joint(), joint)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(m.Parameters()), "parameters")
+		b.ReportMetric(kl*1000, "mKL_to_truth")
+	}
+	b.Run("mml", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.Discover(tab, core.Options{MaxOrder: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				score(b, &baseline.MaxentModel{Label: "mml", M: res.Model})
+			}
+		}
+	})
+	b.Run("empirical", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := baseline.NewEmpirical(tab, 0.5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				score(b, m)
+			}
+		}
+	})
+	b.Run("independence", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := baseline.NewIndependence(tab)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				score(b, m)
+			}
+		}
+	})
+}
+
+// BenchmarkGeneralization_HeldOut (X7): held-out log loss (nats/sample) of
+// the discovered model versus the smoothed and unsmoothed empirical joints
+// on a 50/50 split of a modest telemetry sample. Lower is better; the
+// unsmoothed empirical typically scores +Inf from unseen cells.
+func BenchmarkGeneralization_HeldOut(b *testing.B) {
+	truth, err := synth.Telemetry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := truth.SampleTable(stats.NewRNG(71), 4000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(72)
+	train, test, err := baseline.TrainTestSplit(full, 0.5, rng.Float64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loss := func(b *testing.B, m baseline.JointModel) {
+		l, err := baseline.HeldOutLogLoss(m, test)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if math.IsInf(l, 1) {
+			l = 999 // render +Inf as a sentinel the bench output can carry
+		}
+		b.ReportMetric(l, "heldout_nats")
+	}
+	b.Run("mml", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.Discover(train, core.Options{MaxOrder: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				loss(b, &baseline.MaxentModel{Label: "mml", M: res.Model})
+			}
+		}
+	})
+	b.Run("empirical_raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := baseline.NewEmpirical(train, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				loss(b, m)
+			}
+		}
+	})
+	b.Run("empirical_laplace", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := baseline.NewEmpirical(train, 0.5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				loss(b, m)
+			}
+		}
+	})
+}
+
+// BenchmarkOrderSelection_CV (X10): cross-validated MaxOrder selection on
+// third-order (XOR) data — the chosen order and the loss gap between
+// orders 2 and 3 are the headline metrics.
+func BenchmarkOrderSelection_CV(b *testing.B) {
+	truth, err := synth.XOR3(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := truth.SampleTable(stats.NewRNG(17), 20_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scores, best, err := crossval.SelectMaxOrder(
+			tab, 3, 4, stats.NewRNG(18), core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(scores[best].MaxOrder), "chosen_order")
+			b.ReportMetric(scores[0].MeanLoss-scores[1].MeanLoss, "loss_gap_nats")
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"pka"
+)
+
+// cmdAnalyze prints the pairwise association survey of a CSV dataset — the
+// pre-discovery view an analyst uses to decide where to look.
+//
+//	pka analyze -in data.csv
+func cmdAnalyze(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV file")
+	maxCard := fs.Int("max-card", 64, "reject CSV columns with more distinct values than this")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("analyze: -in is required")
+	}
+	schema, table, err := tabulateCSVFile(*in, *maxCard)
+	if err != nil {
+		return err
+	}
+	pairs, err := pka.Associations(table)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "pairwise associations over %d samples:\n\n", table.Total())
+	fmt.Fprint(w, pka.RenderAssociations(schema.Names(), pairs))
+	return nil
+}
+
+// cmdValidate scores a saved knowledge base against fresh data.
+//
+//	pka validate -kb kb.json -in holdout.csv
+func cmdValidate(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	kbPath := fs.String("kb", "", "knowledge-base JSON from 'pka discover -out'")
+	in := fs.String("in", "", "validation CSV file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("validate: -in is required")
+	}
+	model, err := loadKB(*kbPath)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	table, err := pka.TabulateCSV(f, model.Schema())
+	if err != nil {
+		return err
+	}
+	loss, err := model.LogLoss(table)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "validation: %d samples\n", table.Total())
+	if math.IsInf(loss, 1) {
+		fmt.Fprintln(w, "log loss: +Inf — the data occupies cells the model rules out")
+		return nil
+	}
+	fmt.Fprintf(w, "log loss: %.4f nats/sample (%.4f bits/sample)\n",
+		loss, loss/math.Ln2)
+	return nil
+}
+
+// tabulateCSVFile infers a schema and tabulates the file in one pass each.
+func tabulateCSVFile(path string, maxCard int) (*pka.Schema, *pka.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	schema, err := pka.InferSchema(f, maxCard)
+	f.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err = os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	table, err := pka.TabulateCSV(f, schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	return schema, table, nil
+}

@@ -1,0 +1,382 @@
+// Command pka is the command-line front end to the probabilistic knowledge
+// acquisition library: point it at CSV observation data and it discovers
+// the significant correlations, builds a queryable knowledge base, and
+// extracts IF-THEN rules.
+//
+// Subcommands:
+//
+//	pka discover -in data.csv -out kb.json [-max-order N] [-prior P]
+//	pka rules    -kb kb.json [-min-prob P] [-min-lift D] [-top K]
+//	pka query    -kb kb.json -target "ATTR=value" [-given "A=v,B=w"]
+//	pka tables   -in data.csv [-rows ATTR] [-cols ATTR]
+//
+// All probability output derives from the stored product formula; no raw
+// data is needed after discovery.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pka"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pka:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: pka <discover|rules|query|tables> [flags]")
+	}
+	switch args[0] {
+	case "discover":
+		return cmdDiscover(w, args[1:])
+	case "rules":
+		return cmdRules(w, args[1:])
+	case "query":
+		return cmdQuery(w, args[1:])
+	case "tables":
+		return cmdTables(w, args[1:])
+	case "simulate":
+		return cmdSimulate(w, args[1:])
+	case "explain":
+		return cmdExplain(w, args[1:])
+	case "analyze":
+		return cmdAnalyze(w, args[1:])
+	case "validate":
+		return cmdValidate(w, args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want discover, rules, query, tables, simulate, explain, analyze, or validate)", args[0])
+	}
+}
+
+// cmdExplain prints either the stored formula of a knowledge base or the
+// most probable explanation of evidence.
+//
+//	pka explain -kb kb.json                      # the formula
+//	pka explain -kb kb.json -given "A=x,B=y"     # MPE completion
+func cmdExplain(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	kbPath := fs.String("kb", "", "knowledge-base JSON from 'pka discover -out'")
+	given := fs.String("given", "", "evidence; if set, print the most probable explanation")
+	dot := fs.Bool("dot", false, "emit the dependency structure as Graphviz instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	model, err := loadKB(*kbPath)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Fprint(w, model.DependencyDOT())
+		return nil
+	}
+	if *given == "" {
+		fmt.Fprint(w, model.Explain())
+		return nil
+	}
+	assigns, err := parseAssignments(*given)
+	if err != nil {
+		return err
+	}
+	exp, err := model.MostProbableExplanation(assigns...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "most probable explanation (p = %.6f):\n", exp.Probability)
+	for _, a := range exp.Assignments {
+		fmt.Fprintf(w, "  %s\n", a)
+	}
+	return nil
+}
+
+func cmdDiscover(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("discover", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV file (header row = attribute names)")
+	out := fs.String("out", "", "output knowledge-base JSON file (default: stdout summary only)")
+	maxOrder := fs.Int("max-order", 0, "highest attribute-family order to scan (0 = all)")
+	prior := fs.Float64("prior", 0, "p(H2') prior (0 = the memo's 0.5)")
+	maxCard := fs.Int("max-card", 64, "reject CSV columns with more distinct values than this")
+	cvFolds := fs.Int("cv", 0, "select max-order by k-fold cross-validation (0 = off)")
+	cvSeed := fs.Int64("cv-seed", 1, "fold-assignment seed for -cv")
+	scan := fs.Bool("scan", false, "print the first significance scan (a Table 1 for your data)")
+	mergeRare := fs.Int64("merge-rare", 0, "collapse values seen fewer than this many times into 'other' (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("discover: -in is required")
+	}
+	if *cvFolds > 0 {
+		schema, table, err := tabulateCSVFile(*in, *maxCard)
+		if err != nil {
+			return err
+		}
+		limit := *maxOrder
+		if limit == 0 {
+			limit = schema.R()
+		}
+		scores, best, err := pka.SelectMaxOrder(table, limit, *cvFolds, *cvSeed)
+		if err != nil {
+			return err
+		}
+		for _, s := range scores {
+			fmt.Fprintf(w, "cv: order %d -> %.4f nats/sample (avg %.1f constraints)\n",
+				s.MaxOrder, s.MeanLoss, s.MeanFindings)
+		}
+		fmt.Fprintf(w, "cv: selected max-order %d\n\n", best)
+		*maxOrder = best
+	}
+	model, err := discoverFromCSVMerged(*in, *maxCard, *mergeRare, pka.Options{
+		MaxOrder:    *maxOrder,
+		PriorH2:     *prior,
+		RecordScans: *scan,
+	})
+	if err != nil {
+		return err
+	}
+	if *scan {
+		if err := printFirstScan(w, model); err != nil {
+			return err
+		}
+	}
+	fmt.Fprint(w, model.Summary())
+	fmt.Fprintln(w)
+	fmt.Fprint(w, model.Explain())
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("discover: %w", err)
+		}
+		defer f.Close()
+		if err := model.Save(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nknowledge base written to %s\n", *out)
+	}
+	return nil
+}
+
+func discoverFromCSV(path string, maxCard int, opts pka.Options) (*pka.Model, error) {
+	return discoverFromCSVMerged(path, maxCard, 0, opts)
+}
+
+func discoverFromCSVMerged(path string, maxCard int, mergeRare int64, opts pka.Options) (*pka.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := pka.InferSchema(f, maxCard)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	f, err = os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, err := pka.ReadCSV(f, schema)
+	if err != nil {
+		return nil, err
+	}
+	if mergeRare > 0 {
+		data, err = pka.MergeRareValues(data, mergeRare)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pka.Discover(data, opts)
+}
+
+func cmdRules(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("rules", flag.ContinueOnError)
+	kbPath := fs.String("kb", "", "knowledge-base JSON from 'pka discover -out'")
+	minProb := fs.Float64("min-prob", 0, "minimum rule probability")
+	minLift := fs.Float64("min-lift", 0, "minimum |lift-1| distance from independence")
+	top := fs.Int("top", 0, "keep only the strongest K rules (0 = all)")
+	withCI := fs.Bool("ci", false, "attach 95% Wilson confidence intervals (needs -n)")
+	n := fs.Int64("n", 0, "discovery sample count, for -ci")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	model, err := loadKB(*kbPath)
+	if err != nil {
+		return err
+	}
+	rs, err := model.Rules(pka.RuleOptions{
+		MinProbability:  *minProb,
+		MinLiftDistance: *minLift,
+		MaxRules:        *top,
+	})
+	if err != nil {
+		return err
+	}
+	if len(rs) == 0 {
+		fmt.Fprintln(w, "no rules pass the filters")
+		return nil
+	}
+	if *withCI {
+		if *n <= 0 {
+			return fmt.Errorf("rules: -ci needs -n (the discovery sample count)")
+		}
+		scored, err := pka.RulesWithIntervals(rs, *n)
+		if err != nil {
+			return err
+		}
+		for i, s := range scored {
+			fmt.Fprintf(w, "%3d. %s\n", i+1, s)
+		}
+		return nil
+	}
+	for i, r := range rs {
+		fmt.Fprintf(w, "%3d. %s\n", i+1, r)
+	}
+	return nil
+}
+
+func cmdQuery(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	kbPath := fs.String("kb", "", "knowledge-base JSON from 'pka discover -out'")
+	target := fs.String("target", "", `target assignments, e.g. "CANCER=Yes"`)
+	given := fs.String("given", "", `evidence assignments, e.g. "SMOKING=Smoker,FAMILY HISTORY=Yes"`)
+	dist := fs.String("dist", "", "print the full distribution of this attribute instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	model, err := loadKB(*kbPath)
+	if err != nil {
+		return err
+	}
+	givenAssigns, err := parseAssignments(*given)
+	if err != nil {
+		return err
+	}
+	if *dist != "" {
+		d, err := model.Distribution(*dist, givenAssigns...)
+		if err != nil {
+			return err
+		}
+		attr, _, err := model.Schema().AttrByName(*dist)
+		if err != nil {
+			return err
+		}
+		for _, v := range attr.Values {
+			fmt.Fprintf(w, "P(%s=%s%s) = %.6f\n", *dist, v, givenSuffix(*given), d[v])
+		}
+		return nil
+	}
+	if *target == "" {
+		return fmt.Errorf("query: -target or -dist is required")
+	}
+	targetAssigns, err := parseAssignments(*target)
+	if err != nil {
+		return err
+	}
+	p, err := model.Conditional(targetAssigns, givenAssigns)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "P(%s%s) = %.6f\n", *target, givenSuffix(*given), p)
+	return nil
+}
+
+func givenSuffix(given string) string {
+	if given == "" {
+		return ""
+	}
+	return " | " + given
+}
+
+func cmdTables(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV file")
+	rows := fs.String("rows", "", "row attribute (default: first)")
+	cols := fs.String("cols", "", "column attribute (default: second)")
+	maxCard := fs.Int("max-card", 64, "reject CSV columns with more distinct values than this")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("tables: -in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	schema, err := pka.InferSchema(f, *maxCard)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	f, err = os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	data, err := pka.ReadCSV(f, schema)
+	if err != nil {
+		return err
+	}
+	table, err := data.Tabulate()
+	if err != nil {
+		return err
+	}
+	rowAxis, colAxis := 0, 1
+	if *rows != "" {
+		if rowAxis, err = schema.Position(*rows); err != nil {
+			return err
+		}
+	}
+	if *cols != "" {
+		if colAxis, err = schema.Position(*cols); err != nil {
+			return err
+		}
+	}
+	if schema.R() < 2 {
+		return fmt.Errorf("tables: need at least 2 attributes")
+	}
+	return table.RenderSlices(w, rowAxis, colAxis, true)
+}
+
+func loadKB(path string) (*pka.QueryModel, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-kb is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return pka.Load(f)
+}
+
+// parseAssignments parses "A=x,B=y" into assignments; attribute names may
+// contain spaces (only the comma splits pairs).
+func parseAssignments(s string) ([]pka.Assignment, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]pka.Assignment, 0, len(parts))
+	for _, part := range parts {
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("bad assignment %q (want ATTR=value)", part)
+		}
+		attr := strings.TrimSpace(part[:eq])
+		val := strings.TrimSpace(part[eq+1:])
+		if attr == "" || val == "" {
+			return nil, fmt.Errorf("bad assignment %q (want ATTR=value)", part)
+		}
+		out = append(out, pka.Assignment{Attr: attr, Value: val})
+	}
+	return out, nil
+}

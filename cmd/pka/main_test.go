@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pka/internal/paperdata"
+)
+
+// writeMemoCSV materializes the paper's survey as a CSV file.
+func writeMemoCSV(t *testing.T) string {
+	t.Helper()
+	d := paperdata.Records()
+	path := filepath.Join(t.TempDir(), "memo.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := d.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, nil); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run(&buf, []string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run(&buf, []string{"discover"}); err == nil {
+		t.Error("discover without -in accepted")
+	}
+	if err := run(&buf, []string{"rules"}); err == nil {
+		t.Error("rules without -kb accepted")
+	}
+	if err := run(&buf, []string{"query", "-kb", "/nonexistent"}); err == nil {
+		t.Error("query with missing kb accepted")
+	}
+	if err := run(&buf, []string{"tables"}); err == nil {
+		t.Error("tables without -in accepted")
+	}
+}
+
+func TestDiscoverRulesQueryPipeline(t *testing.T) {
+	csvPath := writeMemoCSV(t)
+	kbPath := filepath.Join(t.TempDir(), "kb.json")
+
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"discover", "-in", csvPath, "-out", kbPath}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"N=3428", "significant constraints", "knowledge base written"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("discover output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := run(&buf, []string{"rules", "-kb", kbPath, "-min-lift", "0.1"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "IF ") {
+		t.Errorf("rules output has no rules:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := run(&buf, []string{
+		"query", "-kb", kbPath,
+		"-target", "CANCER=Yes",
+		"-given", "SMOKING=Smoker",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "P(CANCER=Yes | SMOKING=Smoker) = 0.18") {
+		t.Errorf("query output wrong (want ≈0.186):\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := run(&buf, []string{"query", "-kb", kbPath, "-dist", "SMOKING"}); err != nil {
+		t.Fatal(err)
+	}
+	if c := strings.Count(buf.String(), "P(SMOKING="); c != 3 {
+		t.Errorf("distribution printed %d lines, want 3:\n%s", c, buf.String())
+	}
+}
+
+func TestTablesSubcommand(t *testing.T) {
+	csvPath := writeMemoCSV(t)
+	var buf bytes.Buffer
+	if err := run(&buf, []string{
+		"tables", "-in", csvPath, "-rows", "SMOKING", "-cols", "CANCER",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// One page per family-history value with that page's marginals
+	// (value labels are sorted by InferSchema, so rows permute but the
+	// counts and page totals of Figures 2a/2b must all appear).
+	for _, want := range []string{"1780", "1648", "750", "491", "1510", "270"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseAssignments(t *testing.T) {
+	as, err := parseAssignments("A=x, FAMILY HISTORY=Yes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[1].Attr != "FAMILY HISTORY" || as[1].Value != "Yes" {
+		t.Errorf("parsed = %v", as)
+	}
+	if _, err := parseAssignments("novalue"); err == nil {
+		t.Error("missing = accepted")
+	}
+	if _, err := parseAssignments("=x"); err == nil {
+		t.Error("empty attribute accepted")
+	}
+	if _, err := parseAssignments("A="); err == nil {
+		t.Error("empty value accepted")
+	}
+	if as, err := parseAssignments("  "); err != nil || as != nil {
+		t.Errorf("blank input: %v, %v", as, err)
+	}
+}
+
+func TestQueryZeroEvidence(t *testing.T) {
+	csvPath := writeMemoCSV(t)
+	kbPath := filepath.Join(t.TempDir(), "kb.json")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"discover", "-in", csvPath, "-out", kbPath}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run(&buf, []string{"query", "-kb", kbPath, "-target", "CANCER=Maybe"}); err == nil {
+		t.Error("unknown value accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pka"
+	"pka/internal/report"
+)
+
+// printFirstScan renders the first significance pass in the layout of the
+// memo's Table 1, with the user's attribute names and value labels.
+func printFirstScan(w io.Writer, model *pka.Model) error {
+	scans := model.Scans()
+	if len(scans) == 0 {
+		return fmt.Errorf("discover: no scans recorded")
+	}
+	first := scans[0]
+	schema := model.Schema()
+	t := report.NewTable(
+		"cell", "p(model)", "N obs", "mean", "sd", "z", "m2-m1", "significant").
+		Align(report.Left, report.Right, report.Right, report.Right,
+			report.Right, report.Right, report.Right, report.Left)
+	for _, ct := range first.Tests {
+		parts := make([]string, 0, ct.Family.Len())
+		for i, pos := range ct.Family.Members() {
+			attr := schema.Attr(pos)
+			parts = append(parts, fmt.Sprintf("%s=%s", attr.Name, attr.Values[ct.Values[i]]))
+		}
+		t.AddRow(
+			strings.Join(parts, ","),
+			fmt.Sprintf("%.4f", ct.Predicted),
+			fmt.Sprintf("%d", ct.Observed),
+			fmt.Sprintf("%.0f", ct.Mean),
+			fmt.Sprintf("%.1f", ct.SD),
+			fmt.Sprintf("%.2f", ct.Z),
+			fmt.Sprintf("%.2f", ct.Delta),
+			fmt.Sprintf("%v", ct.Significant),
+		)
+	}
+	fmt.Fprintf(w, "first significance scan (order %d, %d candidates):\n\n",
+		first.Order, len(first.Tests))
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}

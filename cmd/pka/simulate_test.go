@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSimulateScenarios(t *testing.T) {
+	for _, sc := range []string{"survey", "telemetry", "xor"} {
+		var buf bytes.Buffer
+		if err := run(&buf, []string{"simulate", "-scenario", sc, "-n", "100", "-seed", "7"}); err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		lines := strings.Count(buf.String(), "\n")
+		if lines != 101 { // header + 100 rows
+			t.Errorf("%s: %d lines, want 101", sc, lines)
+		}
+	}
+}
+
+func TestSimulatePaperExact(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"simulate", "-scenario", "paper"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3429 {
+		t.Errorf("paper scenario has %d lines, want 3429", got)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	gen := func() string {
+		var buf bytes.Buffer
+		if err := run(&buf, []string{"simulate", "-scenario", "survey", "-n", "50", "-seed", "3"}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if gen() != gen() {
+		t.Error("same seed produced different CSV")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"simulate", "-scenario", "bogus"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run(&buf, []string{"simulate", "-n", "0"}); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestSimulateDiscoverRoundTrip(t *testing.T) {
+	// Generated data must flow straight back into discovery.
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "sim.csv")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{
+		"simulate", "-scenario", "survey", "-n", "5000", "-seed", "11", "-out", csvPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run(&buf, []string{"discover", "-in", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "significant constraints") {
+		t.Errorf("discover on simulated data:\n%s", buf.String())
+	}
+}
+
+func TestExplainSubcommand(t *testing.T) {
+	csvPath := writeMemoCSV(t)
+	kbPath := filepath.Join(t.TempDir(), "kb.json")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"discover", "-in", csvPath, "-out", kbPath}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run(&buf, []string{"explain", "-kb", kbPath}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "P(SMOKING=Smoker)") {
+		t.Errorf("explain formula output:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run(&buf, []string{"explain", "-kb", kbPath, "-given", "CANCER=Yes"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "most probable explanation") || !strings.Contains(out, "CANCER=Yes") {
+		t.Errorf("explain MPE output:\n%s", out)
+	}
+}

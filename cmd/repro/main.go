@@ -1,0 +1,64 @@
+// Command repro regenerates every table and figure of Gevarter's NASA
+// TM-88224 / ICDE 1987 memo from this implementation, printing measured
+// values side by side with the paper's published ones.
+//
+// Usage:
+//
+//	repro -exp all          # everything, in paper order
+//	repro -exp table1       # one experiment: fig1 fig2 table1 table2
+//	                        # fig3 fig4 fig5 fig6 prior appB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// experiments maps experiment ids to their runners, in paper order.
+var experiments = []struct {
+	id   string
+	desc string
+	run  func(w io.Writer) error
+}{
+	{"fig1", "Figure 1: smoking/cancer contingency tables", runFigure1},
+	{"fig2", "Figure 2: marginal sums", runFigure2},
+	{"table1", "Table 1: second-order significance scan", runTable1},
+	{"table2", "Table 2: iterative a-value calculation", runTable2},
+	{"fig3", "Figure 3: overall discovery procedure", runFigure3},
+	{"fig4", "Figure 4: a-value refitting per constraint", runFigure4},
+	{"fig5", "Figure 5: original data form", runFigure5},
+	{"fig6", "Figure 6: sample data in triples form", runFigure6},
+	{"prior", "p(H2') prior sensitivity (memo's Eq. 63 note)", runPrior},
+	{"appB", "Appendix B: sum-of-products evaluation", runAppendixB},
+	{"gof", "goodness of fit of the discovered model (extension)", runGoodnessOfFit},
+	{"assoc", "pairwise association survey (extension)", runAssociations},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (all, fig1, fig2, table1, table2, fig3, fig4, fig5, fig6, prior, appB)")
+	flag.Parse()
+	if err := run(os.Stdout, *exp); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, exp string) error {
+	matched := false
+	for _, e := range experiments {
+		if exp != "all" && e.id != exp {
+			continue
+		}
+		matched = true
+		fmt.Fprintf(w, "\n### %s — %s\n\n", e.id, e.desc)
+		if err := e.run(w); err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

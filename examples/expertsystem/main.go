@@ -1,0 +1,86 @@
+// Expertsystem: building and shipping a probabilistic expert system from
+// data, the memo's stated goal ("develop a knowledge base for a
+// probabilistic expert system").
+//
+// Phase 1 (knowledge engineer): discover a knowledge base from survey data
+// and save it to JSON. Phase 2 (deployed system): load the JSON — no raw
+// data needed — and run consultations: combine evidence incrementally and
+// watch the posterior move, exactly the IF-THEN usage the memo describes.
+//
+// Run with:
+//
+//	go run ./examples/expertsystem
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"pka"
+	"pka/internal/paperdata"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("expertsystem: ")
+
+	// ---- Phase 1: acquisition ----
+	model, err := pka.DiscoverTable(paperdata.Table(), paperdata.Schema(), pka.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var kbFile bytes.Buffer
+	if err := model.Save(&kbFile); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 1: knowledge base built (%d constraints, %d bytes serialized)\n\n",
+		model.NumConstraints(), kbFile.Len())
+	fmt.Print(model.Explain())
+
+	// ---- Phase 2: deployment ----
+	system, err := pka.Load(&kbFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The memo's rule form: IF B AND C THEN A (with probability p).
+	rules, err := system.Rules(pka.RuleOptions{MinLiftDistance: 0.15, MaxRules: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop rules shipped with the system:\n")
+	for i, r := range rules {
+		fmt.Printf("%3d. %s\n", i+1, r)
+	}
+
+	// Consultations: evidence arrives piece by piece.
+	consult := func(title string, evidence ...pka.Assignment) {
+		fmt.Printf("\nconsultation: %s\n", title)
+		dist, err := system.Distribution("CANCER", evidence...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  P(CANCER=Yes) = %.3f   P(CANCER=No) = %.3f\n",
+			dist["Yes"], dist["No"])
+	}
+	consult("no evidence")
+	consult("patient smokes",
+		pka.Assignment{Attr: "SMOKING", Value: "Smoker"})
+	consult("patient smokes, family history of cancer",
+		pka.Assignment{Attr: "SMOKING", Value: "Smoker"},
+		pka.Assignment{Attr: "FAMILY HISTORY", Value: "Yes"})
+	consult("non smoker married to a smoker",
+		pka.Assignment{Attr: "SMOKING", Value: "Non smoker married to a smoker"})
+
+	// Reverse inference: the same formula answers any direction.
+	fmt.Println("\nreverse inference: what does a cancer diagnosis say about smoking?")
+	dist, err := system.Distribution("SMOKING",
+		pka.Assignment{Attr: "CANCER", Value: "Yes"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range system.Schema().Attr(0).Values {
+		fmt.Printf("  P(SMOKING=%-31s | cancer) = %.3f\n", v, dist[v])
+	}
+}

@@ -1,0 +1,92 @@
+// Quickstart: the memo's own worked example, end to end.
+//
+// It loads the smoking/cancer survey of Figure 1 (N = 3428), runs the full
+// knowledge-acquisition procedure, and then uses the resulting knowledge
+// base the way the memo envisions: conditional-probability queries and
+// IF-THEN rules for a probabilistic expert system.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pka"
+	"pka/internal/paperdata"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quickstart: ")
+
+	// The survey data in raw-record form (the memo's Figure 5). In a real
+	// application this would come from pka.ReadCSV.
+	data := paperdata.Records()
+	fmt.Printf("loaded %d survey records over %d attributes\n\n",
+		data.Len(), data.Schema().R())
+
+	// Discover the significant joint probabilities (Figures 3-4,
+	// Tables 1-2 of the memo).
+	model, err := pka.Discover(data, pka.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(model.Summary())
+
+	// The memo's headline relationship.
+	smoker := pka.Assignment{Attr: "SMOKING", Value: "Smoker"}
+	cancer := pka.Assignment{Attr: "CANCER", Value: "Yes"}
+
+	base, err := model.Probability(cancer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cond, err := model.Conditional([]pka.Assignment{cancer}, []pka.Assignment{smoker})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lift, err := model.Lift(cancer, smoker)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nP(cancer)            = %.3f\n", base)
+	fmt.Printf("P(cancer | smoker)   = %.3f\n", cond)
+	fmt.Printf("lift                 = %.2f\n", lift)
+
+	// Combining evidence, as the memo's IF B AND C THEN A example.
+	withHistory, err := model.Conditional(
+		[]pka.Assignment{cancer},
+		[]pka.Assignment{smoker, {Attr: "FAMILY HISTORY", Value: "Yes"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(cancer | smoker, family history) = %.3f\n", withHistory)
+
+	// Extract expert-system rules.
+	rules, err := model.Rules(pka.RuleOptions{MinLiftDistance: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d rules at |lift-1| >= 0.1:\n", len(rules))
+	for i, r := range rules {
+		fmt.Printf("%3d. %s\n", i+1, r)
+	}
+
+	// Persist the knowledge base for later query-only use.
+	f, err := os.CreateTemp("", "pka-quickstart-*.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(f.Name())
+	if err := model.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nknowledge base saved to %s\n", f.Name())
+}

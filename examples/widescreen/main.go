@@ -1,0 +1,105 @@
+// Widescreen: the wide-schema workflow for data whose dense joint space
+// cannot be materialized — the memo's "mammoth NASA reserve data bank"
+// regime.
+//
+// 30 binary sensor channels (dense space: 2³⁰ ≈ 10⁹ cells) are tabulated
+// sparsely, all 435 channel pairs are screened with the sparse association
+// survey, and the attribute subsets that light up are projected densely and
+// run through discovery. Ground truth plants two couplings; the screen must
+// surface exactly those.
+//
+// Run with:
+//
+//	go run ./examples/widescreen
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pka"
+	"pka/internal/contingency"
+	"pka/internal/stats"
+)
+
+const nSensors = 30
+
+func sensorName(i int) string { return fmt.Sprintf("CH%02d", i) }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("widescreen: ")
+
+	attrs := make([]pka.Attribute, nSensors)
+	for i := range attrs {
+		attrs[i] = pka.Attribute{Name: sensorName(i), Values: []string{"lo", "hi"}}
+	}
+	schema, err := pka.NewSchema(attrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sparse, err := pka.NewSparseTable(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate 50,000 frames: CH07 drives CH21 (strong), CH02 drives CH28
+	// (moderate), everything else independent.
+	rng := stats.NewRNG(30)
+	cell := make([]int, nSensors)
+	const n = 50000
+	for s := 0; s < n; s++ {
+		for i := range cell {
+			cell[i] = rng.Intn(2)
+		}
+		if rng.Float64() < 0.9 {
+			cell[21] = cell[7]
+		}
+		if rng.Float64() < 0.7 {
+			cell[28] = cell[2]
+		}
+		if err := sparse.Observe(cell...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("tabulated %d frames over %d channels (%d distinct patterns; dense space would need 2^%d cells)\n\n",
+		sparse.Total(), nSensors, sparse.Occupied(), nSensors)
+
+	// Screen all pairs sparsely.
+	pairs, err := pka.AssociationsSparse(sparse)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top 5 of 435 screened pairs:")
+	for i := 0; i < 5 && i < len(pairs); i++ {
+		p := pairs[i]
+		fmt.Printf("  %s × %s   MI=%.5f  V=%.3f  p=%.2g\n",
+			sensorName(p.I), sensorName(p.J), p.MI, p.CramersV, p.PValue)
+	}
+
+	// Project the significant pairs densely and run discovery on each.
+	fmt.Println("\ndiscovery on the flagged subsets:")
+	for _, p := range pairs[:2] {
+		proj, err := sparse.Project(contingency.NewVarSet(p.I, p.J))
+		if err != nil {
+			log.Fatal(err)
+		}
+		subSchema, err := pka.NewSchema([]pka.Attribute{attrs[p.I], attrs[p.J]})
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err := pka.DiscoverTable(proj, subSchema, pka.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cond, err := model.Conditional(
+			[]pka.Assignment{{Attr: sensorName(p.J), Value: "hi"}},
+			[]pka.Assignment{{Attr: sensorName(p.I), Value: "hi"}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s × %s: %d significant cells, P(%s=hi | %s=hi) = %.3f\n",
+			sensorName(p.I), sensorName(p.J), len(model.Findings()),
+			sensorName(p.J), sensorName(p.I), cond)
+	}
+}

@@ -1,0 +1,154 @@
+package pka_test
+
+import (
+	"math"
+	"testing"
+
+	"pka"
+	"pka/internal/contingency"
+	"pka/internal/dataset"
+	"pka/internal/stats"
+)
+
+// TestIntegrationWideSparsePipeline exercises the wide-schema workflow: 24
+// binary attributes (dense space 16.7M cells) are tabulated sparsely, an
+// analyst projects onto a candidate subset, and discovery runs on the dense
+// projection.
+func TestIntegrationWideSparsePipeline(t *testing.T) {
+	const r = 24
+	attrs := make([]pka.Attribute, r)
+	for i := range attrs {
+		attrs[i] = pka.Attribute{
+			Name:   attrName(i),
+			Values: []string{"lo", "hi"},
+		}
+	}
+	schema, err := pka.NewSchema(attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := pka.NewSparseTable(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate records where attribute 3 drives attribute 17 strongly and
+	// everything else is independent noise.
+	rng := stats.NewRNG(404)
+	cell := make([]int, r)
+	const n = 30000
+	for s := 0; s < n; s++ {
+		for i := range cell {
+			cell[i] = rng.Intn(2)
+		}
+		if rng.Float64() < 0.85 {
+			cell[17] = cell[3]
+		}
+		if err := sparse.Observe(cell...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sparse.Total() != n {
+		t.Fatalf("sparse total = %d", sparse.Total())
+	}
+
+	// Project the suspected trio (3, 17, plus a control attribute 9).
+	proj, err := sparse.Project(contingency.NewVarSet(3, 9, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subSchema, err := pka.NewSchema([]pka.Attribute{
+		attrs[3], attrs[9], attrs[17],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := pka.DiscoverTable(proj, subSchema, pka.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 3↔17 coupling (positions 0 and 2 in the projection) must be the
+	// only structure found.
+	want := contingency.NewVarSet(0, 2)
+	found := false
+	for _, f := range model.Findings() {
+		if f.Order != 2 {
+			continue
+		}
+		if f.Test.Family != want {
+			t.Errorf("spurious family %v", f.Test.Family)
+			continue
+		}
+		found = true
+	}
+	if !found {
+		t.Error("planted coupling not found in projection")
+	}
+	// And the conditional strength is recovered: P(a17=hi | a3=hi) ≈
+	// 0.85 + 0.15·0.5 = 0.925.
+	p, err := model.Conditional(
+		[]pka.Assignment{{Attr: attrName(17), Value: "hi"}},
+		[]pka.Assignment{{Attr: attrName(3), Value: "hi"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.925) > 0.02 {
+		t.Errorf("P(17=hi|3=hi) = %.3f, want ≈0.925", p)
+	}
+}
+
+func attrName(i int) string {
+	return "SENSOR_" + string(rune('A'+i))
+}
+
+// TestIntegrationSparseVsDenseAgreement: on a space small enough for both,
+// the sparse-projection path and the direct dense path find identical
+// structure.
+func TestIntegrationSparseVsDenseAgreement(t *testing.T) {
+	schema := dataset.MustSchema([]dataset.Attribute{
+		{Name: "X", Values: []string{"0", "1"}},
+		{Name: "Y", Values: []string{"0", "1", "2"}},
+		{Name: "Z", Values: []string{"0", "1"}},
+	})
+	d := dataset.NewDataset(schema)
+	rng := stats.NewRNG(7)
+	for s := 0; s < 5000; s++ {
+		x := rng.Intn(2)
+		y := rng.Intn(3)
+		z := x
+		if rng.Float64() < 0.2 {
+			z = 1 - x
+		}
+		if err := d.Append(dataset.Record{x, y, z}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dense, err := d.Tabulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := d.TabulateSparse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSparse, err := sparse.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mDense, err := pka.DiscoverTable(dense, schema, pka.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSparse, err := pka.DiscoverTable(fromSparse, schema, pka.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, fs := mDense.Findings(), mSparse.Findings()
+	if len(fd) != len(fs) {
+		t.Fatalf("dense found %d, sparse-path %d", len(fd), len(fs))
+	}
+	for i := range fd {
+		if fd[i].Test.Family != fs[i].Test.Family || fd[i].Test.Delta != fs[i].Test.Delta {
+			t.Errorf("finding %d differs between paths", i)
+		}
+	}
+}

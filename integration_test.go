@@ -1,0 +1,243 @@
+// Integration tests exercising full cross-module flows through the public
+// API: ingest → tabulate → discover → query → rules → persist → reload, on
+// the paper's data and on synthetic workloads with known ground truth.
+package pka_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"pka"
+	"pka/internal/contingency"
+	"pka/internal/paperdata"
+	"pka/internal/stats"
+	"pka/internal/synth"
+)
+
+// TestIntegrationPaperPipeline drives the complete memo scenario through
+// CSV: records → CSV text → schema inference → discovery → queries → rules
+// → save → load → identical queries.
+func TestIntegrationPaperPipeline(t *testing.T) {
+	// Render the paper's survey to CSV.
+	var csvBuf bytes.Buffer
+	if err := paperdata.Records().WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	csvText := csvBuf.String()
+
+	// Infer a schema from the CSV alone (value order will differ from the
+	// paper's — the pipeline must not care).
+	schema, err := pka.InferSchema(strings.NewReader(csvText), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := pka.ReadCSV(strings.NewReader(csvText), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Len() != paperdata.TotalN {
+		t.Fatalf("ingested %d records, want %d", data.Len(), paperdata.TotalN)
+	}
+
+	model, err := pka.Discover(data, pka.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The headline conditional must be label-order independent.
+	cond, err := model.Conditional(
+		[]pka.Assignment{{Attr: "CANCER", Value: "Yes"}},
+		[]pka.Assignment{{Attr: "SMOKING", Value: "Smoker"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cond-240.0/1290) > 5e-3 {
+		t.Errorf("P(cancer|smoker) = %.4f, want ≈%.4f", cond, 240.0/1290)
+	}
+
+	// Round trip through persistence.
+	var kbBuf bytes.Buffer
+	if err := model.Save(&kbBuf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := pka.Load(&kbBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond2, err := loaded.Conditional(
+		[]pka.Assignment{{Attr: "CANCER", Value: "Yes"}},
+		[]pka.Assignment{{Attr: "SMOKING", Value: "Smoker"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cond-cond2) > 1e-12 {
+		t.Errorf("reloaded KB answers differently: %.9f vs %.9f", cond, cond2)
+	}
+
+	// Rules survive the round trip too.
+	rs, err := loaded.Rules(pka.RuleOptions{MinLiftDistance: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Error("no rules from reloaded KB")
+	}
+}
+
+// TestIntegrationXORThirdOrder verifies the memo's "repeated for the
+// third-order N's" path end to end: XOR data has no second-order structure,
+// so discovery must find third-order constraints and the model must predict
+// the parity.
+func TestIntegrationXORThirdOrder(t *testing.T) {
+	truth, err := synth.XOR3(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := truth.SampleTable(stats.NewRNG(99), 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := pka.DiscoverTable(tab, truth.Schema(), pka.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw2, saw3 := 0, 0
+	for _, f := range model.Findings() {
+		switch f.Order {
+		case 2:
+			saw2++
+		case 3:
+			saw3++
+		}
+	}
+	if saw3 == 0 {
+		t.Fatalf("no third-order findings on XOR data: %s", model.Summary())
+	}
+	if saw2 > 1 {
+		t.Errorf("%d second-order findings on pairwise-independent data", saw2)
+	}
+	// The fitted model must capture the parity: P(Z=1 | X=0, Y=1) high.
+	p, err := model.Conditional(
+		[]pka.Assignment{{Attr: "Z", Value: "1"}},
+		[]pka.Assignment{{Attr: "X", Value: "0"}, {Attr: "Y", Value: "1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: s²/(s²+1/s²) with s=3 → 81/82... no: cells get s vs
+	// 1/s, so P = s/(s+1/s) = 9/10.
+	if math.Abs(p-0.9) > 0.03 {
+		t.Errorf("P(Z=1|X=0,Y=1) = %.3f, truth 0.9", p)
+	}
+}
+
+// TestIntegrationNoiseRobustness verifies discovery neither misses planted
+// structure nor hallucinates under label noise.
+func TestIntegrationNoiseRobustness(t *testing.T) {
+	truth, err := synth.Survey(4, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := truth.SampleTable(stats.NewRNG(55), 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject 2% uniform corruption directly into the table.
+	rng := stats.NewRNG(56)
+	corrupt := int64(600)
+	cells := tab.NumCells()
+	cell := make([]int, tab.R())
+	for i := int64(0); i < corrupt; i++ {
+		off := rng.Intn(cells)
+		if err := tab.Unflatten(off, cell); err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.Add(1, cell...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	model, err := pka.DiscoverTable(tab, truth.Schema(), pka.Options{MaxOrder: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planted := map[contingency.VarSet]bool{}
+	for _, fam := range truth.Planted() {
+		planted[fam] = true
+	}
+	hit := map[contingency.VarSet]bool{}
+	for _, f := range model.Findings() {
+		if planted[f.Test.Family] {
+			hit[f.Test.Family] = true
+		}
+	}
+	if len(hit) < len(planted) {
+		t.Errorf("recovered %d/%d planted families under noise", len(hit), len(planted))
+	}
+}
+
+// TestIntegrationDeterminismAcrossRuns pins full-pipeline determinism: two
+// independent discoveries over the same seeded workload give bit-identical
+// serialized knowledge bases.
+func TestIntegrationDeterminismAcrossRuns(t *testing.T) {
+	build := func() []byte {
+		truth, err := synth.Telemetry()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := truth.SampleTable(stats.NewRNG(123), 20_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := pka.DiscoverTable(tab, truth.Schema(), pka.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := model.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := build()
+	b := build()
+	if !bytes.Equal(a, b) {
+		t.Error("two identical runs serialized differently")
+	}
+}
+
+// TestIntegrationManyAttributes pushes a wider schema (8 attributes)
+// through the full pipeline within test-time budget.
+func TestIntegrationManyAttributes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wide-schema integration skipped in -short")
+	}
+	truth, err := synth.Survey(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := truth.SampleTable(stats.NewRNG(77), 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := pka.DiscoverTable(tab, truth.Schema(), pka.Options{MaxOrder: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Findings()) < 3 {
+		t.Errorf("only %d findings on 8-attribute planted data", len(model.Findings()))
+	}
+	// Sanity on a deep conditional.
+	p, err := model.Conditional(
+		[]pka.Assignment{{Attr: "OUTCOME", Value: "severe"}},
+		[]pka.Assignment{
+			{Attr: "FACTOR1", Value: "yes"},
+			{Attr: "FACTOR3", Value: "no"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p >= 1 {
+		t.Errorf("deep conditional = %g", p)
+	}
+}

@@ -1,0 +1,191 @@
+// Package assoc computes pairwise association diagnostics over a
+// contingency table: mutual information, Cramér's V, and the likelihood-
+// ratio statistic with its p-value. The memo positions its output as
+// "clues for discovering more causal explanations" — this package is that
+// survey view, independent of the MML selection machinery, for analysts
+// deciding where to look first.
+package assoc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"pka/internal/contingency"
+	"pka/internal/report"
+	"pka/internal/stats"
+)
+
+// PairStats summarizes the association between two attributes.
+type PairStats struct {
+	// I, J are the attribute positions (I < J).
+	I, J int
+	// MI is the mutual information in nats of the empirical pair marginal.
+	MI float64
+	// G2 is the likelihood-ratio statistic against independence.
+	G2 float64
+	// DF is (card_I - 1)(card_J - 1).
+	DF int
+	// PValue is the chi-square tail probability of G2 at DF.
+	PValue float64
+	// CramersV is the [0,1] effect-size normalization of Pearson's X².
+	CramersV float64
+}
+
+// Pairwise computes PairStats for every attribute pair, ordered by
+// descending mutual information.
+func Pairwise(t *contingency.Table) ([]PairStats, error) {
+	if t.Total() == 0 {
+		return nil, fmt.Errorf("assoc: empty table")
+	}
+	if t.R() < 2 {
+		return nil, fmt.Errorf("assoc: need at least 2 attributes")
+	}
+	n := float64(t.Total())
+	var out []PairStats
+	for _, fam := range contingency.Combinations(t.R(), 2) {
+		m := fam.Members()
+		i, j := m[0], m[1]
+		pair, err := t.Marginalize(fam)
+		if err != nil {
+			return nil, err
+		}
+		ci, cj := t.Card(i), t.Card(j)
+		joint := make([]float64, ci*cj)
+		obs := make([]int64, ci*cj)
+		for a := 0; a < ci; a++ {
+			for b := 0; b < cj; b++ {
+				v, err := pair.At(a, b)
+				if err != nil {
+					return nil, err
+				}
+				joint[a*cj+b] = float64(v) / n
+				obs[a*cj+b] = v
+			}
+		}
+		mi, err := stats.MutualInformation(joint, ci, cj)
+		if err != nil {
+			return nil, err
+		}
+		// Expected counts under independence of the pair marginal.
+		rowSums := make([]float64, ci)
+		colSums := make([]float64, cj)
+		for a := 0; a < ci; a++ {
+			for b := 0; b < cj; b++ {
+				rowSums[a] += float64(obs[a*cj+b])
+				colSums[b] += float64(obs[a*cj+b])
+			}
+		}
+		expected := make([]float64, ci*cj)
+		for a := 0; a < ci; a++ {
+			for b := 0; b < cj; b++ {
+				expected[a*cj+b] = rowSums[a] * colSums[b] / n
+			}
+		}
+		g2, err := stats.GStat(obs, expected)
+		if err != nil {
+			return nil, err
+		}
+		x2, err := stats.ChiSquareStat(obs, expected)
+		if err != nil {
+			return nil, err
+		}
+		df := (ci - 1) * (cj - 1)
+		minDim := ci - 1
+		if cj-1 < minDim {
+			minDim = cj - 1
+		}
+		v := 0.0
+		if minDim > 0 && x2 > 0 {
+			v = sqrtClamp(x2 / (n * float64(minDim)))
+		}
+		out = append(out, PairStats{
+			I: i, J: j,
+			MI:       mi,
+			G2:       g2,
+			DF:       df,
+			PValue:   stats.ChiSquareSF(g2, df),
+			CramersV: v,
+		})
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].MI > out[b].MI })
+	return out, nil
+}
+
+// PairwiseSparse is Pairwise over a sparse table: each pair's dense 2-D
+// projection is extracted first, so the cost is O(pairs × occupied cells)
+// regardless of the joint-space size. This is the screening step of the
+// wide-schema workflow: survey all pairs sparsely, then project and run
+// discovery on the attribute subsets that light up.
+func PairwiseSparse(s *contingency.Sparse) ([]PairStats, error) {
+	if s.Total() == 0 {
+		return nil, fmt.Errorf("assoc: empty table")
+	}
+	if s.R() < 2 {
+		return nil, fmt.Errorf("assoc: need at least 2 attributes")
+	}
+	var out []PairStats
+	for _, fam := range contingency.Combinations(s.R(), 2) {
+		proj, err := s.Project(fam)
+		if err != nil {
+			return nil, err
+		}
+		pairs, err := Pairwise(proj)
+		if err != nil {
+			return nil, err
+		}
+		// The projection has exactly one pair (its two axes); remap the
+		// positions back to the wide schema.
+		p := pairs[0]
+		m := fam.Members()
+		p.I, p.J = m[0], m[1]
+		out = append(out, p)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].MI > out[b].MI })
+	return out, nil
+}
+
+func sqrtClamp(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	return math.Sqrt(x)
+}
+
+// Render writes the pairwise report with attribute names.
+func Render(names []string, pairs []PairStats) string {
+	t := report.NewTable("pair", "MI (nats)", "Cramér's V", "G²", "df", "p-value").
+		Align(report.Left, report.Right, report.Right, report.Right, report.Right, report.Right)
+	for _, p := range pairs {
+		ni := fmt.Sprintf("v%d", p.I)
+		nj := fmt.Sprintf("v%d", p.J)
+		if p.I < len(names) {
+			ni = names[p.I]
+		}
+		if p.J < len(names) {
+			nj = names[p.J]
+		}
+		t.AddRow(
+			ni+" × "+nj,
+			fmt.Sprintf("%.5f", p.MI),
+			fmt.Sprintf("%.4f", p.CramersV),
+			fmt.Sprintf("%.1f", p.G2),
+			fmt.Sprintf("%d", p.DF),
+			formatP(p.PValue),
+		)
+	}
+	var b strings.Builder
+	_ = t.Write(&b)
+	return b.String()
+}
+
+func formatP(p float64) string {
+	if p < 1e-12 {
+		return "<1e-12"
+	}
+	return fmt.Sprintf("%.2g", p)
+}

@@ -1,0 +1,223 @@
+package assoc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pka/internal/contingency"
+	"pka/internal/stats"
+	"pka/internal/synth"
+)
+
+// memoTable reconstructs the memo's Figure 1 data.
+func memoTable(t testing.TB) *contingency.Table {
+	t.Helper()
+	tab := contingency.MustNew([]string{"A", "B", "C"}, []int{3, 2, 2})
+	data := [3][2][2]int64{
+		{{130, 110}, {410, 640}},
+		{{62, 31}, {580, 460}},
+		{{78, 22}, {520, 385}},
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 2; k++ {
+				tab.Set(data[i][j][k], i, j, k)
+			}
+		}
+	}
+	return tab
+}
+
+func TestPairwiseValidation(t *testing.T) {
+	empty := contingency.MustNew(nil, []int{2, 2})
+	if _, err := Pairwise(empty); err == nil {
+		t.Error("empty table accepted")
+	}
+	one := contingency.MustNew(nil, []int{4})
+	one.Set(5, 0)
+	if _, err := Pairwise(one); err == nil {
+		t.Error("single attribute accepted")
+	}
+}
+
+func TestPairwiseMemoOrdering(t *testing.T) {
+	// On the memo's data the A×C association (smoking/family history) and
+	// A×B (smoking/cancer) dominate B×C, consistent with Table 1's deltas.
+	pairs, err := Pairwise(memoTable(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("%d pairs, want 3", len(pairs))
+	}
+	// Sorted by MI descending.
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i-1].MI < pairs[i].MI {
+			t.Error("pairs not sorted by MI")
+		}
+	}
+	// The weakest pair must be B×C (cancer/family history barely couple).
+	last := pairs[len(pairs)-1]
+	if !(last.I == 1 && last.J == 2) {
+		t.Errorf("weakest pair = (%d,%d), want B×C (1,2)", last.I, last.J)
+	}
+	// All significant pairs (the memo finds cells in every family, but
+	// B×C is marginal): p-values for A×B and A×C must be tiny.
+	for _, p := range pairs {
+		if p.I == 0 && p.PValue > 1e-6 {
+			t.Errorf("pair (%d,%d) p-value %g, want tiny", p.I, p.J, p.PValue)
+		}
+	}
+}
+
+func TestPairwiseIndependentData(t *testing.T) {
+	truth, err := synth.IndependentUniform(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := truth.SampleTable(stats.NewRNG(13), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := Pairwise(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if p.MI > 0.001 {
+			t.Errorf("pair (%d,%d) MI %g on independent data", p.I, p.J, p.MI)
+		}
+		if p.CramersV > 0.05 {
+			t.Errorf("pair (%d,%d) V %g on independent data", p.I, p.J, p.CramersV)
+		}
+	}
+}
+
+func TestPairwisePerfectAssociation(t *testing.T) {
+	// X == Y deterministic: V = 1, MI = ln 2, p ≈ 0.
+	tab := contingency.MustNew(nil, []int{2, 2})
+	tab.Set(500, 0, 0)
+	tab.Set(500, 1, 1)
+	pairs, err := Pairwise(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pairs[0]
+	if math.Abs(p.MI-math.Log(2)) > 1e-9 {
+		t.Errorf("MI = %g, want ln 2", p.MI)
+	}
+	if math.Abs(p.CramersV-1) > 1e-9 {
+		t.Errorf("V = %g, want 1", p.CramersV)
+	}
+	if p.PValue > 1e-12 {
+		t.Errorf("p-value = %g, want ~0", p.PValue)
+	}
+	if p.DF != 1 {
+		t.Errorf("df = %d, want 1", p.DF)
+	}
+}
+
+func TestPairwiseSparseMatchesDense(t *testing.T) {
+	dense := memoTable(t)
+	sparse, err := contingency.FromDense(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Pairwise(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PairwiseSparse(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("dense %d pairs, sparse %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].I != b[i].I || a[i].J != b[i].J {
+			t.Errorf("pair %d identity differs: (%d,%d) vs (%d,%d)",
+				i, a[i].I, a[i].J, b[i].I, b[i].J)
+		}
+		if math.Abs(a[i].MI-b[i].MI) > 1e-12 || math.Abs(a[i].G2-b[i].G2) > 1e-9 {
+			t.Errorf("pair %d stats differ: MI %g vs %g", i, a[i].MI, b[i].MI)
+		}
+	}
+}
+
+func TestPairwiseSparseWideScreening(t *testing.T) {
+	// 20 binary attributes, one planted coupling (4 ↔ 13): the sparse
+	// screen must rank that pair first.
+	cards := make([]int, 20)
+	for i := range cards {
+		cards[i] = 2
+	}
+	s, err := contingency.NewSparse(nil, cards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(99)
+	cell := make([]int, 20)
+	for n := 0; n < 20000; n++ {
+		for i := range cell {
+			cell[i] = rng.Intn(2)
+		}
+		if rng.Float64() < 0.8 {
+			cell[13] = cell[4]
+		}
+		if err := s.Observe(cell...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pairs, err := PairwiseSparse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 190 {
+		t.Fatalf("%d pairs, want C(20,2)=190", len(pairs))
+	}
+	if pairs[0].I != 4 || pairs[0].J != 13 {
+		t.Errorf("top pair = (%d,%d), planted (4,13)", pairs[0].I, pairs[0].J)
+	}
+	if pairs[0].MI < 10*pairs[1].MI {
+		t.Errorf("planted pair MI %g not dominant over runner-up %g",
+			pairs[0].MI, pairs[1].MI)
+	}
+}
+
+func TestPairwiseSparseValidation(t *testing.T) {
+	s, err := contingency.NewSparse(nil, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PairwiseSparse(s); err == nil {
+		t.Error("empty sparse table accepted")
+	}
+	one, err := contingency.NewSparse(nil, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one.Observe(0)
+	if _, err := PairwiseSparse(one); err == nil {
+		t.Error("single attribute accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	pairs, err := Pairwise(memoTable(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render([]string{"SMOKING", "CANCER", "FAMILY"}, pairs)
+	for _, want := range []string{"SMOKING × CANCER", "Cramér's V", "p-value"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Missing names fall back to positions.
+	out = Render(nil, pairs)
+	if !strings.Contains(out, "v0 × v1") {
+		t.Errorf("fallback names missing:\n%s", out)
+	}
+}

@@ -1,0 +1,243 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"pka/internal/contingency"
+	"pka/internal/core"
+	"pka/internal/stats"
+	"pka/internal/synth"
+)
+
+// memoTable reconstructs the memo's Figure 1 data.
+func memoTable(t testing.TB) *contingency.Table {
+	t.Helper()
+	tab := contingency.MustNew([]string{"A", "B", "C"}, []int{3, 2, 2})
+	data := [3][2][2]int64{
+		{{130, 110}, {410, 640}},
+		{{62, 31}, {580, 460}},
+		{{78, 22}, {520, 385}},
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 2; k++ {
+				if err := tab.Set(data[i][j][k], i, j, k); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return tab
+}
+
+func TestEmpiricalMatchesFrequencies(t *testing.T) {
+	tab := memoTable(t)
+	e, err := NewEmpirical(tab, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := e.Joint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := joint[0]; math.Abs(got-130.0/3428) > 1e-12 {
+		t.Errorf("cell 0 = %g, want %g", got, 130.0/3428)
+	}
+	if e.Parameters() != 11 {
+		t.Errorf("parameters = %d, want cells-1 = 11", e.Parameters())
+	}
+	if e.Name() != "empirical" {
+		t.Error("name wrong")
+	}
+}
+
+func TestEmpiricalSmoothing(t *testing.T) {
+	tab := contingency.MustNew(nil, []int{2, 2})
+	tab.Set(10, 0, 0) // three empty cells
+	e, err := NewEmpirical(tab, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, _ := e.Joint()
+	if joint[3] == 0 {
+		t.Error("smoothing left a zero cell")
+	}
+	sum := 0.0
+	for _, p := range joint {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("smoothed joint sums to %g", sum)
+	}
+	if _, err := NewEmpirical(tab, -1); err == nil {
+		t.Error("negative smoothing accepted")
+	}
+	empty := contingency.MustNew(nil, []int{2})
+	if _, err := NewEmpirical(empty, 0); err == nil {
+		t.Error("empty unsmoothed table accepted")
+	}
+}
+
+func TestIndependenceModel(t *testing.T) {
+	tab := memoTable(t)
+	ind, err := NewIndependence(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := ind.Joint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cell (0,0,0): pA1·pB1·pC1.
+	want := (1290.0 / 3428) * (433.0 / 3428) * (1780.0 / 3428)
+	if math.Abs(joint[0]-want) > 1e-12 {
+		t.Errorf("cell 0 = %g, want %g", joint[0], want)
+	}
+	// Parameters: (3-1)+(2-1)+(2-1) = 4.
+	if ind.Parameters() != 4 {
+		t.Errorf("parameters = %d, want 4", ind.Parameters())
+	}
+	empty := contingency.MustNew(nil, []int{2, 2})
+	if _, err := NewIndependence(empty); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestModelOrderingOnMemoData(t *testing.T) {
+	// Fidelity ordering: empirical (exact) <= discovered maxent <=
+	// independence, in KL to the empirical distribution.
+	tab := memoTable(t)
+	emp, _ := tab.Probabilities()
+
+	res, err := core.Discover(tab, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	discovered := &MaxentModel{Label: "mml", M: res.Model}
+	ind, _ := NewIndependence(tab)
+
+	dj, err := discovered.Joint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ij, _ := ind.Joint()
+	klD, _ := stats.KLDivergence(emp, dj)
+	klI, _ := stats.KLDivergence(emp, ij)
+	if klD >= klI {
+		t.Errorf("discovered KL %.6f not below independence KL %.6f", klD, klI)
+	}
+	// Compactness ordering: independence < discovered < empirical... the
+	// discovered model adds constraints on top of first-order, and the
+	// empirical stores every cell.
+	e, _ := NewEmpirical(tab, 0)
+	if !(ind.Parameters() < discovered.Parameters()) {
+		t.Errorf("parameter ordering broken: ind %d, mml %d",
+			ind.Parameters(), discovered.Parameters())
+	}
+	_ = e // 11 params for 12 cells; mml may legitimately reach it on tiny tables
+}
+
+func TestDiscoverChiSqFindsMemoStructure(t *testing.T) {
+	tab := memoTable(t)
+	model, picks, err := DiscoverChiSq(tab, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) == 0 {
+		t.Fatal("chi-square found nothing on the memo data")
+	}
+	// The first pick must be the same headline cell (largest |z| is
+	// N^AB_11 at 6.03... actually AC12 at 5.75 vs AB11 6.03 — AB11 wins).
+	first := picks[0]
+	if first.Family != contingency.NewVarSet(0, 1) || first.Values[0] != 0 || first.Values[1] != 0 {
+		t.Errorf("first chi-square pick = %v%v, want N^AB_11", first.Family, first.Values)
+	}
+	if model.NumConstraints() <= 7 {
+		t.Errorf("constraints = %d; chi-square should have promoted cells", model.NumConstraints())
+	}
+	if _, _, err := DiscoverChiSq(tab, 0, 2); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, _, err := DiscoverChiSq(tab, 0.05, 1); err == nil {
+		t.Error("maxOrder=1 accepted")
+	}
+}
+
+func TestDiscoverBICFindsMemoStructure(t *testing.T) {
+	tab := memoTable(t)
+	_, picks, err := DiscoverBIC(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) == 0 {
+		t.Fatal("BIC found nothing on the memo data")
+	}
+	first := picks[0]
+	if first.Family != contingency.NewVarSet(0, 1) || first.Values[0] != 0 || first.Values[1] != 0 {
+		t.Errorf("first BIC pick = %v%v, want N^AB_11", first.Family, first.Values)
+	}
+}
+
+func TestChiSqMorePermissiveThanMMLOnNullData(t *testing.T) {
+	// The ablation claim: on pure-noise data with many cells, the
+	// uncorrected chi-square criterion promotes spurious cells at rate
+	// ~alpha per cell, while MML stays quiet.
+	g, err := synth.IndependentUniform(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := g.SampleTable(stats.NewRNG(17), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Discover(tab, core.Options{MaxOrder: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, chiPicks, err := DiscoverChiSq(tab, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) > len(chiPicks) {
+		t.Errorf("MML found %d vs chi-square %d on null data; MML should not exceed",
+			len(res.Findings), len(chiPicks))
+	}
+	if len(res.Findings) > 1 {
+		t.Errorf("MML promoted %d cells on null data", len(res.Findings))
+	}
+}
+
+func TestCriteriaRecoverPlantedStructure(t *testing.T) {
+	// All criteria should find the planted coupling at high N; the point
+	// of the ablation is their differing false-positive behaviour.
+	g, err := synth.Survey(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := g.SampleTable(stats.NewRNG(23), 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range []struct {
+		name string
+		f    func() (int, error)
+	}{
+		{"chisq", func() (int, error) {
+			_, picks, err := DiscoverChiSq(tab, 0.05, 2)
+			return len(picks), err
+		}},
+		{"bic", func() (int, error) {
+			_, picks, err := DiscoverBIC(tab, 2)
+			return len(picks), err
+		}},
+	} {
+		n, err := run.f()
+		if err != nil {
+			t.Fatalf("%s: %v", run.name, err)
+		}
+		if n == 0 {
+			t.Errorf("%s found nothing despite planted coupling", run.name)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"pka/internal/contingency"
+	"pka/internal/maxent"
+	"pka/internal/stats"
+)
+
+// Pick records one constraint promoted by an alternative criterion.
+type Pick struct {
+	Family contingency.VarSet
+	Values []int
+	Score  float64 // criterion-specific: |z| for chi-square, ΔG²-lnN for BIC
+	Order  int
+}
+
+// MaxentModel adapts a fitted maxent model to the JointModel view.
+type MaxentModel struct {
+	Label string
+	M     *maxent.Model
+}
+
+// Name implements JointModel.
+func (m *MaxentModel) Name() string { return m.Label }
+
+// Joint implements JointModel.
+func (m *MaxentModel) Joint() ([]float64, error) { return m.M.Joint() }
+
+// Parameters implements JointModel.
+func (m *MaxentModel) Parameters() int { return m.M.NumConstraints() }
+
+// criterion scores a candidate cell; promote reports whether the best score
+// clears the acceptance bar.
+type criterion struct {
+	name    string
+	score   func(observed int64, n int64, predicted float64) float64
+	promote func(best float64) bool
+}
+
+// DiscoverChiSq runs the level-wise selection loop with the classical
+// standardized-residual criterion: a cell is promotable when its |z| =
+// |obs - Np| / sqrt(Np(1-p)) exceeds the two-sided normal critical value at
+// the given significance level alpha (e.g. 0.05 → 1.96).
+func DiscoverChiSq(t *contingency.Table, alpha float64, maxOrder int) (*maxent.Model, []Pick, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return nil, nil, fmt.Errorf("baseline: alpha %g outside (0,1)", alpha)
+	}
+	// Two-sided z critical value via the chi-square(1) inverse: z² ~ χ²(1).
+	x, err := stats.ChiSquareCritical(alpha, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	zCrit := math.Sqrt(x)
+	c := criterion{
+		name: "chisq",
+		score: func(obs, n int64, p float64) float64 {
+			b := stats.Binomial{N: n, P: p}
+			sd := b.SD()
+			if sd == 0 {
+				return 0
+			}
+			return math.Abs(b.ZScore(obs))
+		},
+		promote: func(best float64) bool { return best > zCrit },
+	}
+	return discoverWith(t, maxOrder, c)
+}
+
+// DiscoverBIC runs the same loop with a penalized-likelihood criterion: a
+// cell is promotable when its single-cell deviance contribution
+// 2N·[q ln(q/p) + (1-q) ln((1-q)/(1-p))] (q = obs/N) exceeds ln N — the BIC
+// cost of the one extra parameter the constraint introduces.
+func DiscoverBIC(t *contingency.Table, maxOrder int) (*maxent.Model, []Pick, error) {
+	c := criterion{
+		name: "bic",
+		score: func(obs, n int64, p float64) float64 {
+			q := float64(obs) / float64(n)
+			dev := 0.0
+			if q > 0 {
+				if p <= 0 {
+					return math.Inf(1)
+				}
+				dev += q * math.Log(q/p)
+			}
+			if q < 1 {
+				if p >= 1 {
+					return math.Inf(1)
+				}
+				dev += (1 - q) * math.Log((1-q)/(1-p))
+			}
+			return 2*float64(n)*dev - math.Log(float64(n))
+		},
+		promote: func(best float64) bool { return best > 0 },
+	}
+	return discoverWith(t, maxOrder, c)
+}
+
+// discoverWith is the shared level-wise loop: scan, promote best, refit,
+// repeat per order. It mirrors core.Discover's control flow with the MML
+// test swapped out, so criterion comparisons isolate exactly that choice.
+func discoverWith(t *contingency.Table, maxOrder int, c criterion) (*maxent.Model, []Pick, error) {
+	if t.Total() == 0 {
+		return nil, nil, fmt.Errorf("baseline: empty table")
+	}
+	if maxOrder == 0 {
+		maxOrder = t.R()
+	}
+	if maxOrder < 2 || maxOrder > t.R() {
+		return nil, nil, fmt.Errorf("baseline: maxOrder %d outside [2,%d]", maxOrder, t.R())
+	}
+	model, err := maxent.NewModel(t.Names(), t.Cards())
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := model.AddFirstOrderConstraints(t); err != nil {
+		return nil, nil, err
+	}
+	solve := maxent.SolveOptions{Tol: math.Max(1e-9, 0.01/float64(t.Total()))}
+	if _, err := model.Fit(solve); err != nil {
+		return nil, nil, err
+	}
+	var picks []Pick
+	n := t.Total()
+	for order := 2; order <= maxOrder; order++ {
+		for {
+			bestScore := math.Inf(-1)
+			var bestFam contingency.VarSet
+			var bestValues []int
+			var bestObs int64
+			for _, fam := range contingency.Combinations(t.R(), order) {
+				members := fam.Members()
+				values := make([]int, len(members))
+				for {
+					if !model.HasConstraint(fam, values) {
+						obs, err := t.MarginalCount(fam, values)
+						if err != nil {
+							return nil, nil, err
+						}
+						pred, err := model.Prob(fam, values)
+						if err != nil {
+							return nil, nil, err
+						}
+						if s := c.score(obs, n, pred); s > bestScore {
+							bestScore = s
+							bestFam = fam
+							bestValues = append([]int(nil), values...)
+							bestObs = obs
+						}
+					}
+					i := len(members) - 1
+					for i >= 0 {
+						values[i]++
+						if values[i] < t.Card(members[i]) {
+							break
+						}
+						values[i] = 0
+						i--
+					}
+					if i < 0 {
+						break
+					}
+				}
+			}
+			if math.IsInf(bestScore, -1) || !c.promote(bestScore) {
+				break
+			}
+			con := maxent.Constraint{
+				Family: bestFam,
+				Values: bestValues,
+				Target: float64(bestObs) / float64(n),
+			}
+			if err := model.AddConstraint(con); err != nil {
+				return nil, nil, err
+			}
+			rep, err := model.Fit(solve)
+			if err != nil {
+				return nil, nil, fmt.Errorf("baseline: %s refit: %w", c.name, err)
+			}
+			if !rep.Converged {
+				return nil, nil, fmt.Errorf("baseline: %s refit did not converge (residual %g)",
+					c.name, rep.Residual)
+			}
+			picks = append(picks, Pick{
+				Family: bestFam,
+				Values: bestValues,
+				Score:  bestScore,
+				Order:  order,
+			})
+		}
+	}
+	return model, picks, nil
+}

@@ -1,0 +1,17 @@
+// Package baseline supplies the comparison models the memo's 1986
+// evaluation lacked, anchoring the benches:
+//
+//   - Empirical: the full relative-frequency joint (optionally Laplace
+//     smoothed) — maximal fidelity, maximal parameter count.
+//   - Independence: the product of first-order marginals — the model the
+//     memo's procedure starts from (Eq. 62).
+//   - Chi-square criterion discovery: the same level-wise constraint
+//     selection loop, but cells are promoted by the classical per-cell
+//     standardized-residual test instead of the MML comparison. This is the
+//     pre-MML orthodoxy the memo's criterion replaces (ablation X4).
+//   - BIC criterion discovery: promotion by a per-cell deviance-vs-ln(N)
+//     score, the modern penalized-likelihood analogue (ablation X4).
+//
+// All baselines expose the same JointModel view so the bench harness can
+// score them uniformly (KL to truth, parameter counts, false positives).
+package baseline

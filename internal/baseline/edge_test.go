@@ -1,0 +1,88 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"pka/internal/contingency"
+)
+
+func TestDiscoverCriteriaValidation(t *testing.T) {
+	empty := contingency.MustNew(nil, []int{2, 2})
+	if _, _, err := DiscoverChiSq(empty, 0.05, 2); err == nil {
+		t.Error("chi-square on empty table accepted")
+	}
+	if _, _, err := DiscoverBIC(empty, 2); err == nil {
+		t.Error("BIC on empty table accepted")
+	}
+	tab := memoTable(t)
+	if _, _, err := DiscoverChiSq(tab, 1.5, 2); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+	if _, _, err := DiscoverBIC(tab, 9); err == nil {
+		t.Error("maxOrder above R accepted")
+	}
+}
+
+func TestDiscoverBICDefaultsMaxOrder(t *testing.T) {
+	tab := memoTable(t)
+	m, _, err := DiscoverBIC(tab, 0) // 0 means full order
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumConstraints() < 7 {
+		t.Errorf("constraints = %d", m.NumConstraints())
+	}
+}
+
+func TestMaxentModelAdapter(t *testing.T) {
+	tab := memoTable(t)
+	m, picks, err := DiscoverBIC(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapter := &MaxentModel{Label: "bic", M: m}
+	if adapter.Name() != "bic" {
+		t.Error("name wrong")
+	}
+	joint, err := adapter.Joint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range joint {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("joint sums to %g", sum)
+	}
+	if adapter.Parameters() != m.NumConstraints() {
+		t.Error("parameter count wrong")
+	}
+	// Picks carry scores and orders.
+	for _, p := range picks {
+		if p.Order != 2 {
+			t.Errorf("pick at order %d", p.Order)
+		}
+		if p.Score <= 0 {
+			t.Errorf("pick score %g", p.Score)
+		}
+	}
+}
+
+func TestChiSqZeroSDCellsHandled(t *testing.T) {
+	// A degenerate attribute (all mass on one value) yields sd = 0 for
+	// some candidate cells; the criterion must score them 0, not NaN.
+	tab := contingency.MustNew(nil, []int{2, 2})
+	tab.Set(60, 0, 0)
+	tab.Set(40, 0, 1)
+	_, picks, err := DiscoverChiSq(tab, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range picks {
+		if math.IsNaN(p.Score) {
+			t.Errorf("NaN score in %v", p)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"pka/internal/contingency"
+)
+
+// HeldOutLogLoss returns the average negative log-likelihood (nats per
+// sample) of held-out data under a model — the generalization measure for
+// experiment X7. Cells the model assigns zero probability while the test
+// data occupies them yield +Inf; smoothing is the caller's choice.
+func HeldOutLogLoss(m JointModel, test *contingency.Table) (float64, error) {
+	if test.Total() == 0 {
+		return 0, fmt.Errorf("baseline: empty held-out table")
+	}
+	joint, err := m.Joint()
+	if err != nil {
+		return 0, err
+	}
+	if len(joint) != test.NumCells() {
+		return 0, fmt.Errorf("baseline: model has %d cells, held-out table %d",
+			len(joint), test.NumCells())
+	}
+	var loss float64
+	for i, c := range test.Counts() {
+		if c == 0 {
+			continue
+		}
+		p := joint[i]
+		if p <= 0 {
+			return math.Inf(1), nil
+		}
+		loss -= float64(c) * math.Log(p)
+	}
+	return loss / float64(test.Total()), nil
+}
+
+// TrainTestSplit splits a record-count table into train and test tables by
+// assigning each sample independently to test with probability testFrac,
+// using the supplied uniform variates source for determinism.
+//
+// Splitting happens at count level: for a cell with n samples the test
+// count is binomial(n, testFrac) — equivalent to shuffling the underlying
+// records.
+func TrainTestSplit(t *contingency.Table, testFrac float64, uniform func() float64) (train, test *contingency.Table, err error) {
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("baseline: test fraction %g outside (0,1)", testFrac)
+	}
+	if uniform == nil {
+		return nil, nil, fmt.Errorf("baseline: nil uniform source")
+	}
+	train, err = contingency.New(t.Names(), t.Cards())
+	if err != nil {
+		return nil, nil, err
+	}
+	test, err = contingency.New(t.Names(), t.Cards())
+	if err != nil {
+		return nil, nil, err
+	}
+	var outer error
+	t.EachCell(func(cell []int, count int64) {
+		if outer != nil {
+			return
+		}
+		var toTest int64
+		for s := int64(0); s < count; s++ {
+			if uniform() < testFrac {
+				toTest++
+			}
+		}
+		if err := test.Add(toTest, cell...); err != nil {
+			outer = err
+			return
+		}
+		if err := train.Add(count-toTest, cell...); err != nil {
+			outer = err
+		}
+	})
+	if outer != nil {
+		return nil, nil, outer
+	}
+	return train, test, nil
+}

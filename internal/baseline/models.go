@@ -1,0 +1,102 @@
+package baseline
+
+import (
+	"fmt"
+
+	"pka/internal/contingency"
+)
+
+// JointModel is the uniform scoring view over all comparison models.
+type JointModel interface {
+	// Name identifies the model in bench output.
+	Name() string
+	// Joint returns the normalized joint distribution, row-major.
+	Joint() ([]float64, error)
+	// Parameters returns the number of free parameters the model stores —
+	// the compactness axis of experiment X6.
+	Parameters() int
+}
+
+// Empirical is the full relative-frequency joint, optionally smoothed.
+type Empirical struct {
+	joint  []float64
+	params int
+}
+
+// NewEmpirical builds the empirical joint with additive (Laplace) smoothing
+// alpha >= 0 per cell; alpha 0 keeps raw frequencies.
+func NewEmpirical(t *contingency.Table, alpha float64) (*Empirical, error) {
+	if alpha < 0 {
+		return nil, fmt.Errorf("baseline: negative smoothing %g", alpha)
+	}
+	n := float64(t.Total())
+	cells := t.NumCells()
+	denom := n + alpha*float64(cells)
+	if denom <= 0 {
+		return nil, fmt.Errorf("baseline: empty table and no smoothing")
+	}
+	joint := make([]float64, cells)
+	for i, c := range t.Counts() {
+		joint[i] = (float64(c) + alpha) / denom
+	}
+	return &Empirical{joint: joint, params: cells - 1}, nil
+}
+
+// Name implements JointModel.
+func (e *Empirical) Name() string { return "empirical" }
+
+// Joint implements JointModel.
+func (e *Empirical) Joint() ([]float64, error) {
+	return append([]float64(nil), e.joint...), nil
+}
+
+// Parameters implements JointModel.
+func (e *Empirical) Parameters() int { return e.params }
+
+// Independence is the product-of-marginals model (the memo's Eq. 62).
+type Independence struct {
+	joint  []float64
+	params int
+}
+
+// NewIndependence builds it from the table's first-order marginals.
+func NewIndependence(t *contingency.Table) (*Independence, error) {
+	if t.Total() == 0 {
+		return nil, fmt.Errorf("baseline: empty table")
+	}
+	first, err := t.FirstOrderProbabilities()
+	if err != nil {
+		return nil, err
+	}
+	cards := t.Cards()
+	joint := make([]float64, t.NumCells())
+	cell := make([]int, len(cards))
+	for off := range joint {
+		rem := off
+		for i := len(cards) - 1; i >= 0; i-- {
+			cell[i] = rem % cards[i]
+			rem /= cards[i]
+		}
+		p := 1.0
+		for i, v := range cell {
+			p *= first[i][v]
+		}
+		joint[off] = p
+	}
+	params := 0
+	for _, c := range cards {
+		params += c - 1
+	}
+	return &Independence{joint: joint, params: params}, nil
+}
+
+// Name implements JointModel.
+func (i *Independence) Name() string { return "independence" }
+
+// Joint implements JointModel.
+func (i *Independence) Joint() ([]float64, error) {
+	return append([]float64(nil), i.joint...), nil
+}
+
+// Parameters implements JointModel.
+func (i *Independence) Parameters() int { return i.params }

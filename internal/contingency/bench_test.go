@@ -1,0 +1,126 @@
+package contingency
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchTable builds a dense table with the given shape, counts filled
+// deterministically.
+func benchTable(b *testing.B, cards []int) *Table {
+	b.Helper()
+	t, err := New(nil, cards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cell := make([]int, len(cards))
+	for off := 0; off < t.NumCells(); off++ {
+		if err := t.Unflatten(off, cell); err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Set(int64(off%97)+1, cell...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return t
+}
+
+func BenchmarkObserve(b *testing.B) {
+	t := MustNew(nil, []int{4, 4, 4})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := t.Observe(i%4, (i/4)%4, (i/16)%4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarginalize(b *testing.B) {
+	for _, r := range []int{4, 8, 12} {
+		cards := make([]int, r)
+		for i := range cards {
+			cards[i] = 2
+		}
+		t := benchTable(b, cards)
+		keep := NewVarSet(0, r-1)
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := t.Marginalize(keep); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMarginalCount(b *testing.B) {
+	t := benchTable(b, []int{4, 4, 4, 4, 4})
+	vars := NewVarSet(0, 2)
+	values := []int{1, 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.MarginalCount(vars, values); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSparseObserve(b *testing.B) {
+	cards := make([]int, 32)
+	for i := range cards {
+		cards[i] = 4
+	}
+	s, err := NewSparse(nil, cards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cell := make([]int, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range cell {
+			cell[j] = (i >> uint(j%8)) & 3
+		}
+		if err := s.Observe(cell...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSparseProject(b *testing.B) {
+	cards := make([]int, 24)
+	for i := range cards {
+		cards[i] = 3
+	}
+	s, err := NewSparse(nil, cards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cell := make([]int, 24)
+	for n := 0; n < 20000; n++ {
+		for j := range cell {
+			cell[j] = (n * (j + 1)) % 3
+		}
+		if err := s.Observe(cell...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	keep := NewVarSet(0, 11, 23)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Project(keep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCombinations(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := Combinations(16, 3); len(got) != 560 {
+			b.Fatal("wrong count")
+		}
+	}
+}

@@ -1,0 +1,10 @@
+// Package contingency implements the N-dimensional contingency tables of the
+// memo's Figures 1-2: dense integer count arrays indexed by attribute value
+// tuples, with marginalization over any subset of attributes (Eqs. 1-6),
+// subset/family enumeration for the level-wise discovery scan, text rendering
+// in the memo's layout, and JSON persistence.
+//
+// Attribute subsets are represented as VarSet bitmasks over attribute
+// positions, supporting up to 64 attributes — far beyond the enumeration
+// limits of the dense representation itself.
+package contingency

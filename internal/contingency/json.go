@@ -1,0 +1,50 @@
+package contingency
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// tableJSON is the wire form of a Table. Counts are row-major, axis 0
+// slowest — the same layout as the in-memory representation.
+type tableJSON struct {
+	Names  []string `json:"names"`
+	Cards  []int    `json:"cards"`
+	Counts []int64  `json:"counts"`
+}
+
+// MarshalJSON encodes the table shape and counts.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{
+		Names:  t.names,
+		Cards:  t.cards,
+		Counts: t.counts,
+	})
+}
+
+// UnmarshalJSON decodes and validates a table. The receiver is overwritten.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var w tableJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("contingency: decoding table: %w", err)
+	}
+	nt, err := New(w.Names, w.Cards)
+	if err != nil {
+		return fmt.Errorf("contingency: decoding table: %w", err)
+	}
+	if len(w.Counts) != len(nt.counts) {
+		return fmt.Errorf("contingency: decoding table: %d counts for %d cells",
+			len(w.Counts), len(nt.counts))
+	}
+	var total int64
+	for i, c := range w.Counts {
+		if c < 0 {
+			return fmt.Errorf("contingency: decoding table: cell %d negative (%d)", i, c)
+		}
+		nt.counts[i] = c
+		total += c
+	}
+	nt.total = total
+	*t = *nt
+	return nil
+}

@@ -1,0 +1,283 @@
+package contingency
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarginalizeMatchesMemoFigure2(t *testing.T) {
+	tab := memoTable(t)
+
+	// Figure 2c: N^AB (summed over family history).
+	ab, err := tab.Marginalize(NewVarSet(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAB := [3][2]int64{{240, 1050}, {93, 1040}, {100, 905}}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			if got := ab.MustAt(i, j); got != wantAB[i][j] {
+				t.Errorf("N^AB_%d%d = %d, memo says %d", i+1, j+1, got, wantAB[i][j])
+			}
+		}
+	}
+
+	// Figure 2a margins: N^AC column for C=1: 540, 642, 598.
+	ac, err := tab.Marginalize(NewVarSet(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAC := [3][2]int64{{540, 750}, {642, 491}, {598, 407}}
+	for i := 0; i < 3; i++ {
+		for k := 0; k < 2; k++ {
+			if got := ac.MustAt(i, k); got != wantAC[i][k] {
+				t.Errorf("N^AC_%d%d = %d, memo says %d", i+1, k+1, got, wantAC[i][k])
+			}
+		}
+	}
+
+	// N^BC: {270, 163}, {1510, 1485}.
+	bc, err := tab.Marginalize(NewVarSet(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBC := [2][2]int64{{270, 163}, {1510, 1485}}
+	for j := 0; j < 2; j++ {
+		for k := 0; k < 2; k++ {
+			if got := bc.MustAt(j, k); got != wantBC[j][k] {
+				t.Errorf("N^BC_%d%d = %d, memo says %d", j+1, k+1, got, wantBC[j][k])
+			}
+		}
+	}
+
+	// First-order: N^A = 1290, 1133, 1005; N^B = 433, 2995; N^C = 1780, 1648.
+	a, _ := tab.Marginalize(NewVarSet(0))
+	for i, want := range []int64{1290, 1133, 1005} {
+		if got := a.MustAt(i); got != want {
+			t.Errorf("N^A_%d = %d, memo says %d", i+1, got, want)
+		}
+	}
+	b, _ := tab.Marginalize(NewVarSet(1))
+	for j, want := range []int64{433, 2995} {
+		if got := b.MustAt(j); got != want {
+			t.Errorf("N^B_%d = %d, memo says %d", j+1, got, want)
+		}
+	}
+	c, _ := tab.Marginalize(NewVarSet(2))
+	for k, want := range []int64{1780, 1648} {
+		if got := c.MustAt(k); got != want {
+			t.Errorf("N^C_%d = %d, memo says %d", k+1, got, want)
+		}
+	}
+}
+
+func TestMarginalizePreservesTotal(t *testing.T) {
+	tab := memoTable(t)
+	for _, keep := range []VarSet{NewVarSet(0), NewVarSet(1, 2), NewVarSet(0, 1, 2)} {
+		m, err := tab.Marginalize(keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Total() != tab.Total() {
+			t.Errorf("marginal over %v total %d, want %d", keep, m.Total(), tab.Total())
+		}
+		if err := m.CheckConsistency(); err != nil {
+			t.Errorf("marginal over %v inconsistent: %v", keep, err)
+		}
+	}
+}
+
+func TestMarginalizeIdentity(t *testing.T) {
+	tab := memoTable(t)
+	full, err := tab.Marginalize(NewVarSet(0, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Equal(full) {
+		t.Error("marginalizing over all axes should be the identity")
+	}
+}
+
+func TestMarginalizeErrors(t *testing.T) {
+	tab := memoTable(t)
+	if _, err := tab.Marginalize(0); err == nil {
+		t.Error("empty keep set accepted")
+	}
+	if _, err := tab.Marginalize(NewVarSet(3)); err == nil {
+		t.Error("out-of-range axis accepted")
+	}
+}
+
+func TestMarginalCountAgainstMarginalize(t *testing.T) {
+	tab := memoTable(t)
+	// N^AC_12 — the memo's chosen constraint — must be 750.
+	v, err := tab.MarginalCount(NewVarSet(0, 2), []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 750 {
+		t.Errorf("N^AC_12 = %d, memo says 750", v)
+	}
+	// Empty set -> grand total.
+	v, err = tab.MarginalCount(0, nil)
+	if err != nil || v != 3428 {
+		t.Errorf("MarginalCount(∅) = %d err %v", v, err)
+	}
+	// Full set -> single cell.
+	v, err = tab.MarginalCount(NewVarSet(0, 1, 2), []int{0, 1, 0})
+	if err != nil || v != 410 {
+		t.Errorf("full-set marginal = %d err %v, want 410", v, err)
+	}
+}
+
+func TestMarginalCountErrors(t *testing.T) {
+	tab := memoTable(t)
+	if _, err := tab.MarginalCount(NewVarSet(0), []int{0, 1}); err == nil {
+		t.Error("value-count mismatch accepted")
+	}
+	if _, err := tab.MarginalCount(NewVarSet(5), []int{0}); err == nil {
+		t.Error("out-of-range axis accepted")
+	}
+	if _, err := tab.MarginalCount(NewVarSet(0), []int{7}); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+}
+
+func TestFirstOrderProbabilitiesMatchMemo(t *testing.T) {
+	tab := memoTable(t)
+	p, err := tab.FirstOrderProbabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Memo Eq. 48ff: .38/.33/.29, .13/.87, .52/.48 (2-digit rounding).
+	wantA := []float64{0.376, 0.331, 0.293}
+	wantB := []float64{0.126, 0.874}
+	wantC := []float64{0.519, 0.481}
+	check := func(axis int, want []float64) {
+		for v, w := range want {
+			if diff := p[axis][v] - w; diff > 0.0006 || diff < -0.0006 {
+				t.Errorf("p[%d][%d] = %.4f, memo says %.3f", axis, v, p[axis][v], w)
+			}
+		}
+	}
+	check(0, wantA)
+	check(1, wantB)
+	check(2, wantC)
+
+	empty := MustNew(nil, []int{2})
+	if _, err := empty.FirstOrderProbabilities(); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestMarginalizationConsistencyProperty(t *testing.T) {
+	// Marginalizing in two steps equals one step:
+	// (ABC -> AB -> A) == (ABC -> A).
+	f := func(raw [12]uint8) bool {
+		tab := MustNew(nil, []int{3, 2, 2})
+		cell := make([]int, 3)
+		for off := 0; off < 12; off++ {
+			tab.Unflatten(off, cell)
+			tab.Set(int64(raw[off]), cell...)
+		}
+		ab, err := tab.Marginalize(NewVarSet(0, 1))
+		if err != nil {
+			return false
+		}
+		aViaAB, err := ab.Marginalize(NewVarSet(0)) // axis 0 of AB is A
+		if err != nil {
+			return false
+		}
+		aDirect, err := tab.Marginalize(NewVarSet(0))
+		if err != nil {
+			return false
+		}
+		return aViaAB.Equal(aDirect)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarginalCountMatchesMarginalizeProperty(t *testing.T) {
+	// MarginalCount(vs, values) must equal the corresponding cell of
+	// Marginalize(vs) for random tables and assignments.
+	f := func(raw [12]uint8, vsSeed uint8, v0, v1 uint8) bool {
+		tab := MustNew(nil, []int{3, 2, 2})
+		cell := make([]int, 3)
+		for off := 0; off < 12; off++ {
+			tab.Unflatten(off, cell)
+			tab.Set(int64(raw[off]), cell...)
+		}
+		sets := []VarSet{NewVarSet(0), NewVarSet(1), NewVarSet(2),
+			NewVarSet(0, 1), NewVarSet(0, 2), NewVarSet(1, 2)}
+		vs := sets[int(vsSeed)%len(sets)]
+		members := vs.Members()
+		values := make([]int, len(members))
+		seeds := []uint8{v0, v1}
+		for i, p := range members {
+			values[i] = int(seeds[i]) % tab.Card(p)
+		}
+		direct, err := tab.MarginalCount(vs, values)
+		if err != nil {
+			return false
+		}
+		m, err := tab.Marginalize(vs)
+		if err != nil {
+			return false
+		}
+		viaTable, err := m.At(values...)
+		if err != nil {
+			return false
+		}
+		return direct == viaTable
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderSlicesFigure1Layout(t *testing.T) {
+	tab := memoTable(t)
+	var buf bytes.Buffer
+	// Rows = A (smoking), cols = B (cancer), pages = C — the memo's layout.
+	if err := tab.RenderSlices(&buf, 0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"C=1", "C=2", "130", "410", "385", "Σ"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	// Marginal row of page C=1 must contain 270 and 1510 (Figure 2a).
+	if !strings.Contains(out, "270") || !strings.Contains(out, "1510") {
+		t.Errorf("render missing Figure 2a marginals:\n%s", out)
+	}
+}
+
+func TestRenderSlicesErrors(t *testing.T) {
+	tab := memoTable(t)
+	var buf bytes.Buffer
+	if err := tab.RenderSlices(&buf, 0, 0, false); err == nil {
+		t.Error("identical axes accepted")
+	}
+	if err := tab.RenderSlices(&buf, 0, 9, false); err == nil {
+		t.Error("out-of-range axis accepted")
+	}
+}
+
+func TestRenderTwoAxisTable(t *testing.T) {
+	tab := MustNew([]string{"X", "Y"}, []int{2, 2})
+	tab.Set(5, 0, 0)
+	tab.Set(7, 1, 1)
+	var buf bytes.Buffer
+	if err := tab.RenderSlices(&buf, 0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "12") { // grand total
+		t.Errorf("2-axis render missing grand total:\n%s", buf.String())
+	}
+}

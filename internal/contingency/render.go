@@ -1,0 +1,106 @@
+package contingency
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderSlices writes the table in the memo's Figure 1 layout: one 2-D
+// sub-table (rows = axis rowAxis, columns = axis colAxis) per combination of
+// the remaining axes, with row/column marginals in the margins as in
+// Figure 2 when withMarginals is set.
+//
+// It is intentionally a faithful presentation reproduction — the repro
+// binary uses it to print Figures 1 and 2.
+func (t *Table) RenderSlices(w io.Writer, rowAxis, colAxis int, withMarginals bool) error {
+	if rowAxis == colAxis || rowAxis < 0 || colAxis < 0 || rowAxis >= t.R() || colAxis >= t.R() {
+		return fmt.Errorf("contingency: invalid render axes %d, %d for %d-axis table",
+			rowAxis, colAxis, t.R())
+	}
+	// The "page" axes are everything except rowAxis/colAxis.
+	var pages []int
+	for a := 0; a < t.R(); a++ {
+		if a != rowAxis && a != colAxis {
+			pages = append(pages, a)
+		}
+	}
+	pageIdx := make([]int, len(pages))
+	for {
+		if err := t.renderOnePage(w, rowAxis, colAxis, pages, pageIdx, withMarginals); err != nil {
+			return err
+		}
+		// Advance page odometer.
+		i := len(pages) - 1
+		for i >= 0 {
+			pageIdx[i]++
+			if pageIdx[i] < t.cards[pages[i]] {
+				break
+			}
+			pageIdx[i] = 0
+			i--
+		}
+		if i < 0 || len(pages) == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+func (t *Table) renderOnePage(w io.Writer, rowAxis, colAxis int, pages, pageIdx []int, withMarginals bool) error {
+	// Header naming the fixed page coordinates, e.g. "FAMILY HISTORY = 1".
+	if len(pages) > 0 {
+		parts := make([]string, len(pages))
+		for i, a := range pages {
+			parts[i] = fmt.Sprintf("%s=%d", t.names[a], pageIdx[i]+1)
+		}
+		fmt.Fprintf(w, "-- %s --\n", strings.Join(parts, ", "))
+	}
+	nr, nc := t.cards[rowAxis], t.cards[colAxis]
+	cell := make([]int, t.R())
+	for i, a := range pages {
+		cell[a] = pageIdx[i]
+	}
+	colW := 8
+	// Column header.
+	fmt.Fprintf(w, "%-14s", t.names[rowAxis]+`\`+t.names[colAxis])
+	for c := 0; c < nc; c++ {
+		fmt.Fprintf(w, "%*d", colW, c+1)
+	}
+	if withMarginals {
+		fmt.Fprintf(w, "%*s", colW, "Σ")
+	}
+	fmt.Fprintln(w)
+	colSums := make([]int64, nc)
+	var grand int64
+	for r := 0; r < nr; r++ {
+		cell[rowAxis] = r
+		fmt.Fprintf(w, "%-14d", r+1)
+		var rowSum int64
+		for c := 0; c < nc; c++ {
+			cell[colAxis] = c
+			v, err := t.At(cell...)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%*d", colW, v)
+			rowSum += v
+			colSums[c] += v
+		}
+		grand += rowSum
+		if withMarginals {
+			fmt.Fprintf(w, "%*d", colW, rowSum)
+		}
+		fmt.Fprintln(w)
+	}
+	if withMarginals {
+		fmt.Fprintf(w, "%-14s", "Σ")
+		for c := 0; c < nc; c++ {
+			fmt.Fprintf(w, "%*d", colW, colSums[c])
+		}
+		fmt.Fprintf(w, "%*d", colW, grand)
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,253 @@
+package contingency
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Sparse is a contingency table held as a hash of occupied cells — the
+// representation for wide schemas whose dense joint space would not fit in
+// memory (the memo's "masses of data" over many attributes). Observed data
+// occupies at most N distinct cells regardless of the joint-space size.
+//
+// Discovery itself solves over dense projected spaces; the sparse table's
+// job is tabulation and projection: Project extracts the dense marginal
+// table over any small attribute subset.
+type Sparse struct {
+	names []string
+	cards []int
+	// shift/mask pack each coordinate into a fixed bit field of the key.
+	shifts []uint
+	masks  []uint64
+	cells  map[uint64]int64
+	total  int64
+}
+
+// NewSparse creates an empty sparse table. The packed cell key must fit in
+// 64 bits: Σ ceil(log2(card)) <= 64.
+func NewSparse(names []string, cards []int) (*Sparse, error) {
+	if len(cards) == 0 {
+		return nil, fmt.Errorf("contingency: sparse table needs at least one attribute")
+	}
+	if names != nil && len(names) != len(cards) {
+		return nil, fmt.Errorf("contingency: %d names for %d attributes", len(names), len(cards))
+	}
+	s := &Sparse{
+		cards:  append([]int(nil), cards...),
+		shifts: make([]uint, len(cards)),
+		masks:  make([]uint64, len(cards)),
+		cells:  make(map[uint64]int64),
+	}
+	var width uint
+	for i, c := range cards {
+		if c < 1 {
+			return nil, fmt.Errorf("contingency: attribute %d has cardinality %d", i, c)
+		}
+		b := uint(bits.Len64(uint64(c - 1)))
+		if b == 0 {
+			b = 1
+		}
+		s.shifts[i] = width
+		s.masks[i] = (1 << b) - 1
+		width += b
+		if width > 64 {
+			return nil, fmt.Errorf("contingency: packed key exceeds 64 bits at attribute %d", i)
+		}
+	}
+	if names == nil {
+		s.names = make([]string, len(cards))
+		for i := range s.names {
+			s.names[i] = fmt.Sprintf("v%d", i)
+		}
+	} else {
+		s.names = append([]string(nil), names...)
+	}
+	return s, nil
+}
+
+// R returns the number of attributes.
+func (s *Sparse) R() int { return len(s.cards) }
+
+// Card returns the cardinality of axis i.
+func (s *Sparse) Card(i int) int { return s.cards[i] }
+
+// Names returns a copy of the axis labels.
+func (s *Sparse) Names() []string { return append([]string(nil), s.names...) }
+
+// Total returns N.
+func (s *Sparse) Total() int64 { return s.total }
+
+// Occupied returns the number of distinct non-zero cells.
+func (s *Sparse) Occupied() int { return len(s.cells) }
+
+// key packs a cell into its hash key, validating coordinates.
+func (s *Sparse) key(cell []int) (uint64, error) {
+	if len(cell) != len(s.cards) {
+		return 0, fmt.Errorf("contingency: cell has %d coordinates, table has %d axes",
+			len(cell), len(s.cards))
+	}
+	var k uint64
+	for i, v := range cell {
+		if v < 0 || v >= s.cards[i] {
+			return 0, fmt.Errorf("contingency: coordinate %d = %d out of range [0,%d)",
+				i, v, s.cards[i])
+		}
+		k |= uint64(v) << s.shifts[i]
+	}
+	return k, nil
+}
+
+// unkey unpacks a key into cell.
+func (s *Sparse) unkey(k uint64, cell []int) {
+	for i := range s.cards {
+		cell[i] = int((k >> s.shifts[i]) & s.masks[i])
+	}
+}
+
+// Observe records one sample.
+func (s *Sparse) Observe(cell ...int) error { return s.Add(1, cell...) }
+
+// Add increments a cell by delta, deleting it when it reaches zero.
+func (s *Sparse) Add(delta int64, cell ...int) error {
+	k, err := s.key(cell)
+	if err != nil {
+		return err
+	}
+	nv := s.cells[k] + delta
+	if nv < 0 {
+		return fmt.Errorf("contingency: cell %v would go negative", cell)
+	}
+	if nv == 0 {
+		delete(s.cells, k)
+	} else {
+		s.cells[k] = nv
+	}
+	s.total += delta
+	return nil
+}
+
+// At returns a cell's count (zero for unobserved cells).
+func (s *Sparse) At(cell ...int) (int64, error) {
+	k, err := s.key(cell)
+	if err != nil {
+		return 0, err
+	}
+	return s.cells[k], nil
+}
+
+// EachCell visits every occupied cell. Iteration order is unspecified; the
+// coordinate slice is reused between calls.
+func (s *Sparse) EachCell(fn func(cell []int, count int64)) {
+	cell := make([]int, len(s.cards))
+	for k, c := range s.cells {
+		s.unkey(k, cell)
+		fn(cell, c)
+	}
+}
+
+// Project sums the sparse table onto the kept attribute subset, returning a
+// dense table over those axes (ascending position order) — the bridge from
+// wide sparse data to the dense machinery of discovery.
+func (s *Sparse) Project(keep VarSet) (*Table, error) {
+	if keep.Empty() {
+		return nil, fmt.Errorf("contingency: cannot project to the empty attribute set")
+	}
+	members := keep.Members()
+	if members[len(members)-1] >= s.R() {
+		return nil, fmt.Errorf("contingency: attribute set %v exceeds table's %d axes", keep, s.R())
+	}
+	names := make([]string, len(members))
+	cards := make([]int, len(members))
+	for i, p := range members {
+		names[i] = s.names[p]
+		cards[i] = s.cards[p]
+	}
+	dense, err := New(names, cards)
+	if err != nil {
+		return nil, err
+	}
+	sub := make([]int, len(members))
+	cell := make([]int, len(s.cards))
+	for k, c := range s.cells {
+		s.unkey(k, cell)
+		for i, p := range members {
+			sub[i] = cell[p]
+		}
+		if err := dense.Add(c, sub...); err != nil {
+			return nil, err
+		}
+	}
+	return dense, nil
+}
+
+// ToDense materializes the full dense table; it fails when the joint space
+// exceeds the dense limit.
+func (s *Sparse) ToDense() (*Table, error) {
+	dense, err := New(s.names, s.cards)
+	if err != nil {
+		return nil, err
+	}
+	cell := make([]int, len(s.cards))
+	for k, c := range s.cells {
+		s.unkey(k, cell)
+		if err := dense.Add(c, cell...); err != nil {
+			return nil, err
+		}
+	}
+	return dense, nil
+}
+
+// FromDense converts a dense table to sparse form.
+func FromDense(t *Table) (*Sparse, error) {
+	s, err := NewSparse(t.Names(), t.Cards())
+	if err != nil {
+		return nil, err
+	}
+	var outer error
+	t.EachCell(func(cell []int, count int64) {
+		if outer != nil || count == 0 {
+			return
+		}
+		outer = s.Add(count, cell...)
+	})
+	if outer != nil {
+		return nil, outer
+	}
+	return s, nil
+}
+
+// MarginalCount returns the marginal count of a partial assignment by
+// scanning the occupied cells.
+func (s *Sparse) MarginalCount(vars VarSet, values []int) (int64, error) {
+	members := vars.Members()
+	if len(members) != len(values) {
+		return 0, fmt.Errorf("contingency: %d values for attribute set %v", len(values), vars)
+	}
+	if len(members) == 0 {
+		return s.total, nil
+	}
+	if members[len(members)-1] >= s.R() {
+		return 0, fmt.Errorf("contingency: attribute set %v exceeds table's %d axes", vars, s.R())
+	}
+	for i, p := range members {
+		if values[i] < 0 || values[i] >= s.cards[p] {
+			return 0, fmt.Errorf("contingency: value %d for axis %d out of range", values[i], p)
+		}
+	}
+	var sum int64
+	cell := make([]int, len(s.cards))
+	for k, c := range s.cells {
+		s.unkey(k, cell)
+		match := true
+		for i, p := range members {
+			if cell[p] != values[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			sum += c
+		}
+	}
+	return sum, nil
+}

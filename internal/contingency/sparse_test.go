@@ -1,0 +1,229 @@
+package contingency
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSparseValidation(t *testing.T) {
+	if _, err := NewSparse(nil, nil); err == nil {
+		t.Error("no attributes accepted")
+	}
+	if _, err := NewSparse(nil, []int{0}); err == nil {
+		t.Error("zero cardinality accepted")
+	}
+	if _, err := NewSparse([]string{"x"}, []int{2, 2}); err == nil {
+		t.Error("name mismatch accepted")
+	}
+	// 33 binary attributes fit (33 bits); 65 do not.
+	big := make([]int, 65)
+	for i := range big {
+		big[i] = 2
+	}
+	if _, err := NewSparse(nil, big); err == nil {
+		t.Error("65-bit key accepted")
+	}
+	wide := make([]int, 60)
+	for i := range wide {
+		wide[i] = 2
+	}
+	if _, err := NewSparse(nil, wide); err != nil {
+		t.Errorf("60 binary attributes rejected: %v", err)
+	}
+}
+
+func TestSparseObserveAndAt(t *testing.T) {
+	s, err := NewSparse([]string{"A", "B"}, []int{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observe(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(4, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.At(2, 4)
+	if err != nil || v != 5 {
+		t.Errorf("At = %d, %v", v, err)
+	}
+	if v, _ := s.At(0, 0); v != 0 {
+		t.Errorf("unobserved cell = %d", v)
+	}
+	if s.Total() != 5 || s.Occupied() != 1 {
+		t.Errorf("total %d occupied %d", s.Total(), s.Occupied())
+	}
+	// Decrement to zero removes the cell.
+	if err := s.Add(-5, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if s.Occupied() != 0 || s.Total() != 0 {
+		t.Errorf("after removal: occupied %d total %d", s.Occupied(), s.Total())
+	}
+	if err := s.Add(-1, 2, 4); err == nil {
+		t.Error("negative cell accepted")
+	}
+	if err := s.Observe(9, 0); err == nil {
+		t.Error("out-of-range observe accepted")
+	}
+	if _, err := s.At(0); err == nil {
+		t.Error("short cell accepted")
+	}
+}
+
+func TestSparseDenseRoundTrip(t *testing.T) {
+	dense := memoTable(t)
+	s, err := FromDense(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Total() != dense.Total() {
+		t.Fatalf("total %d vs %d", s.Total(), dense.Total())
+	}
+	if s.Occupied() != 12 {
+		t.Errorf("occupied = %d, want 12", s.Occupied())
+	}
+	back, err := s.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dense.Equal(back) {
+		t.Error("dense -> sparse -> dense lost data")
+	}
+}
+
+func TestSparseProjectMatchesDenseMarginalize(t *testing.T) {
+	dense := memoTable(t)
+	s, err := FromDense(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []VarSet{
+		NewVarSet(0), NewVarSet(1), NewVarSet(0, 2), NewVarSet(0, 1, 2),
+	} {
+		proj, err := s.Project(keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		marg, err := dense.Marginalize(keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !proj.Equal(marg) {
+			t.Errorf("projection over %v differs from dense marginalization", keep)
+		}
+	}
+	if _, err := s.Project(0); err == nil {
+		t.Error("empty projection accepted")
+	}
+	if _, err := s.Project(NewVarSet(9)); err == nil {
+		t.Error("out-of-range projection accepted")
+	}
+}
+
+func TestSparseMarginalCountMatchesDense(t *testing.T) {
+	dense := memoTable(t)
+	s, err := FromDense(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		vars   VarSet
+		values []int
+	}{
+		{NewVarSet(0), []int{0}},
+		{NewVarSet(0, 2), []int{0, 1}},
+		{NewVarSet(0, 1, 2), []int{2, 1, 1}},
+		{0, nil},
+	}
+	for _, c := range cases {
+		want, err := dense.MarginalCount(c.vars, c.values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.MarginalCount(c.vars, c.values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("MarginalCount(%v, %v) = %d, dense %d", c.vars, c.values, got, want)
+		}
+	}
+	if _, err := s.MarginalCount(NewVarSet(0), []int{0, 1}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := s.MarginalCount(NewVarSet(0), []int{7}); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+}
+
+func TestSparseWideSchema(t *testing.T) {
+	// 40 binary attributes: dense would need 2^40 cells; sparse holds
+	// exactly the observed distinct rows.
+	cards := make([]int, 40)
+	for i := range cards {
+		cards[i] = 2
+	}
+	s, err := NewSparse(nil, cards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := make([]int, 40)
+	for n := 0; n < 1000; n++ {
+		for i := range cell {
+			cell[i] = (n >> uint(i%10)) & 1
+		}
+		if err := s.Observe(cell...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Total() != 1000 {
+		t.Fatalf("total = %d", s.Total())
+	}
+	if s.Occupied() > 1024 {
+		t.Errorf("occupied = %d, want <= 1024 distinct patterns", s.Occupied())
+	}
+	// Project onto a pair and check the dense result is consistent.
+	proj, err := s.Project(NewVarSet(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Total() != 1000 {
+		t.Errorf("projected total = %d", proj.Total())
+	}
+}
+
+func TestSparseEachCellVisitsAll(t *testing.T) {
+	dense := memoTable(t)
+	s, err := FromDense(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	visits := 0
+	s.EachCell(func(cell []int, count int64) {
+		visits++
+		sum += count
+	})
+	if visits != 12 || sum != 3428 {
+		t.Errorf("visited %d cells summing %d", visits, sum)
+	}
+}
+
+func TestSparseKeyRoundTripProperty(t *testing.T) {
+	s, err := NewSparse(nil, []int{3, 7, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c, d uint8) bool {
+		cell := []int{int(a) % 3, int(b) % 7, int(c) % 2, int(d) % 5}
+		if err := s.Observe(cell...); err != nil {
+			return false
+		}
+		v, err := s.At(cell...)
+		return err == nil && v >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

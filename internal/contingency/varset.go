@@ -1,0 +1,148 @@
+package contingency
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// VarSet is a set of attribute positions encoded as a bitmask.
+// Bit i set means attribute i is a member. The zero value is the empty set.
+type VarSet uint64
+
+// MaxVars is the largest attribute position a VarSet can hold.
+const MaxVars = 64
+
+// NewVarSet builds a set from explicit positions. It panics on positions
+// outside [0, MaxVars), which indicates a programming error, not bad data.
+func NewVarSet(positions ...int) VarSet {
+	var s VarSet
+	for _, p := range positions {
+		if p < 0 || p >= MaxVars {
+			panic(fmt.Sprintf("contingency: variable position %d out of range", p))
+		}
+		s |= 1 << uint(p)
+	}
+	return s
+}
+
+// Has reports whether position p is a member.
+func (s VarSet) Has(p int) bool { return p >= 0 && p < MaxVars && s&(1<<uint(p)) != 0 }
+
+// Add returns the set with position p added.
+func (s VarSet) Add(p int) VarSet {
+	if p < 0 || p >= MaxVars {
+		panic(fmt.Sprintf("contingency: variable position %d out of range", p))
+	}
+	return s | 1<<uint(p)
+}
+
+// Remove returns the set with position p removed.
+func (s VarSet) Remove(p int) VarSet { return s &^ (1 << uint(p)) }
+
+// Union returns s ∪ t.
+func (s VarSet) Union(t VarSet) VarSet { return s | t }
+
+// Intersect returns s ∩ t.
+func (s VarSet) Intersect(t VarSet) VarSet { return s & t }
+
+// Minus returns s \ t.
+func (s VarSet) Minus(t VarSet) VarSet { return s &^ t }
+
+// SubsetOf reports whether every member of s is in t.
+func (s VarSet) SubsetOf(t VarSet) bool { return s&^t == 0 }
+
+// ProperSubsetOf reports whether s ⊂ t strictly.
+func (s VarSet) ProperSubsetOf(t VarSet) bool { return s != t && s.SubsetOf(t) }
+
+// Len returns the number of members (the "order" of an attribute family).
+func (s VarSet) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// Empty reports whether the set has no members.
+func (s VarSet) Empty() bool { return s == 0 }
+
+// Members returns the positions in ascending order.
+func (s VarSet) Members() []int {
+	out := make([]int, 0, s.Len())
+	for v := uint64(s); v != 0; {
+		p := bits.TrailingZeros64(v)
+		out = append(out, p)
+		v &^= 1 << uint(p)
+	}
+	return out
+}
+
+// String renders the set as {0,2,5}.
+func (s VarSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range s.Members() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", p)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Subsets returns every subset of s, including the empty set and s itself,
+// in an order where smaller masks come first within the standard subset
+// enumeration. The count is 2^|s|; callers guard against large s.
+func (s VarSet) Subsets() []VarSet {
+	out := make([]VarSet, 0, 1<<uint(s.Len()))
+	// Classic submask enumeration.
+	for sub := VarSet(0); ; sub = (sub - s) & s {
+		out = append(out, sub)
+		if sub == s {
+			break
+		}
+	}
+	return out
+}
+
+// ProperSubsets returns the non-empty proper subsets of s — exactly the
+// "constraining marginals" of an attribute family in the memo's Eq. 41.
+func (s VarSet) ProperSubsets() []VarSet {
+	all := s.Subsets()
+	out := make([]VarSet, 0, len(all)-2)
+	for _, sub := range all {
+		if sub != 0 && sub != s {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+// Combinations returns every VarSet of exactly r members drawn from the
+// first n attribute positions, in lexicographic order of member lists.
+// This enumerates the order-r attribute families of the memo's Figure 3 scan.
+func Combinations(n, r int) []VarSet {
+	if r < 0 || n < 0 || r > n || n > MaxVars {
+		return nil
+	}
+	if r == 0 {
+		return []VarSet{0}
+	}
+	var out []VarSet
+	idx := make([]int, r)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		out = append(out, NewVarSet(idx...))
+		// Advance the combination.
+		i := r - 1
+		for i >= 0 && idx[i] == n-r+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < r; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	return out
+}

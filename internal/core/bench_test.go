@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"pka/internal/stats"
+	"pka/internal/synth"
+)
+
+func BenchmarkDiscoverMemo(b *testing.B) {
+	tab := memoTable(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Discover(tab, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiscoverOrder2Only(b *testing.B) {
+	tab := memoTable(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Discover(tab, Options{MaxOrder: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiscoverWithScans(b *testing.B) {
+	tab := memoTable(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Discover(tab, Options{RecordScans: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiscoverPlantedDensity(b *testing.B) {
+	// Vary planted coupling strength: weak structure means fewer accepted
+	// constraints and fewer refits.
+	for _, s := range []float64{1.2, 2, 4} {
+		truth, err := synth.Survey(4, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tab, err := truth.SampleTable(stats.NewRNG(5), 30000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("strength=%.1f", s), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Discover(tab, Options{MaxOrder: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(len(res.Findings)), "findings")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+
+	"pka/internal/contingency"
+	"pka/internal/maxent"
+	"pka/internal/mml"
+)
+
+// Discover runs the memo's Figure 3 procedure over a contingency table and
+// returns the fitted model with every significant joint probability found.
+//
+// The table is treated as read-only. Determinism: identical inputs produce
+// identical results, including tie-breaks.
+func Discover(table *contingency.Table, opts Options) (*Result, error) {
+	if err := table.CheckConsistency(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if table.Total() == 0 {
+		return nil, fmt.Errorf("core: empty contingency table")
+	}
+	if table.R() < 2 {
+		return nil, fmt.Errorf("core: discovery needs at least 2 attributes, table has %d", table.R())
+	}
+	opts, err := opts.withDefaults(table.R())
+	if err != nil {
+		return nil, err
+	}
+	// Count-scale solver tolerance, as in standard log-linear fitters:
+	// residuals below ~0.01 expected counts are statistically meaningless,
+	// and boundary solutions (deterministic structure in the data) are only
+	// approached at O(1/sweeps), so demanding 1e-9 there would never finish.
+	if opts.Solve.Tol == 0 {
+		opts.Solve.Tol = 0.01 / float64(table.Total())
+		if opts.Solve.Tol < 1e-9 {
+			opts.Solve.Tol = 1e-9
+		}
+	}
+
+	// Figure 3, first box: the model starts from the first-order marginals.
+	model, err := maxent.NewModel(table.Names(), table.Cards())
+	if err != nil {
+		return nil, err
+	}
+	if err := model.AddFirstOrderConstraints(table); err != nil {
+		return nil, err
+	}
+
+	tester, err := mml.NewTester(table, opts.MML)
+	if err != nil {
+		return nil, err
+	}
+
+	// Seed constraints ("originally given as significant").
+	for _, c := range opts.Seed {
+		if c.Order() < 2 {
+			return nil, fmt.Errorf("core: seed constraint %v must be order >= 2", c.Family)
+		}
+		if err := model.AddConstraint(c); err != nil {
+			return nil, err
+		}
+		if err := tester.MarkSignificant(c.Family, c.Values); err != nil {
+			return nil, err
+		}
+	}
+
+	rep, err := model.Fit(opts.Solve)
+	if err != nil {
+		return nil, fmt.Errorf("core: initial fit: %w", err)
+	}
+	if !rep.Converged {
+		return nil, fmt.Errorf("core: initial fit did not converge (residual %g after %d sweeps)",
+			rep.Residual, rep.Sweeps)
+	}
+
+	res := &Result{Model: model, TotalSamples: table.Total()}
+	predict := func(fam contingency.VarSet, values []int) (float64, error) {
+		return model.Prob(fam, values)
+	}
+
+	// accepted tracks the promoted cells per family (seeds included) for
+	// the implied-zero check below.
+	accepted := make(map[contingency.VarSet][]acceptedCell)
+	for _, c := range opts.Seed {
+		n, err := table.MarginalCount(c.Family, c.Values)
+		if err != nil {
+			return nil, err
+		}
+		accepted[c.Family] = append(accepted[c.Family], acceptedCell{values: c.Values, count: n})
+	}
+
+	step := 0
+	for order := 2; order <= opts.MaxOrder; order++ {
+		level := LevelReport{Order: order}
+		for pass := 1; ; pass++ {
+			var tests []mml.CellTest
+			if opts.Workers == 1 {
+				tests, err = tester.ScanOrder(order, predict)
+			} else {
+				tests, err = tester.ScanOrderParallel(order, predict, opts.Workers)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if pass == 1 {
+				level.Candidates = len(tests)
+			}
+			selected := mml.MostSignificant(tests)
+			if opts.RecordScans {
+				res.Scans = append(res.Scans, Scan{
+					Order:    order,
+					Pass:     pass,
+					Tests:    tests,
+					Selected: selected,
+				})
+			}
+			if selected < 0 {
+				break
+			}
+			ct := tests[selected]
+			step++
+			c := maxent.Constraint{
+				Family: ct.Family,
+				Values: ct.Values,
+				Target: float64(ct.Observed) / float64(table.Total()),
+			}
+			if err := model.AddConstraint(c); err != nil {
+				return nil, err
+			}
+			accepted[ct.Family] = append(accepted[ct.Family],
+				acceptedCell{values: ct.Values, count: ct.Observed})
+			// When the accepted cells exhaust one of the family's known
+			// marginals, the remaining sibling cells under that marginal
+			// are exactly zero. Pin them with zero-target constraints:
+			// otherwise the maximum-entropy solution lies on the boundary
+			// of the exponential family and iterative scaling converges
+			// only sublinearly.
+			implied, err := impliedZeros(table, model, ct.Family, accepted[ct.Family])
+			if err != nil {
+				return nil, err
+			}
+			for _, z := range implied {
+				if err := model.AddConstraint(z); err != nil {
+					return nil, err
+				}
+			}
+			// Figure 4: re-solve starting from the previous a-values.
+			rep, err := model.Fit(opts.Solve)
+			if err != nil {
+				return nil, fmt.Errorf("core: refit after %s: %w", c.Label(model.Names()), err)
+			}
+			if !rep.Converged {
+				return nil, fmt.Errorf("core: refit after %s did not converge (residual %g)",
+					c.Label(model.Names()), rep.Residual)
+			}
+			if err := tester.MarkSignificant(ct.Family, ct.Values); err != nil {
+				return nil, err
+			}
+			res.Findings = append(res.Findings, Finding{
+				Step:         step,
+				Order:        order,
+				Test:         ct,
+				Constraint:   c,
+				ImpliedZeros: implied,
+				FitSweeps:    rep.Sweeps,
+			})
+			level.Accepted++
+			if opts.MaxConstraints > 0 && step >= opts.MaxConstraints {
+				res.Levels = append(res.Levels, level)
+				return res, nil
+			}
+		}
+		res.Levels = append(res.Levels, level)
+	}
+	return res, nil
+}
+
+// acceptedCell is one promoted cell of a family with its observed count.
+type acceptedCell struct {
+	values []int
+	count  int64
+}
+
+// impliedZeros finds sibling cells of the family that are exactly zero by
+// arithmetic: for each first-order marginal of the just-extended family, if
+// the accepted cells consume the whole marginal count, every unconstrained
+// sibling cell agreeing on that marginal has observed count zero and gets a
+// zero-target constraint.
+func impliedZeros(table *contingency.Table, model *maxent.Model, family contingency.VarSet, cells []acceptedCell) ([]maxent.Constraint, error) {
+	members := family.Members()
+	var out []maxent.Constraint
+	for mi, pos := range members {
+		// Group the accepted cells by their value on this member.
+		sums := make(map[int]int64)
+		for _, c := range cells {
+			sums[c.values[mi]] += c.count
+		}
+		for val, sum := range sums {
+			margin, err := table.MarginalCount(contingency.NewVarSet(pos), []int{val})
+			if err != nil {
+				return nil, err
+			}
+			if sum != margin {
+				continue
+			}
+			// Margin exhausted: every other cell of the family with this
+			// member value is zero.
+			siblings := enumerateFamilyCells(table, members, mi, val)
+			for _, sib := range siblings {
+				if model.HasConstraint(family, sib) {
+					continue
+				}
+				out = append(out, maxent.Constraint{
+					Family: family,
+					Values: append([]int(nil), sib...),
+					Target: 0,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// enumerateFamilyCells lists the family's value tuples whose mi-th member is
+// pinned to val.
+func enumerateFamilyCells(table *contingency.Table, members []int, mi, val int) [][]int {
+	var out [][]int
+	values := make([]int, len(members))
+	values[mi] = val
+	for {
+		cp := append([]int(nil), values...)
+		out = append(out, cp)
+		// Odometer over all members except mi.
+		i := len(members) - 1
+		for i >= 0 {
+			if i == mi {
+				i--
+				continue
+			}
+			values[i]++
+			if values[i] < table.Card(members[i]) {
+				break
+			}
+			values[i] = 0
+			i--
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+// Package core implements the memo's overall discovery procedure (Figure 3):
+// starting from the first-order maximum-entropy model, scan each order's
+// cells for the most significant deviation (minimum-message-length test),
+// promote it to a constraint, re-fit the model (Figure 4), and repeat within
+// the order until nothing significant remains; then move to the next order.
+//
+// The output is a Result: the fitted product-form model — the memo's
+// "general formula for calculating any probability relation associated with
+// the data" — plus the ordered list of findings with their full Table 1-style
+// statistics and the per-level scan reports, from which the repro binary
+// regenerates the memo's tables.
+package core

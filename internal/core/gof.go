@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"pka/internal/contingency"
+	"pka/internal/maxent"
+	"pka/internal/stats"
+)
+
+// Fit summarizes how well a fitted model explains a contingency table.
+type Fit struct {
+	// G2 is the likelihood-ratio (deviance) statistic 2 Σ obs ln(obs/exp).
+	G2 float64
+	// X2 is Pearson's statistic Σ (obs-exp)²/exp.
+	X2 float64
+	// DF is the residual degrees of freedom: cells − 1 − free parameters.
+	DF int
+	// PValue is the chi-square tail of G2 at DF (1 when DF <= 0).
+	PValue float64
+}
+
+// GoodnessOfFit scores a model against observed data with the classical
+// large-sample statistics. Free parameters are counted as Σ(card−1) for the
+// first-order constraints (one value per attribute is implied by the rest)
+// plus one per higher-order constraint; the count is approximate when
+// higher-order constraints carry their own redundancies (e.g. implied
+// zeros), which makes the test conservative.
+func GoodnessOfFit(table *contingency.Table, model *maxent.Model) (Fit, error) {
+	if table.Total() == 0 {
+		return Fit{}, fmt.Errorf("core: empty table")
+	}
+	if table.R() != model.R() {
+		return Fit{}, fmt.Errorf("core: table has %d attributes, model %d", table.R(), model.R())
+	}
+	joint, err := model.Joint()
+	if err != nil {
+		return Fit{}, err
+	}
+	if len(joint) != table.NumCells() {
+		return Fit{}, fmt.Errorf("core: model space %d cells, table %d", len(joint), table.NumCells())
+	}
+	n := float64(table.Total())
+	expected := make([]float64, len(joint))
+	for i, p := range joint {
+		expected[i] = p * n
+	}
+	obs := table.Counts()
+	g2, err := stats.GStat(obs, expected)
+	if err != nil {
+		return Fit{}, err
+	}
+	x2, err := stats.ChiSquareStat(obs, expected)
+	if err != nil {
+		return Fit{}, err
+	}
+	free := 0
+	for _, c := range model.Cards() {
+		free += c - 1
+	}
+	for _, con := range model.Constraints() {
+		if con.Order() >= 2 {
+			free++
+		}
+	}
+	df := table.NumCells() - 1 - free
+	f := Fit{G2: g2, X2: x2, DF: df, PValue: 1}
+	if df > 0 {
+		f.PValue = stats.ChiSquareSF(g2, df)
+	}
+	return f, nil
+}

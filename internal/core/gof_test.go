@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pka/internal/contingency"
+	"pka/internal/maxent"
+	"pka/internal/stats"
+	"pka/internal/synth"
+)
+
+func TestGoodnessOfFitValidation(t *testing.T) {
+	tab := memoTable(t)
+	m, _ := maxent.NewModel(nil, []int{2, 2})
+	if _, err := GoodnessOfFit(tab, m); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	empty := contingency.MustNew(nil, []int{3, 2, 2})
+	res, err := Discover(tab, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GoodnessOfFit(empty, res.Model); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestGoodnessOfFitImprovesWithDiscovery(t *testing.T) {
+	tab := memoTable(t)
+	// Independence-only model.
+	indep, err := maxent.NewModel(tab.Names(), tab.Cards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := indep.AddFirstOrderConstraints(tab); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := indep.Fit(maxent.SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	fitIndep, err := GoodnessOfFit(tab, indep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Discovered model.
+	res, err := Discover(tab, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitDisc, err := GoodnessOfFit(tab, res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitDisc.G2 >= fitIndep.G2 {
+		t.Errorf("discovery did not reduce deviance: %.2f -> %.2f", fitIndep.G2, fitDisc.G2)
+	}
+	// The independence model must be rejected on the memo's data
+	// (G2 ≈ 2·N·KL ≈ 2·3428·0.028 ≈ 192 at 7 df).
+	if fitIndep.PValue > 1e-6 {
+		t.Errorf("independence not rejected: p = %g", fitIndep.PValue)
+	}
+	// The discovered model must be acceptable.
+	if fitDisc.PValue < 0.01 {
+		t.Errorf("discovered model rejected: p = %g (G2 %.2f at %d df)",
+			fitDisc.PValue, fitDisc.G2, fitDisc.DF)
+	}
+	// Deviance identity: G2 = 2·N·KL(emp ‖ model).
+	emp, _ := tab.Probabilities()
+	joint, _ := res.Model.Joint()
+	kl, err := stats.KLDivergence(emp, joint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * float64(tab.Total()) * kl; math.Abs(fitDisc.G2-want) > 1e-6*want+1e-9 {
+		t.Errorf("G2 = %.6f, 2·N·KL = %.6f", fitDisc.G2, want)
+	}
+}
+
+func TestGoodnessOfFitDFAccounting(t *testing.T) {
+	tab := memoTable(t)
+	res, err := Discover(tab, Options{MaxConstraints: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := GoodnessOfFit(tab, res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 cells − 1 − [(3-1)+(2-1)+(2-1)] first-order − 1 higher-order = 6.
+	if fit.DF != 6 {
+		t.Errorf("df = %d, want 6", fit.DF)
+	}
+}
+
+func TestGoodnessOfFitSaturated(t *testing.T) {
+	// A model with df <= 0 reports PValue 1 and (near) zero deviance when
+	// it reproduces the data exactly.
+	tab := contingency.MustNew(nil, []int{2, 2})
+	tab.Set(10, 0, 0)
+	tab.Set(20, 0, 1)
+	tab.Set(30, 1, 0)
+	tab.Set(40, 1, 1)
+	res, err := Discover(tab, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := GoodnessOfFit(tab, res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.PValue != 1 && fit.DF > 0 {
+		// Either saturated (df<=0, p=1) or fitting well.
+		if fit.PValue < 0.01 {
+			t.Errorf("well-fitting model rejected: %+v", fit)
+		}
+	}
+}
+
+func TestGoodnessOfFitOnTruthScale(t *testing.T) {
+	// Sampling from a known model: the discovered fit should be accepted
+	// at conventional levels most of the time; seed fixed so this is
+	// deterministic.
+	truth, err := synth.Survey(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := truth.SampleTable(stats.NewRNG(3), 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discover(tab, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := GoodnessOfFit(tab, res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.PValue < 1e-4 {
+		t.Errorf("fit rejected on its own generating family: %+v", fit)
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"pka/internal/maxent"
+	"pka/internal/mml"
+)
+
+// Options tunes a discovery run. The zero value requests the memo's
+// defaults: scan every order up to R, p(H2') = 0.5, Gauss–Seidel solving at
+// library precision.
+type Options struct {
+	// MaxOrder caps the highest attribute-family order scanned; 0 means
+	// the table's full order R. The memo scans second order, then third,
+	// and so on (Figure 3's r loop).
+	MaxOrder int
+	// MML configures the significance test (prior, forced-cell policy).
+	// The zero value is patched to mml.DefaultConfig().
+	MML mml.Config
+	// Solve configures the per-refit maxent solver.
+	Solve maxent.SolveOptions
+	// MaxConstraints aborts a runaway run after this many accepted
+	// higher-order constraints; 0 means no cap.
+	MaxConstraints int
+	// RecordScans stores every full scan's CellTest rows in the result —
+	// needed to regenerate Table 1; costs memory on large spaces.
+	RecordScans bool
+	// Workers fans candidate scoring out over a goroutine pool: 0 uses
+	// GOMAXPROCS, 1 forces the sequential scan. Results are identical
+	// either way.
+	Workers int
+	// Seed constraints: cells (with their observed-frequency targets) that
+	// are "originally given as significant" per the memo. They are added
+	// to the model and the significance bookkeeping before scanning.
+	Seed []maxent.Constraint
+}
+
+func (o Options) withDefaults(r int) (Options, error) {
+	if o.MaxOrder == 0 {
+		o.MaxOrder = r
+	}
+	if o.MaxOrder < 2 || o.MaxOrder > r {
+		return o, fmt.Errorf("core: MaxOrder %d outside [2,%d]", o.MaxOrder, r)
+	}
+	if o.MML.PriorH2 == 0 {
+		o.MML.PriorH2 = mml.DefaultConfig().PriorH2
+	}
+	if o.MaxConstraints < 0 {
+		return o, fmt.Errorf("core: negative MaxConstraints %d", o.MaxConstraints)
+	}
+	return o, nil
+}

@@ -1,0 +1,143 @@
+package crossval
+
+import (
+	"math"
+	"testing"
+
+	"pka/internal/contingency"
+	"pka/internal/core"
+	"pka/internal/stats"
+	"pka/internal/synth"
+)
+
+func TestSelectMaxOrderValidation(t *testing.T) {
+	tab := contingency.MustNew(nil, []int{2, 2, 2})
+	tab.Set(100, 0, 0, 0)
+	rng := stats.NewRNG(1)
+	if _, _, err := SelectMaxOrder(tab, 1, 5, rng, core.Options{}); err == nil {
+		t.Error("maxOrder 1 accepted")
+	}
+	if _, _, err := SelectMaxOrder(tab, 4, 5, rng, core.Options{}); err == nil {
+		t.Error("maxOrder above R accepted")
+	}
+	if _, _, err := SelectMaxOrder(tab, 2, 1, rng, core.Options{}); err == nil {
+		t.Error("1 fold accepted")
+	}
+	if _, _, err := SelectMaxOrder(tab, 2, 5, nil, core.Options{}); err == nil {
+		t.Error("nil RNG accepted")
+	}
+	empty := contingency.MustNew(nil, []int{2, 2})
+	if _, _, err := SelectMaxOrder(empty, 2, 2, rng, core.Options{}); err == nil {
+		t.Error("empty table accepted")
+	}
+	tiny := contingency.MustNew(nil, []int{2, 2})
+	tiny.Set(3, 0, 0)
+	if _, _, err := SelectMaxOrder(tiny, 2, 5, rng, core.Options{}); err == nil {
+		t.Error("more folds than samples accepted")
+	}
+}
+
+func TestSelectMaxOrderChoosesThirdOrderOnXOR(t *testing.T) {
+	// XOR data has no pairwise structure: order-2 discovery leaves the
+	// joint near-uniform while order-3 captures the parity. CV must prefer
+	// order 3.
+	truth, err := synth.XOR3(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := truth.SampleTable(stats.NewRNG(17), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, best, err := SelectMaxOrder(tab, 3, 4, stats.NewRNG(18), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 2 {
+		t.Fatalf("scores = %d, want orders 2 and 3", len(scores))
+	}
+	if scores[best].MaxOrder != 3 {
+		t.Errorf("CV chose order %d; order 3 is the truth (losses: %v)",
+			scores[best].MaxOrder, scores)
+	}
+	if scores[1].MeanLoss >= scores[0].MeanLoss {
+		t.Errorf("order-3 loss %.4f not below order-2 loss %.4f",
+			scores[1].MeanLoss, scores[0].MeanLoss)
+	}
+	// Order 3 should gain roughly the parity information ≈ MI(X,Y;Z).
+	gain := scores[0].MeanLoss - scores[1].MeanLoss
+	if gain < 0.05 {
+		t.Errorf("CV gain %.4f suspiciously small for strength-3 XOR", gain)
+	}
+}
+
+func TestSelectMaxOrderPairwiseDataIndifferent(t *testing.T) {
+	// On purely pairwise data, order 3 adds nothing: CV losses must be
+	// nearly identical (and never prefer order 3 by a large margin).
+	truth, err := synth.Survey(2, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := truth.SampleTable(stats.NewRNG(23), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, _, err := SelectMaxOrder(tab, 3, 4, stats.NewRNG(24), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := math.Abs(scores[0].MeanLoss - scores[1].MeanLoss)
+	if diff > 0.01 {
+		t.Errorf("orders differ by %.4f nats on pairwise-only data", diff)
+	}
+}
+
+func TestSplitConservesSamples(t *testing.T) {
+	truth, err := synth.Telemetry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := truth.SampleTable(stats.NewRNG(31), 9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foldTables, err := split(tab, 4, stats.NewRNG(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, ft := range foldTables {
+		total += ft.Total()
+		// Roughly balanced.
+		if ft.Total() < 2200 || ft.Total() > 2800 {
+			t.Errorf("fold size %d, want ≈2500", ft.Total())
+		}
+	}
+	if total != tab.Total() {
+		t.Errorf("folds total %d, want %d", total, tab.Total())
+	}
+}
+
+func TestSelectMaxOrderDeterministic(t *testing.T) {
+	truth, err := synth.Survey(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := truth.SampleTable(stats.NewRNG(41), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []OrderScore {
+		scores, _, err := SelectMaxOrder(tab, 3, 3, stats.NewRNG(42), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return scores
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].MeanLoss != b[i].MeanLoss {
+			t.Errorf("order %d: losses differ across identical runs", a[i].MaxOrder)
+		}
+	}
+}

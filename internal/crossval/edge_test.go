@@ -1,0 +1,70 @@
+package crossval
+
+import (
+	"math"
+	"testing"
+
+	"pka/internal/contingency"
+	"pka/internal/core"
+	"pka/internal/maxent"
+	"pka/internal/stats"
+)
+
+func TestHeldOutLossEmptyFold(t *testing.T) {
+	// A fold that happens to receive zero samples contributes zero loss
+	// instead of NaN.
+	tab := contingency.MustNew(nil, []int{2, 2})
+	tab.Set(50, 0, 0)
+	tab.Set(50, 1, 1)
+	res, err := core.Discover(tab, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := contingency.MustNew(nil, []int{2, 2})
+	loss, err := heldOutLoss(res, empty)
+	if err != nil || loss != 0 {
+		t.Errorf("empty fold loss = %g, err %v", loss, err)
+	}
+}
+
+func TestHeldOutLossZeroSupport(t *testing.T) {
+	// Held-out mass on a cell the model zeroes: +Inf.
+	tab := contingency.MustNew(nil, []int{2, 2})
+	tab.Set(50, 0, 0)
+	tab.Set(50, 1, 1)
+	res, err := core.Discover(tab, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := contingency.MustNew(nil, []int{2, 2})
+	held.Set(1, 0, 1)
+	loss, err := heldOutLoss(res, held)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(loss, 1) {
+		t.Errorf("loss = %g, want +Inf", loss)
+	}
+}
+
+func TestSelectMaxOrderPropagatesOptions(t *testing.T) {
+	// A solver option that cannot converge must surface as an error, not
+	// be silently ignored.
+	tab := contingency.MustNew(nil, []int{2, 2, 2})
+	cell := make([]int, 3)
+	rng := stats.NewRNG(3)
+	for i := 0; i < 500; i++ {
+		for j := range cell {
+			cell[j] = rng.Intn(2)
+		}
+		if err := tab.Observe(cell...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := core.Options{Solve: maxent.SolveOptions{MaxSweeps: 1, Tol: 1e-15}}
+	if _, _, err := SelectMaxOrder(tab, 2, 2, stats.NewRNG(4), opts); err == nil {
+		// With one sweep at 1e-15 tolerance the initial fit cannot
+		// converge, so discovery must fail and crossval must report it.
+		t.Error("non-converging solver options silently accepted")
+	}
+}

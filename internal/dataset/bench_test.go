@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func benchSchema(b *testing.B) *Schema {
+	b.Helper()
+	return MustSchema([]Attribute{
+		{Name: "SMOKING", Values: []string{"Smoker", "Non smoker", "Non smoker married to a smoker"}},
+		{Name: "CANCER", Values: []string{"Yes", "No"}},
+		{Name: "FAMILY HISTORY", Values: []string{"Yes", "No"}},
+	})
+}
+
+// benchCSV builds a CSV body with n data rows cycling through values.
+func benchCSV(b *testing.B, n int) string {
+	b.Helper()
+	var sb strings.Builder
+	sb.WriteString("SMOKING,CANCER,FAMILY HISTORY\n")
+	rows := []string{
+		"Smoker,Yes,Yes\n",
+		"Non smoker,No,No\n",
+		"Non smoker married to a smoker,No,Yes\n",
+		"Smoker,No,No\n",
+	}
+	for i := 0; i < n; i++ {
+		sb.WriteString(rows[i%len(rows)])
+	}
+	return sb.String()
+}
+
+func BenchmarkReadCSV(b *testing.B) {
+	schema := benchSchema(b)
+	text := benchCSV(b, 10000)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadCSV(strings.NewReader(text), schema); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTabulateCSVStreaming(b *testing.B) {
+	schema := benchSchema(b)
+	text := benchCSV(b, 10000)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TabulateCSV(strings.NewReader(text), schema); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInferSchema(b *testing.B) {
+	text := benchCSV(b, 10000)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := InferSchema(strings.NewReader(text), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendLabeled(b *testing.B) {
+	schema := benchSchema(b)
+	d := NewDataset(schema)
+	row := []string{"Smoker", "Yes", "No"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.AppendLabeled(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteCSV(b *testing.B) {
+	schema := benchSchema(b)
+	d := NewDataset(schema)
+	for i := 0; i < 10000; i++ {
+		d.Append(Record{i % 3, i % 2, (i / 2) % 2})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinnerBin(b *testing.B) {
+	bin, err := NewEqualWidthBinner(-10, 10, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = bin.Bin(float64(i%200)/10 - 10)
+	}
+}

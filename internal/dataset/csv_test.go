@@ -1,0 +1,163 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `SMOKING,CANCER,FAMILY HISTORY
+Smoker,Yes,Yes
+Smoker,No,No
+Non smoker,No,No
+Non smoker married to a smoker,No,Yes
+`
+
+func TestReadCSV(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader(sampleCSV), memoSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 4 {
+		t.Fatalf("records = %d, want 4", d.Len())
+	}
+	if got := d.Record(0); got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("row 1 coded = %v", got)
+	}
+	if got := d.Record(3); got[0] != 2 || got[1] != 1 || got[2] != 0 {
+		t.Errorf("row 4 coded = %v", got)
+	}
+}
+
+func TestReadCSVColumnOrderFree(t *testing.T) {
+	// Header order differs from schema order; extra column is ignored.
+	csvText := "CANCER,NOTES,FAMILY HISTORY,SMOKING\nYes,xx,No,Smoker\n"
+	d, err := ReadCSV(strings.NewReader(csvText), memoSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.Record(0)
+	if got[0] != 0 || got[1] != 0 || got[2] != 1 {
+		t.Errorf("reordered row coded = %v", got)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	s := memoSchema(t)
+	if _, err := ReadCSV(strings.NewReader(""), s); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("SMOKING,CANCER\nSmoker,Yes\n"), s); err == nil {
+		t.Error("missing attribute column accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("SMOKING,CANCER,FAMILY HISTORY\nMars bar,Yes,No\n"), s); err == nil {
+		t.Error("unknown value without 'other' accepted")
+	}
+}
+
+func TestReadCSVOtherFallback(t *testing.T) {
+	s, err := memoSchema(t).WithOther("SMOKING")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadCSV(strings.NewReader("SMOKING,CANCER,FAMILY HISTORY\nPipe smoker,Yes,No\n"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Record(0)[0] != s.Attr(0).ValueIndex(OtherValue) {
+		t.Error("unknown label did not fall back to 'other'")
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader(sampleCSV), memoSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(bytes.NewReader(buf.Bytes()), memoSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("round trip changed length %d -> %d", d.Len(), back.Len())
+	}
+	for i := 0; i < d.Len(); i++ {
+		a, b := d.Record(i), back.Record(i)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("row %d changed: %v -> %v", i, a, b)
+			}
+		}
+	}
+}
+
+func TestInferSchema(t *testing.T) {
+	s, err := InferSchema(strings.NewReader(sampleCSV), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.R() != 3 {
+		t.Fatalf("inferred %d attributes", s.R())
+	}
+	a, _, err := s.AttrByName("SMOKING")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Card() != 3 {
+		t.Errorf("SMOKING values = %v", a.Values)
+	}
+	// Values are sorted for determinism.
+	if a.Values[0] > a.Values[1] {
+		t.Errorf("values unsorted: %v", a.Values)
+	}
+}
+
+func TestInferSchemaCardinalityGuard(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("ID\n")
+	for i := 0; i < 100; i++ {
+		b.WriteString(strings.Repeat("x", i+1))
+		b.WriteByte('\n')
+	}
+	if _, err := InferSchema(strings.NewReader(b.String()), 10); err == nil {
+		t.Error("high-cardinality column accepted with maxCard=10")
+	}
+	if _, err := InferSchema(strings.NewReader(b.String()), 0); err != nil {
+		t.Errorf("unbounded inference failed: %v", err)
+	}
+}
+
+func TestInferSchemaErrors(t *testing.T) {
+	if _, err := InferSchema(strings.NewReader(""), 0); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := InferSchema(strings.NewReader("A,B\nx\n"), 0); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestInferThenReadPipeline(t *testing.T) {
+	// The CLI's two-pass flow: infer a schema, then read with it.
+	s, err := InferSchema(strings.NewReader(sampleCSV), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadCSV(strings.NewReader(sampleCSV), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 4 {
+		t.Errorf("pipeline produced %d records", d.Len())
+	}
+	tab, err := d.Tabulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Total() != 4 {
+		t.Errorf("tabulated N = %d", tab.Total())
+	}
+}

@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Binner maps continuous readings to categorical bin indices, turning sensor
+// streams into attributes the discovery engine can consume.
+type Binner struct {
+	// edges[i] is the inclusive lower bound of bin i+1; values below
+	// edges[0] go to bin 0. len(edges) = bins-1.
+	edges  []float64
+	labels []string
+}
+
+// NewEqualWidthBinner splits [min, max] into bins equal-width intervals.
+func NewEqualWidthBinner(min, max float64, bins int) (*Binner, error) {
+	if bins < 2 {
+		return nil, fmt.Errorf("dataset: need at least 2 bins, got %d", bins)
+	}
+	if !(min < max) || math.IsNaN(min) || math.IsNaN(max) || math.IsInf(min, 0) || math.IsInf(max, 0) {
+		return nil, fmt.Errorf("dataset: invalid bin range [%g, %g]", min, max)
+	}
+	width := (max - min) / float64(bins)
+	edges := make([]float64, bins-1)
+	for i := range edges {
+		edges[i] = min + width*float64(i+1)
+	}
+	return newBinner(edges)
+}
+
+// NewQuantileBinner chooses edges so each bin receives roughly the same
+// number of the supplied sample values.
+func NewQuantileBinner(sample []float64, bins int) (*Binner, error) {
+	if bins < 2 {
+		return nil, fmt.Errorf("dataset: need at least 2 bins, got %d", bins)
+	}
+	if len(sample) < bins {
+		return nil, fmt.Errorf("dataset: %d sample values cannot define %d quantile bins",
+			len(sample), bins)
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	edges := make([]float64, 0, bins-1)
+	for i := 1; i < bins; i++ {
+		q := sorted[i*len(sorted)/bins]
+		// An edge at or below the minimum would leave bin 0 empty; skip it.
+		if q > sorted[0] && (len(edges) == 0 || q > edges[len(edges)-1]) {
+			edges = append(edges, q)
+		}
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("dataset: sample has too few distinct values for %d bins", bins)
+	}
+	return newBinner(edges)
+}
+
+func newBinner(edges []float64) (*Binner, error) {
+	for i := 1; i < len(edges); i++ {
+		if !(edges[i-1] < edges[i]) {
+			return nil, fmt.Errorf("dataset: bin edges not strictly increasing at %d", i)
+		}
+	}
+	b := &Binner{edges: edges}
+	b.labels = make([]string, len(edges)+1)
+	for i := range b.labels {
+		switch {
+		case i == 0:
+			b.labels[i] = fmt.Sprintf("(-inf,%.4g)", edges[0])
+		case i == len(edges):
+			b.labels[i] = fmt.Sprintf("[%.4g,+inf)", edges[i-1])
+		default:
+			b.labels[i] = fmt.Sprintf("[%.4g,%.4g)", edges[i-1], edges[i])
+		}
+	}
+	return b, nil
+}
+
+// Bins returns the number of bins.
+func (b *Binner) Bins() int { return len(b.edges) + 1 }
+
+// Bin returns the bin index of x (NaN maps to the last bin, documented as
+// the catch-all "other" analogue for unreadable sensor values).
+func (b *Binner) Bin(x float64) int {
+	if math.IsNaN(x) {
+		return len(b.edges)
+	}
+	// Binary search for the first edge > x.
+	lo, hi := 0, len(b.edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.edges[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Labels returns human-readable interval labels for each bin, suitable for
+// use as attribute values.
+func (b *Binner) Labels() []string { return append([]string(nil), b.labels...) }
+
+// Attribute builds a schema attribute from the binner.
+func (b *Binner) Attribute(name string) Attribute {
+	return Attribute{Name: name, Values: b.Labels()}
+}

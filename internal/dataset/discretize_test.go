@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEqualWidthBinner(t *testing.T) {
+	b, err := NewEqualWidthBinner(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Bins() != 5 {
+		t.Fatalf("bins = %d", b.Bins())
+	}
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{-1, 0}, {0, 0}, {1.9, 0}, {2, 1}, {3.5, 1},
+		{4, 2}, {5.99, 2}, {6, 3}, {8, 4}, {10, 4}, {99, 4},
+	}
+	for _, c := range cases {
+		if got := b.Bin(c.x); got != c.want {
+			t.Errorf("Bin(%g) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestEqualWidthBinnerValidation(t *testing.T) {
+	if _, err := NewEqualWidthBinner(0, 10, 1); err == nil {
+		t.Error("1 bin accepted")
+	}
+	if _, err := NewEqualWidthBinner(10, 0, 3); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := NewEqualWidthBinner(0, math.Inf(1), 3); err == nil {
+		t.Error("infinite range accepted")
+	}
+	if _, err := NewEqualWidthBinner(math.NaN(), 1, 3); err == nil {
+		t.Error("NaN bound accepted")
+	}
+}
+
+func TestQuantileBinnerBalances(t *testing.T) {
+	sample := make([]float64, 1000)
+	for i := range sample {
+		x := float64(i) / 1000
+		sample[i] = x * x * 100 // heavily skewed
+	}
+	b, err := NewQuantileBinner(sample, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, b.Bins())
+	for _, x := range sample {
+		counts[b.Bin(x)]++
+	}
+	for i, c := range counts {
+		if c < 200 || c > 300 {
+			t.Errorf("quantile bin %d holds %d of 1000 (want ~250)", i, c)
+		}
+	}
+}
+
+func TestQuantileBinnerValidation(t *testing.T) {
+	if _, err := NewQuantileBinner([]float64{1, 2}, 5); err == nil {
+		t.Error("too-small sample accepted")
+	}
+	if _, err := NewQuantileBinner([]float64{1, 2, 3}, 1); err == nil {
+		t.Error("1 bin accepted")
+	}
+	// All-identical sample cannot define distinct edges.
+	same := make([]float64, 100)
+	if _, err := NewQuantileBinner(same, 4); err == nil {
+		t.Error("constant sample accepted")
+	}
+}
+
+func TestBinnerNaNGoesToLastBin(t *testing.T) {
+	b, err := NewEqualWidthBinner(0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Bin(math.NaN()); got != b.Bins()-1 {
+		t.Errorf("NaN binned to %d, want last bin %d", got, b.Bins()-1)
+	}
+}
+
+func TestBinnerLabelsAndAttribute(t *testing.T) {
+	b, err := NewEqualWidthBinner(0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := b.Labels()
+	if len(labels) != 3 {
+		t.Fatalf("labels = %v", labels)
+	}
+	a := b.Attribute("temp")
+	if a.Name != "temp" || a.Card() != 3 {
+		t.Errorf("attribute = %+v", a)
+	}
+	// Labels must be distinct so NewSchema accepts them.
+	if _, err := NewSchema([]Attribute{a}); err != nil {
+		t.Errorf("binner attribute rejected by schema: %v", err)
+	}
+}
+
+func TestBinnerMonotoneProperty(t *testing.T) {
+	b, err := NewEqualWidthBinner(-5, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		if x > y {
+			x, y = y, x
+		}
+		return b.Bin(x) <= b.Bin(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

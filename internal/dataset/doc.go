@@ -1,0 +1,12 @@
+// Package dataset implements the memo's Appendix A substrate: attribute
+// schemas with named values, raw sample records ("original data form",
+// Figure 5), the R-tuple view (Figure 6), CSV ingest with automatic value
+// coding, completion of attribute ranges with an "other" value, and
+// tabulation into contingency tables.
+//
+// It also supplies discretization of continuous readings (equal-width and
+// quantile binning), which the telemetry example uses to turn simulated
+// sensor streams into categorical attributes — the closest executable
+// analogue of the memo's "wind tunnel tests; spacecraft observations"
+// motivation.
+package dataset

@@ -1,0 +1,39 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCSVIngest feeds arbitrary bytes through the full ingest pipeline:
+// schema inference must never panic, and whenever it succeeds, reading and
+// tabulating with the inferred schema must also succeed and agree on the
+// record count.
+func FuzzCSVIngest(f *testing.F) {
+	f.Add("A,B\nx,y\n")
+	f.Add("SMOKING,CANCER\nSmoker,Yes\nNon smoker,No\n")
+	f.Add("a\n\n")
+	f.Add("h1,h2,h3\n1,2,3\n4,5,6\n")
+	f.Add(",\n,\n")
+	f.Add("x,x\na,b\n") // duplicate header
+	f.Add("A;B\n1;2\n") // no commas at all
+	f.Add("A,B\n\"q,uo\",z\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		schema, err := InferSchema(strings.NewReader(data), 64)
+		if err != nil {
+			return // malformed input is allowed to error, not panic
+		}
+		d, err := ReadCSV(strings.NewReader(data), schema)
+		if err != nil {
+			t.Fatalf("InferSchema accepted but ReadCSV failed: %v\ninput: %q", err, data)
+		}
+		tab, err := TabulateCSV(strings.NewReader(data), schema)
+		if err != nil {
+			t.Fatalf("InferSchema accepted but TabulateCSV failed: %v\ninput: %q", err, data)
+		}
+		if tab.Total() != int64(d.Len()) {
+			t.Fatalf("record count mismatch: tabulated %d, read %d\ninput: %q",
+				tab.Total(), d.Len(), data)
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package dataset
+
+import (
+	"fmt"
+)
+
+// MergeRareValues returns a copy of the dataset in which, per attribute,
+// every value observed fewer than minCount times is collapsed into the
+// attribute's OtherValue. This is the memo's range-completion convention
+// applied defensively: rare categories produce near-empty contingency rows
+// whose marginals destabilize chance-range arithmetic, and collapsing them
+// is the standard remedy in contingency analysis.
+//
+// Attributes where no value is rare keep their schema unchanged. When
+// collapsing leaves an attribute with a single value (everything rare),
+// the attribute keeps its most frequent value plus OtherValue so the
+// schema stays well-formed.
+func (d *Dataset) MergeRareValues(minCount int64) (*Dataset, error) {
+	if minCount < 1 {
+		return nil, fmt.Errorf("dataset: minCount %d must be >= 1", minCount)
+	}
+	counts := d.Counts()
+	// Build the new schema and per-attribute index remapping.
+	attrs := make([]Attribute, d.schema.R())
+	remap := make([][]int, d.schema.R())
+	for i := 0; i < d.schema.R(); i++ {
+		a := d.schema.Attr(i)
+		keep := make([]string, 0, a.Card())
+		remap[i] = make([]int, a.Card())
+		anyRare := false
+		for v, label := range a.Values {
+			if counts[i][v] >= minCount || label == OtherValue {
+				remap[i][v] = len(keep)
+				keep = append(keep, label)
+			} else {
+				remap[i][v] = -1 // provisional: goes to other
+				anyRare = true
+			}
+		}
+		if len(keep) == 0 {
+			// Everything rare: retain the most frequent value.
+			best := 0
+			for v := range a.Values {
+				if counts[i][v] > counts[i][best] {
+					best = v
+				}
+			}
+			remap[i][best] = 0
+			keep = append(keep, a.Values[best])
+		}
+		if anyRare {
+			// Ensure an OtherValue bucket exists and route rare values
+			// into it.
+			otherIdx := -1
+			for ki, label := range keep {
+				if label == OtherValue {
+					otherIdx = ki
+				}
+			}
+			if otherIdx < 0 {
+				otherIdx = len(keep)
+				keep = append(keep, OtherValue)
+			}
+			for v := range remap[i] {
+				if remap[i][v] < 0 {
+					remap[i][v] = otherIdx
+				}
+			}
+		}
+		attrs[i] = Attribute{Name: a.Name, Values: keep}
+	}
+	schema, err := NewSchema(attrs)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: merging rare values: %w", err)
+	}
+	out := NewDataset(schema)
+	rec := make(Record, schema.R())
+	for _, r := range d.records {
+		for i, v := range r {
+			rec[i] = remap[i][v]
+		}
+		if err := out.Append(rec); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func recodeFixture(t *testing.T) *Dataset {
+	t.Helper()
+	s := MustSchema([]Attribute{
+		{Name: "COLOR", Values: []string{"red", "green", "blue", "mauve"}},
+		{Name: "SIZE", Values: []string{"small", "large"}},
+	})
+	d := NewDataset(s)
+	add := func(n int, r Record) {
+		for i := 0; i < n; i++ {
+			if err := d.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	add(50, Record{0, 0}) // red/small
+	add(40, Record{1, 1}) // green/large
+	add(8, Record{2, 0})  // blue: rare
+	add(2, Record{3, 1})  // mauve: rarer
+	return d
+}
+
+func TestMergeRareValuesBasics(t *testing.T) {
+	d := recodeFixture(t)
+	merged, err := d.MergeRareValues(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != d.Len() {
+		t.Fatalf("record count changed: %d -> %d", d.Len(), merged.Len())
+	}
+	a := merged.Schema().Attr(0)
+	// red, green kept; blue+mauve collapsed to other.
+	if a.Card() != 3 {
+		t.Fatalf("COLOR values = %v", a.Values)
+	}
+	if a.ValueIndex(OtherValue) < 0 {
+		t.Fatalf("no other bucket: %v", a.Values)
+	}
+	counts := merged.Counts()
+	if counts[0][a.ValueIndex(OtherValue)] != 10 {
+		t.Errorf("other bucket holds %d, want 10", counts[0][a.ValueIndex(OtherValue)])
+	}
+	// SIZE untouched.
+	if merged.Schema().Attr(1).Card() != 2 {
+		t.Errorf("SIZE changed: %v", merged.Schema().Attr(1).Values)
+	}
+}
+
+func TestMergeRareValuesNoRare(t *testing.T) {
+	d := recodeFixture(t)
+	merged, err := d.MergeRareValues(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Schema().Equal(d.Schema()) {
+		t.Error("minCount=1 changed the schema")
+	}
+}
+
+func TestMergeRareValuesValidation(t *testing.T) {
+	d := recodeFixture(t)
+	if _, err := d.MergeRareValues(0); err == nil {
+		t.Error("minCount 0 accepted")
+	}
+}
+
+func TestMergeRareValuesAllRare(t *testing.T) {
+	s := MustSchema([]Attribute{
+		{Name: "X", Values: []string{"a", "b", "c"}},
+	})
+	d := NewDataset(s)
+	d.Append(Record{0})
+	d.Append(Record{1})
+	d.Append(Record{1})
+	merged, err := d.MergeRareValues(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := merged.Schema().Attr(0)
+	// Most frequent value (b) retained, rest collapsed.
+	if a.ValueIndex("b") < 0 || a.ValueIndex(OtherValue) < 0 {
+		t.Errorf("all-rare schema = %v", a.Values)
+	}
+	counts := merged.Counts()
+	if counts[0][a.ValueIndex("b")] != 2 || counts[0][a.ValueIndex(OtherValue)] != 1 {
+		t.Errorf("all-rare counts = %v", counts[0])
+	}
+}
+
+func TestMergeRareValuesExistingOther(t *testing.T) {
+	// An attribute that already has an "other" value reuses it.
+	s := MustSchema([]Attribute{
+		{Name: "X", Values: []string{"a", "b", OtherValue}},
+	})
+	d := NewDataset(s)
+	for i := 0; i < 20; i++ {
+		d.Append(Record{0})
+	}
+	d.Append(Record{1}) // rare
+	d.Append(Record{2}) // existing other
+	merged, err := d.MergeRareValues(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := merged.Schema().Attr(0)
+	if a.Card() != 2 {
+		t.Fatalf("schema = %v", a.Values)
+	}
+	counts := merged.Counts()
+	if counts[0][a.ValueIndex(OtherValue)] != 2 {
+		t.Errorf("other holds %d, want rare+existing = 2", counts[0][a.ValueIndex(OtherValue)])
+	}
+}
+
+func TestMergeRareValuesTabulates(t *testing.T) {
+	// The merged dataset flows into the standard pipeline.
+	d := recodeFixture(t)
+	merged, err := d.MergeRareValues(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := merged.Tabulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Total() != int64(d.Len()) {
+		t.Errorf("tabulated %d, want %d", tab.Total(), d.Len())
+	}
+}

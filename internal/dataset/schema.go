@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OtherValue is the label appended when a schema is completed so that every
+// attribute's value range is exhaustive, per the memo: "the range of values
+// for each attribute is complete (made so by adding the value 'other', if
+// necessary)".
+const OtherValue = "other"
+
+// Attribute is one categorical variable: a name plus its ordered value
+// labels. Value indices (0-based) are what records store; labels are for
+// ingest and presentation.
+type Attribute struct {
+	Name   string
+	Values []string
+}
+
+// Card returns the number of values.
+func (a Attribute) Card() int { return len(a.Values) }
+
+// ValueIndex returns the index of label v, or -1 when absent.
+func (a Attribute) ValueIndex(v string) int {
+	for i, s := range a.Values {
+		if s == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Schema is an ordered list of attributes — the R-tuple layout of Figure 6.
+type Schema struct {
+	attrs []Attribute
+	index map[string]int // attribute name -> position
+}
+
+// NewSchema validates and builds a schema. Attribute names must be non-empty
+// and unique; every attribute needs at least one value; value labels within
+// an attribute must be non-empty and unique.
+func NewSchema(attrs []Attribute) (*Schema, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("dataset: schema needs at least one attribute")
+	}
+	s := &Schema{
+		attrs: make([]Attribute, len(attrs)),
+		index: make(map[string]int, len(attrs)),
+	}
+	for i, a := range attrs {
+		if strings.TrimSpace(a.Name) == "" {
+			return nil, fmt.Errorf("dataset: attribute %d has empty name", i)
+		}
+		if _, dup := s.index[a.Name]; dup {
+			return nil, fmt.Errorf("dataset: duplicate attribute name %q", a.Name)
+		}
+		if len(a.Values) == 0 {
+			return nil, fmt.Errorf("dataset: attribute %q has no values", a.Name)
+		}
+		seen := make(map[string]bool, len(a.Values))
+		for _, v := range a.Values {
+			if strings.TrimSpace(v) == "" {
+				return nil, fmt.Errorf("dataset: attribute %q has empty value label", a.Name)
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("dataset: attribute %q has duplicate value %q", a.Name, v)
+			}
+			seen[v] = true
+		}
+		s.attrs[i] = Attribute{Name: a.Name, Values: append([]string(nil), a.Values...)}
+		s.index[a.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema for statically-valid fixtures.
+func MustSchema(attrs []Attribute) *Schema {
+	s, err := NewSchema(attrs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// R returns the number of attributes.
+func (s *Schema) R() int { return len(s.attrs) }
+
+// Attr returns attribute i.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// AttrByName returns the attribute with the given name and its position.
+func (s *Schema) AttrByName(name string) (Attribute, int, error) {
+	i, ok := s.index[name]
+	if !ok {
+		return Attribute{}, 0, fmt.Errorf("dataset: no attribute named %q", name)
+	}
+	return s.attrs[i], i, nil
+}
+
+// Position returns the index of the named attribute, or an error.
+func (s *Schema) Position(name string) (int, error) {
+	i, ok := s.index[name]
+	if !ok {
+		return 0, fmt.Errorf("dataset: no attribute named %q", name)
+	}
+	return i, nil
+}
+
+// Names returns the attribute names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Cards returns the attribute cardinalities in order.
+func (s *Schema) Cards() []int {
+	out := make([]int, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Card()
+	}
+	return out
+}
+
+// NumCells returns the product of cardinalities — the joint space size.
+func (s *Schema) NumCells() int {
+	n := 1
+	for _, a := range s.attrs {
+		n *= a.Card()
+	}
+	return n
+}
+
+// WithOther returns a copy of the schema in which every attribute listed in
+// names gains a trailing OtherValue label (if not already present). Passing
+// no names completes every attribute. This implements the memo's range
+// completion so marginals always sum to N.
+func (s *Schema) WithOther(names ...string) (*Schema, error) {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		if _, ok := s.index[n]; !ok {
+			return nil, fmt.Errorf("dataset: no attribute named %q", n)
+		}
+		want[n] = true
+	}
+	attrs := make([]Attribute, len(s.attrs))
+	for i, a := range s.attrs {
+		attrs[i] = Attribute{Name: a.Name, Values: append([]string(nil), a.Values...)}
+		if (len(names) == 0 || want[a.Name]) && a.ValueIndex(OtherValue) < 0 {
+			attrs[i].Values = append(attrs[i].Values, OtherValue)
+		}
+	}
+	return NewSchema(attrs)
+}
+
+// Describe renders the schema in the questionnaire style of the memo's
+// problem definition (A. SMOKING HISTORY / 1. Smoker ...).
+func (s *Schema) Describe() string {
+	var b strings.Builder
+	for i, a := range s.attrs {
+		fmt.Fprintf(&b, "%c. %s\n", 'A'+i%26, a.Name)
+		for j, v := range a.Values {
+			fmt.Fprintf(&b, "   %d. %s\n", j+1, v)
+		}
+	}
+	return b.String()
+}
+
+// Equal reports whether two schemas have identical attributes and values.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.R() != o.R() {
+		return false
+	}
+	for i, a := range s.attrs {
+		b := o.attrs[i]
+		if a.Name != b.Name || len(a.Values) != len(b.Values) {
+			return false
+		}
+		for j := range a.Values {
+			if a.Values[j] != b.Values[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,159 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// memoSchema is the questionnaire of the memo's problem definition.
+func memoSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema([]Attribute{
+		{Name: "SMOKING", Values: []string{"Smoker", "Non smoker", "Non smoker married to a smoker"}},
+		{Name: "CANCER", Values: []string{"Yes", "No"}},
+		{Name: "FAMILY HISTORY", Values: []string{"Yes", "No"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		attrs []Attribute
+	}{
+		{"empty", nil},
+		{"blank name", []Attribute{{Name: "  ", Values: []string{"a"}}}},
+		{"dup name", []Attribute{
+			{Name: "X", Values: []string{"a"}},
+			{Name: "X", Values: []string{"b"}},
+		}},
+		{"no values", []Attribute{{Name: "X", Values: nil}}},
+		{"blank value", []Attribute{{Name: "X", Values: []string{""}}}},
+		{"dup value", []Attribute{{Name: "X", Values: []string{"a", "a"}}}},
+	}
+	for _, c := range cases {
+		if _, err := NewSchema(c.attrs); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := memoSchema(t)
+	if s.R() != 3 {
+		t.Fatalf("R = %d", s.R())
+	}
+	if got := s.Cards(); got[0] != 3 || got[1] != 2 || got[2] != 2 {
+		t.Errorf("cards = %v", got)
+	}
+	if s.NumCells() != 12 {
+		t.Errorf("NumCells = %d, want 12", s.NumCells())
+	}
+	a, pos, err := s.AttrByName("CANCER")
+	if err != nil || pos != 1 || a.Card() != 2 {
+		t.Errorf("AttrByName: %v %d %v", a, pos, err)
+	}
+	if _, _, err := s.AttrByName("nope"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if p, err := s.Position("FAMILY HISTORY"); err != nil || p != 2 {
+		t.Errorf("Position = %d, %v", p, err)
+	}
+	if _, err := s.Position("nope"); err == nil {
+		t.Error("unknown position accepted")
+	}
+	if got := s.Attr(0).ValueIndex("Smoker"); got != 0 {
+		t.Errorf("ValueIndex(Smoker) = %d", got)
+	}
+	if got := s.Attr(0).ValueIndex("nope"); got != -1 {
+		t.Errorf("ValueIndex(nope) = %d", got)
+	}
+}
+
+func TestWithOtherAll(t *testing.T) {
+	s := memoSchema(t)
+	c, err := s.WithOther()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.R(); i++ {
+		a := c.Attr(i)
+		if a.Values[a.Card()-1] != OtherValue {
+			t.Errorf("attribute %q not completed: %v", a.Name, a.Values)
+		}
+	}
+	// Original untouched.
+	if s.Attr(0).Card() != 3 {
+		t.Error("WithOther mutated the source schema")
+	}
+}
+
+func TestWithOtherSelective(t *testing.T) {
+	s := memoSchema(t)
+	c, err := s.WithOther("CANCER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Attr(1).Card() != 3 {
+		t.Errorf("CANCER not completed: %v", c.Attr(1).Values)
+	}
+	if c.Attr(0).Card() != 3 {
+		t.Errorf("SMOKING should be untouched: %v", c.Attr(0).Values)
+	}
+	if _, err := s.WithOther("nope"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestWithOtherIdempotent(t *testing.T) {
+	s := memoSchema(t)
+	c1, err := s.WithOther()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := c1.WithOther()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c1.Equal(c2) {
+		t.Error("completing twice changed the schema")
+	}
+}
+
+func TestDescribeQuestionnaire(t *testing.T) {
+	s := memoSchema(t)
+	d := s.Describe()
+	for _, want := range []string{"A. SMOKING", "B. CANCER", "1. Smoker", "2. No"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := memoSchema(t)
+	b := memoSchema(t)
+	if !a.Equal(b) {
+		t.Error("identical schemas not equal")
+	}
+	c, _ := a.WithOther()
+	if a.Equal(c) {
+		t.Error("different schemas equal")
+	}
+	d := MustSchema([]Attribute{{Name: "X", Values: []string{"a"}}})
+	if a.Equal(d) {
+		t.Error("different arity schemas equal")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema on invalid input did not panic")
+		}
+	}()
+	MustSchema(nil)
+}

@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"pka/internal/contingency"
+)
+
+// TabulateCSV counts CSV rows directly into a contingency table without
+// materializing records — the ingest path for sample counts that dwarf
+// memory (the memo's "mammoth NASA reserve data bank"). Header and value
+// semantics match ReadCSV.
+func TabulateCSV(r io.Reader, schema *Schema) (*contingency.Table, error) {
+	table, err := contingency.New(schema.Names(), schema.Cards())
+	if err != nil {
+		return nil, err
+	}
+	err = streamCSV(r, schema, func(cell []int) error {
+		return table.Observe(cell...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return table, nil
+}
+
+// TabulateCSVSparse is TabulateCSV into a sparse table, for wide schemas
+// whose dense joint space does not fit in memory.
+func TabulateCSVSparse(r io.Reader, schema *Schema) (*contingency.Sparse, error) {
+	table, err := contingency.NewSparse(schema.Names(), schema.Cards())
+	if err != nil {
+		return nil, err
+	}
+	err = streamCSV(r, schema, func(cell []int) error {
+		return table.Observe(cell...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return table, nil
+}
+
+// streamCSV drives fn with the coded cell of each data row.
+func streamCSV(r io.Reader, schema *Schema, fn func(cell []int) error) error {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	colOf := make([]int, schema.R())
+	for i := range colOf {
+		colOf[i] = -1
+	}
+	for col, h := range header {
+		if p, err := schema.Position(strings.TrimSpace(h)); err == nil {
+			colOf[p] = col
+		}
+	}
+	for i, c := range colOf {
+		if c < 0 {
+			return fmt.Errorf("dataset: CSV header missing attribute %q", schema.Attr(i).Name)
+		}
+	}
+	cell := make([]int, schema.R())
+	row := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("dataset: reading CSV row %d: %w", row+1, err)
+		}
+		row++
+		for i, col := range colOf {
+			if col >= len(rec) {
+				return fmt.Errorf("dataset: CSV row %d short: no column %d", row, col)
+			}
+			a := schema.Attr(i)
+			label := strings.TrimSpace(rec[col])
+			idx := a.ValueIndex(label)
+			if idx < 0 {
+				idx = a.ValueIndex(OtherValue)
+				if idx < 0 {
+					return fmt.Errorf("dataset: CSV row %d: attribute %q has no value %q and no %q fallback",
+						row, a.Name, label, OtherValue)
+				}
+			}
+			cell[i] = idx
+		}
+		if err := fn(cell); err != nil {
+			return fmt.Errorf("dataset: CSV row %d: %w", row, err)
+		}
+	}
+}
+
+// TabulateSparse counts the dataset's records into a sparse table.
+func (d *Dataset) TabulateSparse() (*contingency.Sparse, error) {
+	t, err := contingency.NewSparse(d.schema.Names(), d.schema.Cards())
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range d.records {
+		if err := t.Observe(r...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

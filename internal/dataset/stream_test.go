@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTabulateCSVMatchesReadThenTabulate(t *testing.T) {
+	schema := memoSchema(t)
+	d, err := ReadCSV(strings.NewReader(sampleCSV), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRecords, err := d.Tabulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := TabulateCSV(strings.NewReader(sampleCSV), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viaRecords.Equal(streamed) {
+		t.Error("streaming tabulation differs from record-based")
+	}
+}
+
+func TestTabulateCSVSparseMatchesDense(t *testing.T) {
+	schema := memoSchema(t)
+	dense, err := TabulateCSV(strings.NewReader(sampleCSV), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := TabulateCSVSparse(strings.NewReader(sampleCSV), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := sparse.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dense.Equal(back) {
+		t.Error("sparse streaming tabulation differs from dense")
+	}
+}
+
+func TestTabulateCSVErrors(t *testing.T) {
+	schema := memoSchema(t)
+	if _, err := TabulateCSV(strings.NewReader(""), schema); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := TabulateCSV(strings.NewReader("SMOKING,CANCER\nSmoker,Yes\n"), schema); err == nil {
+		t.Error("missing column accepted")
+	}
+	if _, err := TabulateCSV(strings.NewReader("SMOKING,CANCER,FAMILY HISTORY\nVape,Yes,No\n"), schema); err == nil {
+		t.Error("unknown value without 'other' accepted")
+	}
+}
+
+func TestTabulateCSVOtherFallback(t *testing.T) {
+	schema, err := memoSchema(t).WithOther("SMOKING")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := TabulateCSV(strings.NewReader(
+		"SMOKING,CANCER,FAMILY HISTORY\nVape,Yes,No\n"), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherIdx := schema.Attr(0).ValueIndex(OtherValue)
+	v, err := tab.At(otherIdx, 0, 1)
+	if err != nil || v != 1 {
+		t.Errorf("fallback cell = %d, %v", v, err)
+	}
+}
+
+func TestTabulateSparseMatchesDense(t *testing.T) {
+	d := NewDataset(memoSchema(t))
+	rows := []Record{{0, 0, 0}, {1, 1, 1}, {2, 0, 1}, {1, 1, 1}}
+	for _, r := range rows {
+		if err := d.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dense, err := d.Tabulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := d.TabulateSparse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := sparse.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dense.Equal(back) {
+		t.Error("TabulateSparse differs from Tabulate")
+	}
+	if sparse.Occupied() != 3 {
+		t.Errorf("occupied = %d, want 3 distinct rows", sparse.Occupied())
+	}
+}

@@ -1,0 +1,81 @@
+package kb
+
+import (
+	"bytes"
+	"testing"
+)
+
+func benchKB(b *testing.B) *KnowledgeBase {
+	b.Helper()
+	return memoKB(b)
+}
+
+func BenchmarkProbability(b *testing.B) {
+	k := benchKB(b)
+	q := []Assignment{
+		{Attr: "SMOKING", Value: "Smoker"},
+		{Attr: "CANCER", Value: "Yes"},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Probability(q...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConditional(b *testing.B) {
+	k := benchKB(b)
+	target := []Assignment{{Attr: "CANCER", Value: "Yes"}}
+	given := []Assignment{
+		{Attr: "SMOKING", Value: "Smoker"},
+		{Attr: "FAMILY HISTORY", Value: "Yes"},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Conditional(target, given); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistribution(b *testing.B) {
+	k := benchKB(b)
+	given := []Assignment{{Attr: "CANCER", Value: "Yes"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Distribution("SMOKING", given...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMostProbableExplanation(b *testing.B) {
+	k := benchKB(b)
+	given := []Assignment{{Attr: "CANCER", Value: "Yes"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.MostProbableExplanation(given...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSaveLoad(b *testing.B) {
+	k := benchKB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := k.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Load(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+// Package kb turns a discovery result into the memo's end product: a
+// probabilistic knowledge base for an expert system. It stores the fitted
+// product-form model together with the attribute schema, answers arbitrary
+// joint/marginal/conditional probability queries by the ratio rule
+//
+//	P(A | B, C) = P(A, B, C) / P(B, C)
+//
+// (the memo's introduction), computes full conditional distributions over an
+// attribute given evidence, explains the stored formula in the memo's
+// a-notation, and persists to JSON so a knowledge base built once can be
+// shipped without the raw data.
+package kb

@@ -1,0 +1,62 @@
+package kb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DependencyDOT renders the discovered dependency structure as a Graphviz
+// graph: attributes are nodes; every order-2 constraint family becomes an
+// edge labeled with the number of significant cells; order-3+ families
+// become a diamond hyper-node connected to their members.
+//
+// The output is deterministic and renders with `dot -Tsvg`.
+func (k *KnowledgeBase) DependencyDOT() string {
+	type famInfo struct {
+		members []int
+		cells   int
+	}
+	fams := make(map[string]*famInfo)
+	for _, c := range k.model.Constraints() {
+		if c.Order() < 2 {
+			continue
+		}
+		members := c.Family.Members()
+		key := fmt.Sprint(members)
+		fi, ok := fams[key]
+		if !ok {
+			fi = &famInfo{members: members}
+			fams[key] = fi
+		}
+		fi.cells++
+	}
+	keys := make([]string, 0, len(fams))
+	for key := range fams {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+
+	var b strings.Builder
+	b.WriteString("graph dependencies {\n")
+	b.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+	for i := 0; i < k.schema.R(); i++ {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", i, k.schema.Attr(i).Name)
+	}
+	hyper := 0
+	for _, key := range keys {
+		fi := fams[key]
+		if len(fi.members) == 2 {
+			fmt.Fprintf(&b, "  n%d -- n%d [label=\"%d\"];\n",
+				fi.members[0], fi.members[1], fi.cells)
+			continue
+		}
+		fmt.Fprintf(&b, "  h%d [shape=diamond, label=\"%d\"];\n", hyper, fi.cells)
+		for _, m := range fi.members {
+			fmt.Fprintf(&b, "  h%d -- n%d;\n", hyper, m)
+		}
+		hyper++
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package kb
+
+import (
+	"strings"
+	"testing"
+
+	"pka/internal/contingency"
+	"pka/internal/core"
+	"pka/internal/dataset"
+)
+
+func TestDependencyDOTMemo(t *testing.T) {
+	k := memoKB(t)
+	dot := k.DependencyDOT()
+	for _, want := range []string{
+		"graph dependencies {",
+		`n0 [label="SMOKING"]`,
+		`n1 [label="CANCER"]`,
+		"n0 -- n1", // the smoking↔cancer edge
+		"}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Deterministic output.
+	if dot != k.DependencyDOT() {
+		t.Error("DOT not deterministic")
+	}
+}
+
+func TestDependencyDOTHyperEdge(t *testing.T) {
+	// XOR data yields a third-order family → a diamond hyper-node.
+	tab := contingency.MustNew([]string{"X", "Y", "Z"}, []int{2, 2, 2})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			xor := i ^ j
+			tab.Set(900, i, j, xor)
+			tab.Set(100, i, j, 1-xor)
+		}
+	}
+	res, err := core.Discover(tab, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := dataset.MustSchema([]dataset.Attribute{
+		{Name: "X", Values: []string{"0", "1"}},
+		{Name: "Y", Values: []string{"0", "1"}},
+		{Name: "Z", Values: []string{"0", "1"}},
+	})
+	k, err := New(schema, res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := k.DependencyDOT()
+	if !strings.Contains(dot, "shape=diamond") {
+		t.Errorf("no hyper-node for third-order family:\n%s", dot)
+	}
+	if !strings.Contains(dot, "h0 -- n2") {
+		t.Errorf("hyper-node not connected:\n%s", dot)
+	}
+}
+
+func TestDependencyDOTNoFindings(t *testing.T) {
+	// A model with only first-order constraints renders nodes, no edges.
+	tab := contingency.MustNew([]string{"X", "Y"}, []int{2, 2})
+	tab.Set(25, 0, 0)
+	tab.Set(25, 0, 1)
+	tab.Set(25, 1, 0)
+	tab.Set(25, 1, 1)
+	res, err := core.Discover(tab, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := dataset.MustSchema([]dataset.Attribute{
+		{Name: "X", Values: []string{"a", "b"}},
+		{Name: "Y", Values: []string{"a", "b"}},
+	})
+	k, err := New(schema, res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := k.DependencyDOT()
+	if strings.Contains(dot, "--") {
+		t.Errorf("independent data produced edges:\n%s", dot)
+	}
+	if !strings.Contains(dot, `n0 [label="X"]`) {
+		t.Errorf("nodes missing:\n%s", dot)
+	}
+}

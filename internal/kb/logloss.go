@@ -1,0 +1,39 @@
+package kb
+
+import (
+	"fmt"
+	"math"
+
+	"pka/internal/contingency"
+)
+
+// LogLoss returns the average negative log-likelihood (nats per sample) the
+// knowledge base assigns to observed data — the deployment-time validation
+// measure. Cells the model rules out while the data occupies them give
+// +Inf.
+func (k *KnowledgeBase) LogLoss(t *contingency.Table) (float64, error) {
+	if t.Total() == 0 {
+		return 0, fmt.Errorf("kb: empty validation table")
+	}
+	if t.R() != k.model.R() {
+		return 0, fmt.Errorf("kb: table has %d attributes, model %d", t.R(), k.model.R())
+	}
+	joint, err := k.model.Joint()
+	if err != nil {
+		return 0, err
+	}
+	if len(joint) != t.NumCells() {
+		return 0, fmt.Errorf("kb: table space %d cells, model %d", t.NumCells(), len(joint))
+	}
+	var loss float64
+	for i, c := range t.Counts() {
+		if c == 0 {
+			continue
+		}
+		if joint[i] <= 0 {
+			return math.Inf(1), nil
+		}
+		loss -= float64(c) * math.Log(joint[i])
+	}
+	return loss / float64(t.Total()), nil
+}

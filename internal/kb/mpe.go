@@ -1,0 +1,81 @@
+package kb
+
+import (
+	"fmt"
+)
+
+// Explanation is a full assignment of every attribute with its joint
+// probability — the output of MostProbableExplanation.
+type Explanation struct {
+	Assignments []Assignment
+	Probability float64
+}
+
+// MostProbableExplanation returns the highest-probability completion of the
+// evidence over all remaining attributes (MPE / MAP inference): the single
+// world state the knowledge base considers most likely given what is known.
+//
+// The search enumerates the free attributes' joint space, which matches the
+// dense-model regime the discovery engine operates in. Ties break toward
+// lower value indices for determinism. Evidence with zero probability is an
+// error, mirroring Conditional.
+func (k *KnowledgeBase) MostProbableExplanation(given ...Assignment) (Explanation, error) {
+	vs, values, err := k.resolve(given)
+	if err != nil {
+		return Explanation{}, err
+	}
+	pEvidence, err := k.model.Prob(vs, values)
+	if err != nil {
+		return Explanation{}, err
+	}
+	if pEvidence == 0 {
+		return Explanation{}, fmt.Errorf("kb: evidence %v has zero probability", given)
+	}
+	r := k.schema.R()
+	cell := make([]int, r)
+	free := make([]int, 0, r)
+	members := vs.Members()
+	mi := 0
+	for pos := 0; pos < r; pos++ {
+		if mi < len(members) && members[mi] == pos {
+			cell[pos] = values[mi]
+			mi++
+			continue
+		}
+		free = append(free, pos)
+	}
+	bestP := -1.0
+	best := make([]int, r)
+	for {
+		p, err := k.model.CellProb(cell)
+		if err != nil {
+			return Explanation{}, err
+		}
+		if p > bestP {
+			bestP = p
+			copy(best, cell)
+		}
+		// Odometer over free attributes.
+		i := len(free) - 1
+		for i >= 0 {
+			cell[free[i]]++
+			if cell[free[i]] < k.schema.Attr(free[i]).Card() {
+				break
+			}
+			cell[free[i]] = 0
+			i--
+		}
+		if i < 0 || len(free) == 0 {
+			break
+		}
+	}
+	out := Explanation{Probability: bestP}
+	for pos := 0; pos < r; pos++ {
+		a := k.schema.Attr(pos)
+		out.Assignments = append(out.Assignments, Assignment{
+			Attr:  a.Name,
+			Value: a.Values[best[pos]],
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package kb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMPENoEvidenceIsModalCell(t *testing.T) {
+	k := memoKB(t)
+	exp, err := k.MostProbableExplanation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Assignments) != 3 {
+		t.Fatalf("explanation covers %d attributes", len(exp.Assignments))
+	}
+	// Brute-force the modal cell through Probability.
+	best := -1.0
+	schema := k.Schema()
+	var bestAssign []Assignment
+	var walk func(pos int, acc []Assignment)
+	walk = func(pos int, acc []Assignment) {
+		if pos == schema.R() {
+			p, err := k.Probability(acc...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p > best {
+				best = p
+				bestAssign = append([]Assignment(nil), acc...)
+			}
+			return
+		}
+		a := schema.Attr(pos)
+		for _, v := range a.Values {
+			walk(pos+1, append(acc, Assignment{Attr: a.Name, Value: v}))
+		}
+	}
+	walk(0, nil)
+	if math.Abs(exp.Probability-best) > 1e-12 {
+		t.Errorf("MPE probability %.9f, brute force %.9f (%v)", exp.Probability, best, bestAssign)
+	}
+	for i, a := range exp.Assignments {
+		if a != bestAssign[i] {
+			t.Errorf("MPE assignment %d = %v, brute force %v", i, a, bestAssign[i])
+		}
+	}
+}
+
+func TestMPERespectsEvidence(t *testing.T) {
+	k := memoKB(t)
+	exp, err := k.MostProbableExplanation(Assignment{Attr: "CANCER", Value: "Yes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range exp.Assignments {
+		if a.Attr == "CANCER" {
+			found = true
+			if a.Value != "Yes" {
+				t.Errorf("evidence overridden: CANCER=%s", a.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("evidence attribute missing from explanation")
+	}
+	// The explanation's probability must equal Probability of its own
+	// assignments.
+	p, err := k.Probability(exp.Assignments...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-exp.Probability) > 1e-12 {
+		t.Errorf("explanation probability %.9f vs joint %.9f", exp.Probability, p)
+	}
+}
+
+func TestMPEErrors(t *testing.T) {
+	k := memoKB(t)
+	if _, err := k.MostProbableExplanation(Assignment{Attr: "NOPE", Value: "x"}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := k.MostProbableExplanation(
+		Assignment{Attr: "CANCER", Value: "Yes"},
+		Assignment{Attr: "CANCER", Value: "No"}); err == nil {
+		t.Error("contradictory evidence accepted")
+	}
+}
+
+func TestMPEFullEvidenceIsIdentity(t *testing.T) {
+	k := memoKB(t)
+	given := []Assignment{
+		{Attr: "SMOKING", Value: "Smoker"},
+		{Attr: "CANCER", Value: "No"},
+		{Attr: "FAMILY HISTORY", Value: "Yes"},
+	}
+	exp, err := k.MostProbableExplanation(given...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := k.Probability(given...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exp.Probability-want) > 1e-12 {
+		t.Errorf("fully-specified MPE %.9f, joint %.9f", exp.Probability, want)
+	}
+}

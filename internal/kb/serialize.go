@@ -1,0 +1,71 @@
+package kb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pka/internal/dataset"
+	"pka/internal/maxent"
+)
+
+// kbJSON is the persisted knowledge base: schema plus fitted model.
+type kbJSON struct {
+	// Version guards the on-disk format.
+	Version int             `json:"version"`
+	Attrs   []attrJSON      `json:"attributes"`
+	Model   json.RawMessage `json:"model"`
+}
+
+type attrJSON struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+// formatVersion is bumped on incompatible changes to the wire format.
+const formatVersion = 1
+
+// Save writes the knowledge base as JSON.
+func (k *KnowledgeBase) Save(w io.Writer) error {
+	modelData, err := json.Marshal(k.model)
+	if err != nil {
+		return fmt.Errorf("kb: encoding model: %w", err)
+	}
+	doc := kbJSON{Version: formatVersion, Model: modelData}
+	for i := 0; i < k.schema.R(); i++ {
+		a := k.schema.Attr(i)
+		doc.Attrs = append(doc.Attrs, attrJSON{Name: a.Name, Values: a.Values})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("kb: writing knowledge base: %w", err)
+	}
+	return nil
+}
+
+// Load reads a knowledge base saved by Save, validating schema/model
+// agreement.
+func Load(r io.Reader) (*KnowledgeBase, error) {
+	var doc kbJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("kb: decoding knowledge base: %w", err)
+	}
+	if doc.Version != formatVersion {
+		return nil, fmt.Errorf("kb: unsupported format version %d (want %d)",
+			doc.Version, formatVersion)
+	}
+	attrs := make([]dataset.Attribute, len(doc.Attrs))
+	for i, a := range doc.Attrs {
+		attrs[i] = dataset.Attribute{Name: a.Name, Values: a.Values}
+	}
+	schema, err := dataset.NewSchema(attrs)
+	if err != nil {
+		return nil, fmt.Errorf("kb: decoding knowledge base: %w", err)
+	}
+	var model maxent.Model
+	if err := json.Unmarshal(doc.Model, &model); err != nil {
+		return nil, fmt.Errorf("kb: decoding knowledge base: %w", err)
+	}
+	return New(schema, &model)
+}

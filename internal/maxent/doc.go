@@ -1,0 +1,29 @@
+// Package maxent implements the memo's maximum-entropy product model
+// (Eq. 12) and the iterative calculation of its a-values (Eqs. 25-31,
+// 75-87, Figure 4, Table 2).
+//
+// A Model is a joint distribution over R categorical attributes in the form
+//
+//	p(i,j,k,...) = a0 · Π_families a_family(values restricted to family)
+//
+// where each registered constraint — a target probability for one cell of
+// one attribute family — owns one adjustable coefficient. Fitting adjusts
+// the coefficients until every constraint's predicted probability matches
+// its target, which by the memo's Lagrange-multiplier derivation (Eqs. 8-13)
+// is exactly the maximum-entropy distribution subject to those constraints.
+//
+// Two solvers are provided:
+//
+//   - Gauss–Seidel iterative scaling (the memo's Figure 4 procedure,
+//     generalized): constraints are visited in sequence and each update is
+//     an exact binary-partition IPF step — the matched cells are scaled by
+//     target/predicted and the complement by (1-target)/(1-predicted), which
+//     in product form is a single odds-ratio coefficient update.
+//
+//   - Jacobi iterative scaling: all updates are computed from the same
+//     snapshot and applied together with damping. Kept as the ablation
+//     baseline for experiment X3; it needs more sweeps, as the bench shows.
+//
+// Solvers record per-sweep coefficient trajectories, which is how the repro
+// binary regenerates the memo's Table 2.
+package maxent

@@ -1,0 +1,109 @@
+package maxent
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pka/internal/contingency"
+)
+
+// constraintJSON is the wire form of a Constraint.
+type constraintJSON struct {
+	Family []int   `json:"family"`
+	Values []int   `json:"values"`
+	Target float64 `json:"target"`
+}
+
+// familyJSON carries one family's dense coefficient array.
+type familyJSON struct {
+	Vars   []int     `json:"vars"`
+	Coeffs []float64 `json:"coeffs"`
+}
+
+// modelJSON is the persisted form of a fitted model: everything needed to
+// answer queries without refitting.
+type modelJSON struct {
+	Names       []string         `json:"names"`
+	Cards       []int            `json:"cards"`
+	A0          float64          `json:"a0"`
+	Constraints []constraintJSON `json:"constraints"`
+	Families    []familyJSON     `json:"families"`
+}
+
+// MarshalJSON encodes the model, coefficients included.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	w := modelJSON{
+		Names: m.names,
+		Cards: m.cards,
+		A0:    m.a0,
+	}
+	for _, c := range m.cons {
+		w.Constraints = append(w.Constraints, constraintJSON{
+			Family: c.Family.Members(),
+			Values: c.Values,
+			Target: c.Target,
+		})
+	}
+	for _, vs := range sortedFamilies(m.families) {
+		ft := m.families[vs]
+		w.Families = append(w.Families, familyJSON{Vars: ft.vars, Coeffs: ft.coeffs})
+	}
+	return json.Marshal(w)
+}
+
+// sortedFamilies returns family keys in deterministic (mask) order.
+func sortedFamilies(fams map[contingency.VarSet]*familyTerm) []contingency.VarSet {
+	keys := make([]contingency.VarSet, 0, len(fams))
+	for k := range fams {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// UnmarshalJSON decodes and validates a model. The receiver is overwritten.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var w modelJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("maxent: decoding model: %w", err)
+	}
+	nm, err := NewModel(w.Names, w.Cards)
+	if err != nil {
+		return fmt.Errorf("maxent: decoding model: %w", err)
+	}
+	for _, cj := range w.Constraints {
+		c := Constraint{
+			Family: contingency.NewVarSet(cj.Family...),
+			Values: cj.Values,
+			Target: cj.Target,
+		}
+		if err := nm.AddConstraint(c); err != nil {
+			return fmt.Errorf("maxent: decoding model: %w", err)
+		}
+	}
+	// Overlay the persisted coefficient arrays onto the allocated families.
+	for _, fj := range w.Families {
+		vs := contingency.NewVarSet(fj.Vars...)
+		ft, ok := nm.families[vs]
+		if !ok {
+			// A family can exist without constraints only through
+			// corruption; reject.
+			return fmt.Errorf("maxent: decoding model: coefficient family %v has no constraints", vs)
+		}
+		if len(fj.Coeffs) != len(ft.coeffs) {
+			return fmt.Errorf("maxent: decoding model: family %v has %d coefficients, want %d",
+				vs, len(fj.Coeffs), len(ft.coeffs))
+		}
+		copy(ft.coeffs, fj.Coeffs)
+	}
+	if w.A0 <= 0 {
+		return fmt.Errorf("maxent: decoding model: non-positive a0 %g", w.A0)
+	}
+	nm.a0 = w.A0
+	*m = *nm
+	return nil
+}

@@ -1,0 +1,361 @@
+package maxent
+
+import (
+	"fmt"
+	"math"
+
+	"pka/internal/contingency"
+	"pka/internal/stats"
+	"pka/internal/sumprod"
+)
+
+// Model is the product-form joint distribution of Eq. 12. Construct with
+// NewModel, add constraints, then Fit. Until fitted, a0 is 1 and the model
+// is unnormalized.
+type Model struct {
+	names    []string
+	cards    []int
+	a0       float64
+	families map[contingency.VarSet]*familyTerm
+	cons     []Constraint
+	conIdx   map[string]int
+}
+
+// familyTerm holds the dense coefficient array of one attribute family.
+// Cells without an attached constraint keep coefficient 1 (the memo's
+// Eq. 116: non-significant a's are replaced by 1).
+type familyTerm struct {
+	vars   []int
+	coeffs []float64
+}
+
+// NewModel creates an empty model over the given attribute space.
+// names may be nil (attributes are then labeled v0, v1, ...).
+func NewModel(names []string, cards []int) (*Model, error) {
+	if len(cards) == 0 {
+		return nil, fmt.Errorf("maxent: model needs at least one attribute")
+	}
+	if len(cards) > contingency.MaxVars {
+		return nil, fmt.Errorf("maxent: %d attributes exceeds limit %d",
+			len(cards), contingency.MaxVars)
+	}
+	size := 1
+	for i, c := range cards {
+		if c < 1 {
+			return nil, fmt.Errorf("maxent: attribute %d has cardinality %d", i, c)
+		}
+		if size > (1<<28)/c {
+			return nil, fmt.Errorf("maxent: joint space too large")
+		}
+		size *= c
+	}
+	if names != nil && len(names) != len(cards) {
+		return nil, fmt.Errorf("maxent: %d names for %d attributes", len(names), len(cards))
+	}
+	m := &Model{
+		cards:    append([]int(nil), cards...),
+		a0:       1,
+		families: make(map[contingency.VarSet]*familyTerm),
+		conIdx:   make(map[string]int),
+	}
+	if names == nil {
+		m.names = make([]string, len(cards))
+		for i := range m.names {
+			m.names[i] = fmt.Sprintf("v%d", i)
+		}
+	} else {
+		m.names = append([]string(nil), names...)
+	}
+	return m, nil
+}
+
+// R returns the number of attributes.
+func (m *Model) R() int { return len(m.cards) }
+
+// Cards returns a copy of the attribute cardinalities.
+func (m *Model) Cards() []int { return append([]int(nil), m.cards...) }
+
+// Names returns a copy of the attribute names.
+func (m *Model) Names() []string { return append([]string(nil), m.names...) }
+
+// NumCells returns the size of the joint space.
+func (m *Model) NumCells() int {
+	size := 1
+	for _, c := range m.cards {
+		size *= c
+	}
+	return size
+}
+
+// Constraints returns a copy of the registered constraints in insertion
+// order.
+func (m *Model) Constraints() []Constraint {
+	return append([]Constraint(nil), m.cons...)
+}
+
+// NumConstraints returns how many constraints are registered.
+func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// HasConstraint reports whether a constraint on exactly this family cell is
+// registered.
+func (m *Model) HasConstraint(family contingency.VarSet, values []int) bool {
+	_, ok := m.conIdx[Constraint{Family: family, Values: values}.key()]
+	return ok
+}
+
+// AddConstraint registers a constraint and allocates its coefficient.
+// Adding the same family cell twice is an error — the discovery loop must
+// never re-add a significant cell.
+func (m *Model) AddConstraint(c Constraint) error {
+	if err := c.validate(m.cards); err != nil {
+		return err
+	}
+	k := c.key()
+	if _, dup := m.conIdx[k]; dup {
+		return fmt.Errorf("maxent: duplicate constraint on %s", c.Label(m.names))
+	}
+	if _, ok := m.families[c.Family]; !ok {
+		members := c.Family.Members()
+		size := 1
+		for _, p := range members {
+			size *= m.cards[p]
+		}
+		ft := &familyTerm{vars: members, coeffs: make([]float64, size)}
+		for i := range ft.coeffs {
+			ft.coeffs[i] = 1
+		}
+		m.families[c.Family] = ft
+	}
+	m.conIdx[k] = len(m.cons)
+	m.cons = append(m.cons, Constraint{
+		Family: c.Family,
+		Values: append([]int(nil), c.Values...),
+		Target: c.Target,
+	})
+	return nil
+}
+
+// AddFirstOrderConstraints registers the memo's Eq. 48 starting constraints:
+// p_i = N_i / N for every value of every attribute of the table.
+func (m *Model) AddFirstOrderConstraints(t *contingency.Table) error {
+	if t.R() != m.R() {
+		return fmt.Errorf("maxent: table has %d attributes, model has %d", t.R(), m.R())
+	}
+	if t.Total() == 0 {
+		return fmt.Errorf("maxent: empty table")
+	}
+	for axis := 0; axis < t.R(); axis++ {
+		if t.Card(axis) != m.cards[axis] {
+			return fmt.Errorf("maxent: axis %d cardinality mismatch: table %d, model %d",
+				axis, t.Card(axis), m.cards[axis])
+		}
+		fam := contingency.NewVarSet(axis)
+		for v := 0; v < t.Card(axis); v++ {
+			n, err := t.MarginalCount(fam, []int{v})
+			if err != nil {
+				return err
+			}
+			c := Constraint{
+				Family: fam,
+				Values: []int{v},
+				Target: float64(n) / float64(t.Total()),
+			}
+			if err := m.AddConstraint(c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// famOffset converts family-cell values (ascending member order) to the
+// family's dense coefficient offset.
+func (ft *familyTerm) offset(cards []int, values []int) int {
+	off := 0
+	for i, p := range ft.vars {
+		off = off*cards[p] + values[i]
+	}
+	return off
+}
+
+// Coefficient returns the a-value attached to the given family cell
+// (1 when the family exists but the cell is unconstrained; an error when no
+// constraint family covers those attributes).
+func (m *Model) Coefficient(family contingency.VarSet, values []int) (float64, error) {
+	ft, ok := m.families[family]
+	if !ok {
+		return 0, fmt.Errorf("maxent: no coefficient family %v", family)
+	}
+	if len(values) != len(ft.vars) {
+		return 0, fmt.Errorf("maxent: %d values for family %v", len(values), family)
+	}
+	for i, p := range ft.vars {
+		if values[i] < 0 || values[i] >= m.cards[p] {
+			return 0, fmt.Errorf("maxent: value %d out of range for attribute %d", values[i], p)
+		}
+	}
+	return ft.coeffs[ft.offset(m.cards, values)], nil
+}
+
+// A0 returns the normalizing coefficient a0 (Eq. 13); 1 before fitting.
+func (m *Model) A0() float64 { return m.a0 }
+
+// terms flattens the family coefficient arrays into sumprod terms, in
+// deterministic family order so floating-point results are reproducible
+// run to run.
+func (m *Model) terms() []sumprod.Term {
+	out := make([]sumprod.Term, 0, len(m.families))
+	for _, vs := range sortedFamilies(m.families) {
+		ft := m.families[vs]
+		out = append(out, sumprod.Term{Vars: ft.vars, Coeffs: ft.coeffs})
+	}
+	return out
+}
+
+// evaluator builds the Appendix B evaluator over the current coefficients.
+func (m *Model) evaluator() (*sumprod.Evaluator, error) {
+	return sumprod.NewEvaluator(m.cards, m.terms())
+}
+
+// CellProb returns the normalized probability of one full cell: Eq. 12
+// evaluated directly as a0 times the product of family coefficients.
+func (m *Model) CellProb(cell []int) (float64, error) {
+	if len(cell) != len(m.cards) {
+		return 0, fmt.Errorf("maxent: cell has %d coordinates, model has %d attributes",
+			len(cell), len(m.cards))
+	}
+	for i, v := range cell {
+		if v < 0 || v >= m.cards[i] {
+			return 0, fmt.Errorf("maxent: coordinate %d = %d out of range", i, v)
+		}
+	}
+	p := m.a0
+	for _, vs := range sortedFamilies(m.families) {
+		ft := m.families[vs]
+		off := 0
+		for _, pos := range ft.vars {
+			off = off*m.cards[pos] + cell[pos]
+		}
+		p *= ft.coeffs[off]
+	}
+	return p, nil
+}
+
+// Prob returns the normalized probability that the attributes of `vars`
+// take `values` (ascending member order) — a marginal of the model computed
+// by the Appendix B recursion, never by materializing the joint.
+func (m *Model) Prob(vars contingency.VarSet, values []int) (float64, error) {
+	members := vars.Members()
+	if len(members) != len(values) {
+		return 0, fmt.Errorf("maxent: %d values for attribute set %v", len(values), vars)
+	}
+	if len(members) > 0 && members[len(members)-1] >= len(m.cards) {
+		return 0, fmt.Errorf("maxent: attribute set %v exceeds %d attributes", vars, len(m.cards))
+	}
+	pinned := make([]int, len(m.cards))
+	for i := range pinned {
+		pinned[i] = -1
+	}
+	for i, p := range members {
+		if values[i] < 0 || values[i] >= m.cards[p] {
+			return 0, fmt.Errorf("maxent: value %d out of range for attribute %d", values[i], p)
+		}
+		pinned[p] = values[i]
+	}
+	ev, err := m.evaluator()
+	if err != nil {
+		return 0, err
+	}
+	return m.a0 * ev.SumFixed(pinned), nil
+}
+
+// Joint materializes the full normalized joint distribution in row-major
+// order (attribute 0 slowest). Intended for small spaces and tests.
+func (m *Model) Joint() ([]float64, error) {
+	ev, err := m.evaluator()
+	if err != nil {
+		return nil, err
+	}
+	joint := ev.FullJoint()
+	for i := range joint {
+		joint[i] *= m.a0
+	}
+	return joint, nil
+}
+
+// Entropy returns H of the fitted joint in nats (Eq. 7).
+func (m *Model) Entropy() (float64, error) {
+	joint, err := m.Joint()
+	if err != nil {
+		return 0, err
+	}
+	return stats.Entropy(joint), nil
+}
+
+// Residual returns the largest |predicted - target| over all constraints —
+// the convergence measure of Figure 4.
+func (m *Model) Residual() (float64, error) {
+	ev, err := m.evaluator()
+	if err != nil {
+		return 0, err
+	}
+	sum := ev.Sum()
+	if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+		return 0, fmt.Errorf("maxent: degenerate model sum %g", sum)
+	}
+	pinned := make([]int, len(m.cards))
+	worst := 0.0
+	for _, c := range m.cons {
+		for i := range pinned {
+			pinned[i] = -1
+		}
+		for i, p := range c.Family.Members() {
+			pinned[p] = c.Values[i]
+		}
+		q := ev.SumFixed(pinned) / sum
+		if d := math.Abs(q - c.Target); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// Clone returns a deep copy of the model, constraints and coefficients
+// included. The discovery engine clones before speculative refits.
+func (m *Model) Clone() *Model {
+	cp := &Model{
+		names:    append([]string(nil), m.names...),
+		cards:    append([]int(nil), m.cards...),
+		a0:       m.a0,
+		families: make(map[contingency.VarSet]*familyTerm, len(m.families)),
+		cons:     make([]Constraint, len(m.cons)),
+		conIdx:   make(map[string]int, len(m.conIdx)),
+	}
+	for vs, ft := range m.families {
+		cp.families[vs] = &familyTerm{
+			vars:   append([]int(nil), ft.vars...),
+			coeffs: append([]float64(nil), ft.coeffs...),
+		}
+	}
+	for i, c := range m.cons {
+		cp.cons[i] = Constraint{
+			Family: c.Family,
+			Values: append([]int(nil), c.Values...),
+			Target: c.Target,
+		}
+	}
+	for k, v := range m.conIdx {
+		cp.conIdx[k] = v
+	}
+	return cp
+}
+
+// ConstraintLabels returns the memo-style a-labels of all constraints in
+// insertion order, for trace rendering (Table 2's column headers).
+func (m *Model) ConstraintLabels() []string {
+	out := make([]string, len(m.cons))
+	for i, c := range m.cons {
+		out[i] = c.Label(m.names)
+	}
+	return out
+}

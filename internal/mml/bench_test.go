@@ -1,0 +1,168 @@
+package mml
+
+import (
+	"testing"
+
+	"pka/internal/contingency"
+)
+
+func benchPredictor(b *testing.B, tab *contingency.Table) func(contingency.VarSet, []int) (float64, error) {
+	b.Helper()
+	first, err := tab.FirstOrderProbabilities()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return func(fam contingency.VarSet, values []int) (float64, error) {
+		p := 1.0
+		for i, pos := range fam.Members() {
+			p *= first[pos][values[i]]
+		}
+		return p, nil
+	}
+}
+
+func benchMemoTable(b *testing.B) *contingency.Table {
+	b.Helper()
+	tab := contingency.MustNew([]string{"A", "B", "C"}, []int{3, 2, 2})
+	data := [3][2][2]int64{
+		{{130, 110}, {410, 640}},
+		{{62, 31}, {580, 460}},
+		{{78, 22}, {520, 385}},
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 2; k++ {
+				tab.Set(data[i][j][k], i, j, k)
+			}
+		}
+	}
+	return tab
+}
+
+func BenchmarkCellTest(b *testing.B) {
+	tab := benchMemoTable(b)
+	tester, err := NewTester(tab, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	fam := contingency.NewVarSet(0, 1)
+	values := []int{0, 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tester.Test(fam, values, 0.048); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanOrder2(b *testing.B) {
+	tab := benchMemoTable(b)
+	predict := benchPredictor(b, tab)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tester, err := NewTester(tab, DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tester.ScanOrder(2, predict); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanOrder3(b *testing.B) {
+	tab := benchMemoTable(b)
+	predict := benchPredictor(b, tab)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tester, err := NewTester(tab, DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tester.ScanOrder(3, predict); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanParallel compares sequential and parallel candidate scoring
+// on a 10-attribute binary table (180 order-2 cells) with an artificially
+// costly predictor, the regime wide scans live in. Speedup tracks available
+// cores (GOMAXPROCS); on a single-CPU host the three variants tie.
+func BenchmarkScanParallel(b *testing.B) {
+	cards := make([]int, 10)
+	for i := range cards {
+		cards[i] = 2
+	}
+	tab := contingency.MustNew(nil, cards)
+	cell := make([]int, 10)
+	for off := 0; off < tab.NumCells(); off++ {
+		tab.Unflatten(off, cell)
+		tab.Set(int64(off%7)+1, cell...)
+	}
+	first, err := tab.FirstOrderProbabilities()
+	if err != nil {
+		b.Fatal(err)
+	}
+	predict := func(fam contingency.VarSet, values []int) (float64, error) {
+		// Simulate model-prediction cost with a small busy loop on top of
+		// the product; real predictions run the Appendix B recursion.
+		p := 1.0
+		for spin := 0; spin < 50; spin++ {
+			p = 1.0
+			for i, pos := range fam.Members() {
+				p *= first[pos][values[i]]
+			}
+		}
+		return p, nil
+	}
+	for _, workers := range []int{1, 4, 0} {
+		name := "seq"
+		switch workers {
+		case 4:
+			name = "par4"
+		case 0:
+			name = "parMax"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tester, err := NewTester(tab, DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if workers == 1 {
+					if _, err := tester.ScanOrder(2, predict); err != nil {
+						b.Fatal(err)
+					}
+				} else if _, err := tester.ScanOrderParallel(2, predict, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkChanceRangeWithSiblings(b *testing.B) {
+	tab := benchMemoTable(b)
+	tester, err := NewTester(tab, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	fam := contingency.NewVarSet(0, 1)
+	if err := tester.MarkSignificant(fam, []int{1, 0}); err != nil {
+		b.Fatal(err)
+	}
+	if err := tester.MarkSignificant(fam, []int{2, 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tester.chanceRange(fam, []int{0, 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

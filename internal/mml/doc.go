@@ -1,0 +1,22 @@
+// Package mml implements the memo's minimum-message-length significance
+// test (Eqs. 35-47): deciding whether an observed cell count N_ijk... is
+// statistically significant relative to the current maximum-entropy model.
+//
+// Two hypotheses are encoded and their message lengths compared:
+//
+//	H1: the model already explains the cell — its count is binomial with
+//	    the model-predicted probability (Eq. 32); message length m1 (Eq. 46).
+//	H2: the cell is the next significant constraint — under chance its
+//	    count is uniform over the feasible integer range allowed by the
+//	    known marginals (Eq. 41); message length m2 (Eq. 45).
+//
+// The cell is significant when m2 - m1 < 0 (Eq. 47): the chance encoding is
+// cheaper, meaning the model's prediction is too surprised by the data.
+//
+// The feasible-range computation generalizes the memo's third-order Eq. 41
+// to any order: for every *known* constraining marginal of the cell (every
+// first-order marginal, plus any higher-order marginal itself found
+// significant), the cell can neither exceed the marginal's remaining slack
+// after earlier significant siblings are subtracted, nor occupy a margin
+// whose other cells are all already determined.
+package mml

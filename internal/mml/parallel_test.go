@@ -1,0 +1,93 @@
+package mml
+
+import (
+	"testing"
+
+	"pka/internal/contingency"
+)
+
+func TestScanOrderParallelMatchesSequential(t *testing.T) {
+	tab := memoTable(t)
+	predict := independencePredictor(t, tab)
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		seqT, err := NewTester(tab, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := seqT.ScanOrder(2, predict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parT, err := NewTester(tab, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := parT.ScanOrderParallel(2, predict, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != len(par) {
+			t.Fatalf("workers=%d: %d vs %d tests", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if seq[i].Family != par[i].Family || seq[i].Delta != par[i].Delta ||
+				seq[i].Observed != par[i].Observed {
+				t.Errorf("workers=%d: test %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestScanOrderParallelSkipsSignificant(t *testing.T) {
+	tab := memoTable(t)
+	predict := independencePredictor(t, tab)
+	tester, err := NewTester(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tester.MarkSignificant(contingency.NewVarSet(0, 1), []int{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	tests, err := tester.ScanOrderParallel(2, predict, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tests) != 15 {
+		t.Errorf("parallel scan returned %d tests after one mark, want 15", len(tests))
+	}
+}
+
+func TestScanOrderParallelValidation(t *testing.T) {
+	tab := memoTable(t)
+	predict := independencePredictor(t, tab)
+	tester, err := NewTester(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tester.ScanOrderParallel(1, predict, 4); err == nil {
+		t.Error("order 1 accepted")
+	}
+	if _, err := tester.ScanOrderParallel(9, predict, 4); err == nil {
+		t.Error("order above R accepted")
+	}
+}
+
+func TestScanOrderParallelPropagatesErrors(t *testing.T) {
+	tab := memoTable(t)
+	tester, err := NewTester(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := func(contingency.VarSet, []int) (float64, error) {
+		return 0, errPredict
+	}
+	if _, err := tester.ScanOrderParallel(2, bad, 4); err == nil {
+		t.Error("predictor error swallowed")
+	}
+}
+
+var errPredict = &predictError{}
+
+type predictError struct{}
+
+func (*predictError) Error() string { return "predict failed" }

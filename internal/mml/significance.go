@@ -1,0 +1,154 @@
+package mml
+
+import (
+	"fmt"
+	"math"
+
+	"pka/internal/contingency"
+	"pka/internal/stats"
+)
+
+// CellTest is the full scored comparison of one candidate cell — one row of
+// the memo's Table 1.
+type CellTest struct {
+	Family contingency.VarSet
+	Values []int
+
+	Observed  int64   // N_ij... from the data
+	Predicted float64 // model-predicted cell probability
+	Mean      float64 // Eq. 33
+	SD        float64 // Eq. 34
+	Z         float64 // "No. of sd's"
+
+	M1    float64 // message length under H1 (Eq. 46)
+	M2    float64 // message length under H2 (Eq. 45)
+	Delta float64 // m2 - m1; negative means significant (Eq. 47)
+	// LikelihoodRatio is p(H1|D)/p(H2|D) = exp(Delta), the memo's last
+	// Table 1 column.
+	LikelihoodRatio float64
+
+	Significant bool
+	// Forced marks cells whose value is fully determined by the known
+	// marginals (the memo's ELSE branch of Eq. 41): p(D|H2) = 1.
+	Forced bool
+	// Range is the chance range maximum when not forced.
+	Range int64
+}
+
+// Test scores one candidate cell given the model-predicted probability of
+// that cell. The candidate must not already be marked significant, and
+// there must be remaining capacity at its order (cells at order > M).
+func (t *Tester) Test(family contingency.VarSet, values []int, predicted float64) (CellTest, error) {
+	r := family.Len()
+	if r < 2 {
+		return CellTest{}, fmt.Errorf("mml: significance testing starts at order 2, got %v", family)
+	}
+	if r > t.table.R() {
+		return CellTest{}, fmt.Errorf("mml: family %v exceeds table order %d", family, t.table.R())
+	}
+	if predicted < 0 || predicted > 1 || math.IsNaN(predicted) {
+		return CellTest{}, fmt.Errorf("mml: predicted probability %g outside [0,1]", predicted)
+	}
+	if t.IsSignificant(family, values) {
+		return CellTest{}, fmt.Errorf("mml: cell %v%v already significant", family, values)
+	}
+	observed, err := t.table.MarginalCount(family, values)
+	if err != nil {
+		return CellTest{}, err
+	}
+	remaining := t.CellsAtOrder(r) - t.SignificantAtOrder(r)
+	if remaining <= 0 {
+		return CellTest{}, fmt.Errorf("mml: no remaining cells at order %d", r)
+	}
+
+	ct := CellTest{
+		Family:    family,
+		Values:    append([]int(nil), values...),
+		Observed:  observed,
+		Predicted: predicted,
+	}
+	n := t.table.Total()
+	b := stats.Binomial{N: n, P: predicted}
+	ct.Mean = b.Mean()
+	ct.SD = b.SD()
+	ct.Z = b.ZScore(observed)
+
+	// m1 = -ln p(H1) - ln pmf (Eq. 46).
+	logPMF := b.LogPMF(observed)
+	ct.M1 = -math.Log(1-t.cfg.PriorH2) - logPMF
+
+	// m2 = -ln p(H2') + ln(cells at order - M) [+ ln(range+1)] (Eq. 45).
+	forced, rangeMax, err := t.chanceRange(family, values)
+	if err != nil {
+		return CellTest{}, err
+	}
+	ct.Forced = forced
+	ct.Range = rangeMax
+	ct.M2 = -math.Log(t.cfg.PriorH2) + math.Log(float64(remaining))
+	if !forced {
+		ct.M2 += math.Log(float64(rangeMax) + 1)
+	}
+
+	ct.Delta = ct.M2 - ct.M1
+	ct.LikelihoodRatio = math.Exp(ct.Delta)
+	ct.Significant = ct.Delta < 0 && (!forced || t.cfg.IncludeForced)
+	return ct, nil
+}
+
+// ScanOrder scores every not-yet-significant cell of every order-r family
+// using the predict callback to obtain model probabilities, returning the
+// tests in deterministic (family, cell) order — one full scan of the memo's
+// Figure 3 inner loop.
+func (t *Tester) ScanOrder(r int, predict func(family contingency.VarSet, values []int) (float64, error)) ([]CellTest, error) {
+	if r < 2 || r > t.table.R() {
+		return nil, fmt.Errorf("mml: scan order %d outside [2,%d]", r, t.table.R())
+	}
+	var out []CellTest
+	for _, fam := range contingency.Combinations(t.table.R(), r) {
+		members := fam.Members()
+		values := make([]int, len(members))
+		for {
+			if !t.IsSignificant(fam, values) {
+				p, err := predict(fam, values)
+				if err != nil {
+					return nil, err
+				}
+				ct, err := t.Test(fam, values, p)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, ct)
+			}
+			// Odometer over the family's value space.
+			i := len(members) - 1
+			for i >= 0 {
+				values[i]++
+				if values[i] < t.table.Card(members[i]) {
+					break
+				}
+				values[i] = 0
+				i--
+			}
+			if i < 0 {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// MostSignificant returns the index of the most significant test (smallest
+// Delta) among those with Significant set, or -1 when none qualify. Ties
+// break toward the earlier (deterministic scan-order) entry.
+func MostSignificant(tests []CellTest) int {
+	best := -1
+	for i, ct := range tests {
+		if !ct.Significant {
+			continue
+		}
+		if best < 0 || ct.Delta < tests[best].Delta {
+			best = i
+		}
+	}
+	return best
+}

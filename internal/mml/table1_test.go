@@ -1,0 +1,272 @@
+package mml
+
+import (
+	"math"
+	"testing"
+
+	"pka/internal/contingency"
+)
+
+// table1Row is one golden row of the memo's Table 1.
+type table1Row struct {
+	family   contingency.VarSet
+	values   []int
+	observed int64
+	memoMean float64 // memo's rounded predicted mean
+	memoZ    float64 // memo's "No. of sd's"
+	memoD    float64 // memo's m2 - m1
+	// tol is our tolerance on Delta; rows where the memo's own 3-digit
+	// rounding of p dominates (|z| > 4.5) get band checks instead.
+	tol float64
+}
+
+// memoTable1 transcribes the memo's Table 1. Families: AB = {0,1},
+// BC = {1,2}, AC = {0,2}. Two mean cells in the scanned AC block are
+// OCR-corrupted (they disagree with N·p by far more than rounding); those
+// carry memoMean = -1 and are skipped for the mean check but their Delta is
+// still validated.
+var memoTable1 = []table1Row{
+	{contingency.NewVarSet(0, 1), []int{0, 0}, 240, 165, 6.03, -11.57, 0},
+	{contingency.NewVarSet(0, 1), []int{0, 1}, 1050, 1128, -2.83, 1.75, 0.35},
+	{contingency.NewVarSet(0, 1), []int{1, 0}, 93, 144, -4.34, -4.74, 1.2},
+	{contingency.NewVarSet(0, 1), []int{1, 1}, 1040, 990, 1.86, 3.83, 0.5},
+	{contingency.NewVarSet(0, 1), []int{2, 0}, 100, 127, -2.43, 2.44, 0.5},
+	{contingency.NewVarSet(0, 1), []int{2, 1}, 905, 888, 1.07, 4.97, 0.6},
+
+	{contingency.NewVarSet(1, 2), []int{0, 0}, 270, 223, 3.27, 0.59, 0.8},
+	{contingency.NewVarSet(1, 2), []int{0, 1}, 163, 209, -3.29, -0.21, 0.8},
+	{contingency.NewVarSet(1, 2), []int{1, 0}, 1510, 1556, -1.59, 4.77, 0.6},
+	{contingency.NewVarSet(1, 2), []int{1, 1}, 1485, 1440, 1.56, 4.62, 0.6},
+
+	{contingency.NewVarSet(0, 2), []int{0, 0}, 540, 668, -5.54, -10.54, 0},
+	{contingency.NewVarSet(0, 2), []int{0, 1}, 750, 620, 5.75, -9.95, 0},
+	{contingency.NewVarSet(0, 2), []int{1, 0}, 642, 590, 2.37, 2.87, 0.6},
+	{contingency.NewVarSet(0, 2), []int{1, 1}, 491, 545, -2.52, 2.63, 0.6},
+	{contingency.NewVarSet(0, 2), []int{2, 0}, 598, -1, 0, -0.64, 1.6},
+	{contingency.NewVarSet(0, 2), []int{2, 1}, 407, 483, -3.75, -1.49, 1.0},
+}
+
+// TestTable1GoldenReproduction recomputes every row of the memo's Table 1
+// from scratch (independence predictions, MML scoring) and compares.
+func TestTable1GoldenReproduction(t *testing.T) {
+	tab := memoTable(t)
+	pred := independencePredictor(t, tab)
+	tt, err := NewTester(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range memoTable1 {
+		p, err := pred(row.family, row.values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := tt.Test(row.family, row.values, p)
+		if err != nil {
+			t.Fatalf("%v%v: %v", row.family, row.values, err)
+		}
+		name := ct.Family.String() + "_" + itoa(row.values)
+		if ct.Observed != row.observed {
+			t.Errorf("%s: observed %d, memo %d", name, ct.Observed, row.observed)
+		}
+		// Mean and z tolerances absorb the memo's 3-digit rounding of the
+		// independence probabilities (its p column drives both).
+		if row.memoMean > 0 && math.Abs(ct.Mean-row.memoMean) > 12 {
+			t.Errorf("%s: mean %.1f, memo %.0f", name, ct.Mean, row.memoMean)
+		}
+		if row.memoMean > 0 && math.Abs(ct.Z-row.memoZ) > 0.2 {
+			t.Errorf("%s: z %.2f, memo %.2f", name, ct.Z, row.memoZ)
+		}
+		// Sign agreement: the significance decision is the headline result.
+		if (ct.Delta < 0) != (row.memoD < 0) {
+			t.Errorf("%s: delta %.2f disagrees in sign with memo %.2f", name, ct.Delta, row.memoD)
+		}
+		if row.tol > 0 && math.Abs(ct.Delta-row.memoD) > row.tol {
+			t.Errorf("%s: delta %.2f, memo %.2f (tol %.2f)", name, ct.Delta, row.memoD, row.tol)
+		}
+		// Extreme rows: the memo's 3-digit p rounding dominates; require
+		// the same order of magnitude.
+		if row.tol == 0 {
+			if ct.Delta > row.memoD+3.5 || ct.Delta < row.memoD-3.5 {
+				t.Errorf("%s: delta %.2f outside ±3.5 of memo %.2f", name, ct.Delta, row.memoD)
+			}
+		}
+		// Likelihood ratio column: exp(delta).
+		if math.Abs(ct.LikelihoodRatio-math.Exp(ct.Delta)) > 1e-9*ct.LikelihoodRatio {
+			t.Errorf("%s: likelihood ratio %.3f != exp(delta) %.3f",
+				name, ct.LikelihoodRatio, math.Exp(ct.Delta))
+		}
+	}
+}
+
+func itoa(values []int) string {
+	s := ""
+	for _, v := range values {
+		s += string(rune('1' + v))
+	}
+	return s
+}
+
+// TestTable1MostSignificantCell verifies the scan identifies N^AB_11 as the
+// single most significant second-order cell (delta -11.57, the smallest in
+// the memo's table).
+func TestTable1MostSignificantCell(t *testing.T) {
+	tab := memoTable(t)
+	tt, err := NewTester(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests, err := tt.ScanOrder(2, independencePredictor(t, tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tests) != 16 {
+		t.Fatalf("scan produced %d tests, want 16", len(tests))
+	}
+	best := MostSignificant(tests)
+	if best < 0 {
+		t.Fatal("no significant cell found")
+	}
+	ct := tests[best]
+	if ct.Family != contingency.NewVarSet(0, 1) || ct.Values[0] != 0 || ct.Values[1] != 0 {
+		t.Errorf("most significant = %v%v (delta %.2f), memo's table says N^AB_11",
+			ct.Family, ct.Values, ct.Delta)
+	}
+}
+
+// TestTable1SignificantSet checks the full set of memo-significant cells.
+func TestTable1SignificantSet(t *testing.T) {
+	tab := memoTable(t)
+	tt, err := NewTester(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests, err := tt.ScanOrder(2, independencePredictor(t, tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		f    contingency.VarSet
+		a, b int
+	}
+	wantSig := map[key]bool{
+		{contingency.NewVarSet(0, 1), 0, 0}: true, // AB11
+		{contingency.NewVarSet(0, 1), 1, 0}: true, // AB21
+		{contingency.NewVarSet(1, 2), 0, 1}: true, // BC12
+		{contingency.NewVarSet(0, 2), 0, 0}: true, // AC11
+		{contingency.NewVarSet(0, 2), 0, 1}: true, // AC12
+		{contingency.NewVarSet(0, 2), 2, 0}: true, // AC31
+		{contingency.NewVarSet(0, 2), 2, 1}: true, // AC32
+	}
+	for _, ct := range tests {
+		k := key{ct.Family, ct.Values[0], ct.Values[1]}
+		if ct.Significant != wantSig[k] {
+			t.Errorf("%v%v: significant=%v (delta %.2f), memo says %v",
+				ct.Family, ct.Values, ct.Significant, ct.Delta, wantSig[k])
+		}
+	}
+}
+
+func TestScanOrderSkipsSignificant(t *testing.T) {
+	tab := memoTable(t)
+	tt, err := NewTester(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tt.MarkSignificant(contingency.NewVarSet(0, 1), []int{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	tests, err := tt.ScanOrder(2, independencePredictor(t, tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tests) != 15 {
+		t.Errorf("scan after one mark produced %d tests, want 15", len(tests))
+	}
+	for _, ct := range tests {
+		if ct.Family == contingency.NewVarSet(0, 1) && ct.Values[0] == 0 && ct.Values[1] == 0 {
+			t.Error("marked cell still scanned")
+		}
+	}
+}
+
+func TestScanOrderValidation(t *testing.T) {
+	tt, err := NewTester(memoTable(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := func(contingency.VarSet, []int) (float64, error) { return 0.1, nil }
+	if _, err := tt.ScanOrder(1, pred); err == nil {
+		t.Error("order 1 accepted")
+	}
+	if _, err := tt.ScanOrder(4, pred); err == nil {
+		t.Error("order above R accepted")
+	}
+}
+
+func TestMostSignificantEmptyAndTies(t *testing.T) {
+	if MostSignificant(nil) != -1 {
+		t.Error("empty slice should give -1")
+	}
+	tests := []CellTest{
+		{Delta: 1.0, Significant: false},
+		{Delta: -2.0, Significant: true},
+		{Delta: -2.0, Significant: true},
+		{Delta: -1.0, Significant: true},
+	}
+	if got := MostSignificant(tests); got != 1 {
+		t.Errorf("tie should break to first entry, got %d", got)
+	}
+	none := []CellTest{{Delta: 0.5}, {Delta: 2}}
+	if MostSignificant(none) != -1 {
+		t.Error("no significant entries should give -1")
+	}
+}
+
+func TestForcedCellMessageLength(t *testing.T) {
+	// A forced cell's m2 omits the range term entirely.
+	tab := memoTable(t)
+	tt, err := NewTester(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := contingency.NewVarSet(0, 1)
+	if err := tt.MarkSignificant(fam, []int{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// AB12 is now forced. Its exact probability given the constraints is
+	// (N^A_1 - N^AB_11)/N; at that prediction m1 is minimal and the cell
+	// must NOT be significant (it is implied, not new information).
+	p := (1290.0 - 240.0) / 3428.0
+	ct, err := tt.Test(fam, []int{0, 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ct.Forced {
+		t.Fatal("cell not reported forced")
+	}
+	wantM2 := -math.Log(0.5) + math.Log(15) // remaining = 16 - 1
+	if math.Abs(ct.M2-wantM2) > 1e-12 {
+		t.Errorf("forced m2 = %.6f, want %.6f", ct.M2, wantM2)
+	}
+	if ct.Significant {
+		t.Error("implied cell scored significant")
+	}
+}
+
+func TestZeroPredictedWithObservations(t *testing.T) {
+	// predicted = 0 but observed > 0: infinitely surprising, delta = -Inf.
+	tt, err := NewTester(memoTable(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := tt.Test(contingency.NewVarSet(0, 1), []int{0, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(ct.M1, 1) {
+		t.Errorf("m1 = %g, want +Inf", ct.M1)
+	}
+	if !ct.Significant {
+		t.Error("impossible observation not significant")
+	}
+}

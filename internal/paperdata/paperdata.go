@@ -1,0 +1,121 @@
+// Package paperdata holds the memo's worked example as an exact fixture:
+// the smoking/cancer questionnaire schema, the Figure 1 contingency table
+// (N = 3428), a reconstruction of the raw survey records of Figure 5, and
+// the memo's published Table 1 rows for paper-vs-measured reporting.
+package paperdata
+
+import (
+	"pka/internal/contingency"
+	"pka/internal/dataset"
+)
+
+// Attribute positions in the memo's schema.
+const (
+	PosSmoking = 0
+	PosCancer  = 1
+	PosFamily  = 2
+)
+
+// Schema returns the memo's questionnaire (problem-definition section).
+func Schema() *dataset.Schema {
+	return dataset.MustSchema([]dataset.Attribute{
+		{Name: "SMOKING", Values: []string{
+			"Smoker", "Non smoker", "Non smoker married to a smoker"}},
+		{Name: "CANCER", Values: []string{"Yes", "No"}},
+		{Name: "FAMILY HISTORY", Values: []string{"Yes", "No"}},
+	})
+}
+
+// counts[i][j][k] is N^ABC_(i+1)(j+1)(k+1) from Figure 1: i smoking,
+// j cancer, k family history.
+var counts = [3][2][2]int64{
+	{{130, 110}, {410, 640}},
+	{{62, 31}, {580, 460}},
+	{{78, 22}, {520, 385}},
+}
+
+// TotalN is the memo's survey size.
+const TotalN = 3428
+
+// Table returns the Figure 1 contingency table.
+func Table() *contingency.Table {
+	t := contingency.MustNew(
+		[]string{"SMOKING", "CANCER", "FAMILY HISTORY"}, []int{3, 2, 2})
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 2; k++ {
+				if err := t.Set(counts[i][j][k], i, j, k); err != nil {
+					panic(err) // fixture counts are statically valid
+				}
+			}
+		}
+	}
+	return t
+}
+
+// Records reconstructs a raw-sample dataset (Figure 5's "original data
+// form") with exactly the Figure 1 counts: one record per surveyed
+// individual, grouped deterministically. The discovery pipeline is
+// count-based, so any ordering with these counts is equivalent to the
+// memo's survey.
+func Records() *dataset.Dataset {
+	d := dataset.NewDataset(Schema())
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 2; k++ {
+				for n := int64(0); n < counts[i][j][k]; n++ {
+					if err := d.Append(dataset.Record{i, j, k}); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Table1Row is one published row of the memo's Table 1.
+type Table1Row struct {
+	// Family is the attribute pair; Values the (0-based) cell.
+	Family contingency.VarSet
+	Values [2]int
+	// Observed is the data count; Mean/Z/Delta are the memo's printed
+	// figures (Mean < 0 marks an OCR-corrupted entry in the scan).
+	Observed int64
+	Mean     float64
+	Z        float64
+	Delta    float64
+}
+
+// Table1 returns the memo's published Table 1, in its print order.
+func Table1() []Table1Row {
+	ab := contingency.NewVarSet(PosSmoking, PosCancer)
+	bc := contingency.NewVarSet(PosCancer, PosFamily)
+	ac := contingency.NewVarSet(PosSmoking, PosFamily)
+	return []Table1Row{
+		{ab, [2]int{0, 0}, 240, 165, 6.03, -11.57},
+		{ab, [2]int{0, 1}, 1050, 1128, -2.83, 1.75},
+		{ab, [2]int{1, 0}, 93, 144, -4.34, -4.74},
+		{ab, [2]int{1, 1}, 1040, 990, 1.86, 3.83},
+		{ab, [2]int{2, 0}, 100, 127, -2.43, 2.44},
+		{ab, [2]int{2, 1}, 905, 888, 1.07, 4.97},
+
+		{bc, [2]int{0, 0}, 270, 223, 3.27, 0.59},
+		{bc, [2]int{0, 1}, 163, 209, -3.29, -0.21},
+		{bc, [2]int{1, 0}, 1510, 1556, -1.59, 4.77},
+		{bc, [2]int{1, 1}, 1485, 1440, 1.56, 4.62},
+
+		{ac, [2]int{0, 0}, 540, 668, -5.54, -10.54},
+		{ac, [2]int{0, 1}, 750, 620, 5.75, -9.95},
+		{ac, [2]int{1, 0}, 642, 590, 2.37, 2.87},
+		{ac, [2]int{1, 1}, 491, 545, -2.52, 2.63},
+		{ac, [2]int{2, 0}, 598, -1, 0, -0.64},
+		{ac, [2]int{2, 1}, 407, 483, -3.75, -1.49},
+	}
+}
+
+// Table2Constraint is the second-order constraint the memo's Table 2
+// iterates on: N^AC_12, target probability 750/3428 ≈ .219.
+func Table2Constraint() (family contingency.VarSet, values []int, target float64) {
+	return contingency.NewVarSet(PosSmoking, PosFamily), []int{0, 1}, 750.0 / TotalN
+}

@@ -1,0 +1,99 @@
+package paperdata
+
+import (
+	"testing"
+
+	"pka/internal/contingency"
+)
+
+func TestTableTotals(t *testing.T) {
+	tab := Table()
+	if tab.Total() != TotalN {
+		t.Fatalf("N = %d, want %d", tab.Total(), TotalN)
+	}
+	if err := tab.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// Spot checks against Figure 1.
+	if v := tab.MustAt(0, 0, 0); v != 130 {
+		t.Errorf("N_111 = %d, want 130", v)
+	}
+	if v := tab.MustAt(2, 1, 1); v != 385 {
+		t.Errorf("N_322 = %d, want 385", v)
+	}
+}
+
+func TestRecordsMatchTable(t *testing.T) {
+	d := Records()
+	if d.Len() != TotalN {
+		t.Fatalf("records = %d, want %d", d.Len(), TotalN)
+	}
+	tab, err := d.Tabulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Equal(Table()) {
+		t.Error("tabulated records differ from Figure 1 table")
+	}
+}
+
+func TestSchemaMatchesTable(t *testing.T) {
+	s := Schema()
+	tab := Table()
+	if s.R() != tab.R() {
+		t.Fatalf("schema R=%d, table R=%d", s.R(), tab.R())
+	}
+	for i := 0; i < s.R(); i++ {
+		if s.Attr(i).Card() != tab.Card(i) {
+			t.Errorf("attribute %d cardinality mismatch", i)
+		}
+		if s.Attr(i).Name != tab.Name(i) {
+			t.Errorf("attribute %d name mismatch", i)
+		}
+	}
+}
+
+func TestTable1RowsConsistent(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 16 {
+		t.Fatalf("Table 1 has %d rows, want 16", len(rows))
+	}
+	tab := Table()
+	for _, r := range rows {
+		obs, err := tab.MarginalCount(r.Family, r.Values[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs != r.Observed {
+			t.Errorf("row %v%v: table gives %d, fixture says %d",
+				r.Family, r.Values, obs, r.Observed)
+		}
+	}
+	// The memo's significant set: 7 negative deltas.
+	neg := 0
+	for _, r := range rows {
+		if r.Delta < 0 {
+			neg++
+		}
+	}
+	if neg != 7 {
+		t.Errorf("%d negative deltas, memo has 7", neg)
+	}
+}
+
+func TestTable2Constraint(t *testing.T) {
+	fam, values, target := Table2Constraint()
+	if fam != contingency.NewVarSet(0, 2) {
+		t.Errorf("family = %v", fam)
+	}
+	obs, err := Table().MarginalCount(fam, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs != 750 {
+		t.Errorf("observed = %d, want 750", obs)
+	}
+	if target < 0.2187 || target > 0.2189 {
+		t.Errorf("target = %g, memo says .219", target)
+	}
+}

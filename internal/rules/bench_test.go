@@ -1,0 +1,26 @@
+package rules
+
+import "testing"
+
+func BenchmarkFromKnowledgeBase(b *testing.B) {
+	k := memoKB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromKnowledgeBase(k, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFromKnowledgeBaseFiltered(b *testing.B) {
+	k := memoKB(b)
+	opts := Options{MinLiftDistance: 0.1, MinSupport: 0.01, MaxRules: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromKnowledgeBase(k, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package rules
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a two-sided confidence interval on a rule's conditional
+// probability.
+type Interval struct {
+	Low, High float64
+}
+
+// WilsonInterval returns the Wilson score interval for a proportion p
+// estimated from n effective samples at the given z (1.96 ⇒ 95%). It is
+// well-behaved at the extremes where the normal interval collapses.
+func WilsonInterval(p float64, n float64, z float64) (Interval, error) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return Interval{}, fmt.Errorf("rules: proportion %g outside [0,1]", p)
+	}
+	if n <= 0 {
+		return Interval{}, fmt.Errorf("rules: non-positive effective sample size %g", n)
+	}
+	if z <= 0 {
+		return Interval{}, fmt.Errorf("rules: non-positive z %g", z)
+	}
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo := center - half
+	hi := center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Interval{Low: lo, High: hi}, nil
+}
+
+// ScoredRule is a Rule with a confidence interval on its probability.
+type ScoredRule struct {
+	Rule
+	// CI bounds the conditional probability at the requested confidence,
+	// using the antecedent's effective sample count.
+	CI Interval
+	// EffectiveN is the estimated number of samples matching the
+	// antecedent (N × P(If)).
+	EffectiveN float64
+}
+
+// WithIntervals attaches Wilson intervals to rules given the total sample
+// count the knowledge base was discovered from. z = 1.96 gives 95% bounds.
+func WithIntervals(rs []Rule, totalSamples int64, z float64) ([]ScoredRule, error) {
+	if totalSamples <= 0 {
+		return nil, fmt.Errorf("rules: non-positive sample count %d", totalSamples)
+	}
+	out := make([]ScoredRule, 0, len(rs))
+	for _, r := range rs {
+		// P(If) = support / probability when probability > 0; fall back to
+		// support alone for zero-probability rules (excluded upstream).
+		pIf := 0.0
+		if r.Probability > 0 {
+			pIf = r.Support / r.Probability
+		}
+		effN := pIf * float64(totalSamples)
+		if effN <= 0 {
+			// Antecedent unseen; the rule should not have been generated,
+			// but degrade gracefully with the widest interval.
+			out = append(out, ScoredRule{Rule: r, CI: Interval{0, 1}})
+			continue
+		}
+		ci, err := WilsonInterval(r.Probability, effN, z)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScoredRule{Rule: r, CI: ci, EffectiveN: effN})
+	}
+	return out, nil
+}
+
+// String renders the scored rule with its interval.
+func (s ScoredRule) String() string {
+	return fmt.Sprintf("%s CI95=[%.3f,%.3f] n≈%.0f",
+		s.Rule.String(), s.CI.Low, s.CI.High, s.EffectiveN)
+}

@@ -1,0 +1,134 @@
+package rules
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pka/internal/kb"
+)
+
+func TestWilsonIntervalKnown(t *testing.T) {
+	// p=0.5, n=100, z=1.96: the textbook interval ≈ [0.404, 0.596].
+	ci, err := WilsonInterval(0.5, 100, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ci.Low-0.404) > 0.003 || math.Abs(ci.High-0.596) > 0.003 {
+		t.Errorf("CI = [%.4f, %.4f], want ≈[0.404, 0.596]", ci.Low, ci.High)
+	}
+}
+
+func TestWilsonIntervalExtremes(t *testing.T) {
+	// p=0 keeps a nonzero upper bound (the rule of three's territory).
+	ci, err := WilsonInterval(0, 30, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Low != 0 || ci.High <= 0 || ci.High > 0.2 {
+		t.Errorf("CI(0, 30) = [%.4f, %.4f]", ci.Low, ci.High)
+	}
+	// p=1 symmetric.
+	ci, err = WilsonInterval(1, 30, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.High != 1 || ci.Low >= 1 || ci.Low < 0.8 {
+		t.Errorf("CI(1, 30) = [%.4f, %.4f]", ci.Low, ci.High)
+	}
+}
+
+func TestWilsonIntervalValidation(t *testing.T) {
+	if _, err := WilsonInterval(-0.1, 10, 1.96); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := WilsonInterval(0.5, 0, 1.96); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := WilsonInterval(0.5, 10, 0); err == nil {
+		t.Error("z=0 accepted")
+	}
+	if _, err := WilsonInterval(math.NaN(), 10, 1.96); err == nil {
+		t.Error("NaN p accepted")
+	}
+}
+
+func TestWilsonIntervalProperties(t *testing.T) {
+	f := func(pSeed, nSeed uint16) bool {
+		p := float64(pSeed%1001) / 1000
+		n := float64(nSeed%10000) + 1
+		ci, err := WilsonInterval(p, n, 1.96)
+		if err != nil {
+			return false
+		}
+		// Contains the point estimate, ordered, within [0,1].
+		return ci.Low <= p+1e-12 && p <= ci.High+1e-12 &&
+			ci.Low >= 0 && ci.High <= 1 && ci.Low <= ci.High
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWilsonIntervalShrinksWithN(t *testing.T) {
+	small, _ := WilsonInterval(0.3, 50, 1.96)
+	large, _ := WilsonInterval(0.3, 5000, 1.96)
+	if (large.High - large.Low) >= (small.High - small.Low) {
+		t.Error("interval did not shrink with more samples")
+	}
+}
+
+func TestWithIntervalsOnMemoRules(t *testing.T) {
+	k := memoKB(t)
+	rs, err := FromKnowledgeBase(k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scored, err := WithIntervals(rs, 3428, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scored) != len(rs) {
+		t.Fatalf("scored %d of %d rules", len(scored), len(rs))
+	}
+	for _, s := range scored {
+		if s.CI.Low > s.Probability+1e-9 || s.CI.High < s.Probability-1e-9 {
+			t.Errorf("rule %s: CI excludes the estimate", s)
+		}
+		if s.EffectiveN <= 0 || s.EffectiveN > 3428+1 {
+			t.Errorf("rule %s: effective n %g out of range", s, s.EffectiveN)
+		}
+	}
+	// The smoker→cancer rule has ~1290 effective samples.
+	for _, s := range scored {
+		if len(s.If) == 1 && s.If[0].Attr == "SMOKING" && s.If[0].Value == "Smoker" &&
+			s.Then.Attr == "CANCER" && s.Then.Value == "Yes" {
+			if math.Abs(s.EffectiveN-1290) > 15 {
+				t.Errorf("effective n = %.0f, want ≈1290", s.EffectiveN)
+			}
+			if !strings.Contains(s.String(), "CI95=") {
+				t.Errorf("String missing CI: %s", s)
+			}
+		}
+	}
+	if _, err := WithIntervals(rs, 0, 1.96); err == nil {
+		t.Error("zero sample count accepted")
+	}
+}
+
+func TestWithIntervalsDegenerateRule(t *testing.T) {
+	rs := []Rule{{
+		If:          []kb.Assignment{{Attr: "X", Value: "a"}},
+		Then:        kb.Assignment{Attr: "Y", Value: "b"},
+		Probability: 0,
+		Support:     0,
+	}}
+	scored, err := WithIntervals(rs, 100, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scored[0].CI.Low != 0 || scored[0].CI.High != 1 {
+		t.Errorf("degenerate rule CI = %+v, want [0,1]", scored[0].CI)
+	}
+}

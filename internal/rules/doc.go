@@ -1,0 +1,11 @@
+// Package rules converts the knowledge base's probability relations into
+// the memo's IF-THEN form:
+//
+//	P(A | B, C) = p   ⟺   IF B AND C, THEN A (with probability p)
+//
+// Rules are generated from the discovered significant joints (each
+// constraint family yields one rule per choice of consequent attribute),
+// scored with probability (confidence), support, and lift, filtered by
+// thresholds, deduplicated, and rendered as text for the expert-system
+// audience the memo targets.
+package rules

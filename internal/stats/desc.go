@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a float64 sample, used by the
+// bench harness to report sweep results.
+type Summary struct {
+	N      int
+	Mean   float64
+	SD     float64
+	Min    float64
+	Median float64
+	Max    float64
+}
+
+// Summarize computes a Summary. It returns an error for an empty sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, fmt.Errorf("stats: cannot summarize empty sample")
+	}
+	s := Summary{N: len(xs)}
+	sum := 0.0
+	s.Min = math.Inf(1)
+	s.Max = math.Inf(-1)
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	ss := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.SD = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s, nil
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g",
+		s.N, s.Mean, s.SD, s.Min, s.Median, s.Max)
+}
+
+// AlmostEqual reports whether a and b agree within absolute tolerance tol.
+// It treats equal infinities as equal. It is the comparison primitive the
+// golden tests use against the memo's rounded figures.
+func AlmostEqual(a, b, tol float64) bool {
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return true
+	}
+	if math.IsInf(a, -1) && math.IsInf(b, -1) {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// RelEqual reports whether a and b agree within relative tolerance rel
+// (falling back to absolute comparison near zero).
+func RelEqual(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1e-12 {
+		return math.Abs(a-b) <= rel
+	}
+	return math.Abs(a-b) <= rel*scale
+}

@@ -1,0 +1,81 @@
+package sumprod
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchTerms builds first-order terms plus a pairwise chain over r
+// attributes of the given cardinality.
+func benchTerms(r, card int) ([]int, []Term) {
+	cards := make([]int, r)
+	for i := range cards {
+		cards[i] = card
+	}
+	var terms []Term
+	for i := 0; i < r; i++ {
+		coeffs := make([]float64, card)
+		for v := range coeffs {
+			coeffs[v] = 0.5 + float64(v%3)*0.3
+		}
+		terms = append(terms, Term{Vars: []int{i}, Coeffs: coeffs})
+	}
+	for i := 0; i+1 < r; i++ {
+		coeffs := make([]float64, card*card)
+		for v := range coeffs {
+			coeffs[v] = 0.8 + float64(v%5)*0.1
+		}
+		terms = append(terms, Term{Vars: []int{i, i + 1}, Coeffs: coeffs})
+	}
+	return cards, terms
+}
+
+func BenchmarkSumRecursion(b *testing.B) {
+	for _, r := range []int{4, 6, 8} {
+		cards, terms := benchTerms(r, 4)
+		ev, err := NewEvaluator(cards, terms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = ev.Sum()
+			}
+		})
+	}
+}
+
+func BenchmarkSumBruteForce(b *testing.B) {
+	for _, r := range []int{4, 6, 8} {
+		cards, terms := benchTerms(r, 4)
+		ev, err := NewEvaluator(cards, terms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				total := 0.0
+				for _, v := range ev.FullJoint() {
+					total += v
+				}
+				_ = total
+			}
+		})
+	}
+}
+
+func BenchmarkSumFixed(b *testing.B) {
+	cards, terms := benchTerms(8, 4)
+	ev, err := NewEvaluator(cards, terms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fixed := []int{-1, 2, -1, -1, 1, -1, -1, 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ev.SumFixed(fixed)
+	}
+}

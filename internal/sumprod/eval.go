@@ -1,0 +1,179 @@
+package sumprod
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Term is one multiplicative factor family of the product formula: a set of
+// attribute positions (ascending) and a dense coefficient array over the
+// joint values of exactly those attributes, row-major with the first listed
+// attribute slowest. A first-order term over attribute A with 3 values is
+// {Vars:[0], Coeffs:[a1,a2,a3]}; the memo's a^AC_ik term over a 3×2 space is
+// {Vars:[0,2], Coeffs: 6 values}.
+type Term struct {
+	Vars   []int
+	Coeffs []float64
+}
+
+// Validate checks the term against the attribute cardinalities.
+func (t Term) Validate(cards []int) error {
+	if len(t.Vars) == 0 {
+		return fmt.Errorf("sumprod: term with no variables")
+	}
+	if !sort.IntsAreSorted(t.Vars) {
+		return fmt.Errorf("sumprod: term variables %v not ascending", t.Vars)
+	}
+	size := 1
+	for i, v := range t.Vars {
+		if i > 0 && t.Vars[i-1] == v {
+			return fmt.Errorf("sumprod: term repeats variable %d", v)
+		}
+		if v < 0 || v >= len(cards) {
+			return fmt.Errorf("sumprod: term variable %d out of range [0,%d)", v, len(cards))
+		}
+		size *= cards[v]
+	}
+	if len(t.Coeffs) != size {
+		return fmt.Errorf("sumprod: term over %v wants %d coefficients, has %d",
+			t.Vars, size, len(t.Coeffs))
+	}
+	return nil
+}
+
+// coeffAt returns the term's coefficient at the full-space cell.
+func (t Term) coeffAt(cell []int, cards []int) float64 {
+	off := 0
+	for _, v := range t.Vars {
+		off = off*cards[v] + cell[v]
+	}
+	return t.Coeffs[off]
+}
+
+// Evaluator computes sums of the product Π_t coeff_t(cell) over cells of the
+// full attribute space, by the Appendix B recursion: eliminate the highest
+// attribute first, folding in Q_n — the product of all terms whose highest
+// variable is n (Eq. 105).
+type Evaluator struct {
+	cards   []int
+	terms   []Term
+	byLevel [][]int // byLevel[n] = indices of terms whose highest var is n
+}
+
+// NewEvaluator validates the terms and groups them by highest variable.
+func NewEvaluator(cards []int, terms []Term) (*Evaluator, error) {
+	if len(cards) == 0 {
+		return nil, fmt.Errorf("sumprod: evaluator needs at least one attribute")
+	}
+	for i, c := range cards {
+		if c < 1 {
+			return nil, fmt.Errorf("sumprod: attribute %d has cardinality %d", i, c)
+		}
+	}
+	e := &Evaluator{
+		cards:   append([]int(nil), cards...),
+		terms:   terms,
+		byLevel: make([][]int, len(cards)),
+	}
+	for ti, t := range terms {
+		if err := t.Validate(cards); err != nil {
+			return nil, err
+		}
+		h := t.Vars[len(t.Vars)-1]
+		e.byLevel[h] = append(e.byLevel[h], ti)
+	}
+	return e, nil
+}
+
+// Sum returns Σ_cells Π_terms coeff — with all terms being a-values this is
+// 1/a0 of Eq. 89 (before a0 is folded in).
+func (e *Evaluator) Sum() float64 {
+	return e.SumFixed(nil)
+}
+
+// SumFixed returns the same sum with some attributes clamped: fixed[v] >= 0
+// pins attribute v to that value; -1 leaves it summed over. fixed may be nil
+// (nothing pinned) or shorter than the attribute count (the tail is free).
+// This evaluates the marginal sums of Eq. 109.
+func (e *Evaluator) SumFixed(fixed []int) float64 {
+	R := len(e.cards)
+	// s holds S_n: the partial sums indexed by the joint values of
+	// attributes 0..n-1. Start with S_R collapsed level by level.
+	// Represent S_n as a dense array over attrs 0..n-1 (respecting clamps:
+	// clamped attributes contribute a single "value").
+	dims := make([]int, R)
+	for v := 0; v < R; v++ {
+		if v < len(fixed) && fixed[v] >= 0 {
+			dims[v] = 1
+		} else {
+			dims[v] = e.cards[v]
+		}
+	}
+	// size of prefix space 0..n-1
+	prefixSize := func(n int) int {
+		s := 1
+		for v := 0; v < n; v++ {
+			s *= dims[v]
+		}
+		return s
+	}
+	// Fold attributes from the highest position down (Eq. 105). Before
+	// folding level n, `in` holds S over the prefix 0..n (row-major,
+	// attribute 0 slowest); nil stands for the all-ones S_R, so the first
+	// level is computed directly from the terms and peak memory is the
+	// prefix space of the first R-1 attributes.
+	var in []float64
+	cell := make([]int, R)
+	for level := R - 1; level >= 0; level-- {
+		out := make([]float64, prefixSize(level))
+		inSize := prefixSize(level + 1)
+		for off := 0; off < inSize; off++ {
+			// Decode the prefix cell 0..level, honoring clamps.
+			rem := off
+			for v := level; v >= 0; v-- {
+				idx := rem % dims[v]
+				rem /= dims[v]
+				if v < len(fixed) && fixed[v] >= 0 {
+					cell[v] = fixed[v]
+				} else {
+					cell[v] = idx
+				}
+			}
+			q := 1.0
+			for _, ti := range e.byLevel[level] {
+				q *= e.terms[ti].coeffAt(cell, e.cards)
+			}
+			if in != nil {
+				q *= in[off]
+			}
+			out[off/dims[level]] += q
+		}
+		in = out
+	}
+	return in[0]
+}
+
+// FullJoint materializes the complete (unnormalized) product over every cell
+// in row-major order — used by small-space consumers (the memo's 12-cell
+// example) and as the brute-force oracle in tests.
+func (e *Evaluator) FullJoint() []float64 {
+	size := 1
+	for _, c := range e.cards {
+		size *= c
+	}
+	out := make([]float64, size)
+	cell := make([]int, len(e.cards))
+	for off := 0; off < size; off++ {
+		rem := off
+		for v := len(e.cards) - 1; v >= 0; v-- {
+			cell[v] = rem % e.cards[v]
+			rem /= e.cards[v]
+		}
+		p := 1.0
+		for _, t := range e.terms {
+			p *= t.coeffAt(cell, e.cards)
+		}
+		out[off] = p
+	}
+	return out
+}

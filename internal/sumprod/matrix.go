@@ -1,0 +1,83 @@
+package sumprod
+
+import "fmt"
+
+// Matrix is the memo's small dense matrix: rows × cols float64 values in
+// row-major order. It exists to express Appendix B's X and Σ operators in
+// the paper's own vocabulary.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero rows×cols matrix.
+func NewMatrix(rows, cols int) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("sumprod: invalid matrix shape %dx%d", rows, cols)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}, nil
+}
+
+// FromRows builds a matrix from row slices, validating rectangularity.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("sumprod: empty matrix")
+	}
+	m, err := NewMatrix(len(rows), len(rows[0]))
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			return nil, fmt.Errorf("sumprod: ragged row %d: %d values, want %d", i, len(r), m.Cols)
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// TermByTerm is the memo's X operator (Eq. 90): element-wise product of two
+// equal-shaped matrices.
+func TermByTerm(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, fmt.Errorf("sumprod: X operator shape mismatch %dx%d vs %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out, err := NewMatrix(a.Rows, a.Cols)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out, nil
+}
+
+// SumCols is the memo's Σ_j operator (Eq. 91): sum each row's columns,
+// producing a column vector (rows × 1).
+func SumCols(m *Matrix) *Matrix {
+	out := &Matrix{Rows: m.Rows, Cols: 1, Data: make([]float64, m.Rows)}
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for j := 0; j < m.Cols; j++ {
+			s += m.At(i, j)
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// SumAll sums every element — the outermost Σ of Eq. 89.
+func SumAll(m *Matrix) float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+package sumprod
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestSumFixedMatchesBruteProperty: for random term structures over a
+// 2×3×2 space and random pin patterns, SumFixed equals brute-force
+// summation over the matching cells.
+func TestSumFixedMatchesBruteProperty(t *testing.T) {
+	f := func(c1, c2 [6]uint8, pick uint8, pin [3]int8) bool {
+		cards := []int{2, 3, 2}
+		mk := func(raw []uint8, n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = float64(raw[i%len(raw)])/40 + 0.1
+			}
+			return out
+		}
+		var terms []Term
+		if pick&1 != 0 {
+			terms = append(terms, Term{Vars: []int{0}, Coeffs: mk(c1[:], 2)})
+		}
+		if pick&2 != 0 {
+			terms = append(terms, Term{Vars: []int{1, 2}, Coeffs: mk(c2[:], 6)})
+		}
+		if pick&4 != 0 {
+			terms = append(terms, Term{Vars: []int{0, 1}, Coeffs: mk(c2[:], 6)})
+		}
+		if pick&8 != 0 {
+			terms = append(terms, Term{Vars: []int{0, 1, 2}, Coeffs: mk(c1[:], 12)})
+		}
+		ev, err := NewEvaluator(cards, terms)
+		if err != nil {
+			return false
+		}
+		fixed := make([]int, 3)
+		for i := range fixed {
+			// Map the random int8 into {-1, 0, .., card-1}.
+			v := int(pin[i])
+			if v < 0 {
+				fixed[i] = -1
+			} else {
+				fixed[i] = v % cards[i]
+			}
+		}
+		joint := ev.FullJoint()
+		brute := 0.0
+		for off, val := range joint {
+			cell := []int{off / 6, (off / 2) % 3, off % 2}
+			match := true
+			for i := range fixed {
+				if fixed[i] >= 0 && cell[i] != fixed[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				brute += val
+			}
+		}
+		got := ev.SumFixed(fixed)
+		diff := got - brute
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-9*brute+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSumLinearInTermProperty: scaling one term's coefficients by a scalar
+// scales the sum by the same scalar (multilinearity of the product-sum).
+func TestSumLinearInTermProperty(t *testing.T) {
+	f := func(raw [6]uint8, scaleSeed uint8) bool {
+		cards := []int{2, 3}
+		coeffs := make([]float64, 6)
+		for i := range coeffs {
+			coeffs[i] = float64(raw[i])/50 + 0.1
+		}
+		scale := float64(scaleSeed%10) + 0.5
+		base := []Term{
+			{Vars: []int{0}, Coeffs: []float64{0.4, 0.6}},
+			{Vars: []int{0, 1}, Coeffs: coeffs},
+		}
+		scaled := []Term{
+			base[0],
+			{Vars: []int{0, 1}, Coeffs: scaleSlice(coeffs, scale)},
+		}
+		e1, err := NewEvaluator(cards, base)
+		if err != nil {
+			return false
+		}
+		e2, err := NewEvaluator(cards, scaled)
+		if err != nil {
+			return false
+		}
+		a := e1.Sum() * scale
+		b := e2.Sum()
+		diff := a - b
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-9*b+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func scaleSlice(xs []float64, s float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * s
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package synth
+
+import (
+	"fmt"
+	"testing"
+
+	"pka/internal/stats"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	for _, factors := range []int{4, 8, 12} {
+		b.Run(fmt.Sprintf("factors=%d", factors), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Survey(factors, 2.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSampleTable(b *testing.B) {
+	truth, err := Telemetry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int64{10_000, 100_000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := truth.SampleTable(stats.NewRNG(int64(i)), n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSampleDataset(b *testing.B) {
+	truth, err := Telemetry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := truth.SampleDataset(stats.NewRNG(int64(i)), 10_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package synth generates synthetic categorical datasets with known ground
+// truth. The memo's own evaluation uses a hypothetical survey; its
+// motivating workloads (NASA's "masses of unevaluated data" — wind-tunnel
+// tests, spacecraft observations, medical and social surveys) are not
+// available, so the benches substitute seeded generators whose dependence
+// structure is planted and therefore checkable: discovery should find
+// exactly the planted families and nothing else.
+//
+// Ground truths are built as log-linear distributions — a product of
+// per-attribute marginals and multiplicative interaction factors — which is
+// the same family the discovery engine fits, making "did it recover the
+// structure?" a well-posed question.
+package synth

@@ -1,0 +1,158 @@
+package synth
+
+import (
+	"fmt"
+
+	"pka/internal/dataset"
+)
+
+// SmokingCancer returns a ground truth shaped like the memo's worked
+// example: three attributes with the memo's marginals and a smoking↔cancer
+// and smoking↔family-history coupling of the same sign the data shows.
+func SmokingCancer() (*GroundTruth, error) {
+	schema := dataset.MustSchema([]dataset.Attribute{
+		{Name: "SMOKING", Values: []string{"Smoker", "Non smoker", "Non smoker married to a smoker"}},
+		{Name: "CANCER", Values: []string{"Yes", "No"}},
+		{Name: "FAMILY HISTORY", Values: []string{"Yes", "No"}},
+	})
+	return NewBuilder(schema).
+		Marginal("SMOKING", []float64{0.376, 0.331, 0.293}).
+		Marginal("CANCER", []float64{0.126, 0.874}).
+		Marginal("FAMILY HISTORY", []float64{0.519, 0.481}).
+		// Smokers carry excess cancer risk (the memo's N^AB_11 excess).
+		Couple([]string{"SMOKING", "CANCER"}, []float64{
+			1.48, 0.93, // smoker
+			0.74, 1.04, // non smoker
+			0.79, 1.03, // married to smoker
+		}).
+		// Smokers in this cohort skew away from family history (N^AC_12).
+		Couple([]string{"SMOKING", "FAMILY HISTORY"}, []float64{
+			0.81, 1.21,
+			1.13, 0.86,
+			1.15, 0.84,
+		}).
+		Build()
+}
+
+// Survey returns a synthetic medical-survey ground truth over nAttrs binary
+// risk factors plus one three-valued OUTCOME, with a planted chain of
+// pairwise couplings: factor_i ↔ factor_{i+1} and factor_0 ↔ OUTCOME.
+// strength > 1 controls coupling intensity.
+func Survey(nAttrs int, strength float64) (*GroundTruth, error) {
+	if nAttrs < 2 {
+		return nil, fmt.Errorf("synth: survey needs at least 2 risk factors, got %d", nAttrs)
+	}
+	if strength <= 0 {
+		return nil, fmt.Errorf("synth: non-positive coupling strength %g", strength)
+	}
+	attrs := make([]dataset.Attribute, 0, nAttrs+1)
+	for i := 0; i < nAttrs; i++ {
+		attrs = append(attrs, dataset.Attribute{
+			Name:   fmt.Sprintf("FACTOR%d", i+1),
+			Values: []string{"yes", "no"},
+		})
+	}
+	attrs = append(attrs, dataset.Attribute{
+		Name:   "OUTCOME",
+		Values: []string{"healthy", "mild", "severe"},
+	})
+	schema := dataset.MustSchema(attrs)
+	b := NewBuilder(schema)
+	for i := 0; i < nAttrs; i++ {
+		// Mildly skewed base rates, varied per factor for realism.
+		p := 0.25 + 0.05*float64(i%5)
+		b.Marginal(attrs[i].Name, []float64{p, 1 - p})
+	}
+	b.Marginal("OUTCOME", []float64{0.7, 0.2, 0.1})
+	s := strength
+	for i := 0; i+1 < nAttrs; i += 2 {
+		// Couple factor pairs (0,1), (2,3), ... so the planted structure
+		// is sparse and recovery is checkable family by family.
+		b.Couple([]string{attrs[i].Name, attrs[i+1].Name}, []float64{
+			s, 1 / s,
+			1 / s, s,
+		})
+	}
+	b.Couple([]string{"FACTOR1", "OUTCOME"}, []float64{
+		1 / s, s, s, // factor present: worse outcomes
+		s, 1 / s, 1 / s,
+	})
+	return b.Build()
+}
+
+// Telemetry returns a spacecraft-telemetry-like ground truth: discretized
+// sensor channels where an anomaly state drives correlated excursions in
+// two of them — the "find significant correlations in the reserve data
+// bank" workload of the memo's introduction.
+func Telemetry() (*GroundTruth, error) {
+	schema := dataset.MustSchema([]dataset.Attribute{
+		{Name: "BUS_VOLTAGE", Values: []string{"low", "nominal", "high"}},
+		{Name: "TEMP_GRADIENT", Values: []string{"falling", "flat", "rising"}},
+		{Name: "WHEEL_RPM", Values: []string{"low", "nominal", "high"}},
+		{Name: "ANOMALY", Values: []string{"none", "thermal", "power"}},
+	})
+	return NewBuilder(schema).
+		Marginal("BUS_VOLTAGE", []float64{0.15, 0.7, 0.15}).
+		Marginal("TEMP_GRADIENT", []float64{0.25, 0.5, 0.25}).
+		Marginal("WHEEL_RPM", []float64{0.2, 0.6, 0.2}).
+		Marginal("ANOMALY", []float64{0.85, 0.09, 0.06}).
+		// Thermal anomalies ride with rising temperature gradients.
+		Couple([]string{"TEMP_GRADIENT", "ANOMALY"}, []float64{
+			1.1, 0.3, 1.0,
+			1.05, 0.5, 1.0,
+			0.7, 3.5, 1.0,
+		}).
+		// Power anomalies depress bus voltage.
+		Couple([]string{"BUS_VOLTAGE", "ANOMALY"}, []float64{
+			0.9, 1.0, 4.0,
+			1.05, 1.0, 0.4,
+			0.9, 1.0, 0.8,
+		}).
+		Noise(0.01).
+		Build()
+}
+
+// XOR3 returns a pure third-order interaction: three binary attributes
+// where any pair is independent but the triple is not (Z ≈ X xor Y).
+// It exercises the memo's "procedure is then repeated for the third-order
+// N's" path, which second-order-only methods cannot capture.
+func XOR3(strength float64) (*GroundTruth, error) {
+	if strength <= 0 {
+		return nil, fmt.Errorf("synth: non-positive strength %g", strength)
+	}
+	schema := dataset.MustSchema([]dataset.Attribute{
+		{Name: "X", Values: []string{"0", "1"}},
+		{Name: "Y", Values: []string{"0", "1"}},
+		{Name: "Z", Values: []string{"0", "1"}},
+	})
+	s := strength
+	coeffs := make([]float64, 8)
+	for off := 0; off < 8; off++ {
+		x, y, z := off>>2, (off>>1)&1, off&1
+		if x^y == z {
+			coeffs[off] = s
+		} else {
+			coeffs[off] = 1 / s
+		}
+	}
+	return NewBuilder(schema).
+		Couple([]string{"X", "Y", "Z"}, coeffs).
+		Build()
+}
+
+// IndependentUniform returns r attributes of the given cardinality with no
+// structure at all — the null workload for false-positive measurement.
+func IndependentUniform(r, card int) (*GroundTruth, error) {
+	if r < 2 || card < 2 {
+		return nil, fmt.Errorf("synth: need r >= 2 and card >= 2, got %d, %d", r, card)
+	}
+	attrs := make([]dataset.Attribute, r)
+	for i := range attrs {
+		vals := make([]string, card)
+		for v := range vals {
+			vals[v] = fmt.Sprintf("v%d", v+1)
+		}
+		attrs[i] = dataset.Attribute{Name: fmt.Sprintf("ATTR%d", i+1), Values: vals}
+	}
+	return NewBuilder(dataset.MustSchema(attrs)).Build()
+}

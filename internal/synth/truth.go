@@ -1,0 +1,242 @@
+package synth
+
+import (
+	"fmt"
+
+	"pka/internal/contingency"
+	"pka/internal/dataset"
+	"pka/internal/stats"
+)
+
+// Builder assembles a ground-truth distribution over a schema. Methods
+// chain; the first configuration error is remembered and returned by Build.
+type Builder struct {
+	schema    *dataset.Schema
+	marginals [][]float64
+	factors   []factor
+	noise     float64
+	err       error
+}
+
+type factor struct {
+	vars   []int
+	coeffs []float64
+}
+
+// NewBuilder starts a ground truth over the schema with uniform marginals.
+func NewBuilder(schema *dataset.Schema) *Builder {
+	m := make([][]float64, schema.R())
+	for i := range m {
+		card := schema.Attr(i).Card()
+		m[i] = make([]float64, card)
+		for v := range m[i] {
+			m[i][v] = 1 / float64(card)
+		}
+	}
+	return &Builder{schema: schema, marginals: m}
+}
+
+// Marginal sets attribute attr's marginal distribution (normalized here).
+func (b *Builder) Marginal(attr string, probs []float64) *Builder {
+	pos, err := b.schema.Position(attr)
+	if err != nil {
+		if b.err == nil {
+			b.err = fmt.Errorf("synth: %w", err)
+		}
+		return b
+	}
+	b.marginals[pos] = append([]float64(nil), probs...)
+	return b
+}
+
+// Couple adds a multiplicative interaction factor over the named attributes:
+// coeffs is dense over their joint value space (first attribute slowest).
+// Coefficients of 1 leave cells untouched; >1 boosts, <1 suppresses.
+func (b *Builder) Couple(attrs []string, coeffs []float64) *Builder {
+	vars := make([]int, len(attrs))
+	for i, a := range attrs {
+		pos, err := b.schema.Position(a)
+		if err != nil {
+			if b.err == nil {
+				b.err = fmt.Errorf("synth: %w", err)
+			}
+			return b
+		}
+		vars[i] = pos
+	}
+	b.factors = append(b.factors, factor{vars: vars, coeffs: append([]float64(nil), coeffs...)})
+	return b
+}
+
+// Noise mixes the final distribution with uniform: p' = (1-eps)p + eps·u.
+// It models measurement corruption and softens structural zeros.
+func (b *Builder) Noise(eps float64) *Builder {
+	b.noise = eps
+	return b
+}
+
+// Build validates everything and materializes the normalized joint.
+func (b *Builder) Build() (*GroundTruth, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	cards := b.schema.Cards()
+	size := b.schema.NumCells()
+	if size > 1<<24 {
+		return nil, fmt.Errorf("synth: joint space %d too large", size)
+	}
+	if b.noise < 0 || b.noise > 1 {
+		return nil, fmt.Errorf("synth: noise %g outside [0,1]", b.noise)
+	}
+	for i, m := range b.marginals {
+		if len(m) != cards[i] {
+			return nil, fmt.Errorf("synth: attribute %q marginal has %d entries, want %d",
+				b.schema.Attr(i).Name, len(m), cards[i])
+		}
+		sum := 0.0
+		for _, p := range m {
+			if p < 0 {
+				return nil, fmt.Errorf("synth: negative marginal entry for %q", b.schema.Attr(i).Name)
+			}
+			sum += p
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("synth: zero-sum marginal for %q", b.schema.Attr(i).Name)
+		}
+	}
+	var planted []contingency.VarSet
+	for fi, f := range b.factors {
+		want := 1
+		for _, v := range f.vars {
+			if v < 0 || v >= len(cards) {
+				return nil, fmt.Errorf("synth: factor %d references an unknown attribute", fi)
+			}
+			want *= cards[v]
+		}
+		if len(f.coeffs) != want {
+			return nil, fmt.Errorf("synth: factor %d has %d coefficients, want %d", fi, len(f.coeffs), want)
+		}
+		for _, c := range f.coeffs {
+			if c < 0 {
+				return nil, fmt.Errorf("synth: factor %d has a negative coefficient", fi)
+			}
+		}
+		planted = append(planted, contingency.NewVarSet(f.vars...))
+	}
+	joint := make([]float64, size)
+	cell := make([]int, len(cards))
+	for off := 0; off < size; off++ {
+		rem := off
+		for i := len(cards) - 1; i >= 0; i-- {
+			cell[i] = rem % cards[i]
+			rem /= cards[i]
+		}
+		p := 1.0
+		for i, v := range cell {
+			p *= b.marginals[i][v]
+		}
+		for _, f := range b.factors {
+			fo := 0
+			for _, v := range f.vars {
+				fo = fo*cards[v] + cell[v]
+			}
+			p *= f.coeffs[fo]
+		}
+		joint[off] = p
+	}
+	if _, err := stats.Normalize(joint); err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	if b.noise > 0 {
+		u := 1 / float64(size)
+		for i := range joint {
+			joint[i] = (1-b.noise)*joint[i] + b.noise*u
+		}
+	}
+	return &GroundTruth{schema: b.schema, joint: joint, planted: planted}, nil
+}
+
+// GroundTruth is a materialized known joint distribution.
+type GroundTruth struct {
+	schema  *dataset.Schema
+	joint   []float64
+	planted []contingency.VarSet
+}
+
+// Schema returns the schema.
+func (g *GroundTruth) Schema() *dataset.Schema { return g.schema }
+
+// Joint returns a copy of the normalized joint (row-major, attribute 0
+// slowest).
+func (g *GroundTruth) Joint() []float64 { return append([]float64(nil), g.joint...) }
+
+// Planted lists the attribute families given interaction factors — what a
+// perfect discovery run should flag (beyond first order).
+func (g *GroundTruth) Planted() []contingency.VarSet {
+	return append([]contingency.VarSet(nil), g.planted...)
+}
+
+// Prob returns the probability of a full cell.
+func (g *GroundTruth) Prob(cell []int) (float64, error) {
+	cards := g.schema.Cards()
+	if len(cell) != len(cards) {
+		return 0, fmt.Errorf("synth: cell has %d coordinates, want %d", len(cell), len(cards))
+	}
+	off := 0
+	for i, v := range cell {
+		if v < 0 || v >= cards[i] {
+			return 0, fmt.Errorf("synth: coordinate %d out of range", i)
+		}
+		off = off*cards[i] + v
+	}
+	return g.joint[off], nil
+}
+
+// SampleTable draws n samples directly into a contingency table (one
+// multinomial draw per sample; deterministic given the RNG).
+func (g *GroundTruth) SampleTable(rng *stats.RNG, n int64) (*contingency.Table, error) {
+	counts, err := rng.Multinomial(n, g.joint)
+	if err != nil {
+		return nil, err
+	}
+	t, err := contingency.New(g.schema.Names(), g.schema.Cards())
+	if err != nil {
+		return nil, err
+	}
+	cell := make([]int, g.schema.R())
+	for off, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if err := t.Unflatten(off, cell); err != nil {
+			return nil, err
+		}
+		if err := t.Set(c, cell...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// SampleDataset draws n individual records — the raw-sample form of
+// Appendix A, for exercising the full ingest pipeline.
+func (g *GroundTruth) SampleDataset(rng *stats.RNG, n int) (*dataset.Dataset, error) {
+	sampler, err := stats.NewCategoricalSampler(rng, g.joint)
+	if err != nil {
+		return nil, err
+	}
+	cards := g.schema.Cards()
+	d := dataset.NewDataset(g.schema)
+	rec := make(dataset.Record, len(cards))
+	for s := 0; s < n; s++ {
+		off := sampler.Draw()
+		for i := len(cards) - 1; i >= 0; i-- {
+			rec[i] = off % cards[i]
+			off /= cards[i]
+		}
+		if err := d.Append(rec); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,284 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"pka/internal/contingency"
+	"pka/internal/dataset"
+	"pka/internal/stats"
+)
+
+func binarySchema(t testing.TB, names ...string) *dataset.Schema {
+	t.Helper()
+	attrs := make([]dataset.Attribute, len(names))
+	for i, n := range names {
+		attrs[i] = dataset.Attribute{Name: n, Values: []string{"0", "1"}}
+	}
+	return dataset.MustSchema(attrs)
+}
+
+func TestBuildIndependentJoint(t *testing.T) {
+	schema := binarySchema(t, "X", "Y")
+	g, err := NewBuilder(schema).
+		Marginal("X", []float64{0.3, 0.7}).
+		Marginal("Y", []float64{0.6, 0.4}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.18, 0.12, 0.42, 0.28}
+	joint := g.Joint()
+	for i := range want {
+		if math.Abs(joint[i]-want[i]) > 1e-12 {
+			t.Errorf("cell %d = %g, want %g", i, joint[i], want[i])
+		}
+	}
+	if len(g.Planted()) != 0 {
+		t.Error("independent build reports planted families")
+	}
+}
+
+func TestBuildNormalizes(t *testing.T) {
+	schema := binarySchema(t, "X", "Y", "Z")
+	g, err := NewBuilder(schema).
+		Marginal("X", []float64{2, 6}). // unnormalized on purpose
+		Couple([]string{"X", "Y"}, []float64{3, 1, 1, 3}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range g.Joint() {
+		if p < 0 {
+			t.Fatalf("negative probability %g", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("joint sums to %g", sum)
+	}
+	if len(g.Planted()) != 1 || g.Planted()[0] != contingency.NewVarSet(0, 1) {
+		t.Errorf("planted = %v", g.Planted())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	schema := binarySchema(t, "X", "Y")
+	cases := []struct {
+		name string
+		b    *Builder
+	}{
+		{"unknown marginal attr", NewBuilder(schema).Marginal("NOPE", []float64{1, 1})},
+		{"unknown couple attr", NewBuilder(schema).Couple([]string{"X", "NOPE"}, []float64{1, 1, 1, 1})},
+		{"bad marginal len", NewBuilder(schema).Marginal("X", []float64{1, 1, 1})},
+		{"negative marginal", NewBuilder(schema).Marginal("X", []float64{-1, 2})},
+		{"zero marginal", NewBuilder(schema).Marginal("X", []float64{0, 0})},
+		{"bad factor len", NewBuilder(schema).Couple([]string{"X", "Y"}, []float64{1, 1})},
+		{"negative factor", NewBuilder(schema).Couple([]string{"X", "Y"}, []float64{1, 1, 1, -1})},
+		{"bad noise", NewBuilder(schema).Noise(1.5)},
+	}
+	for _, c := range cases {
+		if _, err := c.b.Build(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestNoiseMixesUniform(t *testing.T) {
+	schema := binarySchema(t, "X", "Y")
+	g, err := NewBuilder(schema).
+		Marginal("X", []float64{1, 0}). // deterministic without noise
+		Noise(0.1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint := g.Joint()
+	// Cells with X=1 would be zero; noise must give them 0.1/4 each.
+	if math.Abs(joint[2]-0.025) > 1e-12 || math.Abs(joint[3]-0.025) > 1e-12 {
+		t.Errorf("noised zeros = %g, %g, want 0.025", joint[2], joint[3])
+	}
+	sum := 0.0
+	for _, p := range joint {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("noised joint sums to %g", sum)
+	}
+}
+
+func TestProbMatchesJoint(t *testing.T) {
+	g, err := SmokingCancer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint := g.Joint()
+	cards := g.Schema().Cards()
+	cell := make([]int, len(cards))
+	for off := range joint {
+		rem := off
+		for i := len(cards) - 1; i >= 0; i-- {
+			cell[i] = rem % cards[i]
+			rem /= cards[i]
+		}
+		p, err := g.Prob(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != joint[off] {
+			t.Fatalf("Prob(%v) = %g, joint[%d] = %g", cell, p, off, joint[off])
+		}
+	}
+	if _, err := g.Prob([]int{0}); err == nil {
+		t.Error("short cell accepted")
+	}
+	if _, err := g.Prob([]int{9, 0, 0}); err == nil {
+		t.Error("out-of-range cell accepted")
+	}
+}
+
+func TestSampleTableFrequencies(t *testing.T) {
+	g, err := SmokingCancer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	tab, err := g.SampleTable(stats.NewRNG(3), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Total() != n {
+		t.Fatalf("sampled total %d, want %d", tab.Total(), n)
+	}
+	emp, err := tab.Probabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint := g.Joint()
+	for i := range joint {
+		// 5-sigma binomial tolerance.
+		tol := 5 * math.Sqrt(joint[i]/float64(n))
+		if math.Abs(emp[i]-joint[i]) > tol+1e-9 {
+			t.Errorf("cell %d empirical %.5f vs truth %.5f (tol %.5f)", i, emp[i], joint[i], tol)
+		}
+	}
+}
+
+func TestSampleDatasetMatchesSchema(t *testing.T) {
+	g, err := Telemetry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.SampleDataset(stats.NewRNG(5), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 5000 {
+		t.Fatalf("sampled %d records", d.Len())
+	}
+	// Tabulated dataset frequencies approximate the truth.
+	tab, err := d.Tabulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, _ := tab.Probabilities()
+	joint := g.Joint()
+	var tv float64
+	for i := range joint {
+		tv += math.Abs(emp[i] - joint[i])
+	}
+	if tv/2 > 0.05 {
+		t.Errorf("TV(empirical, truth) = %.3f, want < 0.05 at n=5000", tv/2)
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	g, err := Survey(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := g.SampleTable(stats.NewRNG(42), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.SampleTable(stats.NewRNG(42), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("same seed produced different tables")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := Survey(1, 2); err == nil {
+		t.Error("Survey with 1 factor accepted")
+	}
+	if _, err := Survey(4, 0); err == nil {
+		t.Error("Survey with zero strength accepted")
+	}
+	if _, err := XOR3(0); err == nil {
+		t.Error("XOR3 with zero strength accepted")
+	}
+	if _, err := IndependentUniform(1, 2); err == nil {
+		t.Error("IndependentUniform r=1 accepted")
+	}
+	if _, err := IndependentUniform(2, 1); err == nil {
+		t.Error("IndependentUniform card=1 accepted")
+	}
+}
+
+func TestXOR3PairwiseIndependence(t *testing.T) {
+	// The defining property: every pair of attributes is independent, the
+	// triple is not.
+	g, err := XOR3(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint := g.Joint()
+	// Pairwise marginals: P(X=x, Y=y) must equal 1/4 for all pairs.
+	pairs := [][2]int{{0, 1}, {0, 2}, {1, 2}}
+	for _, pr := range pairs {
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				sum := 0.0
+				for off := 0; off < 8; off++ {
+					cell := []int{off >> 2, (off >> 1) & 1, off & 1}
+					if cell[pr[0]] == a && cell[pr[1]] == b {
+						sum += joint[off]
+					}
+				}
+				if math.Abs(sum-0.25) > 1e-12 {
+					t.Errorf("pair %v cell (%d,%d) marginal %.6f, want 0.25", pr, a, b, sum)
+				}
+			}
+		}
+	}
+	// Triple structure: xor-consistent cells carry more mass.
+	if joint[0] <= 1.0/8 {
+		t.Errorf("xor cell mass %g not boosted", joint[0])
+	}
+}
+
+func TestSurveyPlantedFamilies(t *testing.T) {
+	g, err := Survey(4, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planted := g.Planted()
+	// Factors (1,2), (3,4) and (factor1, outcome).
+	want := []contingency.VarSet{
+		contingency.NewVarSet(0, 1),
+		contingency.NewVarSet(2, 3),
+		contingency.NewVarSet(0, 4),
+	}
+	if len(planted) != len(want) {
+		t.Fatalf("planted %v, want %v", planted, want)
+	}
+	for i := range want {
+		if planted[i] != want[i] {
+			t.Errorf("planted[%d] = %v, want %v", i, planted[i], want[i])
+		}
+	}
+}

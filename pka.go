@@ -1,0 +1,410 @@
+// Package pka is a Go implementation of automatic probabilistic knowledge
+// acquisition from data, reproducing W. B. Gevarter's NASA TM-88224 /
+// ICDE 1987 system: given categorical observation data, it finds the
+// statistically significant joint probabilities of attribute combinations
+// (maximum entropy + minimum message length), stores them as a compact
+// product-form model, and answers any joint, marginal, or conditional
+// probability query — including IF-THEN rule extraction for probabilistic
+// expert systems.
+//
+// Quick start:
+//
+//	schema, _ := pka.NewSchema([]pka.Attribute{
+//	    {Name: "SMOKING", Values: []string{"Smoker", "Non smoker"}},
+//	    {Name: "CANCER", Values: []string{"Yes", "No"}},
+//	})
+//	data := pka.NewDataset(schema)
+//	// ... data.AppendLabeled(...) per observation ...
+//	model, _ := pka.Discover(data, pka.Options{})
+//	p, _ := model.Conditional(
+//	    []pka.Assignment{{Attr: "CANCER", Value: "Yes"}},
+//	    []pka.Assignment{{Attr: "SMOKING", Value: "Smoker"}})
+//
+// The packages under internal/ carry the full machinery (contingency
+// tables, the maximum-entropy solver, the MML significance test, the
+// discovery engine, baselines, and synthetic workload generators); this
+// package is the stable public surface.
+package pka
+
+import (
+	"fmt"
+	"io"
+
+	"pka/internal/assoc"
+	"pka/internal/contingency"
+	"pka/internal/core"
+	"pka/internal/crossval"
+	"pka/internal/dataset"
+	"pka/internal/kb"
+	"pka/internal/maxent"
+	"pka/internal/mml"
+	"pka/internal/rules"
+	"pka/internal/stats"
+)
+
+// Attribute is one categorical variable: a name and its ordered values.
+type Attribute = dataset.Attribute
+
+// Schema is an ordered list of attributes.
+type Schema = dataset.Schema
+
+// Dataset is a schema plus observed records.
+type Dataset = dataset.Dataset
+
+// Record is one observation as value indices in schema order.
+type Record = dataset.Record
+
+// Table is an R-dimensional contingency table of counts.
+type Table = contingency.Table
+
+// Assignment names one attribute value by label, e.g. {“CANCER”, “Yes”}.
+type Assignment = kb.Assignment
+
+// Rule is an IF-THEN statement with probability, support, and lift.
+type Rule = rules.Rule
+
+// RuleOptions filters extracted rules.
+type RuleOptions = rules.Options
+
+// Finding is one discovered significant joint probability.
+type Finding = core.Finding
+
+// OtherValue is the catch-all label used to complete attribute ranges.
+const OtherValue = dataset.OtherValue
+
+// NewSchema validates attributes and builds a schema.
+func NewSchema(attrs []Attribute) (*Schema, error) { return dataset.NewSchema(attrs) }
+
+// NewDataset creates an empty dataset over the schema.
+func NewDataset(schema *Schema) *Dataset { return dataset.NewDataset(schema) }
+
+// ReadCSV ingests CSV rows (header = attribute names) into a dataset.
+func ReadCSV(r io.Reader, schema *Schema) (*Dataset, error) { return dataset.ReadCSV(r, schema) }
+
+// InferSchema scans CSV data and derives a schema from the distinct values
+// seen per column (maxCard 0 = unbounded).
+func InferSchema(r io.Reader, maxCard int) (*Schema, error) { return dataset.InferSchema(r, maxCard) }
+
+// MergeRareValues collapses attribute values observed fewer than minCount
+// times into the "other" bucket — defensive preprocessing before
+// tabulation (see dataset.MergeRareValues).
+func MergeRareValues(d *Dataset, minCount int64) (*Dataset, error) {
+	return d.MergeRareValues(minCount)
+}
+
+// Options tunes discovery. The zero value reproduces the memo's defaults.
+type Options struct {
+	// MaxOrder caps the attribute-family order scanned (0 = all orders).
+	MaxOrder int
+	// PriorH2 is the memo's p(H2') prior; 0 means the default 0.5.
+	PriorH2 float64
+	// MaxConstraints bounds the number of accepted constraints (0 = none).
+	MaxConstraints int
+	// RecordScans retains every significance scan in Model.Scans() —
+	// the data behind the memo's Table 1.
+	RecordScans bool
+	// IncludeForcedCells restores the memo's literal Eq. 41 behaviour of
+	// selecting cells whose value is already determined by known
+	// marginals. Off by default; see mml.Config.IncludeForced.
+	IncludeForcedCells bool
+	// Workers controls scan parallelism: 0 uses GOMAXPROCS, 1 forces the
+	// sequential scan. Results are identical either way.
+	Workers int
+}
+
+// Model is a discovered probabilistic knowledge base.
+type Model struct {
+	result *core.Result
+	kbase  *kb.KnowledgeBase
+	fit    FitReport
+}
+
+// Discover tabulates the dataset and runs the full acquisition procedure.
+func Discover(d *Dataset, opts Options) (*Model, error) {
+	if d == nil {
+		return nil, fmt.Errorf("pka: nil dataset")
+	}
+	table, err := d.Tabulate()
+	if err != nil {
+		return nil, err
+	}
+	return DiscoverTable(table, d.Schema(), opts)
+}
+
+// DiscoverTable runs acquisition directly on a contingency table whose axes
+// match the schema.
+func DiscoverTable(table *Table, schema *Schema, opts Options) (*Model, error) {
+	if table == nil || schema == nil {
+		return nil, fmt.Errorf("pka: nil table or schema")
+	}
+	coreOpts := core.Options{
+		MaxOrder: opts.MaxOrder,
+		MML: mml.Config{
+			PriorH2:       opts.PriorH2,
+			IncludeForced: opts.IncludeForcedCells,
+		},
+		MaxConstraints: opts.MaxConstraints,
+		RecordScans:    opts.RecordScans,
+		Workers:        opts.Workers,
+	}
+	if coreOpts.MML.PriorH2 == 0 {
+		coreOpts.MML.PriorH2 = mml.DefaultConfig().PriorH2
+	}
+	res, err := core.Discover(table, coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	kbase, err := kb.New(schema, res.Model)
+	if err != nil {
+		return nil, err
+	}
+	fit, err := core.GoodnessOfFit(table, res.Model)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{result: res, kbase: kbase, fit: fit}, nil
+}
+
+// Schema returns the model's schema.
+func (m *Model) Schema() *Schema { return m.kbase.Schema() }
+
+// Findings lists the discovered significant joint probabilities in
+// acceptance order.
+func (m *Model) Findings() []Finding {
+	return append([]Finding(nil), m.result.Findings...)
+}
+
+// Scans returns the recorded significance scans (only populated when
+// Options.RecordScans was set).
+func (m *Model) Scans() []core.Scan {
+	return append([]core.Scan(nil), m.result.Scans...)
+}
+
+// Probability returns the joint probability of the assignments.
+func (m *Model) Probability(assigns ...Assignment) (float64, error) {
+	return m.kbase.Probability(assigns...)
+}
+
+// Conditional returns P(target | given), the memo's ratio of joints.
+func (m *Model) Conditional(target, given []Assignment) (float64, error) {
+	return m.kbase.Conditional(target, given)
+}
+
+// Distribution returns the conditional distribution of attr given evidence.
+func (m *Model) Distribution(attr string, given ...Assignment) (map[string]float64, error) {
+	return m.kbase.Distribution(attr, given...)
+}
+
+// MostLikely returns attr's most probable value given the evidence.
+func (m *Model) MostLikely(attr string, given ...Assignment) (string, float64, error) {
+	return m.kbase.MostLikely(attr, given...)
+}
+
+// Lift returns P(target|given)/P(target).
+func (m *Model) Lift(target Assignment, given ...Assignment) (float64, error) {
+	return m.kbase.Lift(target, given...)
+}
+
+// MostProbableExplanation returns the most likely full completion of the
+// evidence (MPE/MAP inference).
+func (m *Model) MostProbableExplanation(given ...Assignment) (Explanation, error) {
+	return m.kbase.MostProbableExplanation(given...)
+}
+
+// Rules extracts IF-THEN rules from the discovered constraints.
+func (m *Model) Rules(opts RuleOptions) ([]Rule, error) {
+	return rules.FromKnowledgeBase(m.kbase, opts)
+}
+
+// ScoredRule is a Rule with a Wilson confidence interval on its probability.
+type ScoredRule = rules.ScoredRule
+
+// RulesWithIntervals attaches 95% Wilson confidence intervals to extracted
+// rules given the sample count the knowledge base was discovered from
+// (loaded query-only models do not carry it, so it is explicit here).
+func RulesWithIntervals(rs []Rule, totalSamples int64) ([]ScoredRule, error) {
+	return rules.WithIntervals(rs, totalSamples, 1.96)
+}
+
+// RulesWithIntervals extracts rules and attaches 95% Wilson confidence
+// intervals based on the discovery sample size.
+func (m *Model) RulesWithIntervals(opts RuleOptions) ([]ScoredRule, error) {
+	rs, err := rules.FromKnowledgeBase(m.kbase, opts)
+	if err != nil {
+		return nil, err
+	}
+	return rules.WithIntervals(rs, m.result.TotalSamples, 1.96)
+}
+
+// Explain renders the stored probability formula with value labels.
+func (m *Model) Explain() string { return m.kbase.Explain() }
+
+// DependencyDOT renders the discovered dependency structure as Graphviz.
+func (m *Model) DependencyDOT() string { return m.kbase.DependencyDOT() }
+
+// Summary renders a digest of the discovery run.
+func (m *Model) Summary() string { return m.result.Summary() }
+
+// Save persists the knowledge base (schema + fitted model) as JSON.
+func (m *Model) Save(w io.Writer) error { return m.kbase.Save(w) }
+
+// Entropy returns the fitted joint's entropy in nats.
+func (m *Model) Entropy() (float64, error) { return m.result.Model.Entropy() }
+
+// Fit returns the goodness-of-fit statistics of the model against the data
+// it was discovered from.
+func (m *Model) Fit() FitReport { return m.fit }
+
+// LogLoss returns the model's average negative log-likelihood (nats per
+// sample) on a validation table of the same shape.
+func (m *Model) LogLoss(table *Table) (float64, error) { return m.kbase.LogLoss(table) }
+
+// NumConstraints returns the stored constraint count (first-order
+// marginals included) — the model's parameter size.
+func (m *Model) NumConstraints() int { return m.result.Model.NumConstraints() }
+
+// KnowledgeBase exposes the query layer for advanced use.
+func (m *Model) KnowledgeBase() *kb.KnowledgeBase { return m.kbase }
+
+// Load reads a knowledge base saved with Save. Loaded models answer
+// queries but carry no discovery scans or findings.
+func Load(r io.Reader) (*QueryModel, error) {
+	kbase, err := kb.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryModel{kbase: kbase}, nil
+}
+
+// QueryModel is a loaded, query-only knowledge base.
+type QueryModel struct {
+	kbase *kb.KnowledgeBase
+}
+
+// Schema returns the schema.
+func (q *QueryModel) Schema() *Schema { return q.kbase.Schema() }
+
+// Probability returns the joint probability of the assignments.
+func (q *QueryModel) Probability(assigns ...Assignment) (float64, error) {
+	return q.kbase.Probability(assigns...)
+}
+
+// Conditional returns P(target | given).
+func (q *QueryModel) Conditional(target, given []Assignment) (float64, error) {
+	return q.kbase.Conditional(target, given)
+}
+
+// Distribution returns the conditional distribution of attr given evidence.
+func (q *QueryModel) Distribution(attr string, given ...Assignment) (map[string]float64, error) {
+	return q.kbase.Distribution(attr, given...)
+}
+
+// MostLikely returns attr's most probable value given the evidence.
+func (q *QueryModel) MostLikely(attr string, given ...Assignment) (string, float64, error) {
+	return q.kbase.MostLikely(attr, given...)
+}
+
+// MostProbableExplanation returns the most likely full completion of the
+// evidence (MPE/MAP inference).
+func (q *QueryModel) MostProbableExplanation(given ...Assignment) (Explanation, error) {
+	return q.kbase.MostProbableExplanation(given...)
+}
+
+// Rules extracts IF-THEN rules from the stored constraints.
+func (q *QueryModel) Rules(opts RuleOptions) ([]Rule, error) {
+	return rules.FromKnowledgeBase(q.kbase, opts)
+}
+
+// Explain renders the stored probability formula.
+func (q *QueryModel) Explain() string { return q.kbase.Explain() }
+
+// LogLoss returns the model's average negative log-likelihood (nats per
+// sample) on a validation table of the same shape.
+func (q *QueryModel) LogLoss(table *Table) (float64, error) { return q.kbase.LogLoss(table) }
+
+// DependencyDOT renders the stored dependency structure as Graphviz.
+func (q *QueryModel) DependencyDOT() string { return q.kbase.DependencyDOT() }
+
+// maxent constraint surface for advanced integrations.
+
+// Constraint pins one family cell's probability.
+type Constraint = maxent.Constraint
+
+// Binner maps continuous readings to categorical bins, for turning sensor
+// streams into attributes (see the telemetry example).
+type Binner = dataset.Binner
+
+// NewEqualWidthBinner splits [min, max] into equal-width bins.
+func NewEqualWidthBinner(min, max float64, bins int) (*Binner, error) {
+	return dataset.NewEqualWidthBinner(min, max, bins)
+}
+
+// NewQuantileBinner picks bin edges so the sample spreads evenly.
+func NewQuantileBinner(sample []float64, bins int) (*Binner, error) {
+	return dataset.NewQuantileBinner(sample, bins)
+}
+
+// SparseTable is a hash-backed contingency table for schemas whose dense
+// joint space would not fit in memory (up to 64 packed key bits). Project
+// slices out dense tables over small attribute subsets for discovery.
+type SparseTable = contingency.Sparse
+
+// NewSparseTable creates an empty sparse table over the schema.
+func NewSparseTable(schema *Schema) (*SparseTable, error) {
+	return contingency.NewSparse(schema.Names(), schema.Cards())
+}
+
+// TabulateCSV streams CSV rows directly into a dense contingency table
+// without materializing records — for sample counts that dwarf memory.
+func TabulateCSV(r io.Reader, schema *Schema) (*Table, error) {
+	return dataset.TabulateCSV(r, schema)
+}
+
+// TabulateCSVSparse streams CSV rows into a sparse table, for wide schemas.
+func TabulateCSVSparse(r io.Reader, schema *Schema) (*SparseTable, error) {
+	return dataset.TabulateCSVSparse(r, schema)
+}
+
+// Explanation is a full most-probable world state given evidence.
+type Explanation = kb.Explanation
+
+// PairStats summarizes the association between two attributes.
+type PairStats = assoc.PairStats
+
+// FitReport carries the classical goodness-of-fit statistics of a
+// discovered model against its data.
+type FitReport = core.Fit
+
+// Associations computes pairwise association diagnostics (mutual
+// information, Cramér's V, G² p-values) over a contingency table, ordered
+// strongest first — the memo's "clues for discovering more causal
+// explanations".
+func Associations(table *Table) ([]PairStats, error) {
+	return assoc.Pairwise(table)
+}
+
+// OrderScore is the cross-validated loss of one MaxOrder candidate.
+type OrderScore = crossval.OrderScore
+
+// SelectMaxOrder picks the level-wise scan depth by k-fold cross-validation:
+// it returns per-order held-out losses and the winning order. seed fixes the
+// fold assignment.
+func SelectMaxOrder(table *Table, maxOrder, folds int, seed int64) ([]OrderScore, int, error) {
+	scores, best, err := crossval.SelectMaxOrder(
+		table, maxOrder, folds, stats.NewRNG(seed), core.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	return scores, scores[best].MaxOrder, nil
+}
+
+// AssociationsSparse is Associations over a sparse table, projecting each
+// pair densely — the screening step for wide schemas.
+func AssociationsSparse(table *SparseTable) ([]PairStats, error) {
+	return assoc.PairwiseSparse(table)
+}
+
+// RenderAssociations formats Associations output with attribute names.
+func RenderAssociations(names []string, pairs []PairStats) string {
+	return assoc.Render(names, pairs)
+}

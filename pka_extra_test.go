@@ -1,0 +1,234 @@
+package pka
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"pka/internal/paperdata"
+	"pka/internal/stats"
+)
+
+func TestModelFitReport(t *testing.T) {
+	m := memoModel(t, Options{})
+	fit := m.Fit()
+	if fit.G2 <= 0 {
+		t.Errorf("G2 = %g, want positive on finite data", fit.G2)
+	}
+	if fit.DF <= 0 {
+		t.Errorf("df = %d, want positive", fit.DF)
+	}
+	if fit.PValue < 0.01 {
+		t.Errorf("discovered model rejected on its own data: p = %g", fit.PValue)
+	}
+}
+
+func TestModelLogLossSelf(t *testing.T) {
+	m := memoModel(t, Options{})
+	tab := paperdata.Table()
+	loss, err := m.LogLoss(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self log-loss = H(emp) + KL(emp‖model): it can't beat the empirical
+	// entropy and should exceed it only by the model's small residual KL.
+	probs, err := tab.Probabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := stats.Entropy(probs)
+	if loss < h-1e-9 {
+		t.Errorf("log loss %.4f below empirical entropy %.4f", loss, h)
+	}
+	if loss > h+0.01 {
+		t.Errorf("log loss %.4f far above empirical entropy %.4f", loss, h)
+	}
+}
+
+func TestRulesWithIntervalsFacade(t *testing.T) {
+	m := memoModel(t, Options{})
+	scored, err := m.RulesWithIntervals(RuleOptions{MinLiftDistance: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scored) == 0 {
+		t.Fatal("no scored rules")
+	}
+	for _, s := range scored {
+		if s.CI.Low > s.Probability || s.CI.High < s.Probability {
+			t.Errorf("CI excludes estimate: %s", s)
+		}
+		if !strings.Contains(s.String(), "CI95=") {
+			t.Errorf("String missing interval: %s", s)
+		}
+	}
+}
+
+func TestIncludeForcedCellsOption(t *testing.T) {
+	// The raw memo mode admits forced cells, so it can only find at least
+	// as many constraints as the default mode.
+	def := memoModel(t, Options{})
+	raw := memoModel(t, Options{IncludeForcedCells: true})
+	if len(raw.Findings()) < len(def.Findings()) {
+		t.Errorf("raw mode found %d, default %d", len(raw.Findings()), len(def.Findings()))
+	}
+}
+
+func TestAssociationsFacade(t *testing.T) {
+	pairs, err := Associations(paperdata.Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	out := RenderAssociations(paperdata.Schema().Names(), pairs)
+	if !strings.Contains(out, "SMOKING") {
+		t.Errorf("render missing names:\n%s", out)
+	}
+}
+
+func TestMPEFacade(t *testing.T) {
+	m := memoModel(t, Options{})
+	exp, err := m.MostProbableExplanation(Assignment{Attr: "CANCER", Value: "Yes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Assignments) != 3 || exp.Probability <= 0 {
+		t.Errorf("explanation = %+v", exp)
+	}
+	// Also reachable after save/load.
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp2, err := q.MostProbableExplanation(Assignment{Attr: "CANCER", Value: "Yes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exp.Probability-exp2.Probability) > 1e-12 {
+		t.Error("MPE differs after reload")
+	}
+	if _, err := q.LogLoss(paperdata.Table()); err != nil {
+		t.Errorf("loaded LogLoss: %v", err)
+	}
+}
+
+func TestAssociationsSparseFacade(t *testing.T) {
+	s, err := NewSparseTable(paperdata.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperdata.Table().EachCell(func(cell []int, count int64) {
+		if count > 0 {
+			if err := s.Add(count, cell...); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	pairs, err := AssociationsSparse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := Associations(paperdata.Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != len(dense) {
+		t.Fatalf("sparse %d pairs, dense %d", len(pairs), len(dense))
+	}
+	for i := range pairs {
+		if math.Abs(pairs[i].MI-dense[i].MI) > 1e-12 {
+			t.Errorf("pair %d MI differs", i)
+		}
+	}
+}
+
+func TestSparseFacade(t *testing.T) {
+	schema := paperdata.Schema()
+	s, err := NewSparseTable(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observe(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observe(2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Total() != 2 || s.Occupied() != 2 {
+		t.Errorf("sparse totals: %d, %d", s.Total(), s.Occupied())
+	}
+	dense, err := s.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Total() != 2 {
+		t.Errorf("dense total = %d", dense.Total())
+	}
+}
+
+func TestTabulateCSVFacade(t *testing.T) {
+	var csvBuf bytes.Buffer
+	if err := paperdata.Records().WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	table, err := TabulateCSV(bytes.NewReader(csvBuf.Bytes()), paperdata.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Equal(paperdata.Table()) {
+		t.Error("streamed tabulation differs from fixture")
+	}
+	sparse, err := TabulateCSVSparse(bytes.NewReader(csvBuf.Bytes()), paperdata.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.Total() != paperdata.TotalN {
+		t.Errorf("sparse total = %d", sparse.Total())
+	}
+}
+
+func TestSelectMaxOrderFacade(t *testing.T) {
+	scores, best, err := SelectMaxOrder(paperdata.Table(), 3, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 2 {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	if best != 2 && best != 3 {
+		t.Errorf("chosen order = %d", best)
+	}
+	// The memo's data has no third-order structure, so the gap must be
+	// small and order 2 usually wins or ties.
+	gap := math.Abs(scores[0].MeanLoss - scores[1].MeanLoss)
+	if gap > 0.01 {
+		t.Errorf("order gap %.4f on pairwise-only data", gap)
+	}
+	if _, _, err := SelectMaxOrder(paperdata.Table(), 9, 3, 7); err == nil {
+		t.Error("maxOrder above R accepted")
+	}
+}
+
+func TestBinnerFacade(t *testing.T) {
+	b, err := NewEqualWidthBinner(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Bins() != 4 {
+		t.Errorf("bins = %d", b.Bins())
+	}
+	q, err := NewQuantileBinner([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Bins() != 2 {
+		t.Errorf("quantile bins = %d", q.Bins())
+	}
+}

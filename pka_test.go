@@ -1,0 +1,197 @@
+package pka
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"pka/internal/paperdata"
+)
+
+// memoModel discovers over the paper fixture through the public API.
+func memoModel(t testing.TB, opts Options) *Model {
+	t.Helper()
+	m, err := DiscoverTable(paperdata.Table(), paperdata.Schema(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDiscoverNilInputs(t *testing.T) {
+	if _, err := Discover(nil, Options{}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := DiscoverTable(nil, nil, Options{}); err == nil {
+		t.Error("nil table accepted")
+	}
+}
+
+func TestEndToEndFromRecords(t *testing.T) {
+	// Full pipeline: raw records -> tabulate -> discover -> query.
+	d := paperdata.Records()
+	m, err := Discover(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Conditional(
+		[]Assignment{{Attr: "CANCER", Value: "Yes"}},
+		[]Assignment{{Attr: "SMOKING", Value: "Smoker"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-240.0/1290) > 5e-3 {
+		t.Errorf("P(cancer|smoker) = %.4f, empirical %.4f", p, 240.0/1290)
+	}
+	if len(m.Findings()) == 0 {
+		t.Error("no findings")
+	}
+	if m.NumConstraints() <= 7 {
+		t.Errorf("constraints = %d, expected first-order plus findings", m.NumConstraints())
+	}
+}
+
+func TestCSVPipeline(t *testing.T) {
+	csvText := "SMOKING,CANCER\nyes,yes\nyes,yes\nyes,no\nno,no\nno,no\nno,no\nno,yes\nyes,no\n"
+	schema, err := InferSchema(strings.NewReader(csvText), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadCSV(strings.NewReader(csvText), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 8 {
+		t.Fatalf("records = %d", d.Len())
+	}
+	if _, err := Discover(d, Options{}); err != nil {
+		t.Fatalf("discovery on CSV data: %v", err)
+	}
+}
+
+func TestModelQueriesConsistent(t *testing.T) {
+	m := memoModel(t, Options{})
+	// Joint = conditional × evidence.
+	target := []Assignment{{Attr: "CANCER", Value: "Yes"}}
+	given := []Assignment{{Attr: "FAMILY HISTORY", Value: "Yes"}}
+	cond, err := m.Conditional(target, given)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := m.Probability(given...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := m.Probability(append(target, given...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(both-cond*pg) > 1e-9 {
+		t.Errorf("chain rule broken: %.9f vs %.9f", both, cond*pg)
+	}
+	dist, err := m.Distribution("SMOKING")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != 3 {
+		t.Errorf("distribution entries = %d", len(dist))
+	}
+	v, p, err := m.MostLikely("CANCER")
+	if err != nil || v != "No" || p < 0.8 {
+		t.Errorf("MostLikely = %q %.3f %v", v, p, err)
+	}
+	lift, err := m.Lift(Assignment{Attr: "CANCER", Value: "Yes"},
+		Assignment{Attr: "SMOKING", Value: "Smoker"})
+	if err != nil || lift < 1.3 || lift > 1.6 {
+		t.Errorf("lift = %.3f %v", lift, err)
+	}
+}
+
+func TestModelRules(t *testing.T) {
+	m := memoModel(t, Options{})
+	rs, err := m.Rules(RuleOptions{MinLiftDistance: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no rules above lift threshold")
+	}
+	for _, r := range rs {
+		if math.Abs(r.Lift-1) < 0.1 {
+			t.Errorf("rule %s under threshold", r)
+		}
+	}
+}
+
+func TestOptionsFlowThrough(t *testing.T) {
+	m := memoModel(t, Options{MaxOrder: 2, MaxConstraints: 1, RecordScans: true})
+	if len(m.Findings()) != 1 {
+		t.Errorf("findings = %d with cap 1", len(m.Findings()))
+	}
+	if len(m.Scans()) == 0 {
+		t.Error("scans not recorded")
+	}
+	// Prior flows through: a different prior changes deltas.
+	m2 := memoModel(t, Options{PriorH2: 0.8, RecordScans: true, MaxConstraints: 1})
+	d1 := m.Scans()[0].Tests[0].Delta
+	d2 := m2.Scans()[0].Tests[0].Delta
+	if math.Abs((d2-d1)-(-1.386)) > 0.01 {
+		t.Errorf("prior 0.8 shifted delta by %.3f, want -1.386", d2-d1)
+	}
+}
+
+func TestSaveLoadQueryModel(t *testing.T) {
+	m := memoModel(t, Options{})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := m.Probability(Assignment{Attr: "CANCER", Value: "Yes"})
+	got, err := q.Probability(Assignment{Attr: "CANCER", Value: "Yes"})
+	if err != nil || math.Abs(got-want) > 1e-12 {
+		t.Errorf("loaded model: %.9f vs %.9f, err %v", got, want, err)
+	}
+	rs, err := q.Rules(RuleOptions{})
+	if err != nil || len(rs) == 0 {
+		t.Errorf("loaded model rules: %d, %v", len(rs), err)
+	}
+	if q.Schema().R() != 3 {
+		t.Error("loaded schema wrong")
+	}
+	if !strings.Contains(q.Explain(), "SMOKING") {
+		t.Error("loaded Explain missing labels")
+	}
+	d, err := q.Distribution("CANCER")
+	if err != nil || len(d) != 2 {
+		t.Errorf("loaded Distribution: %v %v", d, err)
+	}
+	v, _, err := q.MostLikely("CANCER")
+	if err != nil || v != "No" {
+		t.Errorf("loaded MostLikely: %q %v", v, err)
+	}
+}
+
+func TestExplainAndSummary(t *testing.T) {
+	m := memoModel(t, Options{})
+	if !strings.Contains(m.Explain(), "SMOKING=Smoker") {
+		t.Error("Explain missing labels")
+	}
+	if !strings.Contains(m.Summary(), "N=3428") {
+		t.Error("Summary missing N")
+	}
+	h, err := m.Entropy()
+	if err != nil || h <= 0 {
+		t.Errorf("entropy = %g, %v", h, err)
+	}
+	if m.Schema().R() != 3 {
+		t.Error("Schema accessor wrong")
+	}
+	if m.KnowledgeBase() == nil {
+		t.Error("KnowledgeBase accessor nil")
+	}
+}
