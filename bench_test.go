@@ -78,7 +78,7 @@ func BenchmarkTable1_SignificanceScan(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		tests, err := tester.ScanOrder(2, predict)
+		tests, err := tester.ScanOrder(2, mml.PerCell(tab.Cards(), predict))
 		if err != nil {
 			b.Fatal(err)
 		}

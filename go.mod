@@ -1,0 +1,3 @@
+module pka
+
+go 1.24

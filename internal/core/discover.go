@@ -75,9 +75,11 @@ func Discover(table *contingency.Table, opts Options) (*Result, error) {
 	}
 
 	res := &Result{Model: model, TotalSamples: table.Total()}
-	predict := func(fam contingency.VarSet, values []int) (float64, error) {
-		return model.Prob(fam, values)
-	}
+	// Scans price each candidate family with one batch marginal from the
+	// model's compiled engine. Every refit rebuilds the compiled snapshot
+	// (maxent.Model.Fit does so on success), so the predictor always serves
+	// the coefficients of the latest accepted constraint set.
+	predict := opts.predictor(model)
 
 	// accepted tracks the promoted cells per family (seeds included) for
 	// the implied-zero check below.

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"pka/internal/contingency"
+	"pka/internal/maxent"
+	"pka/internal/mml"
+	"pka/internal/paperdata"
+	"pka/internal/stats"
+	"pka/internal/synth"
+)
+
+// perCellPredictor reproduces the pre-refactor scan evaluation exactly: one
+// Model.Prob call per candidate cell instead of a batch marginal per family.
+func perCellPredictor(m *maxent.Model) mml.Predictor {
+	return mml.PerCell(m.Cards(), func(fam contingency.VarSet, values []int) (float64, error) {
+		return m.Prob(fam, values)
+	})
+}
+
+// discoverBothPaths runs Discover twice on the same table — once with the
+// compiled batch-marginal predictor, once with the legacy per-cell
+// predictor — and requires bit-identical output: same constraints in the
+// same order, same float64 targets and scores, same fitted joint.
+func discoverBothPaths(t *testing.T, tab *contingency.Table, opts Options) *Result {
+	t.Helper()
+	batch, err := Discover(tab, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.predictor = perCellPredictor
+	legacy, err := Discover(tab, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Findings) != len(legacy.Findings) {
+		t.Fatalf("batch path found %d constraints, per-cell path %d",
+			len(batch.Findings), len(legacy.Findings))
+	}
+	for i := range batch.Findings {
+		b, l := batch.Findings[i], legacy.Findings[i]
+		if b.Constraint.Family != l.Constraint.Family {
+			t.Errorf("finding %d: family %v vs %v", i, b.Constraint.Family, l.Constraint.Family)
+		}
+		for j := range b.Constraint.Values {
+			if b.Constraint.Values[j] != l.Constraint.Values[j] {
+				t.Errorf("finding %d: values %v vs %v", i, b.Constraint.Values, l.Constraint.Values)
+			}
+		}
+		// Float fields must agree bit for bit — the scans saw the same
+		// predictions, so the scores and tie-breaks are identical.
+		if b.Constraint.Target != l.Constraint.Target {
+			t.Errorf("finding %d: target %x vs %x", i, b.Constraint.Target, l.Constraint.Target)
+		}
+		if b.Test.Predicted != l.Test.Predicted || b.Test.Delta != l.Test.Delta ||
+			b.Test.M1 != l.Test.M1 || b.Test.M2 != l.Test.M2 {
+			t.Errorf("finding %d: scores differ (predicted %x vs %x, delta %x vs %x)",
+				i, b.Test.Predicted, l.Test.Predicted, b.Test.Delta, l.Test.Delta)
+		}
+		if b.FitSweeps != l.FitSweeps {
+			t.Errorf("finding %d: %d fit sweeps vs %d", i, b.FitSweeps, l.FitSweeps)
+		}
+	}
+	bj, err := batch.Model.Joint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lj, err := legacy.Model.Joint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bj {
+		if bj[i] != lj[i] {
+			t.Fatalf("joint cell %d: %x vs %x", i, bj[i], lj[i])
+		}
+	}
+	return batch
+}
+
+// TestDiscoverBatchPathBitIdenticalMemo: the memo's Table 1 reproduction is
+// unchanged by the compiled batch-marginal scan.
+func TestDiscoverBatchPathBitIdenticalMemo(t *testing.T) {
+	res := discoverBothPaths(t, paperdata.Table(), Options{RecordScans: true})
+	if len(res.Findings) == 0 {
+		t.Fatal("memo discovery found nothing")
+	}
+}
+
+// TestDiscoverBatchPathBitIdenticalSynthetic covers wider synthetic suites,
+// parallel scanning included (parallel scans must match too — the predictor
+// is shared across workers).
+func TestDiscoverBatchPathBitIdenticalSynthetic(t *testing.T) {
+	suites := []struct {
+		name string
+		gen  func() (*synth.GroundTruth, error)
+		n    int64
+		opts Options
+	}{
+		{"survey", func() (*synth.GroundTruth, error) { return synth.Survey(4, 2.5) }, 20_000, Options{MaxOrder: 2}},
+		{"xor3", func() (*synth.GroundTruth, error) { return synth.XOR3(3) }, 10_000, Options{}},
+		{"telemetry", synth.Telemetry, 15_000, Options{MaxOrder: 2, Workers: 4}},
+	}
+	for _, s := range suites {
+		t.Run(s.name, func(t *testing.T) {
+			truth, err := s.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab, err := truth.SampleTable(stats.NewRNG(99), s.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			discoverBothPaths(t, tab, s.opts)
+		})
+	}
+}

@@ -34,11 +34,21 @@ type Options struct {
 	// are "originally given as significant" per the memo. They are added
 	// to the model and the significance bookkeeping before scanning.
 	Seed []maxent.Constraint
+
+	// predictor builds the scan predictor for a model. It defaults to the
+	// model itself — Model.Marginal satisfies mml.Predictor, serving one
+	// batch elimination sweep per family from the compiled engine — and is
+	// unexported so only the equivalence test can swap in the legacy
+	// per-cell path and assert bit-identical discovery results.
+	predictor func(m *maxent.Model) mml.Predictor
 }
 
 func (o Options) withDefaults(r int) (Options, error) {
 	if o.MaxOrder == 0 {
 		o.MaxOrder = r
+	}
+	if o.predictor == nil {
+		o.predictor = func(m *maxent.Model) mml.Predictor { return m }
 	}
 	if o.MaxOrder < 2 || o.MaxOrder > r {
 		return o, fmt.Errorf("core: MaxOrder %d outside [2,%d]", o.MaxOrder, r)

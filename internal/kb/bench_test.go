@@ -41,7 +41,7 @@ func BenchmarkConditional(b *testing.B) {
 	}
 }
 
-func BenchmarkDistribution(b *testing.B) {
+func BenchmarkKBDistribution(b *testing.B) {
 	k := benchKB(b)
 	given := []Assignment{{Attr: "CANCER", Value: "Yes"}}
 	b.ReportAllocs()

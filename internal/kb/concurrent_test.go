@@ -1,0 +1,134 @@
+package kb
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueries hammers one knowledge base from many goroutines
+// with a mix of every query type (run with -race). Queries must be
+// deterministic: each goroutine compares its answers against values
+// computed before the fan-out.
+func TestConcurrentQueries(t *testing.T) {
+	k := memoKB(t)
+	smoker := Assignment{Attr: "SMOKING", Value: "Smoker"}
+	cancer := Assignment{Attr: "CANCER", Value: "Yes"}
+
+	wantProb, err := k.Probability(smoker, cancer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCond, err := k.Conditional([]Assignment{cancer}, []Assignment{smoker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDist, err := k.Distribution("SMOKING", cancer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMPE, err := k.MostProbableExplanation(cancer)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	const iters = 150
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					p, err := k.Probability(smoker, cancer)
+					if err != nil || p != wantProb {
+						errs <- "Probability diverged under concurrency"
+						return
+					}
+				case 1:
+					c, err := k.Conditional([]Assignment{cancer}, []Assignment{smoker})
+					if err != nil || c != wantCond {
+						errs <- "Conditional diverged under concurrency"
+						return
+					}
+				case 2:
+					d, err := k.Distribution("SMOKING", cancer)
+					if err != nil {
+						errs <- err.Error()
+						return
+					}
+					for v, p := range wantDist {
+						if d[v] != p {
+							errs <- "Distribution diverged under concurrency"
+							return
+						}
+					}
+				default:
+					e, err := k.MostProbableExplanation(cancer)
+					if err != nil || e.Probability != wantMPE.Probability {
+						errs <- "MPE diverged under concurrency"
+						return
+					}
+					for j, a := range e.Assignments {
+						if a != wantMPE.Assignments[j] {
+							errs <- "MPE assignment diverged under concurrency"
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}
+
+// TestConcurrentQueriesOnLoadedKB repeats the hammer on a knowledge base
+// round-tripped through Save/Load — the deployment path compiles too.
+func TestConcurrentQueriesOnLoadedKB(t *testing.T) {
+	var buf bytes.Buffer
+	if err := memoKB(t).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	k, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancer := Assignment{Attr: "CANCER", Value: "Yes"}
+	want, err := k.Distribution("SMOKING", cancer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				d, err := k.Distribution("SMOKING", cancer)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				for v, p := range want {
+					if d[v] != p {
+						errs <- "loaded KB diverged under concurrency"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}

@@ -9,4 +9,22 @@
 // attribute given evidence, explains the stored formula in the memo's
 // a-notation, and persists to JSON so a knowledge base built once can be
 // shipped without the raw data.
+//
+// # Compile once, query many
+//
+// Following the architecture of maximum-entropy shells like SPIRIT, the
+// knowledge base separates fitting from serving: New (and Load) compile the
+// model's coefficients into an immutable inference engine once, and every
+// query — Probability, Conditional, Distribution, MostLikely, Lift,
+// MostProbableExplanation, LogLoss — runs against that snapshot with pooled
+// scratch memory. Distribution prices all values of the target attribute in
+// a single batch elimination sweep rather than one recursion per value.
+//
+// # Thread safety
+//
+// A KnowledgeBase is immutable after construction and safe for concurrent
+// use by any number of goroutines with no external locking. The one
+// contract: the engine snapshots the model at New/Load time, so callers
+// that keep mutating the underlying maxent.Model must build a fresh
+// KnowledgeBase from the refitted model to see the new coefficients.
 package kb

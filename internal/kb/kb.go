@@ -10,14 +10,21 @@ import (
 	"pka/internal/maxent"
 )
 
-// KnowledgeBase is a queryable probabilistic model bound to a schema.
+// KnowledgeBase is a queryable probabilistic model bound to a schema. It
+// serves every query from an immutable compiled inference engine built at
+// construction time, so any number of goroutines may query one knowledge
+// base concurrently with no locking and near-zero allocation.
 type KnowledgeBase struct {
 	schema *dataset.Schema
 	model  *maxent.Model
+	eng    *maxent.Compiled
 }
 
-// New binds a fitted model to its schema. The schema's attribute order and
-// cardinalities must match the model's.
+// New binds a fitted model to its schema and compiles the model's inference
+// engine. The schema's attribute order and cardinalities must match the
+// model's. The knowledge base snapshots the model's coefficients: mutating
+// the model afterwards (AddConstraint/Fit) is not reflected — build a new
+// knowledge base from the refitted model instead.
 func New(schema *dataset.Schema, model *maxent.Model) (*KnowledgeBase, error) {
 	if schema == nil || model == nil {
 		return nil, fmt.Errorf("kb: nil schema or model")
@@ -33,7 +40,11 @@ func New(schema *dataset.Schema, model *maxent.Model) (*KnowledgeBase, error) {
 				schema.Attr(i).Name, schema.Attr(i).Card(), cards[i])
 		}
 	}
-	return &KnowledgeBase{schema: schema, model: model}, nil
+	eng, err := model.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("kb: compiling model: %w", err)
+	}
+	return &KnowledgeBase{schema: schema, model: model, eng: eng}, nil
 }
 
 // Schema returns the bound schema.
@@ -92,7 +103,7 @@ func (k *KnowledgeBase) Probability(assigns ...Assignment) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return k.model.Prob(vs, values)
+	return k.eng.Prob(vs, values)
 }
 
 // Conditional returns P(target | given) = P(target, given) / P(given),
@@ -120,9 +131,10 @@ func (k *KnowledgeBase) Conditional(target []Assignment, given []Assignment) (fl
 }
 
 // Distribution returns the full conditional distribution of attr given the
-// evidence: one probability per value label, summing to 1.
+// evidence: one probability per value label, summing to 1. The numerators
+// of every value are computed in a single batch elimination sweep.
 func (k *KnowledgeBase) Distribution(attr string, given ...Assignment) (map[string]float64, error) {
-	a, _, err := k.schema.AttrByName(attr)
+	a, pos, err := k.schema.AttrByName(attr)
 	if err != nil {
 		return nil, fmt.Errorf("kb: %w", err)
 	}
@@ -131,13 +143,35 @@ func (k *KnowledgeBase) Distribution(attr string, given ...Assignment) (map[stri
 			return nil, fmt.Errorf("kb: cannot condition %q on itself", attr)
 		}
 	}
-	out := make(map[string]float64, a.Card())
-	total := 0.0
-	for _, v := range a.Values {
-		p, err := k.Conditional([]Assignment{{Attr: attr, Value: v}}, given)
+	gvs, gvals, err := k.resolve(given)
+	if err != nil {
+		return nil, err
+	}
+	denom := 1.0
+	if len(given) > 0 {
+		denom, err = k.eng.Prob(gvs, gvals)
 		if err != nil {
 			return nil, err
 		}
+		if denom == 0 {
+			return nil, fmt.Errorf("kb: conditioning on zero-probability evidence %v", given)
+		}
+	}
+	fixed := make([]int, k.schema.R())
+	for i := range fixed {
+		fixed[i] = -1
+	}
+	for i, p := range gvs.Members() {
+		fixed[p] = gvals[i]
+	}
+	nums, err := k.eng.MarginalGiven(contingency.NewVarSet(pos), fixed)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, a.Card())
+	total := 0.0
+	for i, v := range a.Values {
+		p := nums[i] / denom
 		out[v] = p
 		total += p
 	}

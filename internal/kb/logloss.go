@@ -18,10 +18,7 @@ func (k *KnowledgeBase) LogLoss(t *contingency.Table) (float64, error) {
 	if t.R() != k.model.R() {
 		return 0, fmt.Errorf("kb: table has %d attributes, model %d", t.R(), k.model.R())
 	}
-	joint, err := k.model.Joint()
-	if err != nil {
-		return 0, err
-	}
+	joint := k.eng.Joint()
 	if len(joint) != t.NumCells() {
 		return 0, fmt.Errorf("kb: table space %d cells, model %d", t.NumCells(), len(joint))
 	}

@@ -24,7 +24,7 @@ func (k *KnowledgeBase) MostProbableExplanation(given ...Assignment) (Explanatio
 	if err != nil {
 		return Explanation{}, err
 	}
-	pEvidence, err := k.model.Prob(vs, values)
+	pEvidence, err := k.eng.Prob(vs, values)
 	if err != nil {
 		return Explanation{}, err
 	}
@@ -47,7 +47,7 @@ func (k *KnowledgeBase) MostProbableExplanation(given ...Assignment) (Explanatio
 	bestP := -1.0
 	best := make([]int, r)
 	for {
-		p, err := k.model.CellProb(cell)
+		p, err := k.eng.CellProb(cell)
 		if err != nil {
 			return Explanation{}, err
 		}

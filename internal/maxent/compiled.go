@@ -1,0 +1,171 @@
+package maxent
+
+import (
+	"fmt"
+
+	"pka/internal/contingency"
+	"pka/internal/sumprod"
+)
+
+// Compiled is an immutable snapshot of a model bound to a compiled
+// sum-product engine: the separation of the mutable fitting model from the
+// query engine. It is safe for concurrent use by any number of goroutines —
+// coefficients are deep-copied at Compile time and scratch state is pooled —
+// and every probability it returns is bit-identical to the equivalent
+// Model method evaluated on the snapshot's coefficients.
+type Compiled struct {
+	names []string
+	cards []int
+	a0    float64
+	eng   *sumprod.Compiled
+}
+
+// Compile returns the model's compiled inference engine, building it from
+// the current coefficients if no snapshot is cached. The cache is
+// invalidated by AddConstraint and refreshed by every successful Fit, so a
+// fitted model hands out an up-to-date engine for free.
+//
+// Concurrency: safe to call from any number of goroutines as long as no
+// mutation (AddConstraint, Fit) is in flight — the snapshot is published
+// through an atomic pointer, and concurrent rebuilds of a stale cache each
+// compile the same coefficients, so whichever publication wins is correct.
+func (m *Model) Compile() (*Compiled, error) {
+	if c := m.compiled.Load(); c != nil {
+		return c, nil
+	}
+	eng, err := sumprod.Compile(m.cards, m.terms())
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{
+		names: append([]string(nil), m.names...),
+		cards: append([]int(nil), m.cards...),
+		a0:    m.a0,
+		eng:   eng,
+	}
+	m.compiled.Store(c)
+	return c, nil
+}
+
+// R returns the number of attributes.
+func (c *Compiled) R() int { return len(c.cards) }
+
+// Cards returns a copy of the attribute cardinalities.
+func (c *Compiled) Cards() []int { return append([]int(nil), c.cards...) }
+
+// Names returns a copy of the attribute names.
+func (c *Compiled) Names() []string { return append([]string(nil), c.names...) }
+
+// A0 returns the snapshot's normalizing coefficient.
+func (c *Compiled) A0() float64 { return c.a0 }
+
+// checkCell validates (vars, values) against the attribute space.
+func (c *Compiled) checkCell(vars contingency.VarSet, values []int) ([]int, error) {
+	members := vars.Members()
+	if len(members) != len(values) {
+		return nil, fmt.Errorf("maxent: %d values for attribute set %v", len(values), vars)
+	}
+	if len(members) > 0 && members[len(members)-1] >= len(c.cards) {
+		return nil, fmt.Errorf("maxent: attribute set %v exceeds %d attributes", vars, len(c.cards))
+	}
+	for i, p := range members {
+		if values[i] < 0 || values[i] >= c.cards[p] {
+			return nil, fmt.Errorf("maxent: value %d out of range for attribute %d", values[i], p)
+		}
+	}
+	return members, nil
+}
+
+// Prob returns the normalized probability that the attributes of vars take
+// values — one pooled-scratch elimination sweep, no per-call engine build.
+func (c *Compiled) Prob(vars contingency.VarSet, values []int) (float64, error) {
+	members, err := c.checkCell(vars, values)
+	if err != nil {
+		return 0, err
+	}
+	return c.a0 * c.eng.SumPinned(members, values), nil
+}
+
+// Marginal returns the model's full marginal distribution over the family:
+// every cell's probability, dense row-major over the members ascending
+// (first member slowest), computed in a single batch elimination sweep.
+// Each entry is bit-identical to the Prob call for that cell.
+func (c *Compiled) Marginal(vars contingency.VarSet) ([]float64, error) {
+	members := vars.Members()
+	if len(members) == 0 {
+		return nil, fmt.Errorf("maxent: empty attribute set for marginal")
+	}
+	if members[len(members)-1] >= len(c.cards) {
+		return nil, fmt.Errorf("maxent: attribute set %v exceeds %d attributes", vars, len(c.cards))
+	}
+	out, err := c.eng.Marginal(members)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		out[i] = c.a0 * out[i]
+	}
+	return out, nil
+}
+
+// MarginalGiven returns the joint probability of every cell of vars together
+// with the clamped evidence: fixed[v] >= 0 pins attribute v (which must not
+// be a member of vars), -1 leaves it summed over. One batch sweep computes
+// the whole conditional slice's numerators.
+func (c *Compiled) MarginalGiven(vars contingency.VarSet, fixed []int) ([]float64, error) {
+	members := vars.Members()
+	if len(members) == 0 {
+		return nil, fmt.Errorf("maxent: empty attribute set for marginal")
+	}
+	if members[len(members)-1] >= len(c.cards) {
+		return nil, fmt.Errorf("maxent: attribute set %v exceeds %d attributes", vars, len(c.cards))
+	}
+	for v := 0; v < len(fixed) && v < len(c.cards); v++ {
+		if fixed[v] >= c.cards[v] {
+			return nil, fmt.Errorf("maxent: value %d out of range for attribute %d", fixed[v], v)
+		}
+	}
+	out, err := c.eng.MarginalFixed(members, fixed)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		out[i] = c.a0 * out[i]
+	}
+	return out, nil
+}
+
+// CellProb returns the normalized probability of one full cell by direct
+// product evaluation, multiplying the family coefficients onto a0 in the
+// same order Model.CellProb does.
+func (c *Compiled) CellProb(cell []int) (float64, error) {
+	if len(cell) != len(c.cards) {
+		return 0, fmt.Errorf("maxent: cell has %d coordinates, model has %d attributes",
+			len(cell), len(c.cards))
+	}
+	for i, v := range cell {
+		if v < 0 || v >= c.cards[i] {
+			return 0, fmt.Errorf("maxent: coordinate %d = %d out of range", i, v)
+		}
+	}
+	return c.eng.CellValue(c.a0, cell), nil
+}
+
+// Joint materializes the full normalized joint distribution in row-major
+// order. Intended for small spaces, validation, and tests.
+func (c *Compiled) Joint() []float64 {
+	joint := c.eng.FullJoint()
+	for i := range joint {
+		joint[i] *= c.a0
+	}
+	return joint
+}
+
+// Sum returns the unnormalized total Σ Π coefficients (1/a0 after a fit).
+func (c *Compiled) Sum() float64 { return c.eng.Sum() }
+
+// sumPinnedRatio returns SumPinned/sum — the predicted constraint
+// probability used by Residual.
+func (c *Compiled) sumPinnedRatio(cons Constraint, sum float64) float64 {
+	return c.eng.SumPinned(cons.Family.Members(), cons.Values) / sum
+}

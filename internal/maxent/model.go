@@ -3,6 +3,7 @@ package maxent
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"pka/internal/contingency"
 	"pka/internal/stats"
@@ -12,6 +13,13 @@ import (
 // Model is the product-form joint distribution of Eq. 12. Construct with
 // NewModel, add constraints, then Fit. Until fitted, a0 is 1 and the model
 // is unnormalized.
+//
+// Concurrency: mutation (AddConstraint, Fit, UnmarshalJSON) must be
+// single-threaded and must not overlap queries. Query methods (Prob,
+// Marginal, CellProb, Joint, ...) serve from an immutable compiled snapshot
+// published through an atomic pointer, so any number of goroutines may
+// query concurrently — even when the snapshot is stale and must be rebuilt,
+// racing rebuilds are benign (each compiles the same coefficients).
 type Model struct {
 	names    []string
 	cards    []int
@@ -19,6 +27,11 @@ type Model struct {
 	families map[contingency.VarSet]*familyTerm
 	cons     []Constraint
 	conIdx   map[string]int
+	// compiled caches the immutable inference engine for the current
+	// coefficients; nil means no snapshot (invalidated by mutation). The
+	// holder is a pointer so UnmarshalJSON's struct copy stays legal; Clone
+	// gives the copy its own holder.
+	compiled *atomic.Pointer[Compiled]
 }
 
 // familyTerm holds the dense coefficient array of one attribute family.
@@ -57,6 +70,7 @@ func NewModel(names []string, cards []int) (*Model, error) {
 		a0:       1,
 		families: make(map[contingency.VarSet]*familyTerm),
 		conIdx:   make(map[string]int),
+		compiled: &atomic.Pointer[Compiled]{},
 	}
 	if names == nil {
 		m.names = make([]string, len(cards))
@@ -132,6 +146,7 @@ func (m *Model) AddConstraint(c Constraint) error {
 		Values: append([]int(nil), c.Values...),
 		Target: c.Target,
 	})
+	m.compiled.Store(nil) // coefficient layout changed; snapshot is stale
 	return nil
 }
 
@@ -212,7 +227,9 @@ func (m *Model) terms() []sumprod.Term {
 	return out
 }
 
-// evaluator builds the Appendix B evaluator over the current coefficients.
+// evaluator builds the per-use Appendix B evaluator over the current
+// coefficients — the original per-cell path, retained as the reference
+// implementation the compiled engine is equivalence-tested against.
 func (m *Model) evaluator() (*sumprod.Evaluator, error) {
 	return sumprod.NewEvaluator(m.cards, m.terms())
 }
@@ -220,67 +237,43 @@ func (m *Model) evaluator() (*sumprod.Evaluator, error) {
 // CellProb returns the normalized probability of one full cell: Eq. 12
 // evaluated directly as a0 times the product of family coefficients.
 func (m *Model) CellProb(cell []int) (float64, error) {
-	if len(cell) != len(m.cards) {
-		return 0, fmt.Errorf("maxent: cell has %d coordinates, model has %d attributes",
-			len(cell), len(m.cards))
+	c, err := m.Compile()
+	if err != nil {
+		return 0, err
 	}
-	for i, v := range cell {
-		if v < 0 || v >= m.cards[i] {
-			return 0, fmt.Errorf("maxent: coordinate %d = %d out of range", i, v)
-		}
-	}
-	p := m.a0
-	for _, vs := range sortedFamilies(m.families) {
-		ft := m.families[vs]
-		off := 0
-		for _, pos := range ft.vars {
-			off = off*m.cards[pos] + cell[pos]
-		}
-		p *= ft.coeffs[off]
-	}
-	return p, nil
+	return c.CellProb(cell)
 }
 
 // Prob returns the normalized probability that the attributes of `vars`
 // take `values` (ascending member order) — a marginal of the model computed
 // by the Appendix B recursion, never by materializing the joint.
 func (m *Model) Prob(vars contingency.VarSet, values []int) (float64, error) {
-	members := vars.Members()
-	if len(members) != len(values) {
-		return 0, fmt.Errorf("maxent: %d values for attribute set %v", len(values), vars)
-	}
-	if len(members) > 0 && members[len(members)-1] >= len(m.cards) {
-		return 0, fmt.Errorf("maxent: attribute set %v exceeds %d attributes", vars, len(m.cards))
-	}
-	pinned := make([]int, len(m.cards))
-	for i := range pinned {
-		pinned[i] = -1
-	}
-	for i, p := range members {
-		if values[i] < 0 || values[i] >= m.cards[p] {
-			return 0, fmt.Errorf("maxent: value %d out of range for attribute %d", values[i], p)
-		}
-		pinned[p] = values[i]
-	}
-	ev, err := m.evaluator()
+	c, err := m.Compile()
 	if err != nil {
 		return 0, err
 	}
-	return m.a0 * ev.SumFixed(pinned), nil
+	return c.Prob(vars, values)
+}
+
+// Marginal returns the model's marginal distribution over every cell of the
+// family in one batch elimination sweep — see Compiled.Marginal. The scan
+// loop of the discovery engine consumes this instead of per-cell Prob calls.
+func (m *Model) Marginal(vars contingency.VarSet) ([]float64, error) {
+	c, err := m.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return c.Marginal(vars)
 }
 
 // Joint materializes the full normalized joint distribution in row-major
 // order (attribute 0 slowest). Intended for small spaces and tests.
 func (m *Model) Joint() ([]float64, error) {
-	ev, err := m.evaluator()
+	c, err := m.Compile()
 	if err != nil {
 		return nil, err
 	}
-	joint := ev.FullJoint()
-	for i := range joint {
-		joint[i] *= m.a0
-	}
-	return joint, nil
+	return c.Joint(), nil
 }
 
 // Entropy returns H of the fitted joint in nats (Eq. 7).
@@ -295,25 +288,18 @@ func (m *Model) Entropy() (float64, error) {
 // Residual returns the largest |predicted - target| over all constraints —
 // the convergence measure of Figure 4.
 func (m *Model) Residual() (float64, error) {
-	ev, err := m.evaluator()
+	c, err := m.Compile()
 	if err != nil {
 		return 0, err
 	}
-	sum := ev.Sum()
+	sum := c.Sum()
 	if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
 		return 0, fmt.Errorf("maxent: degenerate model sum %g", sum)
 	}
-	pinned := make([]int, len(m.cards))
 	worst := 0.0
-	for _, c := range m.cons {
-		for i := range pinned {
-			pinned[i] = -1
-		}
-		for i, p := range c.Family.Members() {
-			pinned[p] = c.Values[i]
-		}
-		q := ev.SumFixed(pinned) / sum
-		if d := math.Abs(q - c.Target); d > worst {
+	for _, cons := range m.cons {
+		q := c.sumPinnedRatio(cons, sum)
+		if d := math.Abs(q - cons.Target); d > worst {
 			worst = d
 		}
 	}
@@ -347,6 +333,11 @@ func (m *Model) Clone() *Model {
 	for k, v := range m.conIdx {
 		cp.conIdx[k] = v
 	}
+	// The compiled snapshot is immutable and matches the copied
+	// coefficients, so the clone can share it until its next mutation —
+	// but in its own holder, so invalidation never crosses models.
+	cp.compiled = &atomic.Pointer[Compiled]{}
+	cp.compiled.Store(m.compiled.Load())
 	return cp
 }
 

@@ -99,6 +99,7 @@ func (m *Model) Fit(opts SolveOptions) (*Report, error) {
 	if len(m.cons) == 0 {
 		return nil, fmt.Errorf("maxent: no constraints to fit")
 	}
+	m.compiled.Store(nil) // coefficients are about to move; drop the snapshot
 	s := newSolverState(m)
 	rep := &Report{Method: opts.Method}
 	if opts.RecordTrace {
@@ -133,6 +134,11 @@ func (m *Model) Fit(opts SolveOptions) (*Report, error) {
 		return nil, fmt.Errorf("maxent: degenerate weight sum %g after fitting", s.sumW)
 	}
 	m.a0 = 1 / s.sumW
+	// Refresh the compiled snapshot so the fitted model serves queries —
+	// including the concurrent scan's batch marginals — without a rebuild.
+	if _, err := m.Compile(); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 

@@ -4,21 +4,22 @@ import (
 	"testing"
 
 	"pka/internal/contingency"
+	"pka/internal/maxent"
 )
 
-func benchPredictor(b *testing.B, tab *contingency.Table) func(contingency.VarSet, []int) (float64, error) {
+func benchPredictor(b *testing.B, tab *contingency.Table) Predictor {
 	b.Helper()
 	first, err := tab.FirstOrderProbabilities()
 	if err != nil {
 		b.Fatal(err)
 	}
-	return func(fam contingency.VarSet, values []int) (float64, error) {
+	return PerCell(tab.Cards(), func(fam contingency.VarSet, values []int) (float64, error) {
 		p := 1.0
 		for i, pos := range fam.Members() {
 			p *= first[pos][values[i]]
 		}
 		return p, nil
-	}
+	})
 }
 
 func benchMemoTable(b *testing.B) *contingency.Table {
@@ -107,7 +108,7 @@ func BenchmarkScanParallel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	predict := func(fam contingency.VarSet, values []int) (float64, error) {
+	predict := PerCell(tab.Cards(), func(fam contingency.VarSet, values []int) (float64, error) {
 		// Simulate model-prediction cost with a small busy loop on top of
 		// the product; real predictions run the Appendix B recursion.
 		p := 1.0
@@ -118,7 +119,7 @@ func BenchmarkScanParallel(b *testing.B) {
 			}
 		}
 		return p, nil
-	}
+	})
 	for _, workers := range []int{1, 4, 0} {
 		name := "seq"
 		switch workers {
@@ -143,6 +144,62 @@ func BenchmarkScanParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkScanOrderCompiled prices a full second-order scan against a
+// fitted maximum-entropy model — the discovery engine's actual inner loop —
+// comparing the legacy per-cell prediction path (one elimination recursion
+// per cell via PerCell + Model.Prob) with the compiled batch-marginal
+// predictor (one sweep per family via Model.Marginal). The 8-attribute
+// ternary space (28 families × 9 cells = 252 candidates over 6561 joint
+// cells) is the regime real scans live in.
+func BenchmarkScanOrderCompiled(b *testing.B) {
+	r, card := 8, 3
+	cards := make([]int, r)
+	for i := range cards {
+		cards[i] = card
+	}
+	tab := contingency.MustNew(nil, cards)
+	cell := make([]int, r)
+	for off := 0; off < tab.NumCells(); off++ {
+		tab.Unflatten(off, cell)
+		if err := tab.Set(int64(off%11)+1, cell...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	model, err := maxent.NewModel(tab.Names(), tab.Cards())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := model.AddFirstOrderConstraints(tab); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := model.Fit(maxent.SolveOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	wantTests := r * (r - 1) / 2 * card * card
+	run := func(b *testing.B, pred Predictor) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tester, err := NewTester(tab, DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			tests, err := tester.ScanOrder(2, pred)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(tests) != wantTests {
+				b.Fatalf("scan produced %d tests, want %d", len(tests), wantTests)
+			}
+		}
+	}
+	b.Run("percell", func(b *testing.B) {
+		run(b, PerCell(tab.Cards(), model.Prob))
+	})
+	b.Run("batch", func(b *testing.B) {
+		run(b, model) // *maxent.Model satisfies Predictor via Marginal
+	})
 }
 
 func BenchmarkChanceRangeWithSiblings(b *testing.B) {

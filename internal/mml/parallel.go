@@ -4,94 +4,61 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"pka/internal/contingency"
 )
 
-// candidate is one (family, cell) pair of a scan, in deterministic order.
-type candidate struct {
-	family contingency.VarSet
-	values []int
-}
-
-// ScanOrderParallel is ScanOrder with the candidate scoring fanned out over
-// a worker pool. Results are identical to the sequential scan (same order,
-// same values); only wall time changes. workers <= 0 uses GOMAXPROCS.
+// ScanOrderParallel is ScanOrder with the family pricing fanned out over a
+// worker pool: each family costs one batch marginal sweep plus its cell
+// tests, so families are the natural unit of parallel work. Results are
+// identical to the sequential scan (same order, same values); only wall
+// time changes. workers <= 0 uses GOMAXPROCS.
 //
-// Scoring is read-only on the tester and the predict callback must be safe
-// for concurrent use — model predictions are, because they only read the
-// fitted coefficients.
-func (t *Tester) ScanOrderParallel(r int, predict func(family contingency.VarSet, values []int) (float64, error), workers int) ([]CellTest, error) {
+// Scoring is read-only on the tester, and the predictor must be safe for
+// concurrent use — compiled model engines are.
+func (t *Tester) ScanOrderParallel(r int, pred Predictor, workers int) ([]CellTest, error) {
 	if r < 2 || r > t.table.R() {
 		return nil, fmt.Errorf("mml: scan order %d outside [2,%d]", r, t.table.R())
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	// Enumerate candidates deterministically, skipping significant cells —
-	// the same walk the sequential scan performs.
-	var cands []candidate
-	for _, fam := range contingency.Combinations(t.table.R(), r) {
-		members := fam.Members()
-		values := make([]int, len(members))
-		for {
-			if !t.IsSignificant(fam, values) {
-				cands = append(cands, candidate{
-					family: fam,
-					values: append([]int(nil), values...),
-				})
-			}
-			i := len(members) - 1
-			for i >= 0 {
-				values[i]++
-				if values[i] < t.table.Card(members[i]) {
-					break
-				}
-				values[i] = 0
-				i--
-			}
-			if i < 0 {
-				break
-			}
-		}
+	families := contingency.Combinations(t.table.R(), r)
+	if workers > len(families) {
+		workers = len(families)
 	}
-	out := make([]CellTest, len(cands))
-	errs := make([]error, workers)
+	results := make([][]CellTest, len(families))
+	errs := make([]error, len(families))
+	var next atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
-	chunk := (len(cands) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(cands) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(cands) {
-			hi = len(cands)
-		}
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func() {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				c := cands[i]
-				p, err := predict(c.family, c.values)
-				if err != nil {
-					errs[w] = err
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(families) {
 					return
 				}
-				ct, err := t.Test(c.family, c.values, p)
-				if err != nil {
-					errs[w] = err
-					return
+				results[i], errs[i] = t.scanFamily(families[i], pred)
+				if errs[i] != nil {
+					failed.Store(true)
 				}
-				out[i] = ct
 			}
-		}(w, lo, hi)
+		}()
 	}
 	wg.Wait()
+	// Deterministic error selection: first failing family wins.
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	var out []CellTest
+	for _, tests := range results {
+		out = append(out, tests...)
 	}
 	return out, nil
 }

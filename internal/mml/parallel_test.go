@@ -8,7 +8,7 @@ import (
 
 func TestScanOrderParallelMatchesSequential(t *testing.T) {
 	tab := memoTable(t)
-	predict := independencePredictor(t, tab)
+	predict := PerCell(tab.Cards(), independencePredictor(t, tab))
 	for _, workers := range []int{0, 1, 2, 7, 64} {
 		seqT, err := NewTester(tab, DefaultConfig())
 		if err != nil {
@@ -40,7 +40,7 @@ func TestScanOrderParallelMatchesSequential(t *testing.T) {
 
 func TestScanOrderParallelSkipsSignificant(t *testing.T) {
 	tab := memoTable(t)
-	predict := independencePredictor(t, tab)
+	predict := PerCell(tab.Cards(), independencePredictor(t, tab))
 	tester, err := NewTester(tab, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +59,7 @@ func TestScanOrderParallelSkipsSignificant(t *testing.T) {
 
 func TestScanOrderParallelValidation(t *testing.T) {
 	tab := memoTable(t)
-	predict := independencePredictor(t, tab)
+	predict := PerCell(tab.Cards(), independencePredictor(t, tab))
 	tester, err := NewTester(tab, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -81,7 +81,7 @@ func TestScanOrderParallelPropagatesErrors(t *testing.T) {
 	bad := func(contingency.VarSet, []int) (float64, error) {
 		return 0, errPredict
 	}
-	if _, err := tester.ScanOrderParallel(2, bad, 4); err == nil {
+	if _, err := tester.ScanOrderParallel(2, PerCell(tab.Cards(), bad), 4); err == nil {
 		t.Error("predictor error swallowed")
 	}
 }

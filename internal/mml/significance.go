@@ -95,44 +95,133 @@ func (t *Tester) Test(family contingency.VarSet, values []int, predicted float64
 	return ct, nil
 }
 
-// ScanOrder scores every not-yet-significant cell of every order-r family
-// using the predict callback to obtain model probabilities, returning the
-// tests in deterministic (family, cell) order — one full scan of the memo's
-// Figure 3 inner loop.
-func (t *Tester) ScanOrder(r int, predict func(family contingency.VarSet, values []int) (float64, error)) ([]CellTest, error) {
+// Predictor supplies model-predicted marginals for scan scoring. The
+// discovery engine backs it with a compiled inference engine so one batch
+// elimination sweep prices a whole family; PerCell adapts legacy per-cell
+// callbacks. Implementations must be safe for concurrent use — the parallel
+// scan prices families from many goroutines.
+type Predictor interface {
+	// Marginal returns the predicted probability of every cell of the
+	// family, dense row-major over the members ascending (first member
+	// slowest) — the same order an odometer over the family's value space
+	// visits cells.
+	Marginal(family contingency.VarSet) ([]float64, error)
+}
+
+// perCell adapts a per-cell probability callback to the batch Predictor
+// interface by evaluating every family cell individually — the original
+// scan evaluation strategy, retained for callers without a compiled model
+// and as the reference path in equivalence tests.
+type perCell struct {
+	cards   []int
+	predict func(family contingency.VarSet, values []int) (float64, error)
+}
+
+// PerCell wraps a per-cell prediction callback as a Predictor over the
+// given attribute cardinalities. Note the batch contract: predict is called
+// for every cell of a scanned family, including cells already marked
+// significant (whose predictions the scan then ignores).
+func PerCell(cards []int, predict func(family contingency.VarSet, values []int) (float64, error)) Predictor {
+	return perCell{cards: append([]int(nil), cards...), predict: predict}
+}
+
+func (p perCell) Marginal(family contingency.VarSet) ([]float64, error) {
+	members := family.Members()
+	size := 1
+	for _, pos := range members {
+		if pos >= len(p.cards) {
+			return nil, fmt.Errorf("mml: family %v exceeds %d attributes", family, len(p.cards))
+		}
+		size *= p.cards[pos]
+	}
+	out := make([]float64, 0, size)
+	values := make([]int, len(members))
+	for {
+		v, err := p.predict(family, values)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		i := len(members) - 1
+		for i >= 0 {
+			values[i]++
+			if values[i] < p.cards[members[i]] {
+				break
+			}
+			values[i] = 0
+			i--
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// scanFamily prices one family: a single batch marginal from the predictor,
+// then one significance test per not-yet-significant cell, in deterministic
+// odometer order.
+func (t *Tester) scanFamily(fam contingency.VarSet, pred Predictor) ([]CellTest, error) {
+	members := fam.Members()
+	size := 1
+	for _, pos := range members {
+		size *= t.table.Card(pos)
+	}
+	// A fully-promoted family has nothing left to test: skip it before
+	// paying for a marginal sweep (repeat passes at one order hit this).
+	if len(t.sig[fam]) == size {
+		return nil, nil
+	}
+	marg, err := pred.Marginal(fam)
+	if err != nil {
+		return nil, err
+	}
+	if len(marg) != size {
+		return nil, fmt.Errorf("mml: predictor returned %d probabilities for family %v (%d cells)",
+			len(marg), fam, size)
+	}
+	var out []CellTest
+	values := make([]int, len(members))
+	for idx := 0; ; idx++ {
+		if !t.IsSignificant(fam, values) {
+			ct, err := t.Test(fam, values, marg[idx])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ct)
+		}
+		// Odometer over the family's value space.
+		i := len(members) - 1
+		for i >= 0 {
+			values[i]++
+			if values[i] < t.table.Card(members[i]) {
+				break
+			}
+			values[i] = 0
+			i--
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// ScanOrder scores every not-yet-significant cell of every order-r family,
+// drawing model probabilities one batch marginal per family, and returns
+// the tests in deterministic (family, cell) order — one full scan of the
+// memo's Figure 3 inner loop.
+func (t *Tester) ScanOrder(r int, pred Predictor) ([]CellTest, error) {
 	if r < 2 || r > t.table.R() {
 		return nil, fmt.Errorf("mml: scan order %d outside [2,%d]", r, t.table.R())
 	}
 	var out []CellTest
 	for _, fam := range contingency.Combinations(t.table.R(), r) {
-		members := fam.Members()
-		values := make([]int, len(members))
-		for {
-			if !t.IsSignificant(fam, values) {
-				p, err := predict(fam, values)
-				if err != nil {
-					return nil, err
-				}
-				ct, err := t.Test(fam, values, p)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, ct)
-			}
-			// Odometer over the family's value space.
-			i := len(members) - 1
-			for i >= 0 {
-				values[i]++
-				if values[i] < t.table.Card(members[i]) {
-					break
-				}
-				values[i] = 0
-				i--
-			}
-			if i < 0 {
-				break
-			}
+		tests, err := t.scanFamily(fam, pred)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, tests...)
 	}
 	return out, nil
 }

@@ -115,7 +115,7 @@ func TestTable1MostSignificantCell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tests, err := tt.ScanOrder(2, independencePredictor(t, tab))
+	tests, err := tt.ScanOrder(2, PerCell(tab.Cards(), independencePredictor(t, tab)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestTable1SignificantSet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tests, err := tt.ScanOrder(2, independencePredictor(t, tab))
+	tests, err := tt.ScanOrder(2, PerCell(tab.Cards(), independencePredictor(t, tab)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestScanOrderSkipsSignificant(t *testing.T) {
 	if err := tt.MarkSignificant(contingency.NewVarSet(0, 1), []int{0, 0}); err != nil {
 		t.Fatal(err)
 	}
-	tests, err := tt.ScanOrder(2, independencePredictor(t, tab))
+	tests, err := tt.ScanOrder(2, PerCell(tab.Cards(), independencePredictor(t, tab)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,8 @@ func TestScanOrderValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pred := func(contingency.VarSet, []int) (float64, error) { return 0.1, nil }
+	pred := PerCell(tt.Table().Cards(),
+		func(contingency.VarSet, []int) (float64, error) { return 0.1, nil })
 	if _, err := tt.ScanOrder(1, pred); err == nil {
 		t.Error("order 1 accepted")
 	}

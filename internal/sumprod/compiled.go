@@ -1,0 +1,321 @@
+package sumprod
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Compiled is an immutable, goroutine-safe inference engine over a snapshot
+// of product-formula terms. Where Evaluator is rebuilt (and re-validated)
+// per use, Compile is called once: it deep-copies the coefficient arrays,
+// fixes the elimination order, groups terms by highest variable, and pools
+// the fold scratch buffers so steady-state queries allocate nothing beyond
+// their result.
+//
+// The evaluation primitives are bit-identical to Evaluator: the fold visits
+// levels, prefix cells, and term factors in exactly the same order, so every
+// float64 it returns equals the corresponding Evaluator result bit for bit
+// (the equivalence tests assert this with ==).
+//
+// On top of the per-query Sum/SumPinned primitives, Compiled adds a batch
+// marginal: Marginal computes every cell of a family's marginal in one
+// elimination sweep by keeping the family's variables un-eliminated, instead
+// of running one full SumFixed recursion per cell.
+type Compiled struct {
+	cards   []int
+	terms   []Term  // coefficient snapshots, deep-copied at Compile time
+	byLevel [][]int // byLevel[n] = indices of terms whose highest var is n
+	size    int     // full joint size
+	scratch sync.Pool
+}
+
+// foldScratch holds the per-call working state of one elimination sweep.
+// Instances are pooled per engine so concurrent callers never share one.
+type foldScratch struct {
+	bufA, bufB []float64
+	cell       []int
+	edims      []int
+	fixed      []int
+	keep       []bool
+}
+
+// Compile validates the terms against the cardinalities and builds the
+// immutable engine. The coefficient arrays are copied: later mutation of the
+// caller's slices does not affect the compiled snapshot.
+func Compile(cards []int, terms []Term) (*Compiled, error) {
+	if len(cards) == 0 {
+		return nil, fmt.Errorf("sumprod: compiled engine needs at least one attribute")
+	}
+	size := 1
+	for i, card := range cards {
+		if card < 1 {
+			return nil, fmt.Errorf("sumprod: attribute %d has cardinality %d", i, card)
+		}
+		size *= card
+	}
+	c := &Compiled{
+		cards:   append([]int(nil), cards...),
+		terms:   make([]Term, len(terms)),
+		byLevel: make([][]int, len(cards)),
+		size:    size,
+	}
+	for ti, t := range terms {
+		if err := t.Validate(cards); err != nil {
+			return nil, err
+		}
+		c.terms[ti] = Term{
+			Vars:   append([]int(nil), t.Vars...),
+			Coeffs: append([]float64(nil), t.Coeffs...),
+		}
+		h := t.Vars[len(t.Vars)-1]
+		c.byLevel[h] = append(c.byLevel[h], ti)
+	}
+	r := len(cards)
+	c.scratch.New = func() any {
+		return &foldScratch{
+			cell:  make([]int, r),
+			edims: make([]int, r),
+			fixed: make([]int, r),
+			keep:  make([]bool, r),
+		}
+	}
+	return c, nil
+}
+
+// Cards returns a copy of the attribute cardinalities.
+func (c *Compiled) Cards() []int { return append([]int(nil), c.cards...) }
+
+// NumCells returns the size of the full joint space.
+func (c *Compiled) NumCells() int { return c.size }
+
+// getScratch pops a scratch from the pool with the pin state reset.
+func (c *Compiled) getScratch() *foldScratch {
+	sc := c.scratch.Get().(*foldScratch)
+	for v := range sc.fixed {
+		sc.fixed[v] = -1
+		sc.keep[v] = false
+	}
+	return sc
+}
+
+// grow returns buf resized to n, reallocating only when capacity is short.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// fold runs the Appendix B elimination with the scratch's pin/keep state:
+// sc.fixed[v] >= 0 clamps variable v, sc.keep[v] carries it through to the
+// output instead of summing it out. The returned slice is scratch-owned
+// (valid until the scratch is released) and holds the result indexed
+// row-major by the kept variables in ascending position order — a single
+// value when nothing is kept.
+//
+// The loop structure mirrors Evaluator.SumFixed exactly: levels fold from
+// the highest position down, the level value is the fastest-moving digit,
+// and each output accumulator receives its additions in the same order, so
+// results are bit-identical to the per-cell path.
+func (c *Compiled) fold(sc *foldScratch) []float64 {
+	r := len(c.cards)
+	edims, cell := sc.edims, sc.cell
+	for v := 0; v < r; v++ {
+		if !sc.keep[v] && sc.fixed[v] >= 0 {
+			edims[v] = 1
+			cell[v] = sc.fixed[v]
+		} else {
+			edims[v] = c.cards[v]
+			cell[v] = 0
+		}
+	}
+	var in []float64
+	out, spare := sc.bufA, sc.bufB
+	tail := 1 // joint size of kept variables above the current level
+	for n := r - 1; n >= 0; n-- {
+		prefSize := 1
+		for v := 0; v < n; v++ {
+			prefSize *= edims[v]
+		}
+		dn := edims[n]
+		keepN := sc.keep[n]
+		outSize := prefSize * tail
+		if keepN {
+			outSize *= dn
+		}
+		out = grow(out, outSize)
+		clear(out)
+		pinnedN := !keepN && sc.fixed[n] >= 0
+		if pinnedN {
+			cell[n] = sc.fixed[n]
+		}
+		byL := c.byLevel[n]
+		inRow := 0
+		for p := 0; p < prefSize; p++ {
+			outBase := p * tail
+			for x := 0; x < dn; x++ {
+				if !pinnedN {
+					cell[n] = x
+				}
+				q := 1.0
+				for _, ti := range byL {
+					t := &c.terms[ti]
+					off := 0
+					for _, v := range t.Vars {
+						off = off*c.cards[v] + cell[v]
+					}
+					q *= t.Coeffs[off]
+				}
+				oRow := outBase
+				if keepN {
+					oRow = inRow
+				}
+				if in == nil {
+					for k := 0; k < tail; k++ {
+						out[oRow+k] += q
+					}
+				} else {
+					for k := 0; k < tail; k++ {
+						out[oRow+k] += q * in[inRow+k]
+					}
+				}
+				inRow += tail
+			}
+			// Advance the prefix odometer over variables 0..n-1 (clamped
+			// variables have a single digit and never move).
+			for v := n - 1; v >= 0; v-- {
+				if edims[v] == 1 {
+					continue
+				}
+				cell[v]++
+				if cell[v] < edims[v] {
+					break
+				}
+				cell[v] = 0
+			}
+		}
+		if keepN {
+			tail *= dn
+		}
+		// Ping-pong: the just-written buffer becomes the next input; the
+		// previous input (or the untouched spare) is overwritten next level.
+		if in == nil {
+			in, out = out, spare
+		} else {
+			in, out = out, in
+		}
+	}
+	sc.bufA, sc.bufB = in, out // retain grown buffers for reuse
+	return in
+}
+
+// Sum returns Σ_cells Π_terms coeff over the full space.
+func (c *Compiled) Sum() float64 {
+	return c.SumFixed(nil)
+}
+
+// SumFixed returns the same sum with some attributes clamped, exactly as
+// Evaluator.SumFixed: fixed[v] >= 0 pins attribute v, -1 leaves it summed
+// over, and fixed may be nil or shorter than the attribute count.
+func (c *Compiled) SumFixed(fixed []int) float64 {
+	sc := c.getScratch()
+	for v := 0; v < len(fixed) && v < len(sc.fixed); v++ {
+		sc.fixed[v] = fixed[v]
+	}
+	res := c.fold(sc)[0]
+	c.scratch.Put(sc)
+	return res
+}
+
+// SumPinned is SumFixed with the clamps given sparsely: vars lists pinned
+// attribute positions ascending, values their clamped values. It avoids the
+// caller materializing a full-width fixed slice per query.
+func (c *Compiled) SumPinned(vars []int, values []int) float64 {
+	sc := c.getScratch()
+	for i, v := range vars {
+		sc.fixed[v] = values[i]
+	}
+	res := c.fold(sc)[0]
+	c.scratch.Put(sc)
+	return res
+}
+
+// Marginal computes every cell of the family's marginal sum in one
+// elimination sweep: variables in vars (ascending attribute positions) are
+// kept, all others are summed out. The result is dense row-major over the
+// kept variables, first listed slowest — the order an odometer over the
+// family's value space visits cells. Each entry is bit-identical to the
+// SumFixed call that pins the family to that cell.
+func (c *Compiled) Marginal(vars []int) ([]float64, error) {
+	return c.MarginalFixed(vars, nil)
+}
+
+// MarginalFixed is Marginal with additional clamps: fixed[v] >= 0 pins
+// variable v (which must not also be listed in vars), -1 or out-of-length
+// leaves it summed over. This computes a whole conditional slice — e.g.
+// every value of a target attribute under fixed evidence — in one sweep.
+func (c *Compiled) MarginalFixed(vars []int, fixed []int) ([]float64, error) {
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("sumprod: batch marginal needs at least one kept variable")
+	}
+	if !sort.IntsAreSorted(vars) {
+		return nil, fmt.Errorf("sumprod: marginal variables %v not ascending", vars)
+	}
+	size := 1
+	for i, v := range vars {
+		if v < 0 || v >= len(c.cards) {
+			return nil, fmt.Errorf("sumprod: marginal variable %d out of range [0,%d)", v, len(c.cards))
+		}
+		if i > 0 && vars[i-1] == v {
+			return nil, fmt.Errorf("sumprod: marginal repeats variable %d", v)
+		}
+		if v < len(fixed) && fixed[v] >= 0 {
+			return nil, fmt.Errorf("sumprod: marginal variable %d is also clamped", v)
+		}
+		size *= c.cards[v]
+	}
+	sc := c.getScratch()
+	for v := 0; v < len(fixed) && v < len(sc.fixed); v++ {
+		sc.fixed[v] = fixed[v]
+	}
+	for _, v := range vars {
+		sc.keep[v] = true
+	}
+	out := make([]float64, size)
+	copy(out, c.fold(sc))
+	c.scratch.Put(sc)
+	return out, nil
+}
+
+// CellValue returns init × Π_terms coeff(cell), multiplying the factors onto
+// init in term order. Seeding init with a normalizing constant reproduces
+// the exact multiplication order of direct product evaluation.
+func (c *Compiled) CellValue(init float64, cell []int) float64 {
+	p := init
+	for i := range c.terms {
+		t := &c.terms[i]
+		off := 0
+		for _, v := range t.Vars {
+			off = off*c.cards[v] + cell[v]
+		}
+		p *= t.Coeffs[off]
+	}
+	return p
+}
+
+// FullJoint materializes the complete (unnormalized) product over every cell
+// in row-major order, bit-identical to Evaluator.FullJoint.
+func (c *Compiled) FullJoint() []float64 {
+	out := make([]float64, c.size)
+	cell := make([]int, len(c.cards))
+	for off := 0; off < c.size; off++ {
+		rem := off
+		for v := len(c.cards) - 1; v >= 0; v-- {
+			cell[v] = rem % c.cards[v]
+			rem /= c.cards[v]
+		}
+		out[off] = c.CellValue(1, cell)
+	}
+	return out
+}

@@ -113,6 +113,12 @@ type Options struct {
 }
 
 // Model is a discovered probabilistic knowledge base.
+//
+// Concurrency: a Model is immutable after Discover returns, and every query
+// method (Probability, Conditional, Distribution, MostLikely, Lift,
+// MostProbableExplanation, Rules, LogLoss, ...) serves from a compiled
+// inference engine snapshot — any number of goroutines may query one Model
+// concurrently with no external locking.
 type Model struct {
 	result *core.Result
 	kbase  *kb.KnowledgeBase
@@ -277,6 +283,10 @@ func Load(r io.Reader) (*QueryModel, error) {
 }
 
 // QueryModel is a loaded, query-only knowledge base.
+//
+// Concurrency: like Model, a QueryModel is immutable and serves queries
+// from a compiled engine snapshot built at Load time; concurrent use from
+// any number of goroutines is safe without locking.
 type QueryModel struct {
 	kbase *kb.KnowledgeBase
 }

@@ -1,0 +1,142 @@
+package pka_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"pka"
+	"pka/internal/paperdata"
+)
+
+// concurrentModel discovers the memo model once for the concurrency tests.
+func concurrentModel(t *testing.T) *pka.Model {
+	t.Helper()
+	m, err := pka.Discover(paperdata.Records(), pka.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestModelConcurrentQueries exercises the public concurrency contract:
+// one discovered pka.Model serving mixed queries from many goroutines
+// (run with -race), with deterministic answers throughout.
+func TestModelConcurrentQueries(t *testing.T) {
+	m := concurrentModel(t)
+	smoker := pka.Assignment{Attr: "SMOKING", Value: "Smoker"}
+	cancer := pka.Assignment{Attr: "CANCER", Value: "Yes"}
+
+	wantProb, err := m.Probability(smoker, cancer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDist, err := m.Distribution("CANCER", smoker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMPE, err := m.MostProbableExplanation(cancer)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 120; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					p, err := m.Probability(smoker, cancer)
+					if err != nil || p != wantProb {
+						errs <- "Probability diverged under concurrency"
+						return
+					}
+				case 1:
+					d, err := m.Distribution("CANCER", smoker)
+					if err != nil {
+						errs <- err.Error()
+						return
+					}
+					for v, p := range wantDist {
+						if d[v] != p {
+							errs <- "Distribution diverged under concurrency"
+							return
+						}
+					}
+				default:
+					e, err := m.MostProbableExplanation(cancer)
+					if err != nil || e.Probability != wantMPE.Probability {
+						errs <- "MostProbableExplanation diverged under concurrency"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}
+
+// TestQueryModelConcurrentQueries covers the save/load deployment path:
+// a loaded pka.QueryModel hammered by concurrent mixed queries.
+func TestQueryModelConcurrentQueries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := concurrentModel(t).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := pka.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smoker := pka.Assignment{Attr: "SMOKING", Value: "Smoker"}
+	cancer := pka.Assignment{Attr: "CANCER", Value: "Yes"}
+	wantProb, err := q.Probability(smoker, cancer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBest, wantP, err := q.MostLikely("CANCER", smoker)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 12)
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 120; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					p, err := q.Probability(smoker, cancer)
+					if err != nil || p != wantProb {
+						errs <- "QueryModel.Probability diverged under concurrency"
+						return
+					}
+				case 1:
+					best, p, err := q.MostLikely("CANCER", smoker)
+					if err != nil || best != wantBest || p != wantP {
+						errs <- "QueryModel.MostLikely diverged under concurrency"
+						return
+					}
+				default:
+					if _, err := q.MostProbableExplanation(cancer); err != nil {
+						errs <- err.Error()
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}
