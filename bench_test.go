@@ -10,6 +10,7 @@ import (
 	"math"
 	"testing"
 
+	"pka"
 	"pka/internal/baseline"
 	"pka/internal/contingency"
 	"pka/internal/core"
@@ -603,6 +604,57 @@ func BenchmarkOrderSelection_CV(b *testing.B) {
 		if i == 0 {
 			b.ReportMetric(float64(scores[best].MaxOrder), "chosen_order")
 			b.ReportMetric(scores[0].MeanLoss-scores[1].MeanLoss, "loss_gap_nats")
+		}
+	}
+}
+
+// BenchmarkWideSchema_DiscoverSparse measures the wide-schema acquisition
+// path end to end: 24 binary channels (dense space 16.7M cells — never
+// allocated) tabulated sparsely, pairwise-screened, and discovered through
+// the factored engine.
+func BenchmarkWideSchema_DiscoverSparse(b *testing.B) {
+	const r = 24
+	attrs := make([]pka.Attribute, r)
+	for i := range attrs {
+		attrs[i] = pka.Attribute{
+			Name:   fmt.Sprintf("CH%02d", i),
+			Values: []string{"lo", "hi"},
+		}
+	}
+	schema, err := pka.NewSchema(attrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sparse, err := pka.NewSparseTable(schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(77)
+	cell := make([]int, r)
+	for s := 0; s < 20_000; s++ {
+		for i := range cell {
+			cell[i] = rng.Intn(2)
+		}
+		if rng.Float64() < 0.85 {
+			cell[13] = cell[5]
+		}
+		if err := sparse.Observe(cell...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model, err := pka.DiscoverSparse(sparse, schema, pka.Options{
+			MaxOrder:    2,
+			ScreenPairs: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(model.Screen().PairsKept), "pairs_kept")
+			b.ReportMetric(float64(len(model.Findings())), "findings")
 		}
 	}
 }

@@ -5,7 +5,7 @@
 //
 // Subcommands:
 //
-//	pka discover -in data.csv -out kb.json [-max-order N] [-prior P]
+//	pka discover -in data.csv -out kb.json [-max-order N] [-prior P] [-sparse] [-screen]
 //	pka rules    -kb kb.json [-min-prob P] [-min-lift D] [-top K]
 //	pka query    -kb kb.json -target "ATTR=value" [-given "A=v,B=w"]
 //	pka tables   -in data.csv [-rows ATTR] [-cols ATTR]
@@ -108,11 +108,20 @@ func cmdDiscover(w io.Writer, args []string) error {
 	cvSeed := fs.Int64("cv-seed", 1, "fold-assignment seed for -cv")
 	scan := fs.Bool("scan", false, "print the first significance scan (a Table 1 for your data)")
 	mergeRare := fs.Int64("merge-rare", 0, "collapse values seen fewer than this many times into 'other' (0 = off)")
+	sparse := fs.Bool("sparse", false, "wide-schema mode: tabulate into a sparse table and discover without materializing the joint space")
+	screen := fs.Bool("screen", false, "gate order >= 2 scans on a pairwise association screen (recommended with -sparse)")
+	screenAlpha := fs.Float64("screen-alpha", 0, "pairwise G² p-value threshold for -screen (0 = Bonferroni 0.05/pairs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("discover: -in is required")
+	}
+	if *sparse && *cvFolds > 0 {
+		return fmt.Errorf("discover: -cv needs the dense path; drop -sparse or -cv")
+	}
+	if *sparse && *mergeRare > 0 {
+		return fmt.Errorf("discover: -merge-rare needs the dense path; drop -sparse or -merge-rare")
 	}
 	if *cvFolds > 0 {
 		schema, table, err := tabulateCSVFile(*in, *maxCard)
@@ -134,13 +143,26 @@ func cmdDiscover(w io.Writer, args []string) error {
 		fmt.Fprintf(w, "cv: selected max-order %d\n\n", best)
 		*maxOrder = best
 	}
-	model, err := discoverFromCSVMerged(*in, *maxCard, *mergeRare, pka.Options{
+	opts := pka.Options{
 		MaxOrder:    *maxOrder,
 		PriorH2:     *prior,
 		RecordScans: *scan,
-	})
+		ScreenPairs: *screen,
+		ScreenAlpha: *screenAlpha,
+	}
+	var model *pka.Model
+	var err error
+	if *sparse {
+		model, err = discoverSparseFromCSV(*in, *maxCard, opts)
+	} else {
+		model, err = discoverFromCSVMerged(*in, *maxCard, *mergeRare, opts)
+	}
 	if err != nil {
 		return err
+	}
+	if rep := model.Screen(); rep != nil {
+		fmt.Fprintf(w, "screen: %d of %d attribute pairs passed (alpha %.3g)\n\n",
+			rep.PairsKept, rep.PairsTotal, rep.Alpha)
 	}
 	if *scan {
 		if err := printFirstScan(w, model); err != nil {
@@ -166,6 +188,31 @@ func cmdDiscover(w io.Writer, args []string) error {
 
 func discoverFromCSV(path string, maxCard int, opts pka.Options) (*pka.Model, error) {
 	return discoverFromCSVMerged(path, maxCard, 0, opts)
+}
+
+// discoverSparseFromCSV is the wide-schema path: the file is streamed into
+// a sparse contingency table and acquisition runs on it directly, so the
+// dense joint space is never allocated.
+func discoverSparseFromCSV(path string, maxCard int, opts pka.Options) (*pka.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := pka.InferSchema(f, maxCard)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	f, err = os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	table, err := pka.TabulateCSVSparse(f, schema)
+	if err != nil {
+		return nil, err
+	}
+	return pka.DiscoverSparse(table, schema, opts)
 }
 
 func discoverFromCSVMerged(path string, maxCard int, mergeRare int64, opts pka.Options) (*pka.Model, error) {

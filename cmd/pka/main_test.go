@@ -145,3 +145,44 @@ func TestQueryZeroEvidence(t *testing.T) {
 		t.Error("unknown value accepted")
 	}
 }
+
+func TestDiscoverSparseMode(t *testing.T) {
+	csvPath := writeMemoCSV(t)
+	kbPath := filepath.Join(t.TempDir(), "kb.json")
+
+	// -sparse with screening discovers the memo's structure end to end and
+	// reports the screen.
+	var buf bytes.Buffer
+	if err := run(&buf, []string{
+		"discover", "-in", csvPath, "-out", kbPath, "-sparse", "-screen",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"N=3428", "screen:", "significant constraints", "knowledge base written"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sparse discover output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The saved knowledge base answers queries like the dense one.
+	buf.Reset()
+	if err := run(&buf, []string{
+		"query", "-kb", kbPath,
+		"-target", "CANCER=Yes",
+		"-given", "SMOKING=Smoker",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "P(CANCER=Yes | SMOKING=Smoker) = 0.18") {
+		t.Errorf("query on sparse-discovered kb wrong (want ≈0.186):\n%s", buf.String())
+	}
+
+	// Dense-only flags are rejected in sparse mode.
+	if err := run(&buf, []string{"discover", "-in", csvPath, "-sparse", "-cv", "3"}); err == nil {
+		t.Error("-sparse with -cv accepted")
+	}
+	if err := run(&buf, []string{"discover", "-in", csvPath, "-sparse", "-merge-rare", "5"}); err == nil {
+		t.Error("-sparse with -merge-rare accepted")
+	}
+}

@@ -137,7 +137,8 @@ func main() {
 	// Operations queries: diagnose from evidence.
 	tempLabels := tempBins.Labels()
 	voltLabels := voltBins.Labels()
-	highTemp := pka.Assignment{Attr: "TEMP_GRADIENT", Value: tempLabels[len(tempLabels)-1]}
+	// The last label is the NaN catch-all; the top interval sits before it.
+	highTemp := pka.Assignment{Attr: "TEMP_GRADIENT", Value: tempLabels[len(tempLabels)-2]}
 	lowVolt := pka.Assignment{Attr: "BUS_VOLTAGE", Value: voltLabels[0]}
 
 	fmt.Println("\ndiagnosis given a rising temperature gradient:")

@@ -3,10 +3,11 @@
 // regime.
 //
 // 30 binary sensor channels (dense space: 2³⁰ ≈ 10⁹ cells) are tabulated
-// sparsely, all 435 channel pairs are screened with the sparse association
-// survey, and the attribute subsets that light up are projected densely and
-// run through discovery. Ground truth plants two couplings; the screen must
-// surface exactly those.
+// sparsely and run through pka.DiscoverSparse with association screening
+// on: all 435 channel pairs are surveyed first, and the expensive family
+// scan only visits the pairs that light up. Ground truth plants two
+// couplings; discovery must surface exactly those — without ever
+// allocating the joint space.
 //
 // Run with:
 //
@@ -18,7 +19,6 @@ import (
 	"log"
 
 	"pka"
-	"pka/internal/contingency"
 	"pka/internal/stats"
 )
 
@@ -65,41 +65,50 @@ func main() {
 	fmt.Printf("tabulated %d frames over %d channels (%d distinct patterns; dense space would need 2^%d cells)\n\n",
 		sparse.Total(), nSensors, sparse.Occupied(), nSensors)
 
-	// Screen all pairs sparsely.
+	// The pairwise survey is still available as a standalone diagnostic.
 	pairs, err := pka.AssociationsSparse(sparse)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("top 5 of 435 screened pairs:")
+	fmt.Println("top 5 of 435 surveyed pairs:")
 	for i := 0; i < 5 && i < len(pairs); i++ {
 		p := pairs[i]
 		fmt.Printf("  %s × %s   MI=%.5f  V=%.3f  p=%.2g\n",
 			sensorName(p.I), sensorName(p.J), p.MI, p.CramersV, p.PValue)
 	}
 
-	// Project the significant pairs densely and run discovery on each.
-	fmt.Println("\ndiscovery on the flagged subsets:")
-	for _, p := range pairs[:2] {
-		proj, err := sparse.Project(contingency.NewVarSet(p.I, p.J))
-		if err != nil {
-			log.Fatal(err)
+	// Discovery runs on the sparse table directly: ScreenPairs repeats the
+	// survey internally and restricts the order-2 scan to the pairs that
+	// pass, so the scan prices a handful of families instead of all 435.
+	model, err := pka.DiscoverSparse(sparse, schema, pka.Options{
+		MaxOrder:    2,
+		ScreenPairs: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := model.Screen()
+	fmt.Printf("\nscreen: %d of %d pairs passed (alpha %.2g)\n",
+		rep.PairsKept, rep.PairsTotal, rep.Alpha)
+
+	fmt.Printf("discovered %d significant cells across the kept families:\n",
+		len(model.Findings()))
+	printed := map[[2]int]bool{}
+	for _, f := range model.Findings() {
+		m := f.Test.Family.Members()
+		key := [2]int{m[0], m[1]}
+		if printed[key] {
+			continue
 		}
-		subSchema, err := pka.NewSchema([]pka.Attribute{attrs[p.I], attrs[p.J]})
-		if err != nil {
-			log.Fatal(err)
-		}
-		model, err := pka.DiscoverTable(proj, subSchema, pka.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
+		printed[key] = true
 		cond, err := model.Conditional(
-			[]pka.Assignment{{Attr: sensorName(p.J), Value: "hi"}},
-			[]pka.Assignment{{Attr: sensorName(p.I), Value: "hi"}})
+			[]pka.Assignment{{Attr: sensorName(m[1]), Value: "hi"}},
+			[]pka.Assignment{{Attr: sensorName(m[0]), Value: "hi"}})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %s × %s: %d significant cells, P(%s=hi | %s=hi) = %.3f\n",
-			sensorName(p.I), sensorName(p.J), len(model.Findings()),
-			sensorName(p.J), sensorName(p.I), cond)
+		fmt.Printf("  %s × %s: P(%s=hi | %s=hi) = %.3f\n",
+			sensorName(m[0]), sensorName(m[1]),
+			sensorName(m[1]), sensorName(m[0]), cond)
 	}
 }

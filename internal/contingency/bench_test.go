@@ -2,6 +2,7 @@ package contingency
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 )
 
@@ -121,6 +122,69 @@ func BenchmarkCombinations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if got := Combinations(16, 3); len(got) != 560 {
 			b.Fatal("wrong count")
+		}
+	}
+}
+
+// benchSparseWide builds a 20-attribute binary sparse table with 20k
+// observations — the wide-schema regime where scan-time marginals matter.
+func benchSparseWide(b *testing.B) *Sparse {
+	b.Helper()
+	cards := make([]int, 20)
+	for i := range cards {
+		cards[i] = 2
+	}
+	s, err := NewSparse(nil, cards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	cell := make([]int, len(cards))
+	for n := 0; n < 20000; n++ {
+		for i := range cell {
+			cell[i] = rng.Intn(2)
+		}
+		if err := s.Observe(cell...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkSparseMarginalCountScan prices a discovery-style family sweep
+// with the uncached per-cell scan: every marginal costs O(occupied).
+func BenchmarkSparseMarginalCountScan(b *testing.B) {
+	s := benchSparseWide(b)
+	members := []int{3, 9, 17}
+	values := make([]int, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < 8; v++ {
+			values[0], values[1], values[2] = v>>2&1, v>>1&1, v&1
+			if s.marginalCountScan(members, values) < 0 {
+				b.Fatal("negative count")
+			}
+		}
+	}
+}
+
+// BenchmarkSparseMarginalCountCached is the same sweep through
+// MarginalCount's per-family projection cache: one O(occupied) projection,
+// then O(1) dense lookups.
+func BenchmarkSparseMarginalCountCached(b *testing.B) {
+	s := benchSparseWide(b)
+	fam := NewVarSet(3, 9, 17)
+	values := make([]int, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < 8; v++ {
+			values[0], values[1], values[2] = v>>2&1, v>>1&1, v&1
+			n, err := s.MarginalCount(fam, values)
+			if err != nil || n < 0 {
+				b.Fatal("bad count")
+			}
 		}
 	}
 }

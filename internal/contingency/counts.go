@@ -1,0 +1,69 @@
+package contingency
+
+import "fmt"
+
+// Counts is the read-only view of tabulated observations the acquisition
+// machinery scans against: shape, sample total, and marginal counts over
+// attribute subsets. Both the dense *Table and the hash-backed *Sparse
+// implement it, so the MML tester, the discovery engine, and the validation
+// measures run unchanged over either backend — the memo's procedure is
+// defined entirely in terms of the N_ij... marginals, never the storage
+// layout.
+type Counts interface {
+	// R returns the number of attributes (axes).
+	R() int
+	// Card returns the number of values of axis i.
+	Card(i int) int
+	// Names returns a copy of all axis labels.
+	Names() []string
+	// Total returns N, the sum of all cells (Eq. 6).
+	Total() int64
+	// MarginalCount returns the marginal count of a partial assignment:
+	// the sum of all cells agreeing with values on the axes of vars
+	// (ascending axis order).
+	MarginalCount(vars VarSet, values []int) (int64, error)
+}
+
+// CellVisitor is the optional companion of Counts for backends that can
+// enumerate their occupied cells — used by goodness-of-fit and log-loss
+// scoring, which sum over observed cells only. The coordinate slice passed
+// to fn is reused between calls. Both *Table and *Sparse implement it.
+type CellVisitor interface {
+	EachCell(fn func(cell []int, count int64))
+}
+
+// EachCellDeterministic returns a deterministic occupied-cell enumerator
+// for the backend — sparse tables visit in ascending packed-key order,
+// dense tables row-major — so floating-point accumulations over the cells
+// reproduce run to run. Backends that cannot enumerate return an error.
+func EachCellDeterministic(c Counts) (func(fn func(cell []int, count int64)), error) {
+	switch t := c.(type) {
+	case *Sparse:
+		return t.EachCellSorted, nil
+	case CellVisitor:
+		return t.EachCell, nil
+	}
+	return nil, fmt.Errorf("contingency: counts backend %T cannot enumerate occupied cells", c)
+}
+
+// consistencyChecker is the optional self-check hook the discovery engine
+// probes for on its input.
+type consistencyChecker interface {
+	CheckConsistency() error
+}
+
+// CardsOf collects every axis cardinality of a Counts backend into a slice.
+func CardsOf(c Counts) []int {
+	out := make([]int, c.R())
+	for i := range out {
+		out[i] = c.Card(i)
+	}
+	return out
+}
+
+var (
+	_ Counts      = (*Table)(nil)
+	_ Counts      = (*Sparse)(nil)
+	_ CellVisitor = (*Table)(nil)
+	_ CellVisitor = (*Sparse)(nil)
+)

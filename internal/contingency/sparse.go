@@ -3,6 +3,8 @@ package contingency
 import (
 	"fmt"
 	"math/bits"
+	"sort"
+	"sync"
 )
 
 // Sparse is a contingency table held as a hash of occupied cells — the
@@ -21,10 +23,26 @@ type Sparse struct {
 	masks  []uint64
 	cells  map[uint64]int64
 	total  int64
+
+	// projMu guards projs, the per-family dense-projection cache behind
+	// MarginalCount: the first marginal query over an attribute family
+	// projects the occupied cells onto that family once (O(occupied)),
+	// and every later query over the same family is a dense O(1) lookup.
+	// Concurrency contract: mutation (Observe/Add) must not overlap any
+	// other call — it drops the cache without locking — while read-only
+	// use, MarginalCount included, is safe from any number of goroutines.
+	projMu sync.RWMutex
+	projs  map[VarSet]*Table
 }
 
+// maxCachedProjCells bounds the dense size of a cached projection; marginal
+// queries over families wider than this fall back to scanning the occupied
+// cells instead of materializing a large dense table per family.
+const maxCachedProjCells = 1 << 16
+
 // NewSparse creates an empty sparse table. The packed cell key must fit in
-// 64 bits: Σ ceil(log2(card)) <= 64.
+// 64 bits: Σ ceil(log2(card)) <= 64 over all attributes (so e.g. 64 binary
+// attributes or 16 attributes of 16 values are the widest uniform schemas).
 func NewSparse(names []string, cards []int) (*Sparse, error) {
 	if len(cards) == 0 {
 		return nil, fmt.Errorf("contingency: sparse table needs at least one attribute")
@@ -50,9 +68,11 @@ func NewSparse(names []string, cards []int) (*Sparse, error) {
 		s.shifts[i] = width
 		s.masks[i] = (1 << b) - 1
 		width += b
-		if width > 64 {
-			return nil, fmt.Errorf("contingency: packed key exceeds 64 bits at attribute %d", i)
-		}
+	}
+	if width > 64 {
+		return nil, fmt.Errorf(
+			"contingency: schema needs %d packed key bits (Σ ceil(log2(card)) over %d attributes), limit is 64; reduce attribute count or cardinalities",
+			width, len(cards))
 	}
 	if names == nil {
 		s.names = make([]string, len(cards))
@@ -70,6 +90,9 @@ func (s *Sparse) R() int { return len(s.cards) }
 
 // Card returns the cardinality of axis i.
 func (s *Sparse) Card(i int) int { return s.cards[i] }
+
+// Cards returns a copy of all axis cardinalities.
+func (s *Sparse) Cards() []int { return append([]int(nil), s.cards...) }
 
 // Names returns a copy of the axis labels.
 func (s *Sparse) Names() []string { return append([]string(nil), s.names...) }
@@ -107,7 +130,9 @@ func (s *Sparse) unkey(k uint64, cell []int) {
 // Observe records one sample.
 func (s *Sparse) Observe(cell ...int) error { return s.Add(1, cell...) }
 
-// Add increments a cell by delta, deleting it when it reaches zero.
+// Add increments a cell by delta, deleting it when it reaches zero. Any
+// cached marginal projections are dropped: mutation must not overlap other
+// calls (see the concurrency contract on Sparse).
 func (s *Sparse) Add(delta int64, cell ...int) error {
 	k, err := s.key(cell)
 	if err != nil {
@@ -123,6 +148,7 @@ func (s *Sparse) Add(delta int64, cell ...int) error {
 		s.cells[k] = nv
 	}
 	s.total += delta
+	s.projs = nil
 	return nil
 }
 
@@ -216,8 +242,12 @@ func FromDense(t *Table) (*Sparse, error) {
 	return s, nil
 }
 
-// MarginalCount returns the marginal count of a partial assignment by
-// scanning the occupied cells.
+// MarginalCount returns the marginal count of a partial assignment. Small
+// families are served from the per-family dense-projection cache — one
+// O(occupied) projection on first use, O(1) per query afterwards, which is
+// what makes the discovery scan's repeated marginal lookups affordable on
+// wide tables. Families whose dense projection would exceed
+// maxCachedProjCells fall back to scanning the occupied cells.
 func (s *Sparse) MarginalCount(vars VarSet, values []int) (int64, error) {
 	members := vars.Members()
 	if len(members) != len(values) {
@@ -234,6 +264,16 @@ func (s *Sparse) MarginalCount(vars VarSet, values []int) (int64, error) {
 			return 0, fmt.Errorf("contingency: value %d for axis %d out of range", values[i], p)
 		}
 	}
+	if proj := s.projection(vars, members); proj != nil {
+		return proj.At(values...)
+	}
+	return s.marginalCountScan(members, values), nil
+}
+
+// marginalCountScan is the uncached marginal: one pass over the occupied
+// cells. Retained as the fallback for families too wide to cache and as the
+// reference path in tests and benchmarks.
+func (s *Sparse) marginalCountScan(members, values []int) int64 {
 	var sum int64
 	cell := make([]int, len(s.cards))
 	for k, c := range s.cells {
@@ -249,5 +289,73 @@ func (s *Sparse) MarginalCount(vars VarSet, values []int) (int64, error) {
 			sum += c
 		}
 	}
-	return sum, nil
+	return sum
+}
+
+// projection returns the cached dense projection over vars, building and
+// memoizing it on first use; nil when the family is too wide to cache.
+// Safe for concurrent use among readers; racing builders each compute the
+// same table and the first publication wins.
+func (s *Sparse) projection(vars VarSet, members []int) *Table {
+	size := 1
+	for _, p := range members {
+		size *= s.cards[p]
+		if size > maxCachedProjCells {
+			return nil
+		}
+	}
+	s.projMu.RLock()
+	t := s.projs[vars]
+	s.projMu.RUnlock()
+	if t != nil {
+		return t
+	}
+	t, err := s.Project(vars)
+	if err != nil {
+		// Unreachable after the validations above; fall back to scanning.
+		return nil
+	}
+	s.projMu.Lock()
+	if prev, ok := s.projs[vars]; ok {
+		t = prev
+	} else {
+		if s.projs == nil {
+			s.projs = make(map[VarSet]*Table)
+		}
+		s.projs[vars] = t
+	}
+	s.projMu.Unlock()
+	return t
+}
+
+// EachCellSorted visits every occupied cell in ascending packed-key order —
+// a deterministic enumeration (map iteration is not) for consumers whose
+// floating-point accumulations must reproduce run to run.
+func (s *Sparse) EachCellSorted(fn func(cell []int, count int64)) {
+	keys := make([]uint64, 0, len(s.cells))
+	for k := range s.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	cell := make([]int, len(s.cards))
+	for _, k := range keys {
+		s.unkey(k, cell)
+		fn(cell, s.cells[k])
+	}
+}
+
+// CheckConsistency verifies the bookkeeping invariants: the cached total
+// equals the cell sum and no occupied cell holds a non-positive count.
+func (s *Sparse) CheckConsistency() error {
+	var sum int64
+	for k, c := range s.cells {
+		if c <= 0 {
+			return fmt.Errorf("contingency: sparse cell %d holds non-positive count %d", k, c)
+		}
+		sum += c
+	}
+	if sum != s.total {
+		return fmt.Errorf("contingency: cached total %d != cell sum %d", s.total, sum)
+	}
+	return nil
 }

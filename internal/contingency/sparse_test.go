@@ -1,6 +1,8 @@
 package contingency
 
 import (
+	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -225,5 +227,157 @@ func TestSparseKeyRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestNewSparseKeyWidthBoundary(t *testing.T) {
+	// Exactly 64 packed bits is accepted: 64 binary attributes...
+	exact := make([]int, 64)
+	for i := range exact {
+		exact[i] = 2
+	}
+	if _, err := NewSparse(nil, exact); err != nil {
+		t.Errorf("64-bit key rejected: %v", err)
+	}
+	// ...and 16 attributes of 16 values (16 × 4 bits).
+	nibble := make([]int, 16)
+	for i := range nibble {
+		nibble[i] = 16
+	}
+	if _, err := NewSparse(nil, nibble); err != nil {
+		t.Errorf("16×16 (64-bit) schema rejected: %v", err)
+	}
+	// 65 bits is rejected, and the error reports the schema's total bit
+	// requirement and the limit, not just the attribute it overflowed at.
+	over := append(append([]int(nil), exact...), 2)
+	_, err := NewSparse(nil, over)
+	if err == nil {
+		t.Fatal("65-bit key accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"65", "64", "bits"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("key-width error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestSparseMarginalCountCacheMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s, err := NewSparse(nil, []int{3, 2, 4, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := make([]int, 5)
+	for n := 0; n < 4000; n++ {
+		for i := range cell {
+			cell[i] = rng.Intn(s.Card(i))
+		}
+		if err := s.Observe(cell...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fams := []VarSet{NewVarSet(0), NewVarSet(1, 3), NewVarSet(0, 2, 4), NewVarSet(0, 1, 2, 3, 4)}
+	for _, fam := range fams {
+		members := fam.Members()
+		values := make([]int, len(members))
+		for {
+			// Query twice: the first call builds the projection, the
+			// second must serve the identical count from the cache.
+			got1, err := s.MarginalCount(fam, values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got2, err := s.MarginalCount(fam, values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := s.marginalCountScan(members, values)
+			if got1 != want || got2 != want {
+				t.Fatalf("MarginalCount(%v, %v) = %d/%d, scan says %d", fam, values, got1, got2, want)
+			}
+			i := len(members) - 1
+			for i >= 0 {
+				values[i]++
+				if values[i] < s.Card(members[i]) {
+					break
+				}
+				values[i] = 0
+				i--
+			}
+			if i < 0 {
+				break
+			}
+		}
+	}
+}
+
+func TestSparseMarginalCountCacheInvalidatedByMutation(t *testing.T) {
+	s, err := NewSparse(nil, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observe(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	fam := NewVarSet(0)
+	if n, _ := s.MarginalCount(fam, []int{0}); n != 1 {
+		t.Fatalf("pre-mutation count = %d", n)
+	}
+	if err := s.Observe(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.MarginalCount(fam, []int{0}); n != 2 {
+		t.Errorf("post-mutation count = %d, want 2 (stale projection cache?)", n)
+	}
+}
+
+func TestSparseCheckConsistency(t *testing.T) {
+	s, err := NewSparse(nil, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := s.Observe(i%2, i%3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Errorf("consistent table rejected: %v", err)
+	}
+	s.total++ // corrupt the bookkeeping
+	if err := s.CheckConsistency(); err == nil {
+		t.Error("corrupted total accepted")
+	}
+}
+
+func TestSparseEachCellSortedDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, err := NewSparse(nil, []int{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 500; n++ {
+		if err := s.Observe(rng.Intn(4), rng.Intn(4), rng.Intn(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect := func() [][]int {
+		var out [][]int
+		s.EachCellSorted(func(cell []int, count int64) {
+			out = append(out, append(append([]int(nil), cell...), int(count)))
+		})
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != s.Occupied() || len(a) != len(b) {
+		t.Fatalf("visited %d and %d cells, occupied %d", len(a), len(b), s.Occupied())
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("EachCellSorted order not deterministic at %d", i)
+			}
+		}
 	}
 }

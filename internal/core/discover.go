@@ -8,14 +8,26 @@ import (
 	"pka/internal/mml"
 )
 
-// Discover runs the memo's Figure 3 procedure over a contingency table and
-// returns the fitted model with every significant joint probability found.
+// Discover runs the memo's Figure 3 procedure over a dense contingency
+// table and returns the fitted model with every significant joint
+// probability found.
 //
 // The table is treated as read-only. Determinism: identical inputs produce
 // identical results, including tie-breaks.
 func Discover(table *contingency.Table, opts Options) (*Result, error) {
-	if err := table.CheckConsistency(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+	return DiscoverCounts(table, opts)
+}
+
+// DiscoverCounts is Discover over any counts backend — dense *Table or
+// wide *Sparse. The procedure consumes only the Counts marginals, so with
+// screening off a sparse run is bit-identical to the dense run on the same
+// counts; on wide schemas the model is fit and queried through the
+// factored engine and the joint space is never materialized.
+func DiscoverCounts(table contingency.Counts, opts Options) (*Result, error) {
+	if ck, ok := table.(interface{ CheckConsistency() error }); ok {
+		if err := ck.CheckConsistency(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	}
 	if table.Total() == 0 {
 		return nil, fmt.Errorf("core: empty contingency table")
@@ -39,7 +51,7 @@ func Discover(table *contingency.Table, opts Options) (*Result, error) {
 	}
 
 	// Figure 3, first box: the model starts from the first-order marginals.
-	model, err := maxent.NewModel(table.Names(), table.Cards())
+	model, err := maxent.NewModel(table.Names(), contingency.CardsOf(table))
 	if err != nil {
 		return nil, err
 	}
@@ -50,6 +62,26 @@ func Discover(table *contingency.Table, opts Options) (*Result, error) {
 	tester, err := mml.NewTester(table, opts.MML)
 	if err != nil {
 		return nil, err
+	}
+
+	res := &Result{Model: model, TotalSamples: table.Total()}
+
+	// Association screen: bound the order >= 2 candidate universe to
+	// families whose attribute pairs all pass the pairwise survey.
+	if opts.ScreenPairs {
+		adj, rep, err := buildScreen(table, opts.ScreenAlpha)
+		if err != nil {
+			return nil, err
+		}
+		seedFams := make([]contingency.VarSet, 0, len(opts.Seed))
+		for _, c := range opts.Seed {
+			seedFams = append(seedFams, c.Family)
+		}
+		r := table.R()
+		tester.RestrictFamilies(func(order int) []contingency.VarSet {
+			return screenedFamilies(r, order, adj, seedFams)
+		})
+		res.Screen = rep
 	}
 
 	// Seed constraints ("originally given as significant").
@@ -73,8 +105,6 @@ func Discover(table *contingency.Table, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: initial fit did not converge (residual %g after %d sweeps)",
 			rep.Residual, rep.Sweeps)
 	}
-
-	res := &Result{Model: model, TotalSamples: table.Total()}
 	// Scans price each candidate family with one batch marginal from the
 	// model's compiled engine. Every refit rebuilds the compiled snapshot
 	// (maxent.Model.Fit does so on success), so the predictor always serves
@@ -189,7 +219,7 @@ type acceptedCell struct {
 // the accepted cells consume the whole marginal count, every unconstrained
 // sibling cell agreeing on that marginal has observed count zero and gets a
 // zero-target constraint.
-func impliedZeros(table *contingency.Table, model *maxent.Model, family contingency.VarSet, cells []acceptedCell) ([]maxent.Constraint, error) {
+func impliedZeros(table contingency.Counts, model *maxent.Model, family contingency.VarSet, cells []acceptedCell) ([]maxent.Constraint, error) {
 	members := family.Members()
 	var out []maxent.Constraint
 	for mi, pos := range members {
@@ -226,7 +256,7 @@ func impliedZeros(table *contingency.Table, model *maxent.Model, family continge
 
 // enumerateFamilyCells lists the family's value tuples whose mi-th member is
 // pinned to val.
-func enumerateFamilyCells(table *contingency.Table, members []int, mi, val int) [][]int {
+func enumerateFamilyCells(table contingency.Counts, members []int, mi, val int) [][]int {
 	var out [][]int
 	values := make([]int, len(members))
 	values[mi] = val

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"pka/internal/contingency"
@@ -139,5 +140,57 @@ func TestGoodnessOfFitOnTruthScale(t *testing.T) {
 	}
 	if fit.PValue < 1e-4 {
 		t.Errorf("fit rejected on its own generating family: %+v", fit)
+	}
+}
+
+// TestGoodnessOfFitDenseTableWideModel: a dense table whose joint space
+// exceeds the dense-engine threshold fits through the factored engine —
+// goodness-of-fit must then score over occupied cells instead of failing
+// on the unmaterializable joint, and agree with the sparse backend.
+func TestGoodnessOfFitDenseTableWideModel(t *testing.T) {
+	const r = 21 // 2^21 cells, above the 2^20 dense-engine cap
+	cards := make([]int, r)
+	for i := range cards {
+		cards[i] = 2
+	}
+	table := contingency.MustNew(nil, cards)
+	rng := rand.New(rand.NewSource(3))
+	cell := make([]int, r)
+	for n := 0; n < 2000; n++ {
+		for i := range cell {
+			cell[i] = rng.Intn(2)
+		}
+		if err := table.Observe(cell...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	model, err := maxent.NewModel(nil, cards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.AddFirstOrderConstraints(table); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Fit(maxent.SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	fit, err := GoodnessOfFit(table, model)
+	if err != nil {
+		t.Fatalf("dense table over wide model rejected: %v", err)
+	}
+	sp, err := contingency.FromDense(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitSp, err := GoodnessOfFit(sp, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.G2-fitSp.G2) > 1e-6*math.Abs(fit.G2) ||
+		math.Abs(fit.X2-fitSp.X2) > 1e-6*math.Abs(fit.X2) {
+		t.Errorf("dense backend fit %+v, sparse backend %+v", fit, fitSp)
+	}
+	if want := 1<<21 - 1 - r; fit.DF != want {
+		t.Errorf("DF = %d, want %d", fit.DF, want)
 	}
 }

@@ -34,6 +34,18 @@ type Options struct {
 	// are "originally given as significant" per the memo. They are added
 	// to the model and the significance bookkeeping before scanning.
 	Seed []maxent.Constraint
+	// ScreenPairs enables association-based candidate screening: before
+	// scanning, every attribute pair's association is surveyed (one dense
+	// 2-D projection per pair), and order >= 2 scans visit only families
+	// whose member pairs all pass the screen — the combinatorial bound
+	// that makes wide-schema discovery tractable. Screening changes which
+	// candidates are priced (and so the Eq. 45 cells-at-order term); with
+	// it off, discovery over a sparse backend is bit-identical to the
+	// dense run on the same counts.
+	ScreenPairs bool
+	// ScreenAlpha is the pairwise G² p-value a pair must beat to pass the
+	// screen. 0 means the Bonferroni default 0.05 / (number of pairs).
+	ScreenAlpha float64
 
 	// predictor builds the scan predictor for a model. It defaults to the
 	// model itself — Model.Marginal satisfies mml.Predictor, serving one
@@ -58,6 +70,9 @@ func (o Options) withDefaults(r int) (Options, error) {
 	}
 	if o.MaxConstraints < 0 {
 		return o, fmt.Errorf("core: negative MaxConstraints %d", o.MaxConstraints)
+	}
+	if o.ScreenAlpha < 0 || o.ScreenAlpha >= 1 {
+		return o, fmt.Errorf("core: ScreenAlpha %g outside [0,1)", o.ScreenAlpha)
 	}
 	return o, nil
 }

@@ -60,6 +60,8 @@ type Result struct {
 	Scans []Scan
 	// TotalSamples is N of the input table.
 	TotalSamples int64
+	// Screen summarizes the association screen (nil when screening off).
+	Screen *ScreenReport
 }
 
 // FindingsAtOrder filters findings by order.

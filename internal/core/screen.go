@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"pka/internal/assoc"
+	"pka/internal/contingency"
+)
+
+// ScreenReport summarizes an association screen: how many attribute pairs
+// were surveyed, how many passed, and the threshold applied.
+type ScreenReport struct {
+	// Alpha is the G² p-value threshold actually used (after the
+	// Bonferroni default is resolved).
+	Alpha float64
+	// PairsTotal is the number of attribute pairs surveyed: R(R-1)/2.
+	PairsTotal int
+	// PairsKept is how many pairs passed the screen.
+	PairsKept int
+}
+
+// buildScreen surveys every attribute pair of the counts backend and
+// returns the pass/fail adjacency plus the report. SPIRIT-style network
+// learners bound structure search the same way: cheap pairwise statistics
+// gate the expensive family scan.
+func buildScreen(table contingency.Counts, alpha float64) ([][]bool, *ScreenReport, error) {
+	var pairs []assoc.PairStats
+	var err error
+	switch tt := table.(type) {
+	case *contingency.Sparse:
+		pairs, err = assoc.PairwiseSparse(tt)
+	case *contingency.Table:
+		pairs, err = assoc.Pairwise(tt)
+	default:
+		return nil, nil, fmt.Errorf("core: ScreenPairs needs a dense or sparse contingency backend, got %T", table)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if alpha == 0 {
+		alpha = 0.05 / float64(len(pairs))
+	}
+	r := table.R()
+	adj := make([][]bool, r)
+	for i := range adj {
+		adj[i] = make([]bool, r)
+	}
+	rep := &ScreenReport{Alpha: alpha, PairsTotal: len(pairs)}
+	for _, p := range pairs {
+		if p.PValue <= alpha {
+			adj[p.I][p.J] = true
+			adj[p.J][p.I] = true
+			rep.PairsKept++
+		}
+	}
+	return adj, rep, nil
+}
+
+// screenedFamilies returns the order-r attribute families eligible under
+// the screen: the r-cliques of the passing-pair graph, enumerated in
+// lexicographic member order (a deterministic subset of the order the
+// unscreened scan uses), followed by any seeded families of that order
+// that the screen alone would have excluded — accepted constraints must
+// stay inside the candidate universe for the memo's M bookkeeping.
+func screenedFamilies(r, order int, adj [][]bool, seeds []contingency.VarSet) []contingency.VarSet {
+	var out []contingency.VarSet
+	members := make([]int, 0, order)
+	var extend func(next int)
+	extend = func(next int) {
+		if len(members) == order {
+			out = append(out, contingency.NewVarSet(members...))
+			return
+		}
+		// Prune: not enough attributes left to complete the clique.
+		for v := next; v <= r-(order-len(members)); v++ {
+			ok := true
+			for _, m := range members {
+				if !adj[m][v] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			members = append(members, v)
+			extend(v + 1)
+			members = members[:len(members)-1]
+		}
+	}
+	extend(0)
+	have := make(map[contingency.VarSet]bool, len(out))
+	for _, f := range out {
+		have[f] = true
+	}
+	for _, s := range seeds {
+		if s.Len() == order && !have[s] {
+			have[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -11,7 +11,9 @@ import (
 // ReadCSV ingests a CSV stream whose first row is a header of attribute
 // names into a Dataset over the given schema. Columns are matched to schema
 // attributes by header name (order in the file is free); extra columns are
-// ignored; a missing schema attribute is an error.
+// ignored; a missing schema attribute is an error, as is a header that
+// names the same attribute twice (the ambiguity would silently drop all
+// but one of the columns).
 //
 // Cell values are matched against value labels; unknown labels fall back to
 // the attribute's "other" value when the schema has one.
@@ -28,6 +30,10 @@ func ReadCSV(r io.Reader, schema *Schema) (*Dataset, error) {
 	}
 	for col, h := range header {
 		if p, err := schema.Position(strings.TrimSpace(h)); err == nil {
+			if prev := colOf[p]; prev >= 0 {
+				return nil, fmt.Errorf("dataset: CSV header names attribute %q twice (columns %d and %d)",
+					schema.Attr(p).Name, prev+1, col+1)
+			}
 			colOf[p] = col
 		}
 	}

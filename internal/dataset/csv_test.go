@@ -161,3 +161,13 @@ func TestInferThenReadPipeline(t *testing.T) {
 		t.Errorf("tabulated N = %d", tab.Total())
 	}
 }
+
+func TestReadCSVDuplicateHeaderColumn(t *testing.T) {
+	dup := "CANCER,SMOKING,FAMILY HISTORY,CANCER\n" +
+		"Yes,Smoker,Yes,No\n"
+	if _, err := ReadCSV(strings.NewReader(dup), memoSchema(t)); err == nil {
+		t.Error("duplicate header column accepted by ReadCSV")
+	} else if !strings.Contains(err.Error(), "CANCER") || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate header error does not name the attribute: %v", err)
+	}
+}

@@ -7,10 +7,14 @@ import (
 )
 
 // Binner maps continuous readings to categorical bin indices, turning sensor
-// streams into attributes the discovery engine can consume.
+// streams into attributes the discovery engine can consume. Beyond the
+// interval bins, every binner carries one dedicated catch-all bin (labeled
+// with OtherValue) for unreadable values: NaN readings — sensor dropouts,
+// failed parses — land there instead of being conflated with any interval.
 type Binner struct {
 	// edges[i] is the inclusive lower bound of bin i+1; values below
-	// edges[0] go to bin 0. len(edges) = bins-1.
+	// edges[0] go to bin 0. len(edges) = bins-1 interval bins; the
+	// catch-all bin sits after them at index len(edges)+1.
 	edges  []float64
 	labels []string
 }
@@ -64,13 +68,15 @@ func newBinner(edges []float64) (*Binner, error) {
 		}
 	}
 	b := &Binner{edges: edges}
-	b.labels = make([]string, len(edges)+1)
+	b.labels = make([]string, len(edges)+2)
 	for i := range b.labels {
 		switch {
 		case i == 0:
 			b.labels[i] = fmt.Sprintf("(-inf,%.4g)", edges[0])
 		case i == len(edges):
 			b.labels[i] = fmt.Sprintf("[%.4g,+inf)", edges[i-1])
+		case i == len(edges)+1:
+			b.labels[i] = OtherValue
 		default:
 			b.labels[i] = fmt.Sprintf("[%.4g,%.4g)", edges[i-1], edges[i])
 		}
@@ -78,14 +84,15 @@ func newBinner(edges []float64) (*Binner, error) {
 	return b, nil
 }
 
-// Bins returns the number of bins.
-func (b *Binner) Bins() int { return len(b.edges) + 1 }
+// Bins returns the number of bins, the catch-all included.
+func (b *Binner) Bins() int { return len(b.edges) + 2 }
 
-// Bin returns the bin index of x (NaN maps to the last bin, documented as
-// the catch-all "other" analogue for unreadable sensor values).
+// Bin returns the bin index of x. NaN maps to the dedicated catch-all bin
+// (the last index, labeled OtherValue) — never to an interval bin, so
+// unreadable sensor values are not conflated with large readings.
 func (b *Binner) Bin(x float64) int {
 	if math.IsNaN(x) {
-		return len(b.edges)
+		return len(b.edges) + 1
 	}
 	// Binary search for the first edge > x.
 	lo, hi := 0, len(b.edges)

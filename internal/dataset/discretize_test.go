@@ -11,7 +11,8 @@ func TestEqualWidthBinner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b.Bins() != 5 {
+	// 5 interval bins plus the dedicated NaN catch-all.
+	if b.Bins() != 6 {
 		t.Fatalf("bins = %d", b.Bins())
 	}
 	cases := []struct {
@@ -57,10 +58,14 @@ func TestQuantileBinnerBalances(t *testing.T) {
 	for _, x := range sample {
 		counts[b.Bin(x)]++
 	}
-	for i, c := range counts {
+	// Interval bins balance; the trailing catch-all receives no real value.
+	for i, c := range counts[:b.Bins()-1] {
 		if c < 200 || c > 300 {
 			t.Errorf("quantile bin %d holds %d of 1000 (want ~250)", i, c)
 		}
+	}
+	if counts[b.Bins()-1] != 0 {
+		t.Errorf("catch-all bin holds %d real values", counts[b.Bins()-1])
 	}
 }
 
@@ -94,11 +99,14 @@ func TestBinnerLabelsAndAttribute(t *testing.T) {
 		t.Fatal(err)
 	}
 	labels := b.Labels()
-	if len(labels) != 3 {
+	if len(labels) != 4 {
 		t.Fatalf("labels = %v", labels)
 	}
+	if labels[3] != OtherValue {
+		t.Errorf("catch-all label = %q, want %q", labels[3], OtherValue)
+	}
 	a := b.Attribute("temp")
-	if a.Name != "temp" || a.Card() != 3 {
+	if a.Name != "temp" || a.Card() != 4 {
 		t.Errorf("attribute = %+v", a)
 	}
 	// Labels must be distinct so NewSchema accepts them.
@@ -123,5 +131,75 @@ func TestBinnerMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestBinnerNaNTelemetryPath is the telemetry-pipeline regression for the
+// NaN catch-all: a sensor stream with dropouts (NaN readings) is binned,
+// tabulated, and the dropouts must land in the dedicated catch-all bin —
+// never in the top interval bin, which previously absorbed them and
+// conflated "unreadable" with "large reading".
+func TestBinnerNaNTelemetryPath(t *testing.T) {
+	sample := make([]float64, 300)
+	for i := range sample {
+		sample[i] = 20 + float64(i%100)/10 // readings in [20, 30)
+	}
+	b, err := NewQuantileBinner(sample, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := NewSchema([]Attribute{
+		b.Attribute("BUS_VOLTAGE"),
+		{Name: "ANOMALY", Values: []string{"none", "power"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDataset(schema)
+	const dropouts = 25
+	for i, x := range sample {
+		if err := d.Append(Record{b.Bin(x), i % 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < dropouts; i++ {
+		if err := d.Append(Record{b.Bin(math.NaN()), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	table, err := d.Tabulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	catchAll := b.Bins() - 1
+	var inCatchAll, inTopInterval int64
+	for v := 0; v < 2; v++ {
+		c, err := table.At(catchAll, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inCatchAll += c
+		c, err = table.At(catchAll-1, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inTopInterval += c
+	}
+	if inCatchAll != dropouts {
+		t.Errorf("catch-all bin holds %d, want the %d dropouts", inCatchAll, dropouts)
+	}
+	// The top interval holds exactly the real large readings: the binner
+	// must not have leaked dropouts into it.
+	var wantTop int64
+	for _, x := range sample {
+		if b.Bin(x) == catchAll-1 {
+			wantTop++
+		}
+	}
+	if inTopInterval != wantTop {
+		t.Errorf("top interval holds %d, want %d (NaN leaked in?)", inTopInterval, wantTop)
+	}
+	if b.Labels()[catchAll] != OtherValue {
+		t.Errorf("catch-all labeled %q", b.Labels()[catchAll])
 	}
 }

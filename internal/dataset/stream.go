@@ -57,6 +57,10 @@ func streamCSV(r io.Reader, schema *Schema, fn func(cell []int) error) error {
 	}
 	for col, h := range header {
 		if p, err := schema.Position(strings.TrimSpace(h)); err == nil {
+			if prev := colOf[p]; prev >= 0 {
+				return fmt.Errorf("dataset: CSV header names attribute %q twice (columns %d and %d)",
+					schema.Attr(p).Name, prev+1, col+1)
+			}
 			colOf[p] = col
 		}
 	}

@@ -100,3 +100,19 @@ func TestTabulateSparseMatchesDense(t *testing.T) {
 		t.Errorf("occupied = %d, want 3 distinct rows", sparse.Occupied())
 	}
 }
+
+func TestStreamCSVDuplicateHeaderColumn(t *testing.T) {
+	// A header naming the same attribute twice used to silently keep the
+	// last column; it must now be a named error.
+	dup := "SMOKING,CANCER,SMOKING,FAMILY HISTORY\n" +
+		"Smoker,Yes,Non smoker,Yes\n"
+	schema := memoSchema(t)
+	if _, err := TabulateCSV(strings.NewReader(dup), schema); err == nil {
+		t.Error("duplicate header column accepted by TabulateCSV")
+	} else if !strings.Contains(err.Error(), "SMOKING") || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate header error does not name the attribute: %v", err)
+	}
+	if _, err := TabulateCSVSparse(strings.NewReader(dup), schema); err == nil {
+		t.Error("duplicate header column accepted by TabulateCSVSparse")
+	}
+}

@@ -15,10 +15,11 @@ type Explanation struct {
 // evidence over all remaining attributes (MPE / MAP inference): the single
 // world state the knowledge base considers most likely given what is known.
 //
-// The search enumerates the free attributes' joint space, which matches the
-// dense-model regime the discovery engine operates in. Ties break toward
-// lower value indices for determinism. Evidence with zero probability is an
-// error, mirroring Conditional.
+// Dense models enumerate the free attributes' joint space; wide factored
+// models take the exact argmax independently per constraint block, so MPE
+// stays affordable on schemas whose joint space cannot be enumerated. Ties
+// break toward lower value indices for determinism. Evidence with zero
+// probability is an error, mirroring Conditional.
 func (k *KnowledgeBase) MostProbableExplanation(given ...Assignment) (Explanation, error) {
 	vs, values, err := k.resolve(given)
 	if err != nil {
@@ -32,42 +33,17 @@ func (k *KnowledgeBase) MostProbableExplanation(given ...Assignment) (Explanatio
 		return Explanation{}, fmt.Errorf("kb: evidence %v has zero probability", given)
 	}
 	r := k.schema.R()
-	cell := make([]int, r)
-	free := make([]int, 0, r)
-	members := vs.Members()
-	mi := 0
-	for pos := 0; pos < r; pos++ {
-		if mi < len(members) && members[mi] == pos {
-			cell[pos] = values[mi]
-			mi++
-			continue
-		}
-		free = append(free, pos)
+	fixed := make([]int, r)
+	for i := range fixed {
+		fixed[i] = -1
 	}
-	bestP := -1.0
-	best := make([]int, r)
-	for {
-		p, err := k.eng.CellProb(cell)
-		if err != nil {
-			return Explanation{}, err
-		}
-		if p > bestP {
-			bestP = p
-			copy(best, cell)
-		}
-		// Odometer over free attributes.
-		i := len(free) - 1
-		for i >= 0 {
-			cell[free[i]]++
-			if cell[free[i]] < k.schema.Attr(free[i]).Card() {
-				break
-			}
-			cell[free[i]] = 0
-			i--
-		}
-		if i < 0 || len(free) == 0 {
-			break
-		}
+	members := vs.Members()
+	for mi, pos := range members {
+		fixed[pos] = values[mi]
+	}
+	best, bestP, err := k.eng.MaxCell(fixed)
+	if err != nil {
+		return Explanation{}, err
 	}
 	out := Explanation{Probability: bestP}
 	for pos := 0; pos < r; pos++ {

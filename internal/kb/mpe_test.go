@@ -1,8 +1,14 @@
 package kb
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
 	"testing"
+
+	"pka/internal/contingency"
+	"pka/internal/dataset"
+	"pka/internal/maxent"
 )
 
 func TestMPENoEvidenceIsModalCell(t *testing.T) {
@@ -105,5 +111,145 @@ func TestMPEFullEvidenceIsIdentity(t *testing.T) {
 	}
 	if math.Abs(exp.Probability-want) > 1e-12 {
 		t.Errorf("fully-specified MPE %.9f, joint %.9f", exp.Probability, want)
+	}
+}
+
+// wideKB builds a knowledge base over r binary attributes whose joint
+// space exceeds the dense-engine cap, with attribute 1 biased and a strong
+// 2↔5 coupling constraint — the factored regime.
+func wideKB(t *testing.T, r int) *KnowledgeBase {
+	t.Helper()
+	attrs := make([]dataset.Attribute, r)
+	for i := range attrs {
+		attrs[i] = dataset.Attribute{
+			Name:   fmt.Sprintf("CH%02d", i),
+			Values: []string{"lo", "hi"},
+		}
+	}
+	schema := dataset.MustSchema(attrs)
+	tab, err := contingency.NewSparse(schema.Names(), schema.Cards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	cell := make([]int, r)
+	for n := 0; n < 5000; n++ {
+		for i := range cell {
+			cell[i] = rng.Intn(2)
+		}
+		if rng.Float64() < 0.8 {
+			cell[1] = 1
+		}
+		if rng.Float64() < 0.9 {
+			cell[5] = cell[2]
+		}
+		if err := tab.Observe(cell...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	model, err := maxent.NewModel(schema.Names(), schema.Cards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.AddFirstOrderConstraints(tab); err != nil {
+		t.Fatal(err)
+	}
+	fam := contingency.NewVarSet(2, 5)
+	n, err := tab.MarginalCount(fam, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.AddConstraint(maxent.Constraint{
+		Family: fam,
+		Values: []int{1, 1},
+		Target: float64(n) / float64(tab.Total()),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Fit(maxent.SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	k, err := New(schema, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.eng.Factored() {
+		t.Fatal("wide model compiled dense")
+	}
+	return k
+}
+
+// TestMPEWideFactoredModel: MPE on a 24-attribute model must not enumerate
+// the 2^24 joint space — it answers via per-block argmax, consistently
+// with the model's own cell probability.
+func TestMPEWideFactoredModel(t *testing.T) {
+	k := wideKB(t, 24)
+	exp, err := k.MostProbableExplanation(Assignment{Attr: "CH02", Value: "hi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Assignments) != 24 {
+		t.Fatalf("explanation covers %d attributes", len(exp.Assignments))
+	}
+	byName := map[string]string{}
+	for _, a := range exp.Assignments {
+		byName[a.Attr] = a.Value
+	}
+	// Evidence is respected, the biased attribute picks its mode, and the
+	// coupled channel follows the evidence.
+	if byName["CH02"] != "hi" {
+		t.Errorf("evidence overridden: CH02 = %q", byName["CH02"])
+	}
+	if byName["CH01"] != "hi" {
+		t.Errorf("biased channel: CH01 = %q, want its 90%% mode", byName["CH01"])
+	}
+	if byName["CH05"] != "hi" {
+		t.Errorf("coupled channel: CH05 = %q, want to follow CH02=hi", byName["CH05"])
+	}
+	// The reported probability is the model's own probability of the
+	// returned cell.
+	p, err := k.Probability(exp.Assignments...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != exp.Probability {
+		t.Errorf("MPE probability %v, Probability(assignments) %v", exp.Probability, p)
+	}
+}
+
+// TestLogLossDenseTableWideModel: a dense validation table scored against
+// a factored model must take the occupied-cells path (the joint cannot be
+// materialized) and agree with the sparse backend on the same counts.
+func TestLogLossDenseTableWideModel(t *testing.T) {
+	const r = 21
+	k := wideKB(t, r)
+	dense := contingency.MustNew(k.Schema().Names(), k.Schema().Cards())
+	sparse, err := contingency.NewSparse(k.Schema().Names(), k.Schema().Cards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	cell := make([]int, r)
+	for n := 0; n < 500; n++ {
+		for i := range cell {
+			cell[i] = rng.Intn(2)
+		}
+		if err := dense.Observe(cell...); err != nil {
+			t.Fatal(err)
+		}
+		if err := sparse.Observe(cell...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ld, err := k.LogLoss(dense)
+	if err != nil {
+		t.Fatalf("dense holdout over wide model rejected: %v", err)
+	}
+	ls, err := k.LogLoss(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ld-ls) > 1e-9*math.Abs(ls) {
+		t.Errorf("dense backend loss %v, sparse backend %v", ld, ls)
 	}
 }

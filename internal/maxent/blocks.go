@@ -1,0 +1,205 @@
+package maxent
+
+import (
+	"errors"
+	"fmt"
+
+	"pka/internal/contingency"
+)
+
+// Wide attribute spaces cannot be fit or queried through dense joint
+// materialization: the memo's machinery is exponential in R. But the
+// product-form model factorizes exactly over the connected components of
+// its constraint graph — attributes joined through shared multi-attribute
+// families. Constraints are block-local, the maximum-entropy objective
+// separates over blocks, and every joint/marginal probability is a product
+// of per-block quantities. The factored solver and engine exploit this:
+// each block is solved and queried densely over its own (small) sub-space,
+// and blocks are combined by multiplication. On discovery workloads blocks
+// stay small — screening plus the level-wise scan admit few couplings — so
+// the wide path costs the sum of small dense problems, never the joint.
+
+// denseModelCells is the largest joint space fit and compiled densely by
+// default; above it the factored path takes over. It is a variable so
+// equivalence tests can force the factored path onto small models.
+var denseModelCells = 1 << 20
+
+// maxDenseCells is the absolute dense-joint ceiling (the former NewModel
+// cap): when the factored path cannot serve a model — one constraint block
+// too densely coupled, a solver-trace request, or a Joint()/Entropy()
+// materialization — the dense path absorbs the work as long as the full
+// joint still fits under this ceiling, preserving the pre-factored
+// capability range. Only models beyond it hard-fail those operations. A
+// variable so tests can exercise the refusal on small models.
+var maxDenseCells = 1 << 28
+
+// errBlockTooDense marks a factored-path failure the dense fallback in
+// Fit and Compile may absorb.
+var errBlockTooDense = errors.New("maxent: constraint block too densely coupled for the factored engine")
+
+// blockDenseSize returns the dense cell count of one constraint block, or
+// errBlockTooDense (wrapped with the block and cap) when it exceeds
+// denseModelCells — the single bound both the factored solver and the
+// factored compiler enforce.
+func (m *Model) blockDenseSize(blk []int) (int, error) {
+	size := 1
+	for _, p := range blk {
+		if size > denseModelCells/m.cards[p] {
+			return 0, fmt.Errorf("maxent: block %v exceeds %d dense cells: %w",
+				blk, denseModelCells, errBlockTooDense)
+		}
+		size *= m.cards[p]
+	}
+	return size, nil
+}
+
+// blocks partitions the attribute positions into the connected components
+// of the constraint graph (union-find over every order >= 2 family). Each
+// block lists its members ascending; blocks are ordered by smallest member,
+// so the decomposition is deterministic.
+func (m *Model) blocks() [][]int {
+	parent := make([]int, len(m.cards))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for vs := range m.families {
+		members := vs.Members()
+		for i := 1; i < len(members); i++ {
+			union(members[0], members[i])
+		}
+	}
+	groups := make(map[int][]int)
+	for p := range m.cards {
+		r := find(p)
+		groups[r] = append(groups[r], p)
+	}
+	out := make([][]int, 0, len(groups))
+	for p := range m.cards {
+		if find(p) == p {
+			out = append(out, groups[p]) // members already ascend: appended in p order
+		}
+	}
+	return out
+}
+
+// subModel builds a dense model over one block whose coefficient arrays
+// ALIAS the parent's: fitting the sub-model writes the parent's
+// coefficients in place. The family cell layout is preserved because family
+// coefficients are row-major over members ascending, and the block keeps
+// relative attribute order.
+func (m *Model) subModel(blk []int) (*Model, error) {
+	local := make(map[int]int, len(blk))
+	names := make([]string, len(blk))
+	cards := make([]int, len(blk))
+	for i, p := range blk {
+		local[p] = i
+		names[i] = m.names[p]
+		cards[i] = m.cards[p]
+	}
+	sub, err := NewModel(names, cards)
+	if err != nil {
+		return nil, err
+	}
+	for vs, ft := range m.families {
+		members := vs.Members()
+		if _, in := local[members[0]]; !in {
+			continue
+		}
+		lv := make([]int, len(members))
+		for i, p := range members {
+			li, ok := local[p]
+			if !ok {
+				return nil, fmt.Errorf("maxent: family %v straddles blocks", vs)
+			}
+			lv[i] = li
+		}
+		sub.families[contingency.NewVarSet(lv...)] = &familyTerm{vars: lv, coeffs: ft.coeffs}
+	}
+	for _, c := range m.cons {
+		members := c.Family.Members()
+		if _, in := local[members[0]]; !in {
+			continue
+		}
+		lv := make([]int, len(members))
+		for i, p := range members {
+			lv[i] = local[p]
+		}
+		lc := Constraint{
+			Family: contingency.NewVarSet(lv...),
+			Values: append([]int(nil), c.Values...),
+			Target: c.Target,
+		}
+		sub.conIdx[lc.key()] = len(sub.cons)
+		sub.cons = append(sub.cons, lc)
+	}
+	return sub, nil
+}
+
+// fitFactored fits each constraint block independently with the dense
+// solver over its own sub-space and combines the normalizers: the
+// separable maximum-entropy solution. Coefficients are written through the
+// aliased sub-models; a0 becomes the product of the block a0s. The report
+// aggregates worst-case sweeps and residual across blocks. Block sizes are
+// validated up front, so an errBlockTooDense return leaves the model's
+// coefficients untouched and the caller free to fall back.
+func (m *Model) fitFactored(opts SolveOptions) (*Report, error) {
+	blocks := m.blocks()
+	sizes := make([]int, len(blocks))
+	for i, blk := range blocks {
+		size, err := m.blockDenseSize(blk)
+		if err != nil {
+			return nil, err
+		}
+		sizes[i] = size
+	}
+	agg := &Report{Method: opts.Method, Converged: true}
+	a0 := 1.0
+	for bi, blk := range blocks {
+		size := sizes[bi]
+		sub, err := m.subModel(blk)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub.cons) == 0 {
+			// Unconstrained block: all coefficients are 1, the block sum
+			// is its cell count, and nothing needs solving.
+			a0 *= 1 / float64(size)
+			continue
+		}
+		rep, err := sub.fitDenseCore(opts)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Sweeps > agg.Sweeps {
+			agg.Sweeps = rep.Sweeps
+		}
+		if rep.Residual > agg.Residual {
+			agg.Residual = rep.Residual
+		}
+		agg.Converged = agg.Converged && rep.Converged
+		a0 *= sub.a0
+	}
+	m.a0 = a0
+	m.compiled.Store(nil)
+	if _, err := m.Compile(); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}

@@ -1,7 +1,9 @@
 package maxent
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"pka/internal/contingency"
 	"pka/internal/sumprod"
@@ -13,11 +15,31 @@ import (
 // coefficients are deep-copied at Compile time and scratch state is pooled —
 // and every probability it returns is bit-identical to the equivalent
 // Model method evaluated on the snapshot's coefficients.
+//
+// Snapshots come in two modes. Joint spaces up to denseModelCells compile
+// one global engine (eng), exactly as before. Wider models compile in
+// factored mode: one engine per constraint block (see blocks.go), with
+// probabilities combined as products of per-block sums — no dense joint
+// structure is ever allocated.
 type Compiled struct {
-	names []string
-	cards []int
-	a0    float64
+	names  []string
+	cards  []int
+	a0     float64
+	eng    *sumprod.Compiled // dense mode; nil in factored mode
+	blocks []*compiledBlock  // factored mode; nil in dense mode
+	// blockScratch pools a cell buffer sized to the widest block for the
+	// factored per-cell paths (CellProb is called once per occupied cell
+	// by goodness-of-fit and log-loss scoring).
+	blockScratch sync.Pool
+}
+
+// compiledBlock is one constraint block's dense sub-engine.
+type compiledBlock struct {
+	vars  []int // global attribute positions, ascending
+	cards []int // cardinalities of vars
+	local []int // local index per global position; -1 when not a member
 	eng   *sumprod.Compiled
+	sum   float64 // cached unnormalized block sum Σ Π coeffs
 }
 
 // Compile returns the model's compiled inference engine, building it from
@@ -33,18 +55,92 @@ func (m *Model) Compile() (*Compiled, error) {
 	if c := m.compiled.Load(); c != nil {
 		return c, nil
 	}
-	eng, err := sumprod.Compile(m.cards, m.terms())
-	if err != nil {
-		return nil, err
-	}
 	c := &Compiled{
 		names: append([]string(nil), m.names...),
 		cards: append([]int(nil), m.cards...),
 		a0:    m.a0,
-		eng:   eng,
+	}
+	cells := m.NumCells()
+	blocks, blockErr := []*compiledBlock(nil), error(nil)
+	if cells > denseModelCells {
+		blocks, blockErr = m.compileBlocks()
+		if blockErr != nil && !(errors.Is(blockErr, errBlockTooDense) && cells <= maxDenseCells) {
+			return nil, blockErr
+		}
+		// A too-dense block under the absolute ceiling falls through to
+		// the dense engine, mirroring Fit's fallback.
+	}
+	if blocks != nil {
+		c.blocks = blocks
+		maxW := 0
+		for _, b := range blocks {
+			if len(b.vars) > maxW {
+				maxW = len(b.vars)
+			}
+		}
+		c.blockScratch.New = func() any {
+			s := make([]int, maxW)
+			return &s
+		}
+	} else {
+		eng, err := sumprod.Compile(m.cards, m.terms())
+		if err != nil {
+			return nil, err
+		}
+		c.eng = eng
 	}
 	m.compiled.Store(c)
 	return c, nil
+}
+
+// Factored reports whether the snapshot runs in factored (block-decomposed)
+// mode — i.e. its joint space is too wide to materialize, so consumers must
+// score over occupied cells instead of a dense joint walk.
+func (c *Compiled) Factored() bool { return c.eng == nil }
+
+// compileBlocks builds one sub-engine per constraint block of the model.
+func (m *Model) compileBlocks() ([]*compiledBlock, error) {
+	var out []*compiledBlock
+	for _, blk := range m.blocks() {
+		if _, err := m.blockDenseSize(blk); err != nil {
+			return nil, err
+		}
+		b := &compiledBlock{
+			vars:  append([]int(nil), blk...),
+			cards: make([]int, len(blk)),
+			local: make([]int, len(m.cards)),
+		}
+		for i := range b.local {
+			b.local[i] = -1
+		}
+		for i, p := range blk {
+			b.cards[i] = m.cards[p]
+			b.local[p] = i
+		}
+		var terms []sumprod.Term
+		for _, vs := range sortedFamilies(m.families) {
+			ft := m.families[vs]
+			if b.local[ft.vars[0]] < 0 {
+				continue
+			}
+			lv := make([]int, len(ft.vars))
+			for i, p := range ft.vars {
+				if b.local[p] < 0 {
+					return nil, fmt.Errorf("maxent: family %v straddles blocks", vs)
+				}
+				lv[i] = b.local[p]
+			}
+			terms = append(terms, sumprod.Term{Vars: lv, Coeffs: ft.coeffs})
+		}
+		eng, err := sumprod.Compile(b.cards, terms)
+		if err != nil {
+			return nil, err
+		}
+		b.eng = eng
+		b.sum = eng.Sum()
+		out = append(out, b)
+	}
+	return out, nil
 }
 
 // R returns the number of attributes.
@@ -78,12 +174,34 @@ func (c *Compiled) checkCell(vars contingency.VarSet, values []int) ([]int, erro
 
 // Prob returns the normalized probability that the attributes of vars take
 // values — one pooled-scratch elimination sweep, no per-call engine build.
+// In factored mode the sweep runs per block touched by the pins; untouched
+// blocks contribute their cached sums.
 func (c *Compiled) Prob(vars contingency.VarSet, values []int) (float64, error) {
 	members, err := c.checkCell(vars, values)
 	if err != nil {
 		return 0, err
 	}
-	return c.a0 * c.eng.SumPinned(members, values), nil
+	if c.eng != nil {
+		return c.a0 * c.eng.SumPinned(members, values), nil
+	}
+	res := c.a0
+	lv := make([]int, 0, len(members))
+	lvals := make([]int, 0, len(members))
+	for _, b := range c.blocks {
+		lv, lvals = lv[:0], lvals[:0]
+		for i, p := range members {
+			if li := b.local[p]; li >= 0 {
+				lv = append(lv, li)
+				lvals = append(lvals, values[i])
+			}
+		}
+		if len(lv) == 0 {
+			res *= b.sum
+		} else {
+			res *= b.eng.SumPinned(lv, lvals)
+		}
+	}
+	return res, nil
 }
 
 // Marginal returns the model's full marginal distribution over the family:
@@ -97,6 +215,9 @@ func (c *Compiled) Marginal(vars contingency.VarSet) ([]float64, error) {
 	}
 	if members[len(members)-1] >= len(c.cards) {
 		return nil, fmt.Errorf("maxent: attribute set %v exceeds %d attributes", vars, len(c.cards))
+	}
+	if c.eng == nil {
+		return c.factoredMarginal(members, nil)
 	}
 	out, err := c.eng.Marginal(members)
 	if err != nil {
@@ -125,12 +246,89 @@ func (c *Compiled) MarginalGiven(vars contingency.VarSet, fixed []int) ([]float6
 			return nil, fmt.Errorf("maxent: value %d out of range for attribute %d", fixed[v], v)
 		}
 	}
+	if c.eng == nil {
+		return c.factoredMarginal(members, fixed)
+	}
 	out, err := c.eng.MarginalFixed(members, fixed)
 	if err != nil {
 		return nil, err
 	}
 	for i := range out {
 		out[i] = c.a0 * out[i]
+	}
+	return out, nil
+}
+
+// factoredMarginal assembles a (possibly clamped) batch marginal in
+// factored mode: each block touched by the family computes its own dense
+// sub-marginal in one sweep, blocks touched only by clamps contribute a
+// pinned scalar sum, untouched blocks their cached sums, and the family's
+// row-major result is the outer product of the parts.
+func (c *Compiled) factoredMarginal(members []int, fixed []int) ([]float64, error) {
+	scalar := c.a0
+	type part struct {
+		midx []int // indices into members served by this block
+		dims []int // cardinalities of those members
+		arr  []float64
+	}
+	var parts []part
+	for _, b := range c.blocks {
+		var lm, midx, dims []int
+		for i, p := range members {
+			if li := b.local[p]; li >= 0 {
+				lm = append(lm, li)
+				midx = append(midx, i)
+				dims = append(dims, c.cards[p])
+			}
+		}
+		var localFixed []int
+		for li, p := range b.vars {
+			if p < len(fixed) && fixed[p] >= 0 {
+				if localFixed == nil {
+					localFixed = make([]int, len(b.vars))
+					for j := range localFixed {
+						localFixed[j] = -1
+					}
+				}
+				localFixed[li] = fixed[p]
+			}
+		}
+		switch {
+		case len(lm) > 0:
+			arr, err := b.eng.MarginalFixed(lm, localFixed)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, part{midx: midx, dims: dims, arr: arr})
+		case localFixed != nil:
+			scalar *= b.eng.SumFixed(localFixed)
+		default:
+			scalar *= b.sum
+		}
+	}
+	size := 1
+	for _, p := range members {
+		size *= c.cards[p]
+	}
+	out := make([]float64, size)
+	values := make([]int, len(members))
+	for i := 0; i < size; i++ {
+		v := scalar
+		for _, pt := range parts {
+			off := 0
+			for k, mi := range pt.midx {
+				off = off*pt.dims[k] + values[mi]
+			}
+			v *= pt.arr[off]
+		}
+		out[i] = v
+		for j := len(members) - 1; j >= 0; j-- {
+			values[j]++
+			if values[j] < c.cards[members[j]] {
+				break
+			}
+			values[j] = 0
+		}
 	}
 	return out, nil
 }
@@ -148,24 +346,198 @@ func (c *Compiled) CellProb(cell []int) (float64, error) {
 			return 0, fmt.Errorf("maxent: coordinate %d = %d out of range", i, v)
 		}
 	}
-	return c.eng.CellValue(c.a0, cell), nil
+	if c.eng != nil {
+		return c.eng.CellValue(c.a0, cell), nil
+	}
+	scratch := c.blockScratch.Get().(*[]int)
+	p := c.a0
+	for _, b := range c.blocks {
+		localCell := (*scratch)[:len(b.vars)]
+		for li, gp := range b.vars {
+			localCell[li] = cell[gp]
+		}
+		p = b.eng.CellValue(p, localCell)
+	}
+	c.blockScratch.Put(scratch)
+	return p, nil
+}
+
+// MaxCell returns the most probable full cell agreeing with fixed
+// (fixed[i] >= 0 pins attribute i; any negative entry leaves it free; nil
+// leaves every attribute free) and that cell's normalized probability —
+// the MPE/MAP primitive. Ties break toward lexicographically smaller
+// cells. Dense snapshots enumerate the pinned joint space; factored
+// snapshots take the argmax independently per block — exact, because the
+// distribution is a product over blocks — so wide-model MPE costs the sum
+// of the block sizes, never the joint.
+func (c *Compiled) MaxCell(fixed []int) ([]int, float64, error) {
+	r := len(c.cards)
+	if fixed == nil {
+		fixed = make([]int, r)
+		for i := range fixed {
+			fixed[i] = -1
+		}
+	}
+	if len(fixed) != r {
+		return nil, 0, fmt.Errorf("maxent: %d pins for %d attributes", len(fixed), r)
+	}
+	for i, v := range fixed {
+		if v >= c.cards[i] {
+			return nil, 0, fmt.Errorf("maxent: value %d out of range for attribute %d", v, i)
+		}
+	}
+	best := make([]int, r)
+	if c.eng != nil {
+		cell := make([]int, r)
+		var free []int
+		for i, v := range fixed {
+			if v >= 0 {
+				cell[i] = v
+			} else {
+				free = append(free, i)
+			}
+		}
+		bestP := -1.0
+		for {
+			if p := c.eng.CellValue(c.a0, cell); p > bestP {
+				bestP = p
+				copy(best, cell)
+			}
+			i := len(free) - 1
+			for i >= 0 {
+				cell[free[i]]++
+				if cell[free[i]] < c.cards[free[i]] {
+					break
+				}
+				cell[free[i]] = 0
+				i--
+			}
+			if i < 0 || len(free) == 0 {
+				break
+			}
+		}
+		return best, bestP, nil
+	}
+	// Per-block argmax in local row-major order: within a block the local
+	// order is the block's attributes ascending, so the strict > keeps the
+	// block-lexicographically smallest maximizer — which composes to the
+	// globally lexicographically smallest one, blocks being independent.
+	for _, b := range c.blocks {
+		local := make([]int, len(b.vars))
+		var free []int
+		for li, p := range b.vars {
+			if fixed[p] >= 0 {
+				local[li] = fixed[p]
+			} else {
+				free = append(free, li)
+			}
+		}
+		bestLocal := make([]int, len(local))
+		bestV := -1.0
+		for {
+			if v := b.eng.CellValue(1, local); v > bestV {
+				bestV = v
+				copy(bestLocal, local)
+			}
+			i := len(free) - 1
+			for i >= 0 {
+				local[free[i]]++
+				if local[free[i]] < b.cards[free[i]] {
+					break
+				}
+				local[free[i]] = 0
+				i--
+			}
+			if i < 0 || len(free) == 0 {
+				break
+			}
+		}
+		for li, p := range b.vars {
+			best[p] = bestLocal[li]
+		}
+	}
+	p, err := c.CellProb(best)
+	if err != nil {
+		return nil, 0, err
+	}
+	return best, p, nil
 }
 
 // Joint materializes the full normalized joint distribution in row-major
-// order. Intended for small spaces, validation, and tests.
-func (c *Compiled) Joint() []float64 {
-	joint := c.eng.FullJoint()
-	for i := range joint {
-		joint[i] *= c.a0
+// order (attribute 0 slowest). Intended for small spaces, validation, and
+// tests. Factored-mode snapshots materialize by cell-probability products
+// while the space fits under maxDenseCells and refuse beyond it — wide
+// models must be queried through marginals instead.
+func (c *Compiled) Joint() ([]float64, error) {
+	if c.eng != nil {
+		joint := c.eng.FullJoint()
+		for i := range joint {
+			joint[i] *= c.a0
+		}
+		return joint, nil
 	}
-	return joint
+	size := 1
+	for _, card := range c.cards {
+		if size > maxDenseCells/card {
+			return nil, fmt.Errorf("maxent: joint space too large to materialize (factored model over %d attributes)", len(c.cards))
+		}
+		size *= card
+	}
+	joint := make([]float64, size)
+	cell := make([]int, len(c.cards))
+	for i := range joint {
+		p, err := c.CellProb(cell)
+		if err != nil {
+			return nil, err
+		}
+		joint[i] = p
+		for j := len(cell) - 1; j >= 0; j-- {
+			cell[j]++
+			if cell[j] < c.cards[j] {
+				break
+			}
+			cell[j] = 0
+		}
+	}
+	return joint, nil
 }
 
-// Sum returns the unnormalized total Σ Π coefficients (1/a0 after a fit).
-func (c *Compiled) Sum() float64 { return c.eng.Sum() }
+// Sum returns the unnormalized total Σ Π coefficients (1/a0 after a fit);
+// in factored mode, the product of the block sums.
+func (c *Compiled) Sum() float64 {
+	if c.eng != nil {
+		return c.eng.Sum()
+	}
+	s := 1.0
+	for _, b := range c.blocks {
+		s *= b.sum
+	}
+	return s
+}
 
-// sumPinnedRatio returns SumPinned/sum — the predicted constraint
-// probability used by Residual.
-func (c *Compiled) sumPinnedRatio(cons Constraint, sum float64) float64 {
-	return c.eng.SumPinned(cons.Family.Members(), cons.Values) / sum
+// constraintRatio returns the model's predicted probability of a constraint
+// cell — the convergence measure Residual compares against targets. sum is
+// the caller's precomputed Sum(), shared across constraints so the dense
+// branch does not repeat the full elimination sweep per constraint.
+func (c *Compiled) constraintRatio(cons Constraint, sum float64) float64 {
+	members := cons.Family.Members()
+	if c.eng != nil {
+		return c.eng.SumPinned(members, cons.Values) / sum
+	}
+	ratio := 1.0
+	lv := make([]int, 0, len(members))
+	lvals := make([]int, 0, len(members))
+	for _, b := range c.blocks {
+		lv, lvals = lv[:0], lvals[:0]
+		for i, p := range members {
+			if li := b.local[p]; li >= 0 {
+				lv = append(lv, li)
+				lvals = append(lvals, cons.Values[i])
+			}
+		}
+		if len(lv) > 0 {
+			ratio *= b.eng.SumPinned(lv, lvals) / b.sum
+		}
+	}
+	return ratio
 }

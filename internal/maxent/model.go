@@ -52,15 +52,10 @@ func NewModel(names []string, cards []int) (*Model, error) {
 		return nil, fmt.Errorf("maxent: %d attributes exceeds limit %d",
 			len(cards), contingency.MaxVars)
 	}
-	size := 1
 	for i, c := range cards {
 		if c < 1 {
 			return nil, fmt.Errorf("maxent: attribute %d has cardinality %d", i, c)
 		}
-		if size > (1<<28)/c {
-			return nil, fmt.Errorf("maxent: joint space too large")
-		}
-		size *= c
 	}
 	if names != nil && len(names) != len(cards) {
 		return nil, fmt.Errorf("maxent: %d names for %d attributes", len(names), len(cards))
@@ -92,10 +87,16 @@ func (m *Model) Cards() []int { return append([]int(nil), m.cards...) }
 // Names returns a copy of the attribute names.
 func (m *Model) Names() []string { return append([]string(nil), m.names...) }
 
-// NumCells returns the size of the joint space.
+// NumCells returns the size of the joint space, saturating at MaxInt for
+// wide attribute spaces whose cell count overflows — models over such
+// spaces are served by the factored (block-decomposed) engine and never
+// materialize the joint.
 func (m *Model) NumCells() int {
 	size := 1
 	for _, c := range m.cards {
+		if size > math.MaxInt/c {
+			return math.MaxInt
+		}
 		size *= c
 	}
 	return size
@@ -151,8 +152,9 @@ func (m *Model) AddConstraint(c Constraint) error {
 }
 
 // AddFirstOrderConstraints registers the memo's Eq. 48 starting constraints:
-// p_i = N_i / N for every value of every attribute of the table.
-func (m *Model) AddFirstOrderConstraints(t *contingency.Table) error {
+// p_i = N_i / N for every value of every attribute of the counts backend
+// (dense or sparse).
+func (m *Model) AddFirstOrderConstraints(t contingency.Counts) error {
 	if t.R() != m.R() {
 		return fmt.Errorf("maxent: table has %d attributes, model has %d", t.R(), m.R())
 	}
@@ -267,13 +269,14 @@ func (m *Model) Marginal(vars contingency.VarSet) ([]float64, error) {
 }
 
 // Joint materializes the full normalized joint distribution in row-major
-// order (attribute 0 slowest). Intended for small spaces and tests.
+// order (attribute 0 slowest). Intended for small spaces and tests; it
+// fails on factored models whose joint space exceeds maxDenseCells.
 func (m *Model) Joint() ([]float64, error) {
 	c, err := m.Compile()
 	if err != nil {
 		return nil, err
 	}
-	return c.Joint(), nil
+	return c.Joint()
 }
 
 // Entropy returns H of the fitted joint in nats (Eq. 7).
@@ -298,7 +301,7 @@ func (m *Model) Residual() (float64, error) {
 	}
 	worst := 0.0
 	for _, cons := range m.cons {
-		q := c.sumPinnedRatio(cons, sum)
+		q := c.constraintRatio(cons, sum)
 		if d := math.Abs(q - cons.Target); d > worst {
 			worst = d
 		}

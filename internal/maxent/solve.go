@@ -1,6 +1,7 @@
 package maxent
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -91,6 +92,13 @@ type Report struct {
 // Inconsistent or unreachable constraints (a positive target on a cell with
 // zero model support, or probabilities that cannot coexist) surface as an
 // error or as Converged == false with the residual reported.
+//
+// Joint spaces up to denseModelCells solve densely (the memo's procedure
+// verbatim); wider models dispatch to the factored solver, which fits each
+// constraint block independently — see blocks.go. When the factored solver
+// cannot serve the model (a block too densely coupled, or a RecordTrace
+// request) and the full joint still fits under maxDenseCells, the dense
+// solver absorbs it; only beyond that ceiling does Fit fail.
 func (m *Model) Fit(opts SolveOptions) (*Report, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
@@ -99,6 +107,43 @@ func (m *Model) Fit(opts SolveOptions) (*Report, error) {
 	if len(m.cons) == 0 {
 		return nil, fmt.Errorf("maxent: no constraints to fit")
 	}
+	cells := m.NumCells()
+	if cells <= denseModelCells {
+		return m.fitDense(opts)
+	}
+	if opts.RecordTrace {
+		if cells <= maxDenseCells {
+			return m.fitDense(opts)
+		}
+		return nil, fmt.Errorf("maxent: RecordTrace is not supported on the factored (wide-model) solve path")
+	}
+	rep, err := m.fitFactored(opts)
+	if err != nil && errors.Is(err, errBlockTooDense) && cells <= maxDenseCells {
+		return m.fitDense(opts)
+	}
+	return rep, err
+}
+
+// fitDense is the dense-joint solve plus the compiled-snapshot refresh the
+// public Fit contract promises: opts must already be validated and
+// defaulted, and at least one constraint registered.
+func (m *Model) fitDense(opts SolveOptions) (*Report, error) {
+	rep, err := m.fitDenseCore(opts)
+	if err != nil {
+		return nil, err
+	}
+	// Refresh the compiled snapshot so the fitted model serves queries —
+	// including the concurrent scan's batch marginals — without a rebuild.
+	if _, err := m.Compile(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// fitDenseCore runs the dense solve without compiling a snapshot — the
+// factored solver fits throwaway per-block sub-models through it and
+// compiles the parent once at the end instead.
+func (m *Model) fitDenseCore(opts SolveOptions) (*Report, error) {
 	m.compiled.Store(nil) // coefficients are about to move; drop the snapshot
 	s := newSolverState(m)
 	rep := &Report{Method: opts.Method}
@@ -134,11 +179,6 @@ func (m *Model) Fit(opts SolveOptions) (*Report, error) {
 		return nil, fmt.Errorf("maxent: degenerate weight sum %g after fitting", s.sumW)
 	}
 	m.a0 = 1 / s.sumW
-	// Refresh the compiled snapshot so the fitted model serves queries —
-	// including the concurrent scan's batch marginals — without a rebuild.
-	if _, err := m.Compile(); err != nil {
-		return nil, err
-	}
 	return rep, nil
 }
 

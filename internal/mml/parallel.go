@@ -5,8 +5,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-
-	"pka/internal/contingency"
 )
 
 // ScanOrderParallel is ScanOrder with the family pricing fanned out over a
@@ -24,7 +22,7 @@ func (t *Tester) ScanOrderParallel(r int, pred Predictor, workers int) ([]CellTe
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	families := contingency.Combinations(t.table.R(), r)
+	families := t.familiesAtOrder(r)
 	if workers > len(families) {
 		workers = len(families)
 	}

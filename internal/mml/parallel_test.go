@@ -1,6 +1,7 @@
 package mml
 
 import (
+	"sync"
 	"testing"
 
 	"pka/internal/contingency"
@@ -91,3 +92,46 @@ var errPredict = &predictError{}
 type predictError struct{}
 
 func (*predictError) Error() string { return "predict failed" }
+
+// TestCellsAtOrderConcurrent hammers the CellsAtOrder memo from many
+// goroutines (the access pattern of ScanOrderParallel workers, which all
+// consult it on a cold cache) — run under -race this pins the memo's
+// synchronization.
+func TestCellsAtOrderConcurrent(t *testing.T) {
+	tab := memoTable(t)
+	tt, err := NewTester(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, want3 := tt.CellsAtOrder(2), tt.CellsAtOrder(3)
+	for _, restrict := range []bool{false, true} {
+		fresh, err := NewTester(tab, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if restrict {
+			// A restricted universe exercises the generator path too.
+			fresh.RestrictFamilies(func(order int) []contingency.VarSet {
+				return contingency.Combinations(tab.R(), order)
+			})
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					if got := fresh.CellsAtOrder(2); got != want2 {
+						t.Errorf("CellsAtOrder(2) = %d, want %d", got, want2)
+						return
+					}
+					if got := fresh.CellsAtOrder(3); got != want3 {
+						t.Errorf("CellsAtOrder(3) = %d, want %d", got, want3)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

@@ -216,7 +216,7 @@ func (t *Tester) ScanOrder(r int, pred Predictor) ([]CellTest, error) {
 		return nil, fmt.Errorf("mml: scan order %d outside [2,%d]", r, t.table.R())
 	}
 	var out []CellTest
-	for _, fam := range contingency.Combinations(t.table.R(), r) {
+	for _, fam := range t.familiesAtOrder(r) {
 		tests, err := t.scanFamily(fam, pred)
 		if err != nil {
 			return nil, err

@@ -194,7 +194,7 @@ func TestScanOrderValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pred := PerCell(tt.Table().Cards(),
+	pred := PerCell(contingency.CardsOf(tt.Table()),
 		func(contingency.VarSet, []int) (float64, error) { return 0.1, nil })
 	if _, err := tt.ScanOrder(1, pred); err == nil {
 		t.Error("order 1 accepted")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"pka/internal/contingency"
 )
@@ -43,11 +44,12 @@ type SignificantCell struct {
 	Count  int64
 }
 
-// Tester evaluates candidate cells against the observed contingency table,
+// Tester evaluates candidate cells against the observed contingency counts,
 // tracking which cells have been marked significant so far (the memo's
-// "significant(N...s)" bookkeeping in Eq. 41).
+// "significant(N...s)" bookkeeping in Eq. 41). The counts backend may be
+// dense or sparse — scoring consumes only the Counts marginals.
 type Tester struct {
-	table *contingency.Table
+	table contingency.Counts
 	cfg   Config
 	// sig holds accepted cells grouped by family.
 	sig map[contingency.VarSet][]SignificantCell
@@ -55,18 +57,31 @@ type Tester struct {
 	sigKeys map[string]bool
 	// sigPerOrder counts accepted cells per order r (the memo's M).
 	sigPerOrder map[int]int
+	// familyGen enumerates the candidate attribute families of one order;
+	// nil means the full Combinations(R, r) universe. Set by
+	// RestrictFamilies for screened wide-schema scans.
+	familyGen func(order int) []contingency.VarSet
+	// cellsMemo caches CellsAtOrder per order (the table is read-only, so
+	// the count never changes for a given family universe). cellsMu
+	// guards it: ScanOrderParallel workers score concurrently, and every
+	// Test consults CellsAtOrder.
+	cellsMu   sync.RWMutex
+	cellsMemo map[int]int
 }
 
-// NewTester validates inputs and builds a tester over the table.
-func NewTester(table *contingency.Table, cfg Config) (*Tester, error) {
+// NewTester validates inputs and builds a tester over the counts backend
+// (dense *contingency.Table or *contingency.Sparse).
+func NewTester(table contingency.Counts, cfg Config) (*Tester, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	if table.Total() == 0 {
 		return nil, fmt.Errorf("mml: empty contingency table")
 	}
-	if err := table.CheckConsistency(); err != nil {
-		return nil, fmt.Errorf("mml: %w", err)
+	if ck, ok := table.(interface{ CheckConsistency() error }); ok {
+		if err := ck.CheckConsistency(); err != nil {
+			return nil, fmt.Errorf("mml: %w", err)
+		}
 	}
 	return &Tester{
 		table:       table,
@@ -74,11 +89,36 @@ func NewTester(table *contingency.Table, cfg Config) (*Tester, error) {
 		sig:         make(map[contingency.VarSet][]SignificantCell),
 		sigKeys:     make(map[string]bool),
 		sigPerOrder: make(map[int]int),
+		cellsMemo:   make(map[int]int),
 	}, nil
 }
 
-// Table returns the observed table the tester scores against.
-func (t *Tester) Table() *contingency.Table { return t.table }
+// Table returns the observed counts the tester scores against.
+func (t *Tester) Table() contingency.Counts { return t.table }
+
+// RestrictFamilies narrows the candidate universe of order >= 2 attribute
+// families: gen(r) must deterministically enumerate the families eligible
+// at order r (a subset of Combinations(R, r)). Scans visit only those
+// families, and CellsAtOrder — the memo's "no. of cells at this order" term
+// of Eq. 45 — counts only their cells, so the message-length comparison
+// prices candidates against the screened universe. nil restores the full
+// enumeration. Association screening in the discovery engine is the
+// intended caller; switching generators mid-run invalidates the cached
+// cell counts and is not supported.
+func (t *Tester) RestrictFamilies(gen func(order int) []contingency.VarSet) {
+	t.familyGen = gen
+	t.cellsMu.Lock()
+	t.cellsMemo = make(map[int]int)
+	t.cellsMu.Unlock()
+}
+
+// familiesAtOrder enumerates the candidate families of one order.
+func (t *Tester) familiesAtOrder(r int) []contingency.VarSet {
+	if t.familyGen != nil {
+		return t.familyGen(r)
+	}
+	return contingency.Combinations(t.table.R(), r)
+}
 
 func cellKey(family contingency.VarSet, values []int) string {
 	var b strings.Builder
@@ -119,18 +159,29 @@ func (t *Tester) IsSignificant(family contingency.VarSet, values []int) bool {
 // SignificantAtOrder returns M, the number of accepted order-r cells.
 func (t *Tester) SignificantAtOrder(r int) int { return t.sigPerOrder[r] }
 
-// CellsAtOrder returns the total number of cells across all order-r
-// attribute families — the memo's "no. of cells at this order" (16 for the
-// example's second order).
+// CellsAtOrder returns the total number of cells across the order-r
+// candidate attribute families — the memo's "no. of cells at this order"
+// (16 for the example's second order). With a restricted family universe
+// (RestrictFamilies) only the eligible families' cells are counted.
 func (t *Tester) CellsAtOrder(r int) int {
+	t.cellsMu.RLock()
+	n, ok := t.cellsMemo[r]
+	t.cellsMu.RUnlock()
+	if ok {
+		return n
+	}
 	total := 0
-	for _, fam := range contingency.Combinations(t.table.R(), r) {
+	for _, fam := range t.familiesAtOrder(r) {
 		size := 1
 		for _, p := range fam.Members() {
 			size *= t.table.Card(p)
 		}
 		total += size
 	}
+	// Racing scorers compute the same total; last store is idempotent.
+	t.cellsMu.Lock()
+	t.cellsMemo[r] = total
+	t.cellsMu.Unlock()
 	return total
 }
 

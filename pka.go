@@ -110,6 +110,15 @@ type Options struct {
 	// Workers controls scan parallelism: 0 uses GOMAXPROCS, 1 forces the
 	// sequential scan. Results are identical either way.
 	Workers int
+	// ScreenPairs gates order >= 2 scans on a pairwise association survey:
+	// only families whose attribute pairs all pass the screen are priced.
+	// Essential for wide schemas (DiscoverSparse), where the unscreened
+	// candidate space is combinatorial; with it off, sparse and dense
+	// discovery over the same counts are bit-identical.
+	ScreenPairs bool
+	// ScreenAlpha is the pairwise G² p-value threshold for ScreenPairs;
+	// 0 means the Bonferroni default 0.05 / (number of pairs).
+	ScreenAlpha float64
 }
 
 // Model is a discovered probabilistic knowledge base.
@@ -143,6 +152,29 @@ func DiscoverTable(table *Table, schema *Schema, opts Options) (*Model, error) {
 	if table == nil || schema == nil {
 		return nil, fmt.Errorf("pka: nil table or schema")
 	}
+	return discoverCounts(table, schema, opts)
+}
+
+// DiscoverSparse runs the full acquisition procedure on a sparse table —
+// the wide-schema path for data banks whose dense joint space would not
+// fit in memory. The model is fit and queried through the factored
+// (block-decomposed) engine, so the joint space is never materialized; the
+// cost scales with the occupied cells, the screened candidate families,
+// and the small dense blocks the accepted constraints induce.
+//
+// For wide schemas set Options.ScreenPairs (and keep MaxOrder low):
+// screening bounds the order >= 2 scans to families whose attribute pairs
+// associate significantly. With screening off, DiscoverSparse finds
+// bit-identical structure to Discover on the densified counts.
+func DiscoverSparse(table *SparseTable, schema *Schema, opts Options) (*Model, error) {
+	if table == nil || schema == nil {
+		return nil, fmt.Errorf("pka: nil table or schema")
+	}
+	return discoverCounts(table, schema, opts)
+}
+
+// discoverCounts is the shared backend-agnostic acquisition driver.
+func discoverCounts(table contingency.Counts, schema *Schema, opts Options) (*Model, error) {
 	coreOpts := core.Options{
 		MaxOrder: opts.MaxOrder,
 		MML: mml.Config{
@@ -152,11 +184,13 @@ func DiscoverTable(table *Table, schema *Schema, opts Options) (*Model, error) {
 		MaxConstraints: opts.MaxConstraints,
 		RecordScans:    opts.RecordScans,
 		Workers:        opts.Workers,
+		ScreenPairs:    opts.ScreenPairs,
+		ScreenAlpha:    opts.ScreenAlpha,
 	}
 	if coreOpts.MML.PriorH2 == 0 {
 		coreOpts.MML.PriorH2 = mml.DefaultConfig().PriorH2
 	}
-	res, err := core.Discover(table, coreOpts)
+	res, err := core.DiscoverCounts(table, coreOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -265,6 +299,10 @@ func (m *Model) Fit() FitReport { return m.fit }
 // sample) on a validation table of the same shape.
 func (m *Model) LogLoss(table *Table) (float64, error) { return m.kbase.LogLoss(table) }
 
+// LogLossSparse is LogLoss on a sparse validation table: only occupied
+// cells are scored, so wide holdouts validate without densifying.
+func (m *Model) LogLossSparse(table *SparseTable) (float64, error) { return m.kbase.LogLoss(table) }
+
 // NumConstraints returns the stored constraint count (first-order
 // marginals included) — the model's parameter size.
 func (m *Model) NumConstraints() int { return m.result.Model.NumConstraints() }
@@ -341,25 +379,38 @@ func (q *QueryModel) DependencyDOT() string { return q.kbase.DependencyDOT() }
 type Constraint = maxent.Constraint
 
 // Binner maps continuous readings to categorical bins, for turning sensor
-// streams into attributes (see the telemetry example).
+// streams into attributes (see the telemetry example). Every binner carries
+// one extra catch-all bin after the interval bins: NaN readings (sensor
+// dropouts, failed parses) land there instead of being conflated with any
+// interval, so Bins() is the requested bin count plus one.
 type Binner = dataset.Binner
 
-// NewEqualWidthBinner splits [min, max] into equal-width bins.
+// NewEqualWidthBinner splits [min, max] into equal-width bins (plus the
+// NaN catch-all).
 func NewEqualWidthBinner(min, max float64, bins int) (*Binner, error) {
 	return dataset.NewEqualWidthBinner(min, max, bins)
 }
 
-// NewQuantileBinner picks bin edges so the sample spreads evenly.
+// NewQuantileBinner picks bin edges so the sample spreads evenly (plus the
+// NaN catch-all).
 func NewQuantileBinner(sample []float64, bins int) (*Binner, error) {
 	return dataset.NewQuantileBinner(sample, bins)
 }
 
 // SparseTable is a hash-backed contingency table for schemas whose dense
-// joint space would not fit in memory (up to 64 packed key bits). Project
-// slices out dense tables over small attribute subsets for discovery.
+// joint space would not fit in memory. Project slices out dense tables
+// over small attribute subsets; DiscoverSparse runs acquisition on it
+// directly. Marginal queries are served from a per-family dense-projection
+// cache, so repeated lookups over the same attribute family cost O(1)
+// after one pass over the occupied cells.
 type SparseTable = contingency.Sparse
 
 // NewSparseTable creates an empty sparse table over the schema.
+//
+// Cells are keyed by packing every attribute value into one 64-bit word,
+// so the schema must satisfy Σ ceil(log2(len(attr.Values))) <= 64 — e.g.
+// 64 binary attributes, or 16 attributes of 16 values each. Wider schemas
+// are rejected with the total bit requirement in the error.
 func NewSparseTable(schema *Schema) (*SparseTable, error) {
 	return contingency.NewSparse(schema.Names(), schema.Cards())
 }
@@ -384,6 +435,13 @@ type PairStats = assoc.PairStats
 // FitReport carries the classical goodness-of-fit statistics of a
 // discovered model against its data.
 type FitReport = core.Fit
+
+// ScreenReport summarizes a discovery run's association screen.
+type ScreenReport = core.ScreenReport
+
+// Screen returns the association-screen summary of the discovery run, or
+// nil when Options.ScreenPairs was off.
+func (m *Model) Screen() *ScreenReport { return m.result.Screen }
 
 // Associations computes pairwise association diagnostics (mutual
 // information, Cramér's V, G² p-values) over a contingency table, ordered

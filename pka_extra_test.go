@@ -217,18 +217,25 @@ func TestSelectMaxOrderFacade(t *testing.T) {
 }
 
 func TestBinnerFacade(t *testing.T) {
+	// Bins() counts the requested interval bins plus the NaN catch-all.
 	b, err := NewEqualWidthBinner(0, 1, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b.Bins() != 4 {
-		t.Errorf("bins = %d", b.Bins())
+	if b.Bins() != 5 {
+		t.Errorf("bins = %d, want 4 intervals + catch-all", b.Bins())
+	}
+	if got := b.Bin(math.NaN()); got != b.Bins()-1 {
+		t.Errorf("NaN binned to %d, want the catch-all %d", got, b.Bins()-1)
+	}
+	if got := b.Bin(0.99); got == b.Bins()-1 {
+		t.Error("real reading landed in the NaN catch-all")
 	}
 	q, err := NewQuantileBinner([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if q.Bins() != 2 {
-		t.Errorf("quantile bins = %d", q.Bins())
+	if q.Bins() != 3 {
+		t.Errorf("quantile bins = %d, want 2 intervals + catch-all", q.Bins())
 	}
 }
