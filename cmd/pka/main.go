@@ -7,7 +7,8 @@
 //
 //	pka discover -in data.csv -out kb.json [-max-order N] [-prior P] [-sparse] [-screen]
 //	pka rules    -kb kb.json [-min-prob P] [-min-lift D] [-top K]
-//	pka query    -kb kb.json -target "ATTR=value" [-given "A=v,B=w"]
+//	pka query    -kb kb.json -target "ATTR=value" [-given "A=v,B=w"] [-json]
+//	pka serve    -kb kb.json [-addr :8080]
 //	pka tables   -in data.csv [-rows ATTR] [-cols ATTR]
 //
 // All probability output derives from the stored product formula; no raw
@@ -33,7 +34,7 @@ func main() {
 
 func run(w io.Writer, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: pka <discover|rules|query|tables> [flags]")
+		return fmt.Errorf("usage: pka <discover|rules|query|serve|tables> [flags]")
 	}
 	switch args[0] {
 	case "discover":
@@ -52,8 +53,10 @@ func run(w io.Writer, args []string) error {
 		return cmdAnalyze(w, args[1:])
 	case "validate":
 		return cmdValidate(w, args[1:])
+	case "serve":
+		return cmdServe(w, args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want discover, rules, query, tables, simulate, explain, analyze, or validate)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want discover, rules, query, serve, tables, simulate, explain, analyze, or validate)", args[0])
 	}
 }
 
@@ -295,6 +298,7 @@ func cmdQuery(w io.Writer, args []string) error {
 	target := fs.String("target", "", `target assignments, e.g. "CANCER=Yes"`)
 	given := fs.String("given", "", `evidence assignments, e.g. "SMOKING=Smoker,FAMILY HISTORY=Yes"`)
 	dist := fs.String("dist", "", "print the full distribution of this attribute instead")
+	asJSON := fs.Bool("json", false, "emit machine-readable output (the server's query wire format)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -305,6 +309,24 @@ func cmdQuery(w io.Writer, args []string) error {
 	givenAssigns, err := parseAssignments(*given)
 	if err != nil {
 		return err
+	}
+	if *asJSON {
+		q := pka.Query{Kind: pka.QueryConditional, Given: givenAssigns}
+		if *dist != "" {
+			q.Kind, q.Attr = pka.QueryDistribution, *dist
+		} else {
+			if *target == "" {
+				return fmt.Errorf("query: -target or -dist is required")
+			}
+			if q.Target, err = parseAssignments(*target); err != nil {
+				return err
+			}
+		}
+		res, err := pka.Answer(model, q)
+		if err != nil {
+			return err
+		}
+		return pka.EncodeQueryResult(w, res)
 	}
 	if *dist != "" {
 		d, err := model.Distribution(*dist, givenAssigns...)

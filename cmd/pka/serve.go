@@ -1,0 +1,55 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os/signal"
+	"syscall"
+
+	"pka/internal/server"
+)
+
+// cmdServe runs the knowledge-base query server:
+//
+//	pka serve -kb kb.json [-addr :8080] [-max-batch N]
+//
+// The model is loaded and compiled once; every request is served from the
+// shared engine. SIGINT/SIGTERM trigger a graceful shutdown.
+func cmdServe(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	kbPath := fs.String("kb", "", "knowledge-base JSON from 'pka discover -out'")
+	addr := fs.String("addr", ":8080", "listen address")
+	maxBatch := fs.Int("max-batch", 0, "max queries per batch request (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	return runServe(ctx, w, *kbPath, *addr, *maxBatch, nil)
+}
+
+// runServe is cmdServe minus flag and signal handling, so tests can drive
+// it with their own context and capture the bound address.
+func runServe(ctx context.Context, w io.Writer, kbPath, addr string, maxBatch int, ready func(net.Addr)) error {
+	model, err := loadKB(kbPath)
+	if err != nil {
+		return err
+	}
+	info := model.Info()
+	handler := server.NewWithOptions(model, server.Options{MaxBatch: maxBatch})
+	announce := func(a net.Addr) {
+		fmt.Fprintf(w, "serving %s (%d attributes, %d constraints) on %s\n",
+			kbPath, info.Attributes, info.Constraints, a)
+		if ready != nil {
+			ready(a)
+		}
+	}
+	if err := server.ListenAndServe(ctx, addr, handler, announce); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintln(w, "server stopped")
+	return nil
+}

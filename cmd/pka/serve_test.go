@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pka"
+)
+
+// discoverKB builds a knowledge base file from the memo data via the real
+// discover subcommand.
+func discoverKB(t *testing.T) string {
+	t.Helper()
+	csvPath := writeMemoCSV(t)
+	kbPath := filepath.Join(t.TempDir(), "kb.json")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"discover", "-in", csvPath, "-out", kbPath}); err != nil {
+		t.Fatal(err)
+	}
+	return kbPath
+}
+
+// TestServeEndToEnd: `pka serve` answers a conditional query over HTTP
+// with exactly the probability the loaded model computes, serves batches,
+// and shuts down gracefully on context cancel.
+func TestServeEndToEnd(t *testing.T) {
+	kbPath := discoverKB(t)
+
+	f, err := os.Open(kbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := pka.Load(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := model.Conditional(
+		[]pka.Assignment{{Attr: "CANCER", Value: "Yes"}},
+		[]pka.Assignment{{Attr: "SMOKING", Value: "Smoker"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- runServe(ctx, &out, kbPath, "127.0.0.1:0", 0, func(a net.Addr) { ready <- a })
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr.String()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	body := `{"kind":"conditional","target":[{"attr":"CANCER","value":"Yes"}],"given":[{"attr":"SMOKING","value":"Smoker"}]}`
+	resp, err = http.Post(base+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res pka.QueryResult
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || res.Error != "" {
+		t.Fatalf("query = %d %+v", resp.StatusCode, res)
+	}
+	if res.Probability != want {
+		t.Errorf("served conditional = %x, model says %x", res.Probability, want)
+	}
+
+	batch := `{"queries":[` + body + `,{"kind":"mpe","given":[{"attr":"SMOKING","value":"Smoker"}]}]}`
+	resp, err = http.Post(base+"/v1/query/batch", "application/json", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batchRes struct {
+		Results []pka.QueryResult `json:"results"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&batchRes)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batchRes.Results) != 2 || batchRes.Results[0].Probability != want || len(batchRes.Results[1].Assignments) != 3 {
+		t.Fatalf("batch = %+v", batchRes)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if s := out.String(); !strings.Contains(s, "serving") || !strings.Contains(s, "server stopped") {
+		t.Errorf("serve output = %q", s)
+	}
+}
+
+// TestServeFlagErrors: missing/bad inputs fail before binding a port.
+func TestServeFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"serve"}); err == nil {
+		t.Error("serve without -kb accepted")
+	}
+	if err := run(&buf, []string{"serve", "-kb", "/nonexistent"}); err == nil {
+		t.Error("serve with missing kb accepted")
+	}
+}
+
+// TestQueryJSON: `pka query -json` emits exactly the server wire format.
+func TestQueryJSON(t *testing.T) {
+	kbPath := discoverKB(t)
+	var buf bytes.Buffer
+	err := run(&buf, []string{"query", "-kb", kbPath, "-json",
+		"-target", "CANCER=Yes", "-given", "SMOKING=Smoker"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res pka.QueryResult
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("output %q not JSON: %v", buf.String(), err)
+	}
+	if res.Kind != pka.QueryConditional || res.Probability <= 0 || res.Probability >= 1 {
+		t.Errorf("result = %+v", res)
+	}
+	// The bytes must equal the shared encoder's output for the same result
+	// — one wire format across CLI and server.
+	var want bytes.Buffer
+	if err := pka.EncodeQueryResult(&want, res); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != want.String() {
+		t.Errorf("CLI bytes %q != shared encoder %q", buf.String(), want.String())
+	}
+
+	buf.Reset()
+	err = run(&buf, []string{"query", "-kb", kbPath, "-json", "-dist", "CANCER"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dres pka.QueryResult
+	if err := json.Unmarshal(buf.Bytes(), &dres); err != nil {
+		t.Fatal(err)
+	}
+	if dres.Kind != pka.QueryDistribution || len(dres.Distribution) != 2 {
+		t.Errorf("distribution result = %+v", dres)
+	}
+
+	buf.Reset()
+	if err := run(&buf, []string{"query", "-kb", kbPath, "-json"}); err == nil {
+		t.Error("query -json without -target or -dist accepted")
+	}
+}

@@ -79,6 +79,52 @@ func ExampleModel_MostProbableExplanation() {
 	// FAMILY HISTORY=Yes
 }
 
+// ExampleAnswer routes a first-class Query value through the unified
+// Querier API — the same form the HTTP server and `pka query -json` use.
+func ExampleAnswer() {
+	model, err := pka.DiscoverTable(paperdata.Table(), paperdata.Schema(), pka.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pka.Answer(model, pka.Query{
+		Kind:   pka.QueryConditional,
+		Target: []pka.Assignment{{Attr: "CANCER", Value: "Yes"}},
+		Given:  []pka.Assignment{{Attr: "SMOKING", Value: "Smoker"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(cancer | smoker) = %.3f\n", res.Probability)
+	// Output:
+	// P(cancer | smoker) = 0.186
+}
+
+// ExampleAnswerBatch answers a same-evidence group of queries in one
+// batch: the evidence is validated and priced once and the conditionals
+// are served from one engine sweep, bit-identical to per-query Answer.
+func ExampleAnswerBatch() {
+	model, err := pka.DiscoverTable(paperdata.Table(), paperdata.Schema(), pka.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	smoker := []pka.Assignment{{Attr: "SMOKING", Value: "Smoker"}}
+	results, err := pka.AnswerBatch(model, []pka.Query{
+		{Kind: pka.QueryConditional, Target: []pka.Assignment{{Attr: "CANCER", Value: "Yes"}}, Given: smoker},
+		{Kind: pka.QueryConditional, Target: []pka.Assignment{{Attr: "CANCER", Value: "No"}}, Given: smoker},
+		{Kind: pka.QueryMostLikely, Attr: "FAMILY HISTORY", Given: smoker},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(cancer | smoker)    = %.3f\n", results[0].Probability)
+	fmt.Printf("P(no cancer | smoker) = %.3f\n", results[1].Probability)
+	fmt.Printf("likely family history = %s\n", results[2].Value)
+	// Output:
+	// P(cancer | smoker)    = 0.186
+	// P(no cancer | smoker) = 0.814
+	// likely family history = No
+}
+
 // ExampleAssociations surveys pairwise associations before modeling.
 func ExampleAssociations() {
 	pairs, err := pka.Associations(paperdata.Table())

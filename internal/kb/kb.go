@@ -53,10 +53,11 @@ func (k *KnowledgeBase) Schema() *dataset.Schema { return k.schema }
 // Model returns the underlying product-form model.
 func (k *KnowledgeBase) Model() *maxent.Model { return k.model }
 
-// Assignment names one attribute value, by label.
+// Assignment names one attribute value, by label. The JSON form is the
+// serving wire format's building block: {"attr": "CANCER", "value": "Yes"}.
 type Assignment struct {
-	Attr  string
-	Value string
+	Attr  string `json:"attr"`
+	Value string `json:"value"`
 }
 
 // String renders "CANCER=Yes".
@@ -106,6 +107,12 @@ func (k *KnowledgeBase) Probability(assigns ...Assignment) (float64, error) {
 	return k.eng.Prob(vs, values)
 }
 
+// errZeroEvidence is the one rendering of the zero-probability-evidence
+// failure, shared by the per-query and batch paths.
+func errZeroEvidence(given []Assignment) error {
+	return fmt.Errorf("kb: conditioning on zero-probability evidence %v", given)
+}
+
 // Conditional returns P(target | given) = P(target, given) / P(given),
 // the memo's ratio of joint probabilities. It errors when the evidence has
 // zero probability or when target and evidence contradict each other.
@@ -118,7 +125,7 @@ func (k *KnowledgeBase) Conditional(target []Assignment, given []Assignment) (fl
 		return 0, err
 	}
 	if denom == 0 {
-		return 0, fmt.Errorf("kb: conditioning on zero-probability evidence %v", given)
+		return 0, errZeroEvidence(given)
 	}
 	both := make([]Assignment, 0, len(target)+len(given))
 	both = append(both, target...)
@@ -154,7 +161,7 @@ func (k *KnowledgeBase) Distribution(attr string, given ...Assignment) (map[stri
 			return nil, err
 		}
 		if denom == 0 {
-			return nil, fmt.Errorf("kb: conditioning on zero-probability evidence %v", given)
+			return nil, errZeroEvidence(given)
 		}
 	}
 	fixed := make([]int, k.schema.R())
@@ -168,6 +175,13 @@ func (k *KnowledgeBase) Distribution(attr string, given ...Assignment) (map[stri
 	if err != nil {
 		return nil, err
 	}
+	return buildDistribution(a, nums, denom)
+}
+
+// buildDistribution assembles a conditional distribution from slice
+// numerators and the evidence denominator, guarding that an exhaustive
+// range sums to 1 — the one body behind the per-query and batch paths.
+func buildDistribution(a dataset.Attribute, nums []float64, denom float64) (map[string]float64, error) {
 	out := make(map[string]float64, a.Card())
 	total := 0.0
 	for i, v := range a.Values {
@@ -175,11 +189,22 @@ func (k *KnowledgeBase) Distribution(attr string, given ...Assignment) (map[stri
 		out[v] = p
 		total += p
 	}
-	// Guard: conditionals over an exhaustive range must sum to 1.
 	if total < 0.999999 || total > 1.000001 {
-		return nil, fmt.Errorf("kb: conditional distribution of %q sums to %g", attr, total)
+		return nil, fmt.Errorf("kb: conditional distribution of %q sums to %g", a.Name, total)
 	}
 	return out, nil
+}
+
+// mostLikelyFrom picks the distribution's argmax in value-label order
+// (ties break toward the earlier label).
+func mostLikelyFrom(a dataset.Attribute, dist map[string]float64) (string, float64) {
+	best, bestP := "", -1.0
+	for _, v := range a.Values {
+		if dist[v] > bestP {
+			best, bestP = v, dist[v]
+		}
+	}
+	return best, bestP
 }
 
 // MostLikely returns the most probable value of attr given the evidence and
@@ -193,12 +218,7 @@ func (k *KnowledgeBase) MostLikely(attr string, given ...Assignment) (string, fl
 	if err != nil {
 		return "", 0, err
 	}
-	best, bestP := "", -1.0
-	for _, v := range a.Values {
-		if dist[v] > bestP {
-			best, bestP = v, dist[v]
-		}
-	}
+	best, bestP := mostLikelyFrom(a, dist)
 	return best, bestP, nil
 }
 

@@ -45,13 +45,19 @@ func (k *KnowledgeBase) MostProbableExplanation(given ...Assignment) (Explanatio
 	if err != nil {
 		return Explanation{}, err
 	}
-	out := Explanation{Probability: bestP}
-	for pos := 0; pos < r; pos++ {
+	return k.explanationFrom(best, bestP), nil
+}
+
+// explanationFrom labels a full cell as an Explanation — shared by the
+// per-query and batch MPE paths.
+func (k *KnowledgeBase) explanationFrom(best []int, p float64) Explanation {
+	out := Explanation{Probability: p}
+	for pos := 0; pos < k.schema.R(); pos++ {
 		a := k.schema.Attr(pos)
 		out.Assignments = append(out.Assignments, Assignment{
 			Attr:  a.Name,
 			Value: a.Values[best[pos]],
 		})
 	}
-	return out, nil
+	return out
 }

@@ -1,0 +1,295 @@
+// Package server is the network layer over the unified query API: an
+// http.Handler exposing one compiled knowledge base as JSON endpoints, plus
+// graceful-serve helpers for the CLI. The handler holds a single Querier —
+// the compiled inference engine is built once at model load and reused for
+// every request, so serving adds no per-request compilation or locking; the
+// engine itself is safe for any number of concurrent requests.
+//
+// Endpoints:
+//
+//	GET  /healthz         liveness probe
+//	GET  /v1/schema       the attribute layout queries are expressed against
+//	POST /v1/query        one Query value -> one Result
+//	POST /v1/query/batch  {"queries": [...]} -> {"results": [...]}
+//	GET  /v1/rules        extracted IF-THEN rules (min_prob, min_support, min_lift, top)
+//	GET  /v1/explain      the stored probability formula, as text
+//
+// The request and response bodies use the same encoding as `pka query
+// -json` (see internal/query): one wire format across CLI and network.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pka/internal/kb"
+	"pka/internal/query"
+	"pka/internal/rules"
+)
+
+// Options tunes the handler.
+type Options struct {
+	// MaxBatch caps the number of queries accepted per batch request
+	// (0 = DefaultMaxBatch).
+	MaxBatch int
+	// MaxBodyBytes caps request body size (0 = DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+}
+
+// DefaultMaxBatch bounds batch requests when Options.MaxBatch is 0.
+const DefaultMaxBatch = 1024
+
+// DefaultMaxBodyBytes bounds request bodies when Options.MaxBodyBytes is 0.
+const DefaultMaxBodyBytes = 1 << 20
+
+// New returns the JSON query handler over the model with default options.
+func New(q query.Querier) http.Handler { return NewWithOptions(q, Options{}) }
+
+// NewWithOptions returns the JSON query handler over the model.
+func NewWithOptions(q query.Querier, opts Options) http.Handler {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	h := &handler{q: q, opts: opts}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /v1/schema", h.schema)
+	mux.HandleFunc("POST /v1/query", h.query)
+	mux.HandleFunc("POST /v1/query/batch", h.queryBatch)
+	mux.HandleFunc("GET /v1/rules", h.rules)
+	mux.HandleFunc("GET /v1/explain", h.explain)
+	return mux
+}
+
+type handler struct {
+	q    query.Querier
+	opts Options
+}
+
+// writeError emits the shared error body — the same shape a failed batch
+// slot has: {"kind": ..., "error": "..."}; kind is empty (and omitted)
+// when the request failed before its kind was known.
+func writeError(w http.ResponseWriter, status int, kind query.Kind, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(query.Result{Kind: kind, Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// attrJSON mirrors the knowledge-base file's attribute encoding.
+type attrJSON struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+func (h *handler) schema(w http.ResponseWriter, r *http.Request) {
+	s := h.q.Schema()
+	attrs := make([]attrJSON, s.R())
+	for i := 0; i < s.R(); i++ {
+		a := s.Attr(i)
+		attrs[i] = attrJSON{Name: a.Name, Values: append([]string(nil), a.Values...)}
+	}
+	writeJSON(w, map[string]any{"attributes": attrs})
+}
+
+// decodeBody decodes one JSON value, rejecting trailing garbage.
+func (h *handler) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("server: decoding request: %w", err)
+	}
+	return nil
+}
+
+// decodeStatus distinguishes "shrink your request" (413, body over the
+// MaxBodyBytes cap) from "your JSON is malformed" (400).
+func decodeStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func (h *handler) query(w http.ResponseWriter, r *http.Request) {
+	var qu query.Query
+	if err := h.decodeBody(w, r, &qu); err != nil {
+		writeError(w, decodeStatus(err), "", err)
+		return
+	}
+	res, err := query.Answer(h.q, qu)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, qu.Kind, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = query.EncodeResult(w, res)
+}
+
+// batchRequest and batchResponse frame the batch endpoint.
+type batchRequest struct {
+	Queries []query.Query `json:"queries"`
+}
+
+type batchResponse struct {
+	Results []query.Result `json:"results"`
+}
+
+func (h *handler) queryBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := h.decodeBody(w, r, &req); err != nil {
+		writeError(w, decodeStatus(err), "", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "", fmt.Errorf("server: empty batch"))
+		return
+	}
+	if len(req.Queries) > h.opts.MaxBatch {
+		writeError(w, http.StatusBadRequest, "",
+			fmt.Errorf("server: batch of %d exceeds limit %d", len(req.Queries), h.opts.MaxBatch))
+		return
+	}
+	results, err := query.AnswerBatch(h.q, req.Queries)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "", err)
+		return
+	}
+	writeJSON(w, batchResponse{Results: results})
+}
+
+// ruleJSON is one extracted rule on the wire.
+type ruleJSON struct {
+	If          []kb.Assignment `json:"if"`
+	Then        kb.Assignment   `json:"then"`
+	Probability float64         `json:"probability"`
+	Support     float64         `json:"support"`
+	Lift        float64         `json:"lift"`
+	Text        string          `json:"text"`
+}
+
+// floatParam parses an optional float query parameter.
+func floatParam(r *http.Request, name string) (float64, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("server: bad %s %q", name, s)
+	}
+	return v, nil
+}
+
+func (h *handler) rules(w http.ResponseWriter, r *http.Request) {
+	var opts rules.Options
+	var err error
+	if opts.MinProbability, err = floatParam(r, "min_prob"); err != nil {
+		writeError(w, http.StatusBadRequest, "", err)
+		return
+	}
+	if opts.MinSupport, err = floatParam(r, "min_support"); err != nil {
+		writeError(w, http.StatusBadRequest, "", err)
+		return
+	}
+	if opts.MinLiftDistance, err = floatParam(r, "min_lift"); err != nil {
+		writeError(w, http.StatusBadRequest, "", err)
+		return
+	}
+	if s := r.URL.Query().Get("top"); s != "" {
+		if opts.MaxRules, err = strconv.Atoi(s); err != nil {
+			writeError(w, http.StatusBadRequest, "", fmt.Errorf("server: bad top %q", s))
+			return
+		}
+	}
+	rs, err := h.q.Rules(opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "", err)
+		return
+	}
+	out := make([]ruleJSON, len(rs))
+	for i, rule := range rs {
+		out[i] = ruleJSON{
+			If:          rule.If,
+			Then:        rule.Then,
+			Probability: rule.Probability,
+			Support:     rule.Support,
+			Lift:        rule.Lift,
+			Text:        rule.String(),
+		}
+	}
+	writeJSON(w, map[string]any{"rules": out})
+}
+
+func (h *handler) explain(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, h.q.Explain())
+}
+
+// shutdownGrace bounds how long Serve waits for in-flight requests after
+// its context is canceled.
+const shutdownGrace = 5 * time.Second
+
+// Serve runs the handler on the listener until ctx is canceled, then
+// shuts down gracefully: the listener closes immediately, in-flight
+// requests get shutdownGrace to finish. A clean shutdown returns nil.
+func Serve(ctx context.Context, l net.Listener, h http.Handler) error {
+	// Full read/write/idle timeouts: queries answer in microseconds, so a
+	// connection holding a goroutine for longer than this is a slow or
+	// stalled client, not work.
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// ListenAndServe binds addr and calls Serve. ready, if non-nil, receives
+// the bound address once listening — for callers that bind port 0.
+func ListenAndServe(ctx context.Context, addr string, h http.Handler, ready func(net.Addr)) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(l.Addr())
+	}
+	return Serve(ctx, l, h)
+}

@@ -1,0 +1,299 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pka/internal/contingency"
+	"pka/internal/dataset"
+	"pka/internal/kb"
+	"pka/internal/query"
+	"pka/internal/rules"
+)
+
+// stubQuerier serves canned answers so handler behaviour is tested in
+// isolation from any model; end-to-end serving over a real discovered
+// model is covered by cmd/pka's serve test.
+type stubQuerier struct{}
+
+func (stubQuerier) Schema() *dataset.Schema {
+	return dataset.MustSchema([]dataset.Attribute{
+		{Name: "CANCER", Values: []string{"Yes", "No"}},
+		{Name: "SMOKING", Values: []string{"Smoker", "Non smoker"}},
+	})
+}
+
+func (stubQuerier) Probability(assigns ...kb.Assignment) (float64, error) { return 0.25, nil }
+
+func (stubQuerier) Conditional(target, given []kb.Assignment) (float64, error) {
+	if len(target) > 0 && target[0].Value == "boom" {
+		return 0, fmt.Errorf("kb: no such value")
+	}
+	return 0.5, nil
+}
+
+func (stubQuerier) Distribution(attr string, given ...kb.Assignment) (map[string]float64, error) {
+	return map[string]float64{"Yes": 0.2, "No": 0.8}, nil
+}
+
+func (stubQuerier) MostLikely(attr string, given ...kb.Assignment) (string, float64, error) {
+	return "No", 0.8, nil
+}
+
+func (stubQuerier) Lift(target kb.Assignment, given ...kb.Assignment) (float64, error) {
+	return 1.5, nil
+}
+
+func (stubQuerier) MostProbableExplanation(given ...kb.Assignment) (kb.Explanation, error) {
+	return kb.Explanation{
+		Assignments: []kb.Assignment{{Attr: "CANCER", Value: "No"}, {Attr: "SMOKING", Value: "Non smoker"}},
+		Probability: 0.4,
+	}, nil
+}
+
+func (stubQuerier) Rules(opts rules.Options) ([]rules.Rule, error) {
+	if opts.MinProbability > 0.9 {
+		return nil, nil
+	}
+	return []rules.Rule{{
+		If:          []kb.Assignment{{Attr: "SMOKING", Value: "Smoker"}},
+		Then:        kb.Assignment{Attr: "CANCER", Value: "Yes"},
+		Probability: 0.24, Support: 0.09, Lift: 1.9,
+	}}, nil
+}
+
+func (stubQuerier) Explain() string { return "p(cell) = a0 · Π a_constraint\n" }
+
+func (stubQuerier) LogLoss(counts contingency.Counts) (float64, error) { return 1.23, nil }
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewWithOptions(stubQuerier{}, Options{MaxBatch: 4}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := fmt.Fprint(&sb, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, sb.String()
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, readAll(t, resp)
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	status, body := get(t, srv.URL+"/healthz")
+	if status != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Errorf("healthz = %d %q", status, body)
+	}
+}
+
+func TestSchemaEndpoint(t *testing.T) {
+	srv := testServer(t)
+	status, body := get(t, srv.URL+"/v1/schema")
+	if status != http.StatusOK {
+		t.Fatalf("schema = %d %q", status, body)
+	}
+	var doc struct {
+		Attributes []struct {
+			Name   string   `json:"name"`
+			Values []string `json:"values"`
+		} `json:"attributes"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Attributes) != 2 || doc.Attributes[0].Name != "CANCER" || len(doc.Attributes[0].Values) != 2 {
+		t.Errorf("schema body = %q", body)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	status, body := post(t, srv.URL+"/v1/query",
+		`{"kind":"conditional","target":[{"attr":"CANCER","value":"Yes"}],"given":[{"attr":"SMOKING","value":"Smoker"}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("query = %d %q", status, body)
+	}
+	var res query.Result
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != query.KindConditional || res.Probability != 0.5 || res.Error != "" {
+		t.Errorf("result = %+v", res)
+	}
+
+	for name, req := range map[string]string{
+		"malformed":      `{"kind":`,
+		"unknown field":  `{"kind":"mpe","bogus":1}`,
+		"invalid kind":   `{"kind":"bogus"}`,
+		"model rejects":  `{"kind":"conditional","target":[{"attr":"CANCER","value":"boom"}]}`,
+		"missing target": `{"kind":"probability"}`,
+	} {
+		status, body := post(t, srv.URL+"/v1/query", req)
+		if status != http.StatusBadRequest || !strings.Contains(body, `"error"`) {
+			t.Errorf("%s: = %d %q, want 400 with error body", name, status, body)
+		}
+	}
+
+	if resp, err := http.Get(srv.URL + "/v1/query"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/query = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestQueryBatchEndpoint(t *testing.T) {
+	srv := testServer(t)
+	status, body := post(t, srv.URL+"/v1/query/batch",
+		`{"queries":[
+			{"kind":"probability","target":[{"attr":"CANCER","value":"Yes"}]},
+			{"kind":"conditional","target":[{"attr":"CANCER","value":"boom"}]},
+			{"kind":"mpe"}
+		]}`)
+	if status != http.StatusOK {
+		t.Fatalf("batch = %d %q", status, body)
+	}
+	var res batchResponse
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 3 {
+		t.Fatalf("batch results = %+v", res)
+	}
+	if res.Results[0].Probability != 0.25 || res.Results[0].Error != "" {
+		t.Errorf("result 0 = %+v", res.Results[0])
+	}
+	if res.Results[1].Error == "" {
+		t.Errorf("failing query did not surface per-slot: %+v", res.Results[1])
+	}
+	if res.Results[2].Probability != 0.4 || len(res.Results[2].Assignments) != 2 {
+		t.Errorf("result 2 = %+v", res.Results[2])
+	}
+
+	if status, _ := post(t, srv.URL+"/v1/query/batch", `{"queries":[]}`); status != http.StatusBadRequest {
+		t.Errorf("empty batch = %d, want 400", status)
+	}
+	over := `{"queries":[` + strings.Repeat(`{"kind":"mpe"},`, 4) + `{"kind":"mpe"}]}`
+	if status, body := post(t, srv.URL+"/v1/query/batch", over); status != http.StatusBadRequest ||
+		!strings.Contains(body, "exceeds limit") {
+		t.Errorf("over-limit batch = %d %q, want 400", status, body)
+	}
+}
+
+// TestBodyTooLarge: a body over the byte cap is 413, distinguishable from
+// malformed JSON's 400.
+func TestBodyTooLarge(t *testing.T) {
+	srv := httptest.NewServer(NewWithOptions(stubQuerier{}, Options{MaxBodyBytes: 64}))
+	defer srv.Close()
+	body := `{"kind":"mpe","given":[` + strings.Repeat(`{"attr":"SMOKING","value":"Smoker"},`, 10) + `]}`
+	if status, resp := post(t, srv.URL+"/v1/query", body); status != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body = %d %q, want 413", status, resp)
+	}
+}
+
+func TestRulesEndpoint(t *testing.T) {
+	srv := testServer(t)
+	status, body := get(t, srv.URL+"/v1/rules?min_lift=0.5&top=3")
+	if status != http.StatusOK {
+		t.Fatalf("rules = %d %q", status, body)
+	}
+	var doc struct {
+		Rules []ruleJSON `json:"rules"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rules) != 1 || doc.Rules[0].Then.Attr != "CANCER" || !strings.Contains(doc.Rules[0].Text, "IF ") {
+		t.Errorf("rules body = %q", body)
+	}
+	if status, _ := get(t, srv.URL+"/v1/rules?min_prob=0.95"); status != http.StatusOK {
+		t.Errorf("empty rules = %d, want 200", status)
+	}
+	if status, _ := get(t, srv.URL+"/v1/rules?min_prob=nope"); status != http.StatusBadRequest {
+		t.Errorf("bad param = %d, want 400", status)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	srv := testServer(t)
+	status, body := get(t, srv.URL+"/v1/explain")
+	if status != http.StatusOK || !strings.Contains(body, "a0") {
+		t.Errorf("explain = %d %q", status, body)
+	}
+}
+
+// TestServeGracefulShutdown: Serve answers until its context is canceled,
+// then returns nil after draining.
+func TestServeGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var addr net.Addr
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- ListenAndServe(ctx, "127.0.0.1:0", New(stubQuerier{}), func(a net.Addr) {
+			addr = a
+			close(ready)
+		})
+	}()
+	select {
+	case <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

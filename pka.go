@@ -20,6 +20,11 @@
 //	    []pka.Assignment{{Attr: "CANCER", Value: "Yes"}},
 //	    []pka.Assignment{{Attr: "SMOKING", Value: "Smoker"}})
 //
+// Model and the loaded QueryModel share one query implementation behind
+// the Querier interface; Answer/AnswerBatch execute first-class Query
+// values against any Querier, and NewServer exposes one over JSON/HTTP
+// (the CLI's `pka serve`). See querier.go for that surface.
+//
 // The packages under internal/ carry the full machinery (contingency
 // tables, the maximum-entropy solver, the MML significance test, the
 // discovery engine, baselines, and synthetic workload generators); this
@@ -121,7 +126,10 @@ type Options struct {
 	ScreenAlpha float64
 }
 
-// Model is a discovered probabilistic knowledge base.
+// Model is a discovered probabilistic knowledge base. It carries the full
+// discovery record (findings, scans, fit) on top of the shared query core,
+// and satisfies Querier — the canonical query surface it shares with the
+// loaded QueryModel.
 //
 // Concurrency: a Model is immutable after Discover returns, and every query
 // method (Probability, Conditional, Distribution, MostLikely, Lift,
@@ -129,8 +137,8 @@ type Options struct {
 // inference engine snapshot — any number of goroutines may query one Model
 // concurrently with no external locking.
 type Model struct {
+	queryCore
 	result *core.Result
-	kbase  *kb.KnowledgeBase
 	fit    FitReport
 }
 
@@ -202,11 +210,8 @@ func discoverCounts(table contingency.Counts, schema *Schema, opts Options) (*Mo
 	if err != nil {
 		return nil, err
 	}
-	return &Model{result: res, kbase: kbase, fit: fit}, nil
+	return &Model{queryCore: queryCore{kbase: kbase}, result: res, fit: fit}, nil
 }
-
-// Schema returns the model's schema.
-func (m *Model) Schema() *Schema { return m.kbase.Schema() }
 
 // Findings lists the discovered significant joint probabilities in
 // acceptance order.
@@ -218,42 +223,6 @@ func (m *Model) Findings() []Finding {
 // Options.RecordScans was set).
 func (m *Model) Scans() []core.Scan {
 	return append([]core.Scan(nil), m.result.Scans...)
-}
-
-// Probability returns the joint probability of the assignments.
-func (m *Model) Probability(assigns ...Assignment) (float64, error) {
-	return m.kbase.Probability(assigns...)
-}
-
-// Conditional returns P(target | given), the memo's ratio of joints.
-func (m *Model) Conditional(target, given []Assignment) (float64, error) {
-	return m.kbase.Conditional(target, given)
-}
-
-// Distribution returns the conditional distribution of attr given evidence.
-func (m *Model) Distribution(attr string, given ...Assignment) (map[string]float64, error) {
-	return m.kbase.Distribution(attr, given...)
-}
-
-// MostLikely returns attr's most probable value given the evidence.
-func (m *Model) MostLikely(attr string, given ...Assignment) (string, float64, error) {
-	return m.kbase.MostLikely(attr, given...)
-}
-
-// Lift returns P(target|given)/P(target).
-func (m *Model) Lift(target Assignment, given ...Assignment) (float64, error) {
-	return m.kbase.Lift(target, given...)
-}
-
-// MostProbableExplanation returns the most likely full completion of the
-// evidence (MPE/MAP inference).
-func (m *Model) MostProbableExplanation(given ...Assignment) (Explanation, error) {
-	return m.kbase.MostProbableExplanation(given...)
-}
-
-// Rules extracts IF-THEN rules from the discovered constraints.
-func (m *Model) Rules(opts RuleOptions) ([]Rule, error) {
-	return rules.FromKnowledgeBase(m.kbase, opts)
 }
 
 // ScoredRule is a Rule with a Wilson confidence interval on its probability.
@@ -276,39 +245,12 @@ func (m *Model) RulesWithIntervals(opts RuleOptions) ([]ScoredRule, error) {
 	return rules.WithIntervals(rs, m.result.TotalSamples, 1.96)
 }
 
-// Explain renders the stored probability formula with value labels.
-func (m *Model) Explain() string { return m.kbase.Explain() }
-
-// DependencyDOT renders the discovered dependency structure as Graphviz.
-func (m *Model) DependencyDOT() string { return m.kbase.DependencyDOT() }
-
 // Summary renders a digest of the discovery run.
 func (m *Model) Summary() string { return m.result.Summary() }
-
-// Save persists the knowledge base (schema + fitted model) as JSON.
-func (m *Model) Save(w io.Writer) error { return m.kbase.Save(w) }
-
-// Entropy returns the fitted joint's entropy in nats.
-func (m *Model) Entropy() (float64, error) { return m.result.Model.Entropy() }
 
 // Fit returns the goodness-of-fit statistics of the model against the data
 // it was discovered from.
 func (m *Model) Fit() FitReport { return m.fit }
-
-// LogLoss returns the model's average negative log-likelihood (nats per
-// sample) on a validation table of the same shape.
-func (m *Model) LogLoss(table *Table) (float64, error) { return m.kbase.LogLoss(table) }
-
-// LogLossSparse is LogLoss on a sparse validation table: only occupied
-// cells are scored, so wide holdouts validate without densifying.
-func (m *Model) LogLossSparse(table *SparseTable) (float64, error) { return m.kbase.LogLoss(table) }
-
-// NumConstraints returns the stored constraint count (first-order
-// marginals included) — the model's parameter size.
-func (m *Model) NumConstraints() int { return m.result.Model.NumConstraints() }
-
-// KnowledgeBase exposes the query layer for advanced use.
-func (m *Model) KnowledgeBase() *kb.KnowledgeBase { return m.kbase }
 
 // Load reads a knowledge base saved with Save. Loaded models answer
 // queries but carry no discovery scans or findings.
@@ -317,61 +259,19 @@ func Load(r io.Reader) (*QueryModel, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &QueryModel{kbase: kbase}, nil
+	return &QueryModel{queryCore{kbase: kbase}}, nil
 }
 
-// QueryModel is a loaded, query-only knowledge base.
+// QueryModel is a loaded, query-only knowledge base: the same Querier
+// surface as Model (served by the same shared core), minus the discovery
+// record a saved file does not carry (findings, scans, goodness of fit).
 //
 // Concurrency: like Model, a QueryModel is immutable and serves queries
 // from a compiled engine snapshot built at Load time; concurrent use from
 // any number of goroutines is safe without locking.
 type QueryModel struct {
-	kbase *kb.KnowledgeBase
+	queryCore
 }
-
-// Schema returns the schema.
-func (q *QueryModel) Schema() *Schema { return q.kbase.Schema() }
-
-// Probability returns the joint probability of the assignments.
-func (q *QueryModel) Probability(assigns ...Assignment) (float64, error) {
-	return q.kbase.Probability(assigns...)
-}
-
-// Conditional returns P(target | given).
-func (q *QueryModel) Conditional(target, given []Assignment) (float64, error) {
-	return q.kbase.Conditional(target, given)
-}
-
-// Distribution returns the conditional distribution of attr given evidence.
-func (q *QueryModel) Distribution(attr string, given ...Assignment) (map[string]float64, error) {
-	return q.kbase.Distribution(attr, given...)
-}
-
-// MostLikely returns attr's most probable value given the evidence.
-func (q *QueryModel) MostLikely(attr string, given ...Assignment) (string, float64, error) {
-	return q.kbase.MostLikely(attr, given...)
-}
-
-// MostProbableExplanation returns the most likely full completion of the
-// evidence (MPE/MAP inference).
-func (q *QueryModel) MostProbableExplanation(given ...Assignment) (Explanation, error) {
-	return q.kbase.MostProbableExplanation(given...)
-}
-
-// Rules extracts IF-THEN rules from the stored constraints.
-func (q *QueryModel) Rules(opts RuleOptions) ([]Rule, error) {
-	return rules.FromKnowledgeBase(q.kbase, opts)
-}
-
-// Explain renders the stored probability formula.
-func (q *QueryModel) Explain() string { return q.kbase.Explain() }
-
-// LogLoss returns the model's average negative log-likelihood (nats per
-// sample) on a validation table of the same shape.
-func (q *QueryModel) LogLoss(table *Table) (float64, error) { return q.kbase.LogLoss(table) }
-
-// DependencyDOT renders the stored dependency structure as Graphviz.
-func (q *QueryModel) DependencyDOT() string { return q.kbase.DependencyDOT() }
 
 // maxent constraint surface for advanced integrations.
 

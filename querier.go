@@ -1,0 +1,235 @@
+package pka
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"pka/internal/contingency"
+	"pka/internal/kb"
+	"pka/internal/query"
+	"pka/internal/rules"
+	"pka/internal/server"
+)
+
+// Querier is the canonical query surface of a probabilistic knowledge
+// base: every joint, marginal, and conditional question the memo's
+// acquired model answers, as one interface. Both Model (fresh from
+// Discover) and QueryModel (loaded from a saved file) satisfy it through
+// one shared implementation, so batch execution (AnswerBatch), the HTTP
+// server (NewServer), and downstream expert systems serve either
+// interchangeably.
+type Querier = query.Querier
+
+// Query is one probabilistic question as a first-class value: a typed kind
+// plus target/evidence assignments, JSON-serializable for routing,
+// logging, batching, and the network wire format. Construct it directly or
+// decode it from the wire; Answer executes it.
+type Query = query.Query
+
+// QueryResult is the answer to one Query, in the wire format shared by
+// AnswerBatch, the HTTP server, and `pka query -json`.
+type QueryResult = query.Result
+
+// QueryKind discriminates what a Query asks for.
+type QueryKind = query.Kind
+
+// The query kinds, one per probabilistic Querier method.
+const (
+	QueryProbability  = query.KindProbability
+	QueryConditional  = query.KindConditional
+	QueryDistribution = query.KindDistribution
+	QueryMostLikely   = query.KindMostLikely
+	QueryLift         = query.KindLift
+	QueryMPE          = query.KindMPE
+)
+
+// Counts is the read-only view of tabulated observations shared by the
+// dense Table and the wide-schema SparseTable — the shape LogLoss accepts,
+// so models validate against either backend.
+type Counts = contingency.Counts
+
+// Answer executes one query against any Querier.
+func Answer(q Querier, qu Query) (QueryResult, error) { return query.Answer(q, qu) }
+
+// AnswerBatch executes a group of queries, sharing the engine work they
+// have in common instead of issuing len(queries) independent calls:
+// evidence is validated and priced once per distinct set, and groups of
+// same-evidence queries are served through the compiled engine's batch
+// conditional-slice sweep. Probabilities are bit-identical to per-query
+// Answer; a failed query carries its message in QueryResult.Error without
+// sinking the batch.
+func AnswerBatch(q Querier, queries []Query) ([]QueryResult, error) {
+	return query.AnswerBatch(q, queries)
+}
+
+// EncodeQueryResult writes a result in the shared wire encoding (one JSON
+// object, trailing newline) — the exact bytes `pka query -json` prints and
+// the server's /v1/query endpoint returns.
+func EncodeQueryResult(w io.Writer, res QueryResult) error {
+	return query.EncodeResult(w, res)
+}
+
+// NewServer wraps any Querier in the JSON-over-HTTP network layer:
+//
+//	GET  /healthz         liveness probe
+//	GET  /v1/schema       attribute layout
+//	POST /v1/query        one Query -> one QueryResult
+//	POST /v1/query/batch  {"queries": [...]} -> {"results": [...]}
+//	GET  /v1/rules        extracted IF-THEN rules
+//	GET  /v1/explain      the stored probability formula
+//
+// The handler reuses the model's compiled engine for every request — no
+// per-request compilation or locking — and any number of concurrent
+// requests may hit one handler. `pka serve` wraps this with listener
+// management and graceful shutdown; NewServerWithOptions tunes the
+// request caps.
+func NewServer(q Querier) http.Handler { return server.New(q) }
+
+// ServerOptions tunes the handler NewServerWithOptions returns: the batch
+// size cap and the request body byte cap (zero values take the defaults).
+type ServerOptions = server.Options
+
+// NewServerWithOptions is NewServer with tunable request caps, for
+// embedders whose batch sizes or payloads outgrow the defaults.
+func NewServerWithOptions(q Querier, opts ServerOptions) http.Handler {
+	return server.NewWithOptions(q, opts)
+}
+
+// Model and QueryModel answer queries through one shared core; the
+// assertions pin both to the canonical interface at compile time.
+var (
+	_ Querier = (*Model)(nil)
+	_ Querier = (*QueryModel)(nil)
+)
+
+// queryCore is the single implementation of the Querier surface that Model
+// and QueryModel embed — one method set over the compiled knowledge base,
+// so the two public types cannot drift apart.
+type queryCore struct {
+	kbase *kb.KnowledgeBase
+}
+
+// Schema returns the model's schema.
+func (c *queryCore) Schema() *Schema { return c.kbase.Schema() }
+
+// Probability returns the joint probability of the assignments.
+func (c *queryCore) Probability(assigns ...Assignment) (float64, error) {
+	return c.kbase.Probability(assigns...)
+}
+
+// Conditional returns P(target | given), the memo's ratio of joints.
+func (c *queryCore) Conditional(target, given []Assignment) (float64, error) {
+	return c.kbase.Conditional(target, given)
+}
+
+// Distribution returns the conditional distribution of attr given evidence.
+func (c *queryCore) Distribution(attr string, given ...Assignment) (map[string]float64, error) {
+	return c.kbase.Distribution(attr, given...)
+}
+
+// MostLikely returns attr's most probable value given the evidence.
+func (c *queryCore) MostLikely(attr string, given ...Assignment) (string, float64, error) {
+	return c.kbase.MostLikely(attr, given...)
+}
+
+// Lift returns P(target|given)/P(target).
+func (c *queryCore) Lift(target Assignment, given ...Assignment) (float64, error) {
+	return c.kbase.Lift(target, given...)
+}
+
+// MostProbableExplanation returns the most likely full completion of the
+// evidence (MPE/MAP inference).
+func (c *queryCore) MostProbableExplanation(given ...Assignment) (Explanation, error) {
+	return c.kbase.MostProbableExplanation(given...)
+}
+
+// Rules extracts IF-THEN rules from the stored constraints.
+func (c *queryCore) Rules(opts RuleOptions) ([]Rule, error) {
+	return rules.FromKnowledgeBase(c.kbase, opts)
+}
+
+// Explain renders the stored probability formula with value labels.
+func (c *queryCore) Explain() string { return c.kbase.Explain() }
+
+// DependencyDOT renders the stored dependency structure as Graphviz.
+func (c *queryCore) DependencyDOT() string { return c.kbase.DependencyDOT() }
+
+// LogLoss returns the model's average negative log-likelihood (nats per
+// sample) on validation counts of the same shape — dense Table or wide
+// SparseTable alike (only occupied cells are scored).
+func (c *queryCore) LogLoss(table Counts) (float64, error) { return c.kbase.LogLoss(table) }
+
+// LogLossSparse is LogLoss on a sparse validation table: only occupied
+// cells are scored, so wide holdouts validate without densifying.
+func (c *queryCore) LogLossSparse(table *SparseTable) (float64, error) {
+	return c.kbase.LogLoss(table)
+}
+
+// Save persists the knowledge base (schema + fitted model) as JSON.
+func (c *queryCore) Save(w io.Writer) error { return c.kbase.Save(w) }
+
+// Entropy returns the fitted joint's entropy in nats.
+func (c *queryCore) Entropy() (float64, error) { return c.kbase.Model().Entropy() }
+
+// NumConstraints returns the stored constraint count (first-order
+// marginals included) — the model's parameter size.
+func (c *queryCore) NumConstraints() int { return c.kbase.Model().NumConstraints() }
+
+// KnowledgeBase exposes the query layer for advanced use. AnswerBatch also
+// keys on it to route batches through the shared-engine fast path.
+func (c *queryCore) KnowledgeBase() *kb.KnowledgeBase { return c.kbase }
+
+// Info is the metadata digest available on any knowledge base — including
+// loaded query-only models, which carry no discovery record.
+type Info struct {
+	// Attributes is the schema's attribute count.
+	Attributes int
+	// Cells is the joint space size (product of cardinalities), or 0 when
+	// it exceeds the machine int range — the wide factored regime, where
+	// the joint is never materialized anyway.
+	Cells int
+	// Constraints is the stored constraint count.
+	Constraints int
+	// MaxOrder is the highest stored constraint order.
+	MaxOrder int
+}
+
+// Info returns the knowledge base's metadata digest.
+func (c *queryCore) Info() Info {
+	m := c.kbase.Model()
+	info := Info{
+		Attributes:  m.R(),
+		Constraints: m.NumConstraints(),
+	}
+	cells := 1
+	for i := 0; i < info.Attributes; i++ {
+		card := c.kbase.Schema().Attr(i).Card()
+		if cells > math.MaxInt/card {
+			cells = 0
+			break
+		}
+		cells *= card
+	}
+	info.Cells = cells
+	for _, con := range m.Constraints() {
+		if o := con.Order(); o > info.MaxOrder {
+			info.MaxOrder = o
+		}
+	}
+	return info
+}
+
+// Summary renders a one-line digest of the stored knowledge base. Model
+// overrides it with the discovery run's digest (sample count, findings);
+// this shared form is what a loaded QueryModel can say about a file.
+func (c *queryCore) Summary() string {
+	i := c.Info()
+	cells := "joint space beyond int range"
+	if i.Cells > 0 {
+		cells = fmt.Sprintf("%d cells", i.Cells)
+	}
+	return fmt.Sprintf("knowledge base: %d attributes (%s), %d constraints, max order %d\n",
+		i.Attributes, cells, i.Constraints, i.MaxOrder)
+}
