@@ -658,3 +658,101 @@ func BenchmarkWideSchema_DiscoverSparse(b *testing.B) {
 		}
 	}
 }
+
+// ------------------------------------------------- Streaming ingest (PR 4)
+
+// streamBenchRows draws correlated wide-schema rows for the incremental-
+// refit benchmark.
+func streamBenchRows(rng *stats.RNG, r, n int) []pka.Record {
+	rows := make([]pka.Record, n)
+	for s := range rows {
+		cell := make(pka.Record, r)
+		for i := range cell {
+			cell[i] = rng.Intn(2)
+		}
+		if rng.Float64() < 0.85 {
+			cell[13] = cell[5]
+		}
+		rows[s] = cell
+	}
+	return rows
+}
+
+// BenchmarkIncrementalRefit compares folding a 1%-of-N delta batch into a
+// discovered model via Model.Update (in-place projection-cache updates,
+// retarget + warm per-block refit, restricted re-scan) against the only
+// pre-PR option: a full DiscoverSparse re-run over the grown data bank.
+func BenchmarkIncrementalRefit(b *testing.B) {
+	const r = 24
+	const baseN = 20_000
+	const deltaN = baseN / 100
+	attrs := make([]pka.Attribute, r)
+	for i := range attrs {
+		attrs[i] = pka.Attribute{
+			Name:   fmt.Sprintf("CH%02d", i),
+			Values: []string{"lo", "hi"},
+		}
+	}
+	schema, err := pka.NewSchema(attrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := pka.Options{MaxOrder: 2, ScreenPairs: true}
+	base := streamBenchRows(stats.NewRNG(77), r, baseN)
+	tabulate := func(rows []pka.Record) *pka.SparseTable {
+		sparse, err := pka.NewSparseTable(schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells := make([][]int, len(rows))
+		for i, row := range rows {
+			cells[i] = row
+		}
+		if err := sparse.ObserveBatch(cells); err != nil {
+			b.Fatal(err)
+		}
+		return sparse
+	}
+
+	b.Run("Update", func(b *testing.B) {
+		model, err := pka.DiscoverSparse(tabulate(base), schema, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := stats.NewRNG(78)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			delta := streamBenchRows(rng, r, deltaN)
+			b.StartTimer()
+			rep, err := model.Update(delta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(rep.Retargeted), "retargeted")
+				b.ReportMetric(float64(rep.Sweeps), "sweeps")
+			}
+		}
+	})
+
+	b.Run("FullRediscover", func(b *testing.B) {
+		// The data bank grows by one delta per iteration, exactly like the
+		// Update sub-benchmark's table, so the two workloads stay
+		// comparable at any iteration count.
+		rng := stats.NewRNG(78)
+		all := append([]pka.Record(nil), base...)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			all = append(all, streamBenchRows(rng, r, deltaN)...)
+			grown := tabulate(all)
+			b.StartTimer()
+			if _, err := pka.DiscoverSparse(grown, schema, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

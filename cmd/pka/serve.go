@@ -9,45 +9,100 @@ import (
 	"os/signal"
 	"syscall"
 
+	"pka"
 	"pka/internal/server"
 )
 
 // cmdServe runs the knowledge-base query server:
 //
 //	pka serve -kb kb.json [-addr :8080] [-max-batch N]
+//	pka serve -data data.csv [-sparse] [-screen] [-max-order N] ...
 //
-// The model is loaded and compiled once; every request is served from the
-// shared engine. SIGINT/SIGTERM trigger a graceful shutdown.
+// With -kb the model is loaded from a saved file and served read-only.
+// With -data the model is discovered from the CSV at startup and served
+// with streaming ingest enabled: POST /v1/observe folds new observation
+// rows into the model (incremental refit, atomic engine swap) while
+// queries keep flowing. SIGINT/SIGTERM trigger a graceful shutdown.
 func cmdServe(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	kbPath := fs.String("kb", "", "knowledge-base JSON from 'pka discover -out'")
-	addr := fs.String("addr", ":8080", "listen address")
-	maxBatch := fs.Int("max-batch", 0, "max queries per batch request (0 = default)")
+	cfg := serveConfig{}
+	fs.StringVar(&cfg.kbPath, "kb", "", "knowledge-base JSON from 'pka discover -out' (read-only serving)")
+	fs.StringVar(&cfg.dataPath, "data", "", "observation CSV: discover at startup and serve with streaming ingest")
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.maxBatch, "max-batch", 0, "max queries per batch request (0 = default)")
+	fs.IntVar(&cfg.maxObserve, "max-observe", 0, "max rows per observe request (0 = default)")
+	fs.IntVar(&cfg.maxCard, "max-card", 64, "with -data: reject CSV columns with more distinct values than this")
+	fs.IntVar(&cfg.maxOrder, "max-order", 0, "with -data: highest attribute-family order to scan (0 = all)")
+	fs.BoolVar(&cfg.sparse, "sparse", false, "with -data: wide-schema mode (sparse tabulation, factored engine)")
+	fs.BoolVar(&cfg.screen, "screen", false, "with -data: gate order >= 2 scans on a pairwise association screen")
+	fs.Float64Var(&cfg.screenAlpha, "screen-alpha", 0, "with -data: screen p-value threshold (0 = Bonferroni)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	return runServe(ctx, w, *kbPath, *addr, *maxBatch, nil)
+	return runServe(ctx, w, cfg, nil)
+}
+
+// serveConfig carries cmdServe's flags so tests can drive runServe
+// directly.
+type serveConfig struct {
+	kbPath, dataPath  string
+	addr              string
+	maxBatch          int
+	maxObserve        int
+	maxCard, maxOrder int
+	sparse            bool
+	screen            bool
+	screenAlpha       float64
 }
 
 // runServe is cmdServe minus flag and signal handling, so tests can drive
 // it with their own context and capture the bound address.
-func runServe(ctx context.Context, w io.Writer, kbPath, addr string, maxBatch int, ready func(net.Addr)) error {
-	model, err := loadKB(kbPath)
-	if err != nil {
-		return err
+func runServe(ctx context.Context, w io.Writer, cfg serveConfig, ready func(net.Addr)) error {
+	if (cfg.kbPath == "") == (cfg.dataPath == "") {
+		return fmt.Errorf("serve: exactly one of -kb (read-only) or -data (streaming ingest) is required")
 	}
-	info := model.Info()
-	handler := server.NewWithOptions(model, server.Options{MaxBatch: maxBatch})
+	var model pka.Querier
+	source := cfg.kbPath
+	mode := "read-only"
+	if cfg.dataPath != "" {
+		source = cfg.dataPath
+		mode = "streaming ingest"
+		opts := pka.Options{
+			MaxOrder:    cfg.maxOrder,
+			ScreenPairs: cfg.screen,
+			ScreenAlpha: cfg.screenAlpha,
+		}
+		var err error
+		if cfg.sparse {
+			model, err = discoverSparseFromCSV(cfg.dataPath, cfg.maxCard, opts)
+		} else {
+			model, err = discoverFromCSV(cfg.dataPath, cfg.maxCard, opts)
+		}
+		if err != nil {
+			return fmt.Errorf("serve: discovering from %s: %w", cfg.dataPath, err)
+		}
+	} else {
+		var err error
+		model, err = loadKB(cfg.kbPath)
+		if err != nil {
+			return err
+		}
+	}
+	info := model.(interface{ Info() pka.Info }).Info()
+	handler := server.NewWithOptions(model, server.Options{
+		MaxBatch:       cfg.maxBatch,
+		MaxObserveRows: cfg.maxObserve,
+	})
 	announce := func(a net.Addr) {
-		fmt.Fprintf(w, "serving %s (%d attributes, %d constraints) on %s\n",
-			kbPath, info.Attributes, info.Constraints, a)
+		fmt.Fprintf(w, "serving %s (%d attributes, %d constraints, %s) on %s\n",
+			source, info.Attributes, info.Constraints, mode, a)
 		if ready != nil {
 			ready(a)
 		}
 	}
-	if err := server.ListenAndServe(ctx, addr, handler, announce); err != nil {
+	if err := server.ListenAndServe(ctx, cfg.addr, handler, announce); err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
 	fmt.Fprintln(w, "server stopped")

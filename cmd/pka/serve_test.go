@@ -56,7 +56,8 @@ func TestServeEndToEnd(t *testing.T) {
 	done := make(chan error, 1)
 	var out bytes.Buffer
 	go func() {
-		done <- runServe(ctx, &out, kbPath, "127.0.0.1:0", 0, func(a net.Addr) { ready <- a })
+		done <- runServe(ctx, &out, serveConfig{kbPath: kbPath, addr: "127.0.0.1:0"},
+			func(a net.Addr) { ready <- a })
 	}()
 	var addr net.Addr
 	select {
@@ -179,5 +180,139 @@ func TestQueryJSON(t *testing.T) {
 	buf.Reset()
 	if err := run(&buf, []string{"query", "-kb", kbPath, "-json"}); err == nil {
 		t.Error("query -json without -target or -dist accepted")
+	}
+}
+
+// TestServeReadOnlyObserve501: a -kb server has no counts to ingest into;
+// the streaming endpoint must say so, not 404 or panic.
+func TestServeReadOnlyObserve501(t *testing.T) {
+	kbPath := discoverKB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- runServe(ctx, &out, serveConfig{kbPath: kbPath, addr: "127.0.0.1:0"},
+			func(a net.Addr) { ready <- a })
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	resp, err := http.Post("http://"+addr.String()+"/v1/observe", "application/json",
+		strings.NewReader(`{"rows":[["Smoker","Yes","Yes"]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("observe on -kb server = %d, want 501", resp.StatusCode)
+	}
+	cancel()
+	<-done
+}
+
+// TestServeStreamingIngest: `pka serve -data` discovers at startup and
+// accepts POST /v1/observe; ingested rows change the served answers.
+func TestServeStreamingIngest(t *testing.T) {
+	csvPath := writeMemoCSV(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- runServe(ctx, &out, serveConfig{dataPath: csvPath, addr: "127.0.0.1:0"},
+			func(a net.Addr) { ready <- a })
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr.String()
+
+	queryBody := `{"kind":"conditional","target":[{"attr":"CANCER","value":"Yes"}],"given":[{"attr":"SMOKING","value":"Smoker"}]}`
+	ask := func() float64 {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(queryBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res pka.QueryResult
+		err = json.NewDecoder(resp.Body).Decode(&res)
+		resp.Body.Close()
+		if err != nil || res.Error != "" {
+			t.Fatalf("query: %v %+v", err, res)
+		}
+		return res.Probability
+	}
+	before := ask()
+
+	// Feed a biased batch: many smokers with cancer.
+	rows := `{"rows":[` + strings.Repeat(`["Smoker","Yes","Yes"],`, 99) + `["Smoker","Yes","Yes"]]}`
+	resp, err := http.Post(base+"/v1/observe", "application/json", strings.NewReader(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep pka.UpdateReport
+	err = json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe = %d (%+v)", resp.StatusCode, rep)
+	}
+	if rep.Rows != 100 || !rep.Refit {
+		t.Errorf("observe report = %+v, want 100 rows refit", rep)
+	}
+
+	after := ask()
+	if !(after > before) {
+		t.Errorf("P(cancer|smoker) after biased ingest = %g, want > %g", after, before)
+	}
+
+	// Unknown labels reject the batch without disturbing serving.
+	resp, err = http.Post(base+"/v1/observe", "application/json",
+		strings.NewReader(`{"rows":[["Vaper","Yes","Yes"]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("observe with unknown label = %d, want 400", resp.StatusCode)
+	}
+	if got := ask(); got != after {
+		t.Errorf("rejected batch moved the answer: %g -> %g", after, got)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if s := out.String(); !strings.Contains(s, "streaming ingest") {
+		t.Errorf("serve banner should announce streaming mode: %q", s)
+	}
+}
+
+// TestServeFlagExclusive: -kb and -data are mutually exclusive.
+func TestServeFlagExclusive(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"serve", "-kb", "a.json", "-data", "b.csv"}); err == nil {
+		t.Error("serve with both -kb and -data accepted")
 	}
 }

@@ -127,7 +127,11 @@ func PairwiseSparse(s *contingency.Sparse) ([]PairStats, error) {
 	}
 	var out []PairStats
 	for _, fam := range contingency.Combinations(s.R(), 2) {
-		proj, err := s.Project(fam)
+		// Cached projection: on long-lived tables under streaming ingest
+		// the 2-D pair tables are maintained in place by every mutation,
+		// so re-screening after a delta batch is O(pairs), not
+		// O(pairs × occupied).
+		proj, err := s.ProjectCached(fam)
 		if err != nil {
 			return nil, err
 		}

@@ -28,9 +28,13 @@ type Sparse struct {
 	// MarginalCount: the first marginal query over an attribute family
 	// projects the occupied cells onto that family once (O(occupied)),
 	// and every later query over the same family is a dense O(1) lookup.
-	// Concurrency contract: mutation (Observe/Add) must not overlap any
-	// other call — it drops the cache without locking — while read-only
-	// use, MarginalCount included, is safe from any number of goroutines.
+	// Mutation (Observe/Add/ApplyBatch/ObserveBatch) maintains every cached
+	// projection in place — O(families) per changed cell instead of an
+	// O(occupied) re-projection per family on the next read — so the cache
+	// survives streaming ingest.
+	// Concurrency contract: mutation must not overlap any other call — it
+	// writes cached tables without locking — while read-only use,
+	// MarginalCount included, is safe from any number of goroutines.
 	projMu sync.RWMutex
 	projs  map[VarSet]*Table
 }
@@ -130,13 +134,17 @@ func (s *Sparse) unkey(k uint64, cell []int) {
 // Observe records one sample.
 func (s *Sparse) Observe(cell ...int) error { return s.Add(1, cell...) }
 
-// Add increments a cell by delta, deleting it when it reaches zero. Any
-// cached marginal projections are dropped: mutation must not overlap other
-// calls (see the concurrency contract on Sparse).
+// Add increments a cell by delta, deleting it when it reaches zero. Cached
+// marginal projections are updated in place, not dropped; a zero delta is a
+// pure validation (it never touches cells or caches). Mutation must not
+// overlap other calls (see the concurrency contract on Sparse).
 func (s *Sparse) Add(delta int64, cell ...int) error {
 	k, err := s.key(cell)
 	if err != nil {
 		return err
+	}
+	if delta == 0 {
+		return nil
 	}
 	nv := s.cells[k] + delta
 	if nv < 0 {
@@ -148,8 +156,104 @@ func (s *Sparse) Add(delta int64, cell ...int) error {
 		s.cells[k] = nv
 	}
 	s.total += delta
-	s.projs = nil
+	s.applyToProjections(cell, delta)
 	return nil
+}
+
+// applyToProjections folds one cell delta into every cached projection. The
+// coordinates must already be validated; projection coordinates are a subset
+// of the cell's, so the dense adds cannot fail — if one somehow does, the
+// stale table is dropped rather than left wrong.
+func (s *Sparse) applyToProjections(cell []int, delta int64) {
+	if len(s.projs) == 0 {
+		return
+	}
+	var sub [MaxVars]int
+	for vs, t := range s.projs {
+		members := vs.Members()
+		for i, p := range members {
+			sub[i] = cell[p]
+		}
+		if err := t.Add(delta, sub[:len(members)]...); err != nil {
+			delete(s.projs, vs)
+		}
+	}
+}
+
+// CellDelta is one batched sparse-table mutation: a full-width cell and a
+// signed count delta.
+type CellDelta struct {
+	Cell  []int
+	Delta int64
+}
+
+// ApplyBatch applies a group of cell deltas as one mutation. The whole batch
+// is validated before anything is written — bad coordinates or a cell count
+// that would go negative reject the batch with the table untouched — and
+// cached marginal projections are updated in place, one O(families) pass per
+// distinct changed cell instead of an O(occupied) re-projection per family
+// on the next read. Updated caches are bit-identical to rebuilt ones
+// (CheckConsistency verifies this invariant).
+func (s *Sparse) ApplyBatch(deltas []CellDelta) error {
+	if len(deltas) == 0 {
+		return nil
+	}
+	// Validate every cell and aggregate per packed key, so duplicate cells
+	// in one batch are checked against their combined delta.
+	agg := make(map[uint64]int64, len(deltas))
+	order := make([]uint64, 0, len(deltas))
+	for i, d := range deltas {
+		k, err := s.key(d.Cell)
+		if err != nil {
+			return fmt.Errorf("contingency: batch delta %d: %w", i, err)
+		}
+		if _, seen := agg[k]; !seen {
+			order = append(order, k)
+		}
+		agg[k] += d.Delta
+	}
+	for _, k := range order {
+		if nv := s.cells[k] + agg[k]; nv < 0 {
+			cell := make([]int, len(s.cards))
+			s.unkey(k, cell)
+			return fmt.Errorf("contingency: batch would drive cell %v negative (%d%+d)",
+				cell, s.cells[k], agg[k])
+		}
+	}
+	// Commit. Deltas are folded into the caches per distinct cell in batch
+	// order, so the update is deterministic and exact (integer adds).
+	cell := make([]int, len(s.cards))
+	for _, k := range order {
+		d := agg[k]
+		if d == 0 {
+			continue
+		}
+		nv := s.cells[k] + d
+		if nv == 0 {
+			delete(s.cells, k)
+		} else {
+			s.cells[k] = nv
+		}
+		s.total += d
+		s.unkey(k, cell)
+		s.applyToProjections(cell, d)
+	}
+	return nil
+}
+
+// ObserveBatch records one sample per row, atomically: either every row is
+// counted or (on a bad coordinate) none are. Cached projections are updated
+// in place, making it the ingest step of the streaming/incremental-refit
+// pipeline.
+func (s *Sparse) ObserveBatch(rows [][]int) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	deltas := make([]CellDelta, len(rows))
+	for i, r := range rows {
+		deltas[i] = CellDelta{Cell: r, Delta: 1}
+	}
+	return s.ApplyBatch(deltas)
 }
 
 // At returns a cell's count (zero for unobserved cells).
@@ -204,6 +308,28 @@ func (s *Sparse) Project(keep VarSet) (*Table, error) {
 		}
 	}
 	return dense, nil
+}
+
+// ProjectCached is Project served from (and populating) the per-family
+// dense-projection cache when the family is small enough to cache; wider
+// families fall back to a fresh projection. The returned table is the live
+// cache entry and MUST be treated as read-only by the caller. It stays
+// current across streaming mutation for free: Observe/Add/ApplyBatch
+// maintain every cached projection in place, so repeated callers — the
+// pairwise association screen above all — pay O(1) per call instead of an
+// O(occupied) re-projection after every ingested batch.
+func (s *Sparse) ProjectCached(keep VarSet) (*Table, error) {
+	if keep.Empty() {
+		return nil, fmt.Errorf("contingency: cannot project to the empty attribute set")
+	}
+	members := keep.Members()
+	if members[len(members)-1] >= s.R() {
+		return nil, fmt.Errorf("contingency: attribute set %v exceeds table's %d axes", keep, s.R())
+	}
+	if t := s.projection(keep, members); t != nil {
+		return t, nil
+	}
+	return s.Project(keep)
 }
 
 // ToDense materializes the full dense table; it fails when the joint space
@@ -344,8 +470,10 @@ func (s *Sparse) EachCellSorted(fn func(cell []int, count int64)) {
 	}
 }
 
-// CheckConsistency verifies the bookkeeping invariants: the cached total
-// equals the cell sum and no occupied cell holds a non-positive count.
+// CheckConsistency verifies the cheap bookkeeping invariants: the cached
+// total equals the cell sum and no occupied cell holds a non-positive
+// count. It is O(occupied) and safe to run before every discovery pass;
+// VerifyProjections adds the (more expensive) cache bit-identity check.
 func (s *Sparse) CheckConsistency() error {
 	var sum int64
 	for k, c := range s.cells {
@@ -358,4 +486,33 @@ func (s *Sparse) CheckConsistency() error {
 		return fmt.Errorf("contingency: cached total %d != cell sum %d", s.total, sum)
 	}
 	return nil
+}
+
+// VerifyProjections checks the streaming-ingest invariant: every cached
+// marginal projection — maintained in place by the mutation paths — must be
+// bit-identical to a projection rebuilt from the occupied cells. It costs
+// O(cached families × occupied); tests and debugging call it, hot paths
+// call CheckConsistency.
+func (s *Sparse) VerifyProjections() error {
+	s.projMu.RLock()
+	defer s.projMu.RUnlock()
+	for vs, cached := range s.projs {
+		rebuilt, err := s.Project(vs)
+		if err != nil {
+			return fmt.Errorf("contingency: rebuilding projection %v: %w", vs, err)
+		}
+		if !cached.Equal(rebuilt) {
+			return fmt.Errorf("contingency: cached projection %v diverged from rebuilt counts", vs)
+		}
+	}
+	return nil
+}
+
+// CachedProjections reports how many per-family dense projections are
+// currently cached — observability for the streaming-ingest invariant that
+// mutation maintains caches instead of dropping them.
+func (s *Sparse) CachedProjections() int {
+	s.projMu.RLock()
+	defer s.projMu.RUnlock()
+	return len(s.projs)
 }

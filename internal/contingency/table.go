@@ -166,6 +166,26 @@ func (t *Table) Add(delta int64, cell ...int) error {
 // tabulation step of the memo's Appendix A.
 func (t *Table) Observe(cell ...int) error { return t.Add(1, cell...) }
 
+// ObserveBatch records one sample per row, atomically: the whole batch is
+// validated before anything is written, so a bad coordinate rejects it
+// with the table untouched — the dense counterpart of Sparse.ObserveBatch,
+// for streaming ingest over narrow schemas.
+func (t *Table) ObserveBatch(rows [][]int) error {
+	offs := make([]int, len(rows))
+	for i, r := range rows {
+		off, err := t.offset(r)
+		if err != nil {
+			return fmt.Errorf("contingency: batch row %d: %w", i, err)
+		}
+		offs[i] = off
+	}
+	for _, off := range offs {
+		t.counts[off]++
+	}
+	t.total += int64(len(rows))
+	return nil
+}
+
 // Counts exposes the flat row-major count slice (axis 0 slowest). The slice
 // is live; callers must not modify it. It exists for the solvers, which
 // iterate every cell in tight loops.

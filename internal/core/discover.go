@@ -39,15 +39,8 @@ func DiscoverCounts(table contingency.Counts, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Count-scale solver tolerance, as in standard log-linear fitters:
-	// residuals below ~0.01 expected counts are statistically meaningless,
-	// and boundary solutions (deterministic structure in the data) are only
-	// approached at O(1/sweeps), so demanding 1e-9 there would never finish.
 	if opts.Solve.Tol == 0 {
-		opts.Solve.Tol = 0.01 / float64(table.Total())
-		if opts.Solve.Tol < 1e-9 {
-			opts.Solve.Tol = 1e-9
-		}
+		opts.Solve.Tol = countScaleTol(table.Total())
 	}
 
 	// Figure 3, first box: the model starts from the first-order marginals.
@@ -105,11 +98,6 @@ func DiscoverCounts(table contingency.Counts, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: initial fit did not converge (residual %g after %d sweeps)",
 			rep.Residual, rep.Sweeps)
 	}
-	// Scans price each candidate family with one batch marginal from the
-	// model's compiled engine. Every refit rebuilds the compiled snapshot
-	// (maxent.Model.Fit does so on success), so the predictor always serves
-	// the coefficients of the latest accepted constraint set.
-	predict := opts.predictor(model)
 
 	// accepted tracks the promoted cells per family (seeds included) for
 	// the implied-zero check below.
@@ -122,25 +110,64 @@ func DiscoverCounts(table contingency.Counts, opts Options) (*Result, error) {
 		accepted[c.Family] = append(accepted[c.Family], acceptedCell{values: c.Values, count: n})
 	}
 
-	step := 0
-	for order := 2; order <= opts.MaxOrder; order++ {
+	st := &scanState{
+		table:    table,
+		model:    model,
+		tester:   tester,
+		opts:     opts,
+		res:      res,
+		accepted: accepted,
+	}
+	if err := st.run(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// scanState bundles the moving parts of the greedy level-wise acquisition
+// loop (Figure 3's r loop), shared by scratch discovery and the
+// incremental Update path — the latter seeds it with the previous run's
+// accepted constraints and a restricted candidate universe.
+type scanState struct {
+	table    contingency.Counts
+	model    *maxent.Model
+	tester   *mml.Tester
+	opts     Options // defaulted
+	res      *Result
+	accepted map[contingency.VarSet][]acceptedCell
+	// step numbers findings across runs: Update continues from the
+	// previous result's count so MaxConstraints bounds the lifetime total.
+	step int
+}
+
+// run scans order 2..MaxOrder, promoting the most significant cell per
+// pass, pinning implied zeros, and refitting (warm, from the previous
+// a-values) after each acceptance, until no candidate is significant.
+func (st *scanState) run() error {
+	// Scans price each candidate family with one batch marginal from the
+	// model's compiled engine. Every refit rebuilds the compiled snapshot
+	// (maxent.Model.Fit does so on success), so the predictor always serves
+	// the coefficients of the latest accepted constraint set.
+	predict := st.opts.predictor(st.model)
+	for order := 2; order <= st.opts.MaxOrder; order++ {
 		level := LevelReport{Order: order}
 		for pass := 1; ; pass++ {
 			var tests []mml.CellTest
-			if opts.Workers == 1 {
-				tests, err = tester.ScanOrder(order, predict)
+			var err error
+			if st.opts.Workers == 1 {
+				tests, err = st.tester.ScanOrder(order, predict)
 			} else {
-				tests, err = tester.ScanOrderParallel(order, predict, opts.Workers)
+				tests, err = st.tester.ScanOrderParallel(order, predict, st.opts.Workers)
 			}
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if pass == 1 {
 				level.Candidates = len(tests)
 			}
 			selected := mml.MostSignificant(tests)
-			if opts.RecordScans {
-				res.Scans = append(res.Scans, Scan{
+			if st.opts.RecordScans {
+				st.res.Scans = append(st.res.Scans, Scan{
 					Order:    order,
 					Pass:     pass,
 					Tests:    tests,
@@ -151,16 +178,16 @@ func DiscoverCounts(table contingency.Counts, opts Options) (*Result, error) {
 				break
 			}
 			ct := tests[selected]
-			step++
+			st.step++
 			c := maxent.Constraint{
 				Family: ct.Family,
 				Values: ct.Values,
-				Target: float64(ct.Observed) / float64(table.Total()),
+				Target: float64(ct.Observed) / float64(st.table.Total()),
 			}
-			if err := model.AddConstraint(c); err != nil {
-				return nil, err
+			if err := st.model.AddConstraint(c); err != nil {
+				return err
 			}
-			accepted[ct.Family] = append(accepted[ct.Family],
+			st.accepted[ct.Family] = append(st.accepted[ct.Family],
 				acceptedCell{values: ct.Values, count: ct.Observed})
 			// When the accepted cells exhaust one of the family's known
 			// marginals, the remaining sibling cells under that marginal
@@ -168,29 +195,29 @@ func DiscoverCounts(table contingency.Counts, opts Options) (*Result, error) {
 			// otherwise the maximum-entropy solution lies on the boundary
 			// of the exponential family and iterative scaling converges
 			// only sublinearly.
-			implied, err := impliedZeros(table, model, ct.Family, accepted[ct.Family])
+			implied, err := impliedZeros(st.table, st.model, ct.Family, st.accepted[ct.Family])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for _, z := range implied {
-				if err := model.AddConstraint(z); err != nil {
-					return nil, err
+				if err := st.model.AddConstraint(z); err != nil {
+					return err
 				}
 			}
 			// Figure 4: re-solve starting from the previous a-values.
-			rep, err := model.Fit(opts.Solve)
+			rep, err := st.model.Fit(st.opts.Solve)
 			if err != nil {
-				return nil, fmt.Errorf("core: refit after %s: %w", c.Label(model.Names()), err)
+				return fmt.Errorf("core: refit after %s: %w", c.Label(st.model.Names()), err)
 			}
 			if !rep.Converged {
-				return nil, fmt.Errorf("core: refit after %s did not converge (residual %g)",
-					c.Label(model.Names()), rep.Residual)
+				return fmt.Errorf("core: refit after %s did not converge (residual %g)",
+					c.Label(st.model.Names()), rep.Residual)
 			}
-			if err := tester.MarkSignificant(ct.Family, ct.Values); err != nil {
-				return nil, err
+			if err := st.tester.MarkSignificant(ct.Family, ct.Values); err != nil {
+				return err
 			}
-			res.Findings = append(res.Findings, Finding{
-				Step:         step,
+			st.res.Findings = append(st.res.Findings, Finding{
+				Step:         st.step,
 				Order:        order,
 				Test:         ct,
 				Constraint:   c,
@@ -198,20 +225,33 @@ func DiscoverCounts(table contingency.Counts, opts Options) (*Result, error) {
 				FitSweeps:    rep.Sweeps,
 			})
 			level.Accepted++
-			if opts.MaxConstraints > 0 && step >= opts.MaxConstraints {
-				res.Levels = append(res.Levels, level)
-				return res, nil
+			if st.opts.MaxConstraints > 0 && st.step >= st.opts.MaxConstraints {
+				st.res.Levels = append(st.res.Levels, level)
+				return nil
 			}
 		}
-		res.Levels = append(res.Levels, level)
+		st.res.Levels = append(st.res.Levels, level)
 	}
-	return res, nil
+	return nil
 }
 
 // acceptedCell is one promoted cell of a family with its observed count.
 type acceptedCell struct {
 	values []int
 	count  int64
+}
+
+// countScaleTol is the default solver tolerance at sample size N, as in
+// standard log-linear fitters: residuals below ~0.01 expected counts are
+// statistically meaningless, and boundary solutions (deterministic
+// structure in the data) are only approached at O(1/sweeps), so demanding
+// 1e-9 there would never finish.
+func countScaleTol(total int64) float64 {
+	tol := 0.01 / float64(total)
+	if tol < 1e-9 {
+		tol = 1e-9
+	}
+	return tol
 }
 
 // impliedZeros finds sibling cells of the family that are exactly zero by

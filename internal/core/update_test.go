@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pka/internal/contingency"
+	"pka/internal/maxent"
+)
+
+// corrRow draws one row over [3,2,2,3] with the block-structured
+// correlations the factored tests use: attr 1 tracks attr 0, attr 3 tracks
+// attr 2.
+func corrRow(rng *rand.Rand, cell []int) {
+	cell[0] = rng.Intn(3)
+	cell[1] = cell[0] % 2
+	if rng.Float64() < 0.3 {
+		cell[1] = rng.Intn(2)
+	}
+	cell[2] = rng.Intn(2)
+	cell[3] = cell[2]
+	if rng.Float64() < 0.25 {
+		cell[3] = rng.Intn(3)
+	}
+}
+
+func corrRows(rng *rand.Rand, n int) [][]int {
+	rows := make([][]int, n)
+	for i := range rows {
+		rows[i] = make([]int, 4)
+		corrRow(rng, rows[i])
+	}
+	return rows
+}
+
+func sparseFrom(t *testing.T, rows [][]int) *contingency.Sparse {
+	t.Helper()
+	s, err := contingency.NewSparse(nil, []int{3, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ObserveBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func asDeltas(rows [][]int) []contingency.CellDelta {
+	out := make([]contingency.CellDelta, len(rows))
+	for i, r := range rows {
+		out[i] = contingency.CellDelta{Cell: r, Delta: 1}
+	}
+	return out
+}
+
+// constraintKey identifies a constraint up to its target.
+func constraintKey(c maxent.Constraint) string {
+	return fmt.Sprintf("%d:%v", uint64(c.Family), c.Values)
+}
+
+// TestUpdateMatchesScratch drives K incremental batches through Update and
+// checks the running model against a scratch DiscoverCounts on the full
+// data after every batch: every joint cell probability within tolerance,
+// and — whenever the constraint sets coincide — targets bit-identical.
+func TestUpdateMatchesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := corrRows(rng, 4000)
+	table := sparseFrom(t, base)
+	opts := Options{MaxOrder: 2}
+	res, err := DiscoverCounts(table, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append([][]int(nil), base...)
+
+	for batch := 0; batch < 4; batch++ {
+		delta := corrRows(rng, 40)
+		all = append(all, delta...)
+		if err := table.ObserveBatch(delta); err != nil {
+			t.Fatal(err)
+		}
+		out, err := Update(res, table, asDeltas(delta), opts)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if !out.Refit {
+			t.Fatalf("batch %d: a row batch must refit", batch)
+		}
+		res = out.Result
+
+		scratch, err := DiscoverCounts(sparseFrom(t, all), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Constraint-set comparison.
+		upd := make(map[string]float64)
+		for _, c := range res.Model.Constraints() {
+			upd[constraintKey(c)] = c.Target
+		}
+		same := len(upd) == scratch.Model.NumConstraints()
+		for _, c := range scratch.Model.Constraints() {
+			target, ok := upd[constraintKey(c)]
+			if !ok {
+				same = false
+				continue
+			}
+			if same && target != c.Target {
+				t.Errorf("batch %d: constraint %s target %g (update) vs %g (scratch)",
+					batch, c.Label(res.Model.Names()), target, c.Target)
+			}
+		}
+		if !same {
+			t.Logf("batch %d: constraint sets diverged (update %d, scratch %d) — tolerance check only",
+				batch, len(upd), scratch.Model.NumConstraints())
+		}
+
+		ju, err := res.Model.Joint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := scratch.Model.Joint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ju {
+			if math.Abs(ju[i]-js[i]) > 1e-3 {
+				t.Fatalf("batch %d: joint cell %d: update %.8f vs scratch %.8f",
+					batch, i, ju[i], js[i])
+			}
+		}
+	}
+}
+
+// TestUpdateNoOpDeltaKeepsResult: a delta whose net effect is zero must
+// return the previous result untouched — the bit-identity half of the
+// incremental contract.
+func TestUpdateNoOpDeltaKeepsResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	table := sparseFrom(t, corrRows(rng, 2000))
+	res, err := DiscoverCounts(table, Options{MaxOrder: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := []contingency.CellDelta{
+		{Cell: []int{0, 0, 0, 0}, Delta: 3},
+		{Cell: []int{0, 0, 0, 0}, Delta: -3},
+	}
+	// Net-zero: nothing applied to the table either.
+	out, err := Update(res, table, deltas, Options{MaxOrder: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Refit || out.Rediscovered || out.Retargeted != 0 || out.Added != 0 {
+		t.Errorf("no-op delta produced work: %+v", out)
+	}
+	if out.Result != res {
+		t.Error("no-op delta must return the previous result pointer")
+	}
+}
+
+// TestUpdateImpliedZeroGainingSupportRediscovers: observing a cell the
+// model pinned to zero is a structural change; Update must fall back to a
+// full rediscovery and end up equivalent to scratch.
+func TestUpdateImpliedZeroGainingSupportRediscovers(t *testing.T) {
+	// Two perfectly correlated binary attributes: discovery pins the
+	// off-diagonal cells to zero.
+	tab, err := contingency.NewSparse(nil, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]int
+	for i := 0; i < 120; i++ {
+		rows = append(rows, []int{i % 2, i % 2})
+	}
+	if err := tab.ObserveBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	res, err := DiscoverCounts(tab, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for _, c := range res.Model.Constraints() {
+		if c.Target == 0 {
+			zeros++
+		}
+	}
+	if zeros == 0 {
+		t.Fatal("setup: expected implied-zero constraints on perfectly correlated data")
+	}
+
+	delta := [][]int{{0, 1}}
+	if err := tab.ObserveBatch(delta); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Update(res, tab, asDeltas(delta), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Rediscovered {
+		t.Error("implied-zero cell gaining support must force rediscovery")
+	}
+	scratch, err := DiscoverCounts(tab, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ju, err := out.Result.Model.Joint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := scratch.Model.Joint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ju {
+		if ju[i] != js[i] {
+			t.Errorf("rediscovered joint cell %d = %g, scratch %g", i, ju[i], js[i])
+		}
+	}
+}
+
+// TestUpdateRejectsBadDeltas: coordinate validation happens before any
+// model work.
+func TestUpdateRejectsBadDeltas(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	table := sparseFrom(t, corrRows(rng, 1000))
+	res, err := DiscoverCounts(table, Options{MaxOrder: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Update(res, table, []contingency.CellDelta{{Cell: []int{9, 0, 0, 0}, Delta: 1}}, Options{}); err == nil {
+		t.Error("out-of-range delta accepted")
+	}
+	if _, err := Update(res, table, []contingency.CellDelta{{Cell: []int{0, 0}, Delta: 1}}, Options{}); err == nil {
+		t.Error("short delta cell accepted")
+	}
+	if _, err := Update(nil, table, nil, Options{}); err == nil {
+		t.Error("nil previous result accepted")
+	}
+}

@@ -37,6 +37,14 @@ func NewEqualWidthBinner(min, max float64, bins int) (*Binner, error) {
 
 // NewQuantileBinner chooses edges so each bin receives roughly the same
 // number of the supplied sample values.
+//
+// On skewed samples the requested bin count is an upper bound, not a
+// promise: quantile edges that repeat or fall at the sample minimum are
+// dropped (an edge kept there would define an empty bin), so heavy ties —
+// e.g. a sample that is mostly zeros — yield fewer interval bins than
+// requested. Callers must size attributes with Bins(), which reports the
+// interval bins actually kept plus the NaN catch-all, never with the
+// requested count.
 func NewQuantileBinner(sample []float64, bins int) (*Binner, error) {
 	if bins < 2 {
 		return nil, fmt.Errorf("dataset: need at least 2 bins, got %d", bins)
@@ -68,17 +76,37 @@ func newBinner(edges []float64) (*Binner, error) {
 		}
 	}
 	b := &Binner{edges: edges}
+	// Edge labels start at 4 significant digits and widen until every
+	// rendered edge is distinct: near-identical edges (e.g. quantiles
+	// 0.00012341 and 0.00012342) would otherwise format identically,
+	// producing duplicate value labels that NewSchema rejects. 17
+	// significant digits round-trip any float64, so the loop always
+	// terminates with unique strings for strictly increasing edges.
+	var rendered []string
+	for prec := 4; ; prec++ {
+		rendered = make([]string, len(edges))
+		distinct := true
+		for i, e := range edges {
+			rendered[i] = fmt.Sprintf("%.*g", prec, e)
+			if i > 0 && rendered[i] == rendered[i-1] {
+				distinct = false
+			}
+		}
+		if distinct || prec >= 17 {
+			break
+		}
+	}
 	b.labels = make([]string, len(edges)+2)
 	for i := range b.labels {
 		switch {
 		case i == 0:
-			b.labels[i] = fmt.Sprintf("(-inf,%.4g)", edges[0])
+			b.labels[i] = fmt.Sprintf("(-inf,%s)", rendered[0])
 		case i == len(edges):
-			b.labels[i] = fmt.Sprintf("[%.4g,+inf)", edges[i-1])
+			b.labels[i] = fmt.Sprintf("[%s,+inf)", rendered[i-1])
 		case i == len(edges)+1:
 			b.labels[i] = OtherValue
 		default:
-			b.labels[i] = fmt.Sprintf("[%.4g,%.4g)", edges[i-1], edges[i])
+			b.labels[i] = fmt.Sprintf("[%s,%s)", rendered[i-1], rendered[i])
 		}
 	}
 	return b, nil

@@ -203,3 +203,69 @@ func TestBinnerNaNTelemetryPath(t *testing.T) {
 		t.Errorf("catch-all labeled %q", b.Labels()[catchAll])
 	}
 }
+
+// TestBinnerNearIdenticalEdgeLabels is the label-collision regression: the
+// pre-fix %.4g formatting rendered numerically distinct edges (e.g.
+// quantile edges 0.00012341 vs 0.00012342) identically, so the binner's
+// labels contained duplicates and NewSchema rejected the attribute.
+func TestBinnerNearIdenticalEdgeLabels(t *testing.T) {
+	// Three interval bins with edges that collide at 4 significant digits.
+	sample := []float64{
+		0.0001234, 0.00012341, 0.00012341,
+		0.00012342, 0.00012342, 0.00012343,
+	}
+	b, err := NewQuantileBinner(sample, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := b.Labels()
+	seen := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		if seen[l] {
+			t.Fatalf("duplicate bin label %q in %v", l, labels)
+		}
+		seen[l] = true
+	}
+	// The attribute the binner produces must be schema-legal.
+	if _, err := NewSchema([]Attribute{b.Attribute("READING"), {Name: "OK", Values: []string{"y", "n"}}}); err != nil {
+		t.Fatalf("NewSchema rejected binner attribute: %v", err)
+	}
+	// Values on either side of the near-identical edges still separate.
+	if b.Bin(0.000123405) == b.Bin(0.000123425) {
+		t.Error("near-identical edges no longer separate readings")
+	}
+}
+
+// TestEqualWidthBinnerTinyWidthLabels: equal-width bins over a tiny range
+// also need widened labels.
+func TestEqualWidthBinnerTinyWidthLabels(t *testing.T) {
+	b, err := NewEqualWidthBinner(1.0000001, 1.0000004, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := b.Labels()
+	seen := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		if seen[l] {
+			t.Fatalf("duplicate bin label %q in %v", l, labels)
+		}
+		seen[l] = true
+	}
+}
+
+// TestQuantileBinnerSkewedSampleFewerBins documents the contract that the
+// requested count is an upper bound: heavy ties collapse quantile edges
+// and Bins() reports what was actually kept.
+func TestQuantileBinnerSkewedSampleFewerBins(t *testing.T) {
+	sample := []float64{0, 0, 0, 0, 0, 0, 1, 2, 3, 4}
+	b, err := NewQuantileBinner(sample, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Bins() >= 4+1 {
+		t.Fatalf("Bins() = %d; skewed sample should keep fewer than requested", b.Bins())
+	}
+	if b.Bins() != len(b.Labels()) {
+		t.Errorf("Bins() %d != len(Labels()) %d", b.Bins(), len(b.Labels()))
+	}
+}

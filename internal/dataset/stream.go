@@ -27,17 +27,35 @@ func TabulateCSV(r io.Reader, schema *Schema) (*contingency.Table, error) {
 	return table, nil
 }
 
+// tabulateChunkRows is how many decoded rows TabulateCSVSparse buffers
+// before flushing one ObserveBatch — large enough to amortize the batched
+// mutation's per-call work, small enough to keep ingest memory flat.
+const tabulateChunkRows = 4096
+
 // TabulateCSVSparse is TabulateCSV into a sparse table, for wide schemas
-// whose dense joint space does not fit in memory.
+// whose dense joint space does not fit in memory. Rows are ingested through
+// the batched mutation API in fixed-size chunks, so any cached marginal
+// projections are maintained in place rather than invalidated per row.
 func TabulateCSVSparse(r io.Reader, schema *Schema) (*contingency.Sparse, error) {
 	table, err := contingency.NewSparse(schema.Names(), schema.Cards())
 	if err != nil {
 		return nil, err
 	}
+	chunk := make([][]int, 0, tabulateChunkRows)
 	err = streamCSV(r, schema, func(cell []int) error {
-		return table.Observe(cell...)
+		chunk = append(chunk, append([]int(nil), cell...))
+		if len(chunk) == cap(chunk) {
+			if err := table.ObserveBatch(chunk); err != nil {
+				return err
+			}
+			chunk = chunk[:0]
+		}
+		return nil
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := table.ObserveBatch(chunk); err != nil {
 		return nil, err
 	}
 	return table, nil

@@ -116,3 +116,45 @@ func TestStreamCSVDuplicateHeaderColumn(t *testing.T) {
 		t.Error("duplicate header column accepted by TabulateCSVSparse")
 	}
 }
+
+// TestTabulateCSVSparseChunkBoundaries exercises the batched ingest path
+// across chunk-flush boundaries: more rows than tabulateChunkRows, with a
+// partial trailing chunk, must count exactly like per-row observation.
+func TestTabulateCSVSparseChunkBoundaries(t *testing.T) {
+	schema, err := NewSchema([]Attribute{
+		{Name: "A", Values: []string{"x", "y"}},
+		{Name: "B", Values: []string{"p", "q", "r"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 2*tabulateChunkRows + tabulateChunkRows/2
+	var b strings.Builder
+	b.WriteString("A,B\n")
+	for i := 0; i < n; i++ {
+		b.WriteString([]string{"x", "y"}[i%2])
+		b.WriteByte(',')
+		b.WriteString([]string{"p", "q", "r"}[i%3])
+		b.WriteByte('\n')
+	}
+	sparse, err := TabulateCSVSparse(strings.NewReader(b.String()), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.Total() != int64(n) {
+		t.Fatalf("total = %d, want %d", sparse.Total(), n)
+	}
+	want := make(map[[2]int]int64)
+	for i := 0; i < n; i++ {
+		want[[2]int{i % 2, i % 3}]++
+	}
+	for cell, w := range want {
+		got, err := sparse.At(cell[0], cell[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Errorf("cell %v = %d, want %d", cell, got, w)
+		}
+	}
+}

@@ -159,6 +159,14 @@ func (m *Model) subModel(blk []int) (*Model, error) {
 // aggregates worst-case sweeps and residual across blocks. Block sizes are
 // validated up front, so an errBlockTooDense return leaves the model's
 // coefficients untouched and the caller free to fall back.
+//
+// Under SolveOptions.Incremental, blocks none of whose families were
+// touched since the last converged fit (the model's dirty bookkeeping)
+// keep their converged coefficients: only the block's unnormalized sum is
+// recomputed — one pass over its cells — for the a0 product, instead of a
+// full iterative re-solve. This is the warm per-block refit of the
+// streaming-ingest pipeline: a delta batch that moves one block's targets
+// re-solves that block alone.
 func (m *Model) fitFactored(opts SolveOptions) (*Report, error) {
 	blocks := m.blocks()
 	sizes := make([]int, len(blocks))
@@ -168,6 +176,15 @@ func (m *Model) fitFactored(opts SolveOptions) (*Report, error) {
 			return nil, err
 		}
 		sizes[i] = size
+	}
+	skipClean := opts.Incremental && m.fitClean && m.dirty != nil
+	dirtyPos := make(map[int]bool)
+	if skipClean {
+		for vs := range m.dirty {
+			for _, p := range vs.Members() {
+				dirtyPos[p] = true
+			}
+		}
 	}
 	agg := &Report{Method: opts.Method, Converged: true}
 	a0 := 1.0
@@ -181,12 +198,23 @@ func (m *Model) fitFactored(opts SolveOptions) (*Report, error) {
 			// Unconstrained block: all coefficients are 1, the block sum
 			// is its cell count, and nothing needs solving.
 			a0 *= 1 / float64(size)
+			if opts.Incremental {
+				agg.BlocksSkipped++
+			}
+			continue
+		}
+		if skipClean && !blockDirty(blk, dirtyPos) {
+			// Converged coefficients for unmoved targets: keep them, pay
+			// only the one-pass block sum for the normalizer.
+			a0 *= 1 / sub.coefficientSum()
+			agg.BlocksSkipped++
 			continue
 		}
 		rep, err := sub.fitDenseCore(opts)
 		if err != nil {
 			return nil, err
 		}
+		agg.BlocksFit++
 		if rep.Sweeps > agg.Sweeps {
 			agg.Sweeps = rep.Sweeps
 		}
@@ -202,4 +230,45 @@ func (m *Model) fitFactored(opts SolveOptions) (*Report, error) {
 		return nil, err
 	}
 	return agg, nil
+}
+
+// blockDirty reports whether any attribute of the block belongs to a dirty
+// family. Families never straddle blocks, so member-level containment is
+// exact.
+func blockDirty(blk []int, dirtyPos map[int]bool) bool {
+	for _, p := range blk {
+		if dirtyPos[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// coefficientSum computes the model's unnormalized sum Σ_cells Π coeffs in
+// one pass — the a0 input for a block whose solve was skipped. Cell order
+// matches newSolverState's initialization, so the accumulation is
+// deterministic.
+func (m *Model) coefficientSum() float64 {
+	size := m.NumCells()
+	famOrder := sortedFamilies(m.families)
+	cell := make([]int, len(m.cards))
+	sum := 0.0
+	for off := 0; off < size; off++ {
+		rem := off
+		for i := len(m.cards) - 1; i >= 0; i-- {
+			cell[i] = rem % m.cards[i]
+			rem /= m.cards[i]
+		}
+		p := 1.0
+		for _, vs := range famOrder {
+			ft := m.families[vs]
+			fo := 0
+			for _, pos := range ft.vars {
+				fo = fo*m.cards[pos] + cell[pos]
+			}
+			p *= ft.coeffs[fo]
+		}
+		sum += p
+	}
+	return sum
 }

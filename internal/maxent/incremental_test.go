@@ -1,0 +1,208 @@
+package maxent
+
+import (
+	"math"
+	"testing"
+
+	"pka/internal/contingency"
+)
+
+// TestSetTargetValidates covers the retarget mutation's error surface.
+func TestSetTargetValidates(t *testing.T) {
+	m, err := NewModel(nil, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := contingency.NewVarSet(0)
+	if err := m.AddConstraint(Constraint{Family: fam, Values: []int{0}, Target: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetTarget(fam, []int{1}, 0.5); err == nil {
+		t.Error("SetTarget accepted a cell with no constraint")
+	}
+	if err := m.SetTarget(contingency.NewVarSet(1), []int{0}, 0.5); err == nil {
+		t.Error("SetTarget accepted an unconstrained family")
+	}
+	if err := m.SetTarget(fam, []int{0}, 1.5); err == nil {
+		t.Error("SetTarget accepted a target outside [0,1]")
+	}
+	if err := m.SetTarget(fam, []int{0}, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if m.Constraints()[0].Target != 0.25 {
+		t.Errorf("target after SetTarget = %g, want 0.25", m.Constraints()[0].Target)
+	}
+}
+
+// TestSetTargetWarmRefitMatchesScratch: retargeting and refitting in place
+// reaches the same solution as a fresh model solved from uniform with the
+// new targets.
+func TestSetTargetWarmRefitMatchesScratch(t *testing.T) {
+	warm, _, tab := buildBlockTestModels(t)
+	if _, err := warm.Fit(SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Perturb the order-2 target of block {0,1} and warm-refit.
+	fam := contingency.NewVarSet(0, 1)
+	n, err := tab.MarginalCount(fam, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newTarget := 0.9 * float64(n) / float64(tab.Total())
+	if err := warm.SetTarget(fam, []int{1, 1}, newTarget); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := warm.Fit(SolveOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("warm refit did not converge (residual %g)", rep.Residual)
+	}
+
+	// Scratch model with the same constraint set and targets.
+	scratch, _, _ := buildBlockTestModels(t)
+	if err := scratch.SetTarget(fam, []int{1, 1}, newTarget); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scratch.Fit(SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	cell := make([]int, 4)
+	for c0 := 0; c0 < 3; c0++ {
+		for c1 := 0; c1 < 2; c1++ {
+			cell[0], cell[1], cell[2], cell[3] = c0, c1, c0%2, c0%3
+			pw, err := warm.CellProb(cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := scratch.CellProb(cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(pw-ps) > 1e-6 {
+				t.Errorf("cell %v: warm %.12f vs scratch %.12f", cell, pw, ps)
+			}
+		}
+	}
+}
+
+// TestIncrementalFactoredSkipsCleanBlocks: after a converged factored fit,
+// retargeting a constraint in one block and refitting incrementally must
+// re-solve only that block — the other block's coefficients stay
+// bit-identical and the report says it was skipped.
+func TestIncrementalFactoredSkipsCleanBlocks(t *testing.T) {
+	forceFactored(t, 8) // blocks are 6 cells each, the joint 36: factored path
+	m, _, tab := buildBlockTestModels(t)
+	if rep, err := m.Fit(SolveOptions{}); err != nil || !rep.Converged {
+		t.Fatalf("initial factored fit: %v (report %+v)", err, rep)
+	}
+
+	// Snapshot block {2,3}'s order-2 coefficient before the update.
+	cleanFam := contingency.NewVarSet(2, 3)
+	before, err := m.Coefficient(cleanFam, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fam := contingency.NewVarSet(0, 1)
+	n, err := tab.MarginalCount(fam, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetTarget(fam, []int{1, 1}, 0.8*float64(n)/float64(tab.Total())); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Fit(SolveOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("incremental refit did not converge (residual %g)", rep.Residual)
+	}
+	if rep.BlocksFit != 1 {
+		t.Errorf("BlocksFit = %d, want 1 (only the retargeted block)", rep.BlocksFit)
+	}
+	if rep.BlocksSkipped != 1 {
+		t.Errorf("BlocksSkipped = %d, want 1", rep.BlocksSkipped)
+	}
+	after, err := m.Coefficient(cleanFam, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Errorf("clean block's coefficient moved: %.17g -> %.17g", before, after)
+	}
+
+	// A second incremental fit with nothing dirty is a pure no-op.
+	rep, err = m.Fit(SolveOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged || rep.Sweeps != 0 {
+		t.Errorf("clean incremental fit ran %d sweeps, want 0", rep.Sweeps)
+	}
+
+	// Without Incremental every constrained block is re-solved.
+	if err := m.SetTarget(fam, []int{1, 1}, float64(n)/float64(tab.Total())); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = m.Fit(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlocksFit != 2 || rep.BlocksSkipped != 0 {
+		t.Errorf("non-incremental refit fit/skipped = %d/%d, want 2/0",
+			rep.BlocksFit, rep.BlocksSkipped)
+	}
+}
+
+// TestSetTargetZeroToPositiveResetsCoefficient: a zeroed coefficient would
+// leave a positive retarget without model support; SetTarget must reset it.
+func TestSetTargetZeroToPositiveResetsCoefficient(t *testing.T) {
+	tab := contingency.MustNew(nil, []int{2, 2})
+	for _, obs := range [][]int{{0, 0}, {0, 0}, {1, 1}, {1, 1}, {0, 1}} {
+		if err := tab.Observe(obs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := NewModel(nil, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddFirstOrderConstraints(tab); err != nil {
+		t.Fatal(err)
+	}
+	fam := contingency.NewVarSet(0, 1)
+	if err := m.AddConstraint(Constraint{Family: fam, Values: []int{1, 0}, Target: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Fit(SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := m.Coefficient(fam, []int{1, 0}); c != 0 {
+		t.Fatalf("zero-target coefficient = %g, want 0", c)
+	}
+	if err := m.SetTarget(fam, []int{1, 0}, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := m.Coefficient(fam, []int{1, 0}); c != 1 {
+		t.Fatalf("coefficient after zero->positive retarget = %g, want reset to 1", c)
+	}
+	rep, err := m.Fit(SolveOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("refit after zero->positive retarget did not converge (residual %g)", rep.Residual)
+	}
+	p, err := m.Prob(fam, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.1) > 1e-6 {
+		t.Errorf("P(1,0) after retarget = %g, want 0.1", p)
+	}
+}

@@ -32,6 +32,13 @@ type Model struct {
 	// holder is a pointer so UnmarshalJSON's struct copy stays legal; Clone
 	// gives the copy its own holder.
 	compiled *atomic.Pointer[Compiled]
+	// dirty tracks the families mutated (constraint added or retargeted)
+	// since the last converged Fit; nil means unknown (everything dirty).
+	// fitClean reports that the last Fit converged with this bookkeeping
+	// intact — together they let an Incremental factored refit skip blocks
+	// whose constraints did not move (see fitFactored).
+	dirty    map[contingency.VarSet]bool
+	fitClean bool
 }
 
 // familyTerm holds the dense coefficient array of one attribute family.
@@ -66,6 +73,7 @@ func NewModel(names []string, cards []int) (*Model, error) {
 		families: make(map[contingency.VarSet]*familyTerm),
 		conIdx:   make(map[string]int),
 		compiled: &atomic.Pointer[Compiled]{},
+		dirty:    make(map[contingency.VarSet]bool),
 	}
 	if names == nil {
 		m.names = make([]string, len(cards))
@@ -147,7 +155,47 @@ func (m *Model) AddConstraint(c Constraint) error {
 		Values: append([]int(nil), c.Values...),
 		Target: c.Target,
 	})
+	m.markDirty(c.Family)
 	m.compiled.Store(nil) // coefficient layout changed; snapshot is stale
+	return nil
+}
+
+// markDirty records that a family's constraints moved since the last
+// converged fit. A nil dirty map means the bookkeeping is already
+// "everything dirty" and stays that way.
+func (m *Model) markDirty(family contingency.VarSet) {
+	if m.dirty != nil {
+		m.dirty[family] = true
+	}
+}
+
+// SetTarget updates the target of an existing constraint in place — the
+// streaming-refit mutation: observed counts moved but the constraint
+// structure did not. Coefficients stay put, so the next Fit warm-starts
+// from the previous solution instead of re-solving from uniform; only the
+// compiled snapshot is invalidated. Retargeting a zero-target constraint to
+// a positive target resets its coefficient to 1 (the zeroing update is not
+// invertible, and a zero coefficient would leave the new target without
+// model support).
+func (m *Model) SetTarget(family contingency.VarSet, values []int, target float64) error {
+	c := Constraint{Family: family, Values: values, Target: target}
+	if err := c.validate(m.cards); err != nil {
+		return err
+	}
+	i, ok := m.conIdx[c.key()]
+	if !ok {
+		return fmt.Errorf("maxent: no constraint on %s to retarget", c.Label(m.names))
+	}
+	if m.cons[i].Target == target {
+		return nil
+	}
+	if m.cons[i].Target == 0 && target != 0 {
+		ft := m.families[family]
+		ft.coeffs[ft.offset(m.cards, m.cons[i].Values)] = 1
+	}
+	m.cons[i].Target = target
+	m.markDirty(family)
+	m.compiled.Store(nil)
 	return nil
 }
 
@@ -336,6 +384,13 @@ func (m *Model) Clone() *Model {
 	for k, v := range m.conIdx {
 		cp.conIdx[k] = v
 	}
+	if m.dirty != nil {
+		cp.dirty = make(map[contingency.VarSet]bool, len(m.dirty))
+		for vs := range m.dirty {
+			cp.dirty[vs] = true
+		}
+	}
+	cp.fitClean = m.fitClean
 	// The compiled snapshot is immutable and matches the copied
 	// coefficients, so the clone can share it until its next mutation —
 	// but in its own holder, so invalidation never crosses models.

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"pka/internal/contingency"
 )
 
 // Method selects the fitting algorithm.
@@ -47,6 +49,13 @@ type SolveOptions struct {
 	// RecordTrace stores per-sweep snapshots of all constraint
 	// coefficients in the report — the memo's Table 2.
 	RecordTrace bool
+	// Incremental enables the streaming-refit fast path: when the model's
+	// last Fit converged and a constraint block's targets have not moved
+	// since (no AddConstraint or SetTarget touched its families), the
+	// factored solver keeps that block's converged coefficients instead of
+	// re-sweeping it, and a fully clean model skips the solve outright.
+	// Off, every block is re-solved — the historical behaviour.
+	Incremental bool
 }
 
 func (o SolveOptions) withDefaults() (SolveOptions, error) {
@@ -84,6 +93,12 @@ type Report struct {
 	Labels []string
 	// A0Trace[s] is the implied a0 after sweep s+1.
 	A0Trace []float64
+	// BlocksFit and BlocksSkipped count, on the factored path, how many
+	// constraint blocks were re-solved versus kept as-is by an Incremental
+	// refit (unconstrained blocks count as skipped only under Incremental;
+	// both stay zero on the dense path).
+	BlocksFit     int
+	BlocksSkipped int
 }
 
 // Fit adjusts the model's coefficients until all constraint targets are met
@@ -107,6 +122,31 @@ func (m *Model) Fit(opts SolveOptions) (*Report, error) {
 	if len(m.cons) == 0 {
 		return nil, fmt.Errorf("maxent: no constraints to fit")
 	}
+	if opts.Incremental && m.fitClean && m.dirty != nil && len(m.dirty) == 0 {
+		// Nothing moved since the last converged fit: the coefficients are
+		// already the solution, bit for bit. Refresh the snapshot and go.
+		if _, err := m.Compile(); err != nil {
+			return nil, err
+		}
+		return &Report{Method: opts.Method, Converged: true}, nil
+	}
+	rep, err := m.fitDispatch(opts)
+	// Converged fits reset the dirty bookkeeping: the current coefficients
+	// solve the current targets, so future Incremental refits may trust it.
+	m.fitClean = err == nil && rep.Converged
+	if m.fitClean {
+		m.dirty = make(map[contingency.VarSet]bool)
+	} else if m.dirty != nil && err == nil {
+		// Coefficients moved without converging; the map no longer tells
+		// which blocks are at their solution.
+		m.dirty = nil
+	}
+	return rep, err
+}
+
+// fitDispatch routes between the dense and factored solvers (Fit's
+// historical body, minus the dirty bookkeeping wrapped around it).
+func (m *Model) fitDispatch(opts SolveOptions) (*Report, error) {
 	cells := m.NumCells()
 	if cells <= denseModelCells {
 		return m.fitDense(opts)

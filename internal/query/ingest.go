@@ -1,0 +1,45 @@
+package query
+
+import "errors"
+
+// ErrRejectedRows marks an ingest failure caused by the submitted rows
+// themselves (wrong width, unknown label, bad coordinate) rather than by
+// server-side state: the batch was rejected before or rolled back after
+// touching the counts. The HTTP layer maps errors wrapping it to 400 and
+// everything else on the ingest path to 500.
+var ErrRejectedRows = errors.New("rows rejected")
+
+// IngestReport is the wire answer to one streaming-ingest request: what
+// the incremental refit behind POST /v1/observe actually did. The zero
+// Refit value marks a no-op batch (net delta zero) served without touching
+// the compiled engine.
+type IngestReport struct {
+	// Rows is how many observation rows the batch carried.
+	Rows int `json:"rows"`
+	// Retargeted counts stored constraints whose probability targets were
+	// recomputed because the batch moved their family marginals.
+	Retargeted int `json:"retargeted"`
+	// NewConstraints counts newly significant joint probabilities the
+	// incremental re-scan promoted.
+	NewConstraints int `json:"new_constraints"`
+	// Rediscovered reports that a structural change forced a full
+	// from-scratch rediscovery instead of the incremental path.
+	Rediscovered bool `json:"rediscovered"`
+	// Refit reports whether any solve ran; false for net-zero batches.
+	Refit bool `json:"refit"`
+	// Sweeps is the warm refit's solver sweep count.
+	Sweeps int `json:"sweeps"`
+	// TotalSamples is N after the batch — the data-bank size queries are
+	// now answered against.
+	TotalSamples int64 `json:"total_samples"`
+}
+
+// Ingestor is the optional streaming-ingest surface of a served model: a
+// Querier that can also fold new observation rows into its knowledge base,
+// atomically swapping the compiled engine under concurrent queries. Rows
+// carry one value label per schema attribute, in schema order — the wire
+// format of POST /v1/observe. Models loaded from a saved file do not carry
+// their discovery counts and therefore do not implement it.
+type Ingestor interface {
+	ObserveLabeled(rows [][]string) (IngestReport, error)
+}

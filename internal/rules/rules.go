@@ -2,6 +2,7 @@ package rules
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -47,14 +48,17 @@ type Options struct {
 }
 
 func (o Options) validate() error {
-	if o.MinProbability < 0 || o.MinProbability > 1 {
+	// The range checks are written as negations so that NaN — for which
+	// both v < lo and v > hi are false — fails them too: a NaN threshold
+	// would otherwise slip through and silently filter out every rule.
+	if !(o.MinProbability >= 0 && o.MinProbability <= 1) {
 		return fmt.Errorf("rules: MinProbability %g outside [0,1]", o.MinProbability)
 	}
-	if o.MinSupport < 0 || o.MinSupport > 1 {
+	if !(o.MinSupport >= 0 && o.MinSupport <= 1) {
 		return fmt.Errorf("rules: MinSupport %g outside [0,1]", o.MinSupport)
 	}
-	if o.MinLiftDistance < 0 {
-		return fmt.Errorf("rules: negative MinLiftDistance %g", o.MinLiftDistance)
+	if !(o.MinLiftDistance >= 0) || math.IsInf(o.MinLiftDistance, 0) {
+		return fmt.Errorf("rules: MinLiftDistance %g must be finite and non-negative", o.MinLiftDistance)
 	}
 	if o.MaxRules < 0 {
 		return fmt.Errorf("rules: negative MaxRules %d", o.MaxRules)

@@ -271,3 +271,27 @@ func TestRulesFromThirdOrderConstraints(t *testing.T) {
 		}
 	}
 }
+
+// TestOptionsRejectNonFinite is the NaN/Inf regression: NaN compares false
+// with every bound, so the pre-fix range checks (v < 0 || v > 1) let it
+// through and the thresholds then filtered with always-false comparisons.
+func TestOptionsRejectNonFinite(t *testing.T) {
+	k := memoKB(t)
+	bad := []Options{
+		{MinProbability: math.NaN()},
+		{MinProbability: math.Inf(1)},
+		{MinSupport: math.NaN()},
+		{MinSupport: math.Inf(-1)},
+		{MinLiftDistance: math.NaN()},
+		{MinLiftDistance: math.Inf(1)},
+	}
+	for i, opts := range bad {
+		if _, err := FromKnowledgeBase(k, opts); err == nil {
+			t.Errorf("options %d (%+v) accepted a non-finite threshold", i, opts)
+		}
+	}
+	// Finite thresholds still pass.
+	if _, err := FromKnowledgeBase(k, Options{MinProbability: 0.1, MinLiftDistance: 0.05}); err != nil {
+		t.Errorf("finite options rejected: %v", err)
+	}
+}

@@ -11,8 +11,16 @@
 //	GET  /v1/schema       the attribute layout queries are expressed against
 //	POST /v1/query        one Query value -> one Result
 //	POST /v1/query/batch  {"queries": [...]} -> {"results": [...]}
+//	POST /v1/observe      {"rows": [["label", ...], ...]} -> ingest report
 //	GET  /v1/rules        extracted IF-THEN rules (min_prob, min_support, min_lift, top)
 //	GET  /v1/explain      the stored probability formula, as text
+//
+// /v1/observe is the streaming-ingest path: when the served model also
+// implements query.Ingestor (a discovered model that kept its counts), the
+// batch is folded in by an incremental refit and the compiled engine is
+// swapped atomically — concurrent queries never block on ingest and always
+// see a consistent snapshot. Read-only models (loaded from a saved file)
+// answer it with 501.
 //
 // The request and response bodies use the same encoding as `pka query
 // -json` (see internal/query): one wire format across CLI and network.
@@ -23,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
@@ -40,6 +49,9 @@ type Options struct {
 	MaxBatch int
 	// MaxBodyBytes caps request body size (0 = DefaultMaxBodyBytes).
 	MaxBodyBytes int64
+	// MaxObserveRows caps the rows accepted per observe request
+	// (0 = DefaultMaxObserveRows).
+	MaxObserveRows int
 }
 
 // DefaultMaxBatch bounds batch requests when Options.MaxBatch is 0.
@@ -47,6 +59,10 @@ const DefaultMaxBatch = 1024
 
 // DefaultMaxBodyBytes bounds request bodies when Options.MaxBodyBytes is 0.
 const DefaultMaxBodyBytes = 1 << 20
+
+// DefaultMaxObserveRows bounds observe requests when Options.MaxObserveRows
+// is 0.
+const DefaultMaxObserveRows = 10000
 
 // New returns the JSON query handler over the model with default options.
 func New(q query.Querier) http.Handler { return NewWithOptions(q, Options{}) }
@@ -59,20 +75,28 @@ func NewWithOptions(q query.Querier, opts Options) http.Handler {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if opts.MaxObserveRows <= 0 {
+		opts.MaxObserveRows = DefaultMaxObserveRows
+	}
 	h := &handler{q: q, opts: opts}
+	h.ingest, _ = q.(query.Ingestor)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /v1/schema", h.schema)
 	mux.HandleFunc("POST /v1/query", h.query)
 	mux.HandleFunc("POST /v1/query/batch", h.queryBatch)
+	mux.HandleFunc("POST /v1/observe", h.observe)
 	mux.HandleFunc("GET /v1/rules", h.rules)
 	mux.HandleFunc("GET /v1/explain", h.explain)
 	return mux
 }
 
 type handler struct {
-	q    query.Querier
-	opts Options
+	q query.Querier
+	// ingest is the model's streaming-ingest surface; nil when the served
+	// model is read-only (loaded from a file, counts not retained).
+	ingest query.Ingestor
+	opts   Options
 }
 
 // writeError emits the shared error body — the same shape a failed batch
@@ -177,6 +201,46 @@ func (h *handler) queryBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, batchResponse{Results: results})
 }
 
+// observeRequest frames the streaming-ingest endpoint: one value label per
+// schema attribute per row, in schema order.
+type observeRequest struct {
+	Rows [][]string `json:"rows"`
+}
+
+func (h *handler) observe(w http.ResponseWriter, r *http.Request) {
+	if h.ingest == nil {
+		writeError(w, http.StatusNotImplemented, "",
+			fmt.Errorf("server: this model is read-only (loaded from a saved file); serve a discovered model with its data to enable ingest"))
+		return
+	}
+	var req observeRequest
+	if err := h.decodeBody(w, r, &req); err != nil {
+		writeError(w, decodeStatus(err), "", err)
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, "", fmt.Errorf("server: empty observe batch"))
+		return
+	}
+	if len(req.Rows) > h.opts.MaxObserveRows {
+		writeError(w, http.StatusBadRequest, "",
+			fmt.Errorf("server: observe batch of %d exceeds limit %d", len(req.Rows), h.opts.MaxObserveRows))
+		return
+	}
+	rep, err := h.ingest.ObserveLabeled(req.Rows)
+	if err != nil {
+		// Bad rows are the client's fault; anything else (a refit or
+		// rediscovery failing on valid input) is server state.
+		status := http.StatusInternalServerError
+		if errors.Is(err, query.ErrRejectedRows) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, "", err)
+		return
+	}
+	writeJSON(w, rep)
+}
+
 // ruleJSON is one extracted rule on the wire.
 type ruleJSON struct {
 	If          []kb.Assignment `json:"if"`
@@ -187,7 +251,11 @@ type ruleJSON struct {
 	Text        string          `json:"text"`
 }
 
-// floatParam parses an optional float query parameter.
+// floatParam parses an optional float query parameter. ParseFloat happily
+// accepts "NaN" and "Inf", which would turn every downstream threshold
+// comparison into silent nonsense (NaN compares false with everything), so
+// non-finite values are rejected here with the same 400 a parse failure
+// gets.
 func floatParam(r *http.Request, name string) (float64, error) {
 	s := r.URL.Query().Get(name)
 	if s == "" {
@@ -196,6 +264,9 @@ func floatParam(r *http.Request, name string) (float64, error) {
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
 		return 0, fmt.Errorf("server: bad %s %q", name, s)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("server: %s must be finite, got %q", name, s)
 	}
 	return v, nil
 }

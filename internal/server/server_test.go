@@ -297,3 +297,94 @@ func TestServeGracefulShutdown(t *testing.T) {
 		t.Fatal("server did not shut down")
 	}
 }
+
+// stubIngestor is stubQuerier plus a streaming-ingest surface that records
+// what it was fed.
+type stubIngestor struct {
+	stubQuerier
+	rows [][]string
+	err  error
+}
+
+func (s *stubIngestor) ObserveLabeled(rows [][]string) (query.IngestReport, error) {
+	if s.err != nil {
+		return query.IngestReport{}, s.err
+	}
+	s.rows = append(s.rows, rows...)
+	return query.IngestReport{
+		Rows: len(rows), Retargeted: 2, Refit: true, Sweeps: 3, TotalSamples: 100,
+	}, nil
+}
+
+func TestObserveEndpoint(t *testing.T) {
+	ing := &stubIngestor{}
+	srv := httptest.NewServer(New(ing))
+	defer srv.Close()
+	status, body := post(t, srv.URL+"/v1/observe",
+		`{"rows":[["Yes","Smoker"],["No","Non smoker"]]}`)
+	if status != http.StatusOK {
+		t.Fatalf("observe = %d %q", status, body)
+	}
+	var rep query.IngestReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows != 2 || !rep.Refit || rep.TotalSamples != 100 {
+		t.Errorf("observe report = %+v", rep)
+	}
+	if len(ing.rows) != 2 || ing.rows[0][0] != "Yes" {
+		t.Errorf("ingestor got rows %v", ing.rows)
+	}
+}
+
+// TestObserveReadOnlyModel: a Querier without the ingest surface answers
+// the streaming endpoint with 501, not a panic and not a silent drop.
+func TestObserveReadOnlyModel(t *testing.T) {
+	srv := testServer(t)
+	status, body := post(t, srv.URL+"/v1/observe", `{"rows":[["Yes","Smoker"]]}`)
+	if status != http.StatusNotImplemented {
+		t.Errorf("observe on read-only model = %d %q, want 501", status, body)
+	}
+	if !strings.Contains(body, "read-only") {
+		t.Errorf("501 body should say why: %q", body)
+	}
+}
+
+func TestObserveBadRequests(t *testing.T) {
+	ing := &stubIngestor{}
+	srv := httptest.NewServer(NewWithOptions(ing, Options{MaxObserveRows: 2}))
+	defer srv.Close()
+	if status, _ := post(t, srv.URL+"/v1/observe", `{"rows":[]}`); status != http.StatusBadRequest {
+		t.Errorf("empty batch = %d, want 400", status)
+	}
+	if status, _ := post(t, srv.URL+"/v1/observe", `{"rows":[["a"],["b"],["c"]]}`); status != http.StatusBadRequest {
+		t.Errorf("oversized batch = %d, want 400", status)
+	}
+	if status, _ := post(t, srv.URL+"/v1/observe", `{"rows":`); status != http.StatusBadRequest {
+		t.Errorf("malformed body = %d, want 400", status)
+	}
+	ing.err = fmt.Errorf("%w: pka: attribute \"CANCER\" has no value \"Maybe\"", query.ErrRejectedRows)
+	if status, body := post(t, srv.URL+"/v1/observe", `{"rows":[["Maybe","Smoker"]]}`); status != http.StatusBadRequest || !strings.Contains(body, "Maybe") {
+		t.Errorf("ingest error = %d %q, want 400 with message", status, body)
+	}
+	// A server-side failure on valid rows is a 500, not the client's fault.
+	ing.err = fmt.Errorf("core: initial fit did not converge")
+	if status, _ := post(t, srv.URL+"/v1/observe", `{"rows":[["Yes","Smoker"]]}`); status != http.StatusInternalServerError {
+		t.Errorf("internal ingest failure = %d, want 500", status)
+	}
+}
+
+// TestRulesRejectsNonFiniteParams is the NaN/Inf regression: ParseFloat
+// accepts "NaN" and "Inf", and a NaN threshold filters with always-false
+// comparisons instead of erroring — the server must 400 them.
+func TestRulesRejectsNonFiniteParams(t *testing.T) {
+	srv := testServer(t)
+	for _, q := range []string{
+		"min_prob=NaN", "min_prob=Inf", "min_prob=-Inf",
+		"min_support=nan", "min_lift=+Inf",
+	} {
+		if status, body := get(t, srv.URL+"/v1/rules?"+q); status != http.StatusBadRequest {
+			t.Errorf("rules?%s = %d %q, want 400", q, status, body)
+		}
+	}
+}

@@ -34,6 +34,7 @@ package pka
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"pka/internal/assoc"
 	"pka/internal/contingency"
@@ -43,6 +44,7 @@ import (
 	"pka/internal/kb"
 	"pka/internal/maxent"
 	"pka/internal/mml"
+	"pka/internal/query"
 	"pka/internal/rules"
 	"pka/internal/stats"
 )
@@ -131,15 +133,25 @@ type Options struct {
 // and satisfies Querier — the canonical query surface it shares with the
 // loaded QueryModel.
 //
-// Concurrency: a Model is immutable after Discover returns, and every query
-// method (Probability, Conditional, Distribution, MostLikely, Lift,
-// MostProbableExplanation, Rules, LogLoss, ...) serves from a compiled
-// inference engine snapshot — any number of goroutines may query one Model
-// concurrently with no external locking.
+// Concurrency: every query method (Probability, Conditional, Distribution,
+// MostLikely, Lift, MostProbableExplanation, Rules, LogLoss, ...) serves
+// from an immutable compiled inference engine snapshot — any number of
+// goroutines may query one Model concurrently with no external locking.
+// Update is the one mutation: it folds new observations into the retained
+// discovery counts, incrementally refits, and atomically swaps in the new
+// snapshot; queries in flight keep answering from the engine they started
+// with. Updates serialize among themselves but never block queries.
 type Model struct {
 	queryCore
+	// mu serializes Update and guards the discovery record it replaces
+	// (result, fit, counts); the query path never takes it.
+	mu     sync.RWMutex
 	result *core.Result
 	fit    FitReport
+	// counts is the discovery table, retained for streaming updates; the
+	// Model owns it after Discover* returns — callers must not mutate it.
+	counts contingency.Counts
+	opts   Options
 }
 
 // Discover tabulates the dataset and runs the full acquisition procedure.
@@ -165,7 +177,9 @@ func DiscoverTable(table *Table, schema *Schema, opts Options) (*Model, error) {
 
 // DiscoverSparse runs the full acquisition procedure on a sparse table —
 // the wide-schema path for data banks whose dense joint space would not
-// fit in memory. The model is fit and queried through the factored
+// fit in memory. The returned Model takes ownership of the table (it is
+// the data bank streaming updates write into): do not access it — reads
+// included — after DiscoverSparse returns if you will call Update. The model is fit and queried through the factored
 // (block-decomposed) engine, so the joint space is never materialized; the
 // cost scales with the occupied cells, the screened candidate families,
 // and the small dense blocks the accepted constraints induce.
@@ -181,8 +195,8 @@ func DiscoverSparse(table *SparseTable, schema *Schema, opts Options) (*Model, e
 	return discoverCounts(table, schema, opts)
 }
 
-// discoverCounts is the shared backend-agnostic acquisition driver.
-func discoverCounts(table contingency.Counts, schema *Schema, opts Options) (*Model, error) {
+// coreOptions translates the public discovery options to the engine's.
+func coreOptions(opts Options) core.Options {
 	coreOpts := core.Options{
 		MaxOrder: opts.MaxOrder,
 		MML: mml.Config{
@@ -198,7 +212,16 @@ func discoverCounts(table contingency.Counts, schema *Schema, opts Options) (*Mo
 	if coreOpts.MML.PriorH2 == 0 {
 		coreOpts.MML.PriorH2 = mml.DefaultConfig().PriorH2
 	}
-	res, err := core.DiscoverCounts(table, coreOpts)
+	return coreOpts
+}
+
+// discoverCounts is the shared backend-agnostic acquisition driver. The
+// returned Model retains the table for streaming updates (Update): it owns
+// the counts from here on, and callers must neither mutate NOR read the
+// table afterwards — Update writes it without locking, so even read-only
+// caller access would race with ingest.
+func discoverCounts(table contingency.Counts, schema *Schema, opts Options) (*Model, error) {
+	res, err := core.DiscoverCounts(table, coreOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -210,18 +233,160 @@ func discoverCounts(table contingency.Counts, schema *Schema, opts Options) (*Mo
 	if err != nil {
 		return nil, err
 	}
-	return &Model{queryCore: queryCore{kbase: kbase}, result: res, fit: fit}, nil
+	m := &Model{result: res, fit: fit, counts: table, opts: opts}
+	m.kbase.Store(kbase)
+	return m, nil
+}
+
+// UpdateReport says what one streaming Update did: rows folded in,
+// constraints retargeted, new constraints discovered, whether a structural
+// change forced full rediscovery, and the sample total now served. It is
+// also the response body of the server's POST /v1/observe.
+type UpdateReport = query.IngestReport
+
+// Update folds new observation rows (value indices in schema order) into
+// the model — the paper's continuous-acquisition regime: knowledge is
+// re-derived as the data bank grows, here incrementally. The retained
+// discovery counts absorb the batch (cached marginal projections updated
+// in place), constraints whose marginals moved are retargeted, the solver
+// warm-starts from the previous coefficients (re-solving only touched
+// blocks on factored engines), families whose marginals moved are
+// re-scanned for newly significant cells, and the recompiled engine is
+// swapped in atomically — concurrent queries keep serving the previous
+// snapshot until the swap, and every query after it sees the new one.
+//
+// Structural changes the incremental path cannot absorb (an implied-zero
+// cell gaining support, a warm refit that will not converge) fall back to
+// a full rediscovery on the grown data bank; the report says so. A batch
+// whose net effect on every marginal is zero is a no-op: the engine is not
+// touched and queries stay bit-identical.
+//
+// Updates serialize among themselves; queries never block. Models loaded
+// with Load cannot Update (no counts travel with a saved file).
+func (m *Model) Update(rows []Record) (UpdateReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rep := UpdateReport{Rows: len(rows)}
+	if len(rows) == 0 {
+		rep.TotalSamples = m.counts.Total()
+		return rep, nil
+	}
+	cells := make([][]int, len(rows))
+	deltas := make([]contingency.CellDelta, len(rows))
+	for i, r := range rows {
+		cells[i] = append([]int(nil), r...)
+		deltas[i] = contingency.CellDelta{Cell: cells[i], Delta: 1}
+	}
+	if err := m.observeCounts(cells); err != nil {
+		// The batch never touched the table: a client-input failure.
+		return rep, fmt.Errorf("%w: %w", query.ErrRejectedRows, err)
+	}
+	out, err := core.Update(m.result, m.counts, deltas, coreOptions(m.opts))
+	if err != nil {
+		// Roll the counts back so the served model and its data bank stay
+		// in step; the batch is rejected as a unit.
+		for i := range deltas {
+			deltas[i].Delta = -1
+		}
+		if rbErr := m.applyDeltas(deltas); rbErr != nil {
+			return rep, fmt.Errorf("pka: update failed (%w) and rollback failed: %v", err, rbErr)
+		}
+		return rep, err
+	}
+	rep.Retargeted = out.Retargeted
+	rep.NewConstraints = out.Added
+	rep.Rediscovered = out.Rediscovered
+	rep.Refit = out.Refit
+	rep.Sweeps = out.FitSweeps
+	rep.TotalSamples = m.counts.Total()
+	if !out.Refit {
+		// Net-zero batch: the previous engine still answers bit-identically.
+		return rep, nil
+	}
+	kbase, err := kb.New(m.Schema(), out.Result.Model)
+	if err != nil {
+		return rep, err
+	}
+	fit, err := core.GoodnessOfFit(m.counts, out.Result.Model)
+	if err != nil {
+		return rep, err
+	}
+	m.result = out.Result
+	m.fit = fit
+	m.kbase.Store(kbase) // in-flight queries finish on the old snapshot
+	return rep, nil
+}
+
+// observeCounts routes a validated batch into the retained counts backend.
+func (m *Model) observeCounts(cells [][]int) error {
+	switch t := m.counts.(type) {
+	case *contingency.Sparse:
+		return t.ObserveBatch(cells)
+	case *contingency.Table:
+		return t.ObserveBatch(cells)
+	default:
+		return fmt.Errorf("pka: counts backend %T cannot ingest batches", m.counts)
+	}
+}
+
+// applyDeltas applies signed cell deltas to the retained counts backend.
+func (m *Model) applyDeltas(deltas []contingency.CellDelta) error {
+	switch t := m.counts.(type) {
+	case *contingency.Sparse:
+		return t.ApplyBatch(deltas)
+	case *contingency.Table:
+		for _, d := range deltas {
+			if err := t.Add(d.Delta, d.Cell...); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("pka: counts backend %T cannot ingest batches", m.counts)
+	}
+}
+
+// ObserveLabeled is Update with rows of value labels in schema order — the
+// wire format of the server's POST /v1/observe. It makes Model satisfy the
+// serving layer's streaming-ingest interface.
+func (m *Model) ObserveLabeled(rows [][]string) (UpdateReport, error) {
+	s := m.Schema()
+	conv := make([]Record, len(rows))
+	for i, row := range rows {
+		if len(row) != s.R() {
+			return UpdateReport{Rows: len(rows)}, fmt.Errorf(
+				"%w: pka: observe row %d has %d values, schema has %d attributes",
+				query.ErrRejectedRows, i, len(row), s.R())
+		}
+		cell := make(Record, s.R())
+		for j, label := range row {
+			attr := s.Attr(j)
+			vi := attr.ValueIndex(label)
+			if vi < 0 {
+				return UpdateReport{Rows: len(rows)}, fmt.Errorf(
+					"%w: pka: observe row %d: attribute %q has no value %q",
+					query.ErrRejectedRows, i, attr.Name, label)
+			}
+			cell[j] = vi
+		}
+		conv[i] = cell
+	}
+	return m.Update(conv)
 }
 
 // Findings lists the discovered significant joint probabilities in
-// acceptance order.
+// acceptance order (streaming updates append theirs).
 func (m *Model) Findings() []Finding {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return append([]Finding(nil), m.result.Findings...)
 }
 
 // Scans returns the recorded significance scans (only populated when
 // Options.RecordScans was set).
 func (m *Model) Scans() []core.Scan {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return append([]core.Scan(nil), m.result.Scans...)
 }
 
@@ -238,28 +403,42 @@ func RulesWithIntervals(rs []Rule, totalSamples int64) ([]ScoredRule, error) {
 // RulesWithIntervals extracts rules and attaches 95% Wilson confidence
 // intervals based on the discovery sample size.
 func (m *Model) RulesWithIntervals(opts RuleOptions) ([]ScoredRule, error) {
-	rs, err := rules.FromKnowledgeBase(m.kbase, opts)
+	m.mu.RLock()
+	kbase, total := m.kb(), m.result.TotalSamples
+	m.mu.RUnlock()
+	rs, err := rules.FromKnowledgeBase(kbase, opts)
 	if err != nil {
 		return nil, err
 	}
-	return rules.WithIntervals(rs, m.result.TotalSamples, 1.96)
+	return rules.WithIntervals(rs, total, 1.96)
 }
 
 // Summary renders a digest of the discovery run.
-func (m *Model) Summary() string { return m.result.Summary() }
+func (m *Model) Summary() string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.result.Summary()
+}
 
 // Fit returns the goodness-of-fit statistics of the model against the data
-// it was discovered from.
-func (m *Model) Fit() FitReport { return m.fit }
+// it was discovered from (refreshed by every streaming Update).
+func (m *Model) Fit() FitReport {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.fit
+}
 
 // Load reads a knowledge base saved with Save. Loaded models answer
-// queries but carry no discovery scans or findings.
+// queries but carry no discovery scans or findings — and no counts, so
+// they cannot ingest streaming updates.
 func Load(r io.Reader) (*QueryModel, error) {
 	kbase, err := kb.Load(r)
 	if err != nil {
 		return nil, err
 	}
-	return &QueryModel{queryCore{kbase: kbase}}, nil
+	q := &QueryModel{}
+	q.kbase.Store(kbase)
+	return q, nil
 }
 
 // QueryModel is a loaded, query-only knowledge base: the same Querier
@@ -292,7 +471,10 @@ func NewEqualWidthBinner(min, max float64, bins int) (*Binner, error) {
 }
 
 // NewQuantileBinner picks bin edges so the sample spreads evenly (plus the
-// NaN catch-all).
+// NaN catch-all). On skewed samples the requested count is an upper bound:
+// quantile edges that repeat or sit at the sample minimum are dropped, so
+// heavily tied samples keep fewer interval bins than asked for — always
+// size attributes with Binner.Bins(), never with the requested count.
 func NewQuantileBinner(sample []float64, bins int) (*Binner, error) {
 	return dataset.NewQuantileBinner(sample, bins)
 }
@@ -302,7 +484,9 @@ func NewQuantileBinner(sample []float64, bins int) (*Binner, error) {
 // over small attribute subsets; DiscoverSparse runs acquisition on it
 // directly. Marginal queries are served from a per-family dense-projection
 // cache, so repeated lookups over the same attribute family cost O(1)
-// after one pass over the occupied cells.
+// after one pass over the occupied cells; mutation (Observe, ObserveBatch,
+// ApplyBatch) maintains the cached projections in place, so the cache
+// survives streaming ingest instead of being rebuilt per batch.
 type SparseTable = contingency.Sparse
 
 // NewSparseTable creates an empty sparse table over the schema.
@@ -341,7 +525,11 @@ type ScreenReport = core.ScreenReport
 
 // Screen returns the association-screen summary of the discovery run, or
 // nil when Options.ScreenPairs was off.
-func (m *Model) Screen() *ScreenReport { return m.result.Screen }
+func (m *Model) Screen() *ScreenReport {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.result.Screen
+}
 
 // Associations computes pairwise association diagnostics (mutual
 // information, Cramér's V, G² p-values) over a contingency table, ordered

@@ -1,0 +1,363 @@
+package pka
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// streamSchema is a 4-attribute schema for the streaming tests.
+func streamSchema(t testing.TB) *Schema {
+	t.Helper()
+	s, err := NewSchema([]Attribute{
+		{Name: "A", Values: []string{"a0", "a1", "a2"}},
+		{Name: "B", Values: []string{"b0", "b1"}},
+		{Name: "C", Values: []string{"c0", "c1"}},
+		{Name: "D", Values: []string{"d0", "d1", "d2"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// streamRows draws correlated rows (B tracks A, D tracks C) so discovery
+// finds order-2 structure.
+func streamRows(rng *rand.Rand, n int) []Record {
+	rows := make([]Record, n)
+	for i := range rows {
+		cell := make(Record, 4)
+		cell[0] = rng.Intn(3)
+		cell[1] = cell[0] % 2
+		if rng.Float64() < 0.3 {
+			cell[1] = rng.Intn(2)
+		}
+		cell[2] = rng.Intn(2)
+		cell[3] = cell[2]
+		if rng.Float64() < 0.25 {
+			cell[3] = rng.Intn(3)
+		}
+		rows[i] = cell
+	}
+	return rows
+}
+
+func sparseOf(t testing.TB, schema *Schema, rows []Record) *SparseTable {
+	t.Helper()
+	tab, err := NewSparseTable(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := make([][]int, len(rows))
+	for i, r := range rows {
+		cells[i] = r
+	}
+	if err := tab.ObserveBatch(cells); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// allQueries enumerates a representative query set: every single-attribute
+// probability and every pairwise conditional over the first values.
+func allQueries(t testing.TB, q Querier) []float64 {
+	t.Helper()
+	s := q.Schema()
+	var out []float64
+	for i := 0; i < s.R(); i++ {
+		a := s.Attr(i)
+		for _, v := range a.Values {
+			p, err := q.Probability(Assignment{Attr: a.Name, Value: v})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, p)
+		}
+		for j := 0; j < s.R(); j++ {
+			if i == j {
+				continue
+			}
+			b := s.Attr(j)
+			c, err := q.Conditional(
+				[]Assignment{{Attr: a.Name, Value: a.Values[0]}},
+				[]Assignment{{Attr: b.Name, Value: b.Values[0]}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TestModelUpdateMatchesScratchDiscovery is the issue's property test (b):
+// K random batches folded in through Model.Update answer every query
+// within tolerance of a scratch DiscoverSparse over the union of the data.
+func TestModelUpdateMatchesScratchDiscovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	schema := streamSchema(t)
+	base := streamRows(rng, 4000)
+	opts := Options{MaxOrder: 2}
+	model, err := DiscoverSparse(sparseOf(t, schema, base), schema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append([]Record(nil), base...)
+
+	for batch := 0; batch < 5; batch++ {
+		delta := streamRows(rng, 40)
+		all = append(all, delta...)
+		rep, err := model.Update(delta)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if rep.Rows != len(delta) || rep.TotalSamples != int64(len(all)) {
+			t.Fatalf("batch %d: report %+v, want %d rows and total %d",
+				batch, rep, len(delta), len(all))
+		}
+
+		scratch, err := DiscoverSparse(sparseOf(t, schema, all), schema, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		upd := allQueries(t, model)
+		ref := allQueries(t, scratch)
+		for i := range upd {
+			if math.Abs(upd[i]-ref[i]) > 1e-3 {
+				t.Fatalf("batch %d: query %d: update %.8f vs scratch %.8f",
+					batch, i, upd[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestModelUpdateNoOpBitIdentical: an empty batch leaves the engine
+// untouched, so every query answer stays bit-identical — the unchanged-
+// constraint-set half of the equivalence contract.
+func TestModelUpdateNoOpBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	schema := streamSchema(t)
+	model, err := DiscoverSparse(sparseOf(t, schema, streamRows(rng, 2000)), schema, Options{MaxOrder: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := allQueries(t, model)
+	kbBefore := model.KnowledgeBase()
+	rep, err := model.Update(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Refit {
+		t.Error("empty batch reported a refit")
+	}
+	if model.KnowledgeBase() != kbBefore {
+		t.Error("empty batch swapped the engine")
+	}
+	after := allQueries(t, model)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("query %d moved on a no-op update: %g -> %g", i, before[i], after[i])
+		}
+	}
+}
+
+// TestModelUpdateDense: the dense-table discovery path ingests updates too.
+func TestModelUpdateDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	schema := streamSchema(t)
+	data := NewDataset(schema)
+	for _, r := range streamRows(rng, 3000) {
+		if err := data.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	model, err := Discover(data, Options{MaxOrder: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := model.Update(streamRows(rng, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Refit {
+		t.Error("dense update did not refit")
+	}
+	if rep.TotalSamples != 3060 {
+		t.Errorf("total after dense update = %d, want 3060", rep.TotalSamples)
+	}
+	if _, err := model.Probability(Assignment{Attr: "A", Value: "a0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModelUpdateRejectsBadRows: a bad row rejects the whole batch and the
+// model keeps answering exactly as before (counts rolled back, engine
+// untouched).
+func TestModelUpdateRejectsBadRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	schema := streamSchema(t)
+	model, err := DiscoverSparse(sparseOf(t, schema, streamRows(rng, 1500)), schema, Options{MaxOrder: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := allQueries(t, model)
+	if _, err := model.Update([]Record{{0, 0, 0, 9}}); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	if _, err := model.Update([]Record{{0, 0}}); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := model.ObserveLabeled([][]string{{"a0", "b0", "c0", "nope"}}); err == nil {
+		t.Error("unknown label accepted")
+	}
+	after := allQueries(t, model)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("query %d moved after rejected batches: %g -> %g", i, before[i], after[i])
+		}
+	}
+}
+
+// TestModelUpdateConcurrentQueries is the -race hammer at the library
+// level: queries from many goroutines while updates stream in.
+func TestModelUpdateConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	schema := streamSchema(t)
+	model, err := DiscoverSparse(sparseOf(t, schema, streamRows(rng, 3000)), schema, Options{MaxOrder: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := model.Conditional(
+					[]Assignment{{Attr: "B", Value: "b1"}},
+					[]Assignment{{Attr: "A", Value: "a1"}}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := model.Rules(RuleOptions{}); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = model.Findings()
+			}
+		}()
+	}
+	updRng := rand.New(rand.NewSource(32))
+	for i := 0; i < 8; i++ {
+		if _, err := model.Update(streamRows(updRng, 25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestServerObserveQueryRaceHammer mixes POST /v1/observe traffic with
+// concurrent /v1/query and /v1/rules requests against one served model —
+// the batch-ingest + concurrent-query regime, under -race.
+func TestServerObserveQueryRaceHammer(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	schema := streamSchema(t)
+	model, err := DiscoverSparse(sparseOf(t, schema, streamRows(rng, 2500)), schema, Options{MaxOrder: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(model))
+	defer srv.Close()
+
+	queryBody := `{"kind":"conditional","target":[{"attr":"B","value":"b1"}],"given":[{"attr":"A","value":"a1"}]}`
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(srv.URL+"/v1/query", "application/json", strings.NewReader(queryBody))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var res QueryResult
+				err = json.NewDecoder(resp.Body).Decode(&res)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK || res.Error != "" {
+					t.Errorf("query: %v %d %+v", err, resp.StatusCode, res)
+					return
+				}
+				if res.Probability <= 0 || res.Probability > 1 {
+					t.Errorf("served probability %g outside (0,1]", res.Probability)
+					return
+				}
+				resp, err = http.Get(srv.URL + "/v1/rules?min_lift=0.1")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	obsRng := rand.New(rand.NewSource(42))
+	labels := func(rows []Record) string {
+		s := model.Schema()
+		var b strings.Builder
+		b.WriteString(`{"rows":[`)
+		for i, r := range rows {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteByte('[')
+			for j, v := range r {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%q", s.Attr(j).Values[v])
+			}
+			b.WriteByte(']')
+		}
+		b.WriteString(`]}`)
+		return b.String()
+	}
+	for i := 0; i < 6; i++ {
+		resp, err := http.Post(srv.URL+"/v1/observe", "application/json",
+			strings.NewReader(labels(streamRows(obsRng, 20))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep UpdateReport
+		err = json.NewDecoder(resp.Body).Decode(&rep)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("observe %d: %v status %d %+v", i, err, resp.StatusCode, rep)
+		}
+		if rep.Rows != 20 {
+			t.Fatalf("observe %d: report %+v", i, rep)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"sync/atomic"
 
 	"pka/internal/contingency"
 	"pka/internal/kb"
@@ -77,14 +78,17 @@ func EncodeQueryResult(w io.Writer, res QueryResult) error {
 //	GET  /v1/schema       attribute layout
 //	POST /v1/query        one Query -> one QueryResult
 //	POST /v1/query/batch  {"queries": [...]} -> {"results": [...]}
+//	POST /v1/observe      {"rows": [...]} -> UpdateReport (streaming ingest)
 //	GET  /v1/rules        extracted IF-THEN rules
 //	GET  /v1/explain      the stored probability formula
 //
 // The handler reuses the model's compiled engine for every request — no
 // per-request compilation or locking — and any number of concurrent
-// requests may hit one handler. `pka serve` wraps this with listener
-// management and graceful shutdown; NewServerWithOptions tunes the
-// request caps.
+// requests may hit one handler. When the Querier is a *Model (which
+// retains its discovery counts), /v1/observe streams new observations into
+// it via the incremental-refit path; read-only models answer it with 501.
+// `pka serve` wraps this with listener management and graceful shutdown;
+// NewServerWithOptions tunes the request caps.
 func NewServer(q Querier) http.Handler { return server.New(q) }
 
 // ServerOptions tunes the handler NewServerWithOptions returns: the batch
@@ -107,79 +111,90 @@ var (
 // queryCore is the single implementation of the Querier surface that Model
 // and QueryModel embed — one method set over the compiled knowledge base,
 // so the two public types cannot drift apart.
+//
+// The knowledge base lives behind an atomic pointer: every query loads the
+// current snapshot once and serves entirely from it, so a streaming update
+// (Model.Update) can swap in a refitted engine while in-flight queries
+// keep answering from the snapshot they started with — no locks on the
+// query path.
 type queryCore struct {
-	kbase *kb.KnowledgeBase
+	kbase atomic.Pointer[kb.KnowledgeBase]
 }
 
+// kb returns the current knowledge-base snapshot.
+func (c *queryCore) kb() *kb.KnowledgeBase { return c.kbase.Load() }
+
 // Schema returns the model's schema.
-func (c *queryCore) Schema() *Schema { return c.kbase.Schema() }
+func (c *queryCore) Schema() *Schema { return c.kb().Schema() }
 
 // Probability returns the joint probability of the assignments.
 func (c *queryCore) Probability(assigns ...Assignment) (float64, error) {
-	return c.kbase.Probability(assigns...)
+	return c.kb().Probability(assigns...)
 }
 
 // Conditional returns P(target | given), the memo's ratio of joints.
 func (c *queryCore) Conditional(target, given []Assignment) (float64, error) {
-	return c.kbase.Conditional(target, given)
+	return c.kb().Conditional(target, given)
 }
 
 // Distribution returns the conditional distribution of attr given evidence.
 func (c *queryCore) Distribution(attr string, given ...Assignment) (map[string]float64, error) {
-	return c.kbase.Distribution(attr, given...)
+	return c.kb().Distribution(attr, given...)
 }
 
 // MostLikely returns attr's most probable value given the evidence.
 func (c *queryCore) MostLikely(attr string, given ...Assignment) (string, float64, error) {
-	return c.kbase.MostLikely(attr, given...)
+	return c.kb().MostLikely(attr, given...)
 }
 
 // Lift returns P(target|given)/P(target).
 func (c *queryCore) Lift(target Assignment, given ...Assignment) (float64, error) {
-	return c.kbase.Lift(target, given...)
+	return c.kb().Lift(target, given...)
 }
 
 // MostProbableExplanation returns the most likely full completion of the
 // evidence (MPE/MAP inference).
 func (c *queryCore) MostProbableExplanation(given ...Assignment) (Explanation, error) {
-	return c.kbase.MostProbableExplanation(given...)
+	return c.kb().MostProbableExplanation(given...)
 }
 
 // Rules extracts IF-THEN rules from the stored constraints.
 func (c *queryCore) Rules(opts RuleOptions) ([]Rule, error) {
-	return rules.FromKnowledgeBase(c.kbase, opts)
+	return rules.FromKnowledgeBase(c.kb(), opts)
 }
 
 // Explain renders the stored probability formula with value labels.
-func (c *queryCore) Explain() string { return c.kbase.Explain() }
+func (c *queryCore) Explain() string { return c.kb().Explain() }
 
 // DependencyDOT renders the stored dependency structure as Graphviz.
-func (c *queryCore) DependencyDOT() string { return c.kbase.DependencyDOT() }
+func (c *queryCore) DependencyDOT() string { return c.kb().DependencyDOT() }
 
 // LogLoss returns the model's average negative log-likelihood (nats per
 // sample) on validation counts of the same shape — dense Table or wide
 // SparseTable alike (only occupied cells are scored).
-func (c *queryCore) LogLoss(table Counts) (float64, error) { return c.kbase.LogLoss(table) }
+func (c *queryCore) LogLoss(table Counts) (float64, error) { return c.kb().LogLoss(table) }
 
 // LogLossSparse is LogLoss on a sparse validation table: only occupied
 // cells are scored, so wide holdouts validate without densifying.
 func (c *queryCore) LogLossSparse(table *SparseTable) (float64, error) {
-	return c.kbase.LogLoss(table)
+	return c.kb().LogLoss(table)
 }
 
 // Save persists the knowledge base (schema + fitted model) as JSON.
-func (c *queryCore) Save(w io.Writer) error { return c.kbase.Save(w) }
+func (c *queryCore) Save(w io.Writer) error { return c.kb().Save(w) }
 
 // Entropy returns the fitted joint's entropy in nats.
-func (c *queryCore) Entropy() (float64, error) { return c.kbase.Model().Entropy() }
+func (c *queryCore) Entropy() (float64, error) { return c.kb().Model().Entropy() }
 
 // NumConstraints returns the stored constraint count (first-order
 // marginals included) — the model's parameter size.
-func (c *queryCore) NumConstraints() int { return c.kbase.Model().NumConstraints() }
+func (c *queryCore) NumConstraints() int { return c.kb().Model().NumConstraints() }
 
 // KnowledgeBase exposes the query layer for advanced use. AnswerBatch also
-// keys on it to route batches through the shared-engine fast path.
-func (c *queryCore) KnowledgeBase() *kb.KnowledgeBase { return c.kbase }
+// keys on it to route batches through the shared-engine fast path; note
+// that a streaming update swaps the returned snapshot out from under
+// long-lived holders (grab it per batch, not per process).
+func (c *queryCore) KnowledgeBase() *kb.KnowledgeBase { return c.kb() }
 
 // Info is the metadata digest available on any knowledge base — including
 // loaded query-only models, which carry no discovery record.
@@ -198,14 +213,15 @@ type Info struct {
 
 // Info returns the knowledge base's metadata digest.
 func (c *queryCore) Info() Info {
-	m := c.kbase.Model()
+	kbase := c.kb()
+	m := kbase.Model()
 	info := Info{
 		Attributes:  m.R(),
 		Constraints: m.NumConstraints(),
 	}
 	cells := 1
 	for i := 0; i < info.Attributes; i++ {
-		card := c.kbase.Schema().Attr(i).Card()
+		card := kbase.Schema().Attr(i).Card()
 		if cells > math.MaxInt/card {
 			cells = 0
 			break
