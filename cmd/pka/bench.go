@@ -1,0 +1,442 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"pka"
+	"pka/internal/contingency"
+	"pka/internal/maxent"
+)
+
+// cmdBench runs a fixed performance suite over synthetic deterministic
+// workloads — dense discovery, wide sparse discovery with screening,
+// incremental refit, the factored block solver, batched query answering,
+// and the HTTP batch endpoint — and writes a machine-readable snapshot:
+//
+//	pka bench [-out BENCH_5.json] [-iters N] [-workers W]
+//
+// The snapshot (host info plus ns/op, allocs/op, and bytes/op per suite
+// item) seeds the repo's performance trajectory: each perf-focused PR
+// records its BENCH_<pr>.json so regressions are diffable instead of
+// anecdotal. -iters 1 is the CI smoke configuration; the committed
+// snapshots use the default iteration count.
+func cmdBench(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_5.json", "snapshot output path (empty = stdout only)")
+	iters := fs.Int("iters", 5, "iterations per suite item (1 = CI smoke)")
+	workers := fs.Int("workers", 0, "worker goroutines for the parallel suite items (0 = all cores, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *iters < 1 {
+		return fmt.Errorf("bench: -iters must be >= 1, got %d", *iters)
+	}
+	snap := benchSnapshot{
+		Version: 5,
+		Host: benchHost{
+			Go:         runtime.Version(),
+			OS:         runtime.GOOS,
+			Arch:       runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Workers: *workers,
+	}
+	suite, err := buildBenchSuite(*workers)
+	if err != nil {
+		return err
+	}
+	defer suite.close()
+	for _, item := range suite.items {
+		entry, err := measureBench(item, *iters)
+		if err != nil {
+			return fmt.Errorf("bench: %s: %w", item.name, err)
+		}
+		snap.Benchmarks = append(snap.Benchmarks, entry)
+		fmt.Fprintf(w, "%-28s %12.0f ns/op %10d allocs/op %12d B/op\n",
+			entry.Name, entry.NsPerOp, entry.AllocsPerOp, entry.BytesPerOp)
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
+		fmt.Fprintf(w, "\nsnapshot written to %s\n", *out)
+	}
+	return nil
+}
+
+// benchSnapshot is the machine-readable perf record.
+type benchSnapshot struct {
+	Version    int          `json:"version"`
+	Host       benchHost    `json:"host"`
+	Workers    int          `json:"workers"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+type benchHost struct {
+	Go         string `json:"go"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+}
+
+// measureBench times iters runs of the item and reads allocation deltas
+// from the runtime — coarser than testing.B's auto-scaling but
+// dependency-free, covers allocations on worker goroutines, and is exactly
+// reproducible given the suite's fixed seeds. Items with a prepare hook
+// get it run untimed before every iteration, so operations that consume
+// their input (the incremental refit folding a batch into a model) measure
+// the same state every iteration instead of drifting with -iters.
+func measureBench(item benchItem, iters int) (benchEntry, error) {
+	var elapsed time.Duration
+	var mallocs, bytes uint64
+	var before, after runtime.MemStats
+	for i := 0; i < iters; i++ {
+		op := item.fn
+		if item.prepare != nil {
+			var err error
+			if op, err = item.prepare(); err != nil {
+				return benchEntry{}, err
+			}
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := op(); err != nil {
+			return benchEntry{}, err
+		}
+		elapsed += time.Since(start)
+		runtime.ReadMemStats(&after)
+		mallocs += after.Mallocs - before.Mallocs
+		bytes += after.TotalAlloc - before.TotalAlloc
+	}
+	n := uint64(iters)
+	return benchEntry{
+		Name:        item.name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: mallocs / n,
+		BytesPerOp:  bytes / n,
+	}, nil
+}
+
+// benchSuite carries the prepared workloads plus any server to tear down.
+type benchSuite struct {
+	items []benchItem
+	srv   *http.Server
+}
+
+// benchItem is one suite entry: fn is the measured operation; prepare, if
+// set, builds a fresh operation per iteration (untimed setup) instead.
+type benchItem struct {
+	name    string
+	fn      func() error
+	prepare func() (func() error, error)
+}
+
+func (s *benchSuite) close() {
+	if s.srv != nil {
+		_ = s.srv.Close()
+	}
+}
+
+// benchLabels is the shared ternary value set of the synthetic schemas.
+var benchLabels = []string{"a", "b", "c"}
+
+// benchDenseTable builds the dense-discovery workload: 6 ternary
+// attributes, 4000 seeded rows with two planted couplings.
+func benchDenseTable() (*pka.Table, *pka.Schema, error) {
+	attrs := make([]pka.Attribute, 6)
+	for i := range attrs {
+		attrs[i] = pka.Attribute{Name: fmt.Sprintf("A%d", i), Values: benchLabels}
+	}
+	schema, err := pka.NewSchema(attrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	tab, err := contingency.New(schema.Names(), schema.Cards())
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(101))
+	cell := make([]int, 6)
+	for n := 0; n < 4000; n++ {
+		for i := range cell {
+			cell[i] = rng.Intn(3)
+		}
+		if rng.Float64() < 0.6 {
+			cell[1] = cell[0]
+		}
+		if rng.Float64() < 0.5 {
+			cell[4] = cell[3]
+		}
+		if err := tab.Observe(cell...); err != nil {
+			return nil, nil, err
+		}
+	}
+	return tab, schema, nil
+}
+
+// benchSparseTable builds the wide-schema workload: 24 binary attributes,
+// 8000 seeded rows, two planted couplings.
+func benchSparseTable() (*pka.SparseTable, *pka.Schema, error) {
+	attrs := make([]pka.Attribute, 24)
+	for i := range attrs {
+		attrs[i] = pka.Attribute{Name: fmt.Sprintf("W%d", i), Values: []string{"0", "1"}}
+	}
+	schema, err := pka.NewSchema(attrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := pka.NewSparseTable(schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(202))
+	cell := make([]int, 24)
+	for n := 0; n < 8000; n++ {
+		for i := range cell {
+			cell[i] = rng.Intn(2)
+		}
+		if rng.Float64() < 0.8 {
+			cell[23] = cell[0]
+		}
+		if rng.Float64() < 0.6 {
+			cell[12] = cell[1]
+		}
+		if err := s.Observe(cell...); err != nil {
+			return nil, nil, err
+		}
+	}
+	return s, schema, nil
+}
+
+// benchFactoredModel builds the block-solver workload: 6 independent
+// blocks of 5 ternary attributes with empirical first-order and order-2
+// constraints — the same shape BenchmarkFitFactoredParallel measures.
+func benchFactoredModel() (*maxent.Model, error) {
+	const nBlocks, blockAttrs = 6, 5
+	r := nBlocks * blockAttrs
+	cards := make([]int, r)
+	for i := range cards {
+		cards[i] = 3
+	}
+	tab, err := contingency.NewSparse(nil, cards)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(303))
+	cell := make([]int, r)
+	for n := 0; n < 4000; n++ {
+		for b := 0; b < nBlocks; b++ {
+			base := b * blockAttrs
+			cell[base] = rng.Intn(3)
+			for j := 1; j < blockAttrs; j++ {
+				if rng.Float64() < 0.7 {
+					cell[base+j] = cell[base]
+				} else {
+					cell[base+j] = rng.Intn(3)
+				}
+			}
+		}
+		if err := tab.Observe(cell...); err != nil {
+			return nil, err
+		}
+	}
+	m, err := maxent.NewModel(nil, cards)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.AddFirstOrderConstraints(tab); err != nil {
+		return nil, err
+	}
+	total := float64(tab.Total())
+	for b := 0; b < nBlocks; b++ {
+		base := b * blockAttrs
+		for j := 1; j < blockAttrs; j++ {
+			fam := contingency.NewVarSet(base, base+j)
+			n, err := tab.MarginalCount(fam, []int{1, 1})
+			if err != nil {
+				return nil, err
+			}
+			if err := m.AddConstraint(maxent.Constraint{
+				Family: fam, Values: []int{1, 1}, Target: float64(n) / total,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// benchQueryWorkload builds 128 queries over 16 distinct evidence groups
+// (base-3 digits of g over three evidence attributes: 27 possible combos,
+// g = 0..15 all distinct) against the dense-discovery schema.
+func benchQueryWorkload() []pka.Query {
+	var queries []pka.Query
+	for g := 0; g < 16; g++ {
+		given := []pka.Assignment{
+			{Attr: "A0", Value: benchLabels[g%3]},
+			{Attr: "A3", Value: benchLabels[(g/3)%3]},
+			{Attr: "A5", Value: benchLabels[(g/9)%3]},
+		}
+		for v := 0; v < 3; v++ {
+			queries = append(queries,
+				pka.Query{Kind: pka.QueryConditional, Target: []pka.Assignment{{Attr: "A1", Value: benchLabels[v]}}, Given: given},
+				pka.Query{Kind: pka.QueryConditional, Target: []pka.Assignment{{Attr: "A4", Value: benchLabels[v]}}, Given: given},
+			)
+		}
+		queries = append(queries,
+			pka.Query{Kind: pka.QueryDistribution, Attr: "A2", Given: given},
+			pka.Query{Kind: pka.QueryMPE, Given: given},
+		)
+	}
+	return queries
+}
+
+// buildBenchSuite prepares every workload up front so the measured
+// functions run nothing but the operation under test (plus the documented
+// per-iteration clone where the operation consumes its input).
+func buildBenchSuite(workers int) (*benchSuite, error) {
+	suite := &benchSuite{}
+
+	denseTab, denseSchema, err := benchDenseTable()
+	if err != nil {
+		return nil, err
+	}
+	discoverOpts := pka.Options{MaxOrder: 2, Workers: workers}
+	suite.items = append(suite.items, benchItem{name: "discover_dense", fn: func() error {
+		_, err := pka.DiscoverTable(denseTab.Clone(), denseSchema, discoverOpts)
+		return err
+	}})
+
+	sparseMaster, sparseSchema, err := benchSparseTable()
+	if err != nil {
+		return nil, err
+	}
+	sparseOpts := pka.Options{MaxOrder: 2, ScreenPairs: true, Workers: workers}
+	suite.items = append(suite.items, benchItem{name: "discover_sparse_screen", fn: func() error {
+		// DiscoverSparse takes ownership of its table: each iteration
+		// clones the master (O(occupied), cold projection cache).
+		_, err := pka.DiscoverSparse(sparseMaster.Clone(), sparseSchema, sparseOpts)
+		return err
+	}})
+
+	// One fixed delta batch (1% of the 8000-row bank), applied to a fresh
+	// model per iteration: every iteration measures the same refit against
+	// the same state, so snapshots taken at different -iters stay
+	// comparable. Model construction happens in the untimed prepare hook.
+	refitRng := rand.New(rand.NewSource(404))
+	delta := make([]pka.Record, 80)
+	for i := range delta {
+		row := make([]int, 24)
+		for j := range row {
+			row[j] = refitRng.Intn(2)
+		}
+		if refitRng.Float64() < 0.8 {
+			row[23] = row[0]
+		}
+		delta[i] = row
+	}
+	suite.items = append(suite.items, benchItem{name: "incremental_refit", prepare: func() (func() error, error) {
+		refitModel, err := pka.DiscoverSparse(sparseMaster.Clone(), sparseSchema, sparseOpts)
+		if err != nil {
+			return nil, err
+		}
+		return func() error {
+			_, err := refitModel.Update(delta)
+			return err
+		}, nil
+	}})
+
+	factoredMaster, err := benchFactoredModel()
+	if err != nil {
+		return nil, err
+	}
+	suite.items = append(suite.items, benchItem{name: "fit_factored", fn: func() error {
+		m := factoredMaster.Clone()
+		rep, err := m.Fit(maxent.SolveOptions{Workers: workers})
+		if err != nil {
+			return err
+		}
+		if !rep.Converged {
+			return fmt.Errorf("factored fit did not converge (residual %g)", rep.Residual)
+		}
+		return nil
+	}})
+
+	queryModel, err := pka.DiscoverTable(denseTab.Clone(), denseSchema, discoverOpts)
+	if err != nil {
+		return nil, err
+	}
+	queries := benchQueryWorkload()
+	suite.items = append(suite.items, benchItem{name: "answer_batch", fn: func() error {
+		results, err := pka.AnswerBatchWorkers(queryModel, queries, workers)
+		if err != nil {
+			return err
+		}
+		for i, r := range results {
+			if r.Error != "" {
+				return fmt.Errorf("query %d: %s", i, r.Error)
+			}
+		}
+		return nil
+	}})
+
+	// A real loopback listener (not httptest, which panics on failure and
+	// belongs to test binaries): bind errors surface as clean bench errors.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("binding loopback listener: %w", err)
+	}
+	suite.srv = &http.Server{Handler: pka.NewServerWithOptions(queryModel, pka.ServerOptions{Workers: workers})}
+	go func() { _ = suite.srv.Serve(l) }()
+	baseURL := "http://" + l.Addr().String()
+	body, err := json.Marshal(struct {
+		Queries []pka.Query `json:"queries"`
+	}{queries})
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{}
+	suite.items = append(suite.items, benchItem{name: "http_batch", fn: func() error {
+		resp, err := client.Post(baseURL+"/v1/query/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("http batch status %d", resp.StatusCode)
+		}
+		return nil
+	}})
+
+	return suite, nil
+}

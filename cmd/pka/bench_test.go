@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCmdBenchSnapshot runs the suite once (the CI smoke configuration)
+// and validates the snapshot: every suite item present with positive
+// timings, host info filled in, and the file parseable by any JSON
+// consumer.
+func TestCmdBenchSnapshot(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"bench", "-iters", "1", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Version != 5 {
+		t.Errorf("version = %d, want 5", snap.Version)
+	}
+	if snap.Host.Go == "" || snap.Host.OS == "" || snap.Host.Arch == "" ||
+		snap.Host.NumCPU < 1 || snap.Host.GOMAXPROCS < 1 {
+		t.Errorf("host info incomplete: %+v", snap.Host)
+	}
+	want := []string{
+		"discover_dense", "discover_sparse_screen", "incremental_refit",
+		"fit_factored", "answer_batch", "http_batch",
+	}
+	if len(snap.Benchmarks) != len(want) {
+		t.Fatalf("%d suite items, want %d", len(snap.Benchmarks), len(want))
+	}
+	for i, name := range want {
+		e := snap.Benchmarks[i]
+		if e.Name != name {
+			t.Errorf("item %d = %q, want %q", i, e.Name, name)
+		}
+		if e.Iters != 1 || e.NsPerOp <= 0 {
+			t.Errorf("item %q has degenerate measurements: %+v", name, e)
+		}
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("summary output missing %q", name)
+		}
+	}
+}
+
+// TestCmdBenchValidatesIters pins the flag validation.
+func TestCmdBenchValidatesIters(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"bench", "-iters", "0", "-out", ""}); err == nil {
+		t.Fatal("bench accepted -iters 0")
+	}
+}

@@ -10,6 +10,7 @@
 //	pka query    -kb kb.json -target "ATTR=value" [-given "A=v,B=w"] [-json]
 //	pka serve    -kb kb.json [-addr :8080]
 //	pka tables   -in data.csv [-rows ATTR] [-cols ATTR]
+//	pka bench    [-out BENCH_5.json] [-iters N] [-workers W]
 //
 // All probability output derives from the stored product formula; no raw
 // data is needed after discovery.
@@ -55,8 +56,10 @@ func run(w io.Writer, args []string) error {
 		return cmdValidate(w, args[1:])
 	case "serve":
 		return cmdServe(w, args[1:])
+	case "bench":
+		return cmdBench(w, args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want discover, rules, query, serve, tables, simulate, explain, analyze, or validate)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want discover, rules, query, serve, tables, simulate, explain, analyze, validate, or bench)", args[0])
 	}
 }
 
@@ -114,6 +117,7 @@ func cmdDiscover(w io.Writer, args []string) error {
 	sparse := fs.Bool("sparse", false, "wide-schema mode: tabulate into a sparse table and discover without materializing the joint space")
 	screen := fs.Bool("screen", false, "gate order >= 2 scans on a pairwise association screen (recommended with -sparse)")
 	screenAlpha := fs.Float64("screen-alpha", 0, "pairwise G² p-value threshold for -screen (0 = Bonferroni 0.05/pairs)")
+	workers := fs.Int("workers", 0, "worker goroutines for scans, screening, and block solves (0 = all cores, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -152,6 +156,7 @@ func cmdDiscover(w io.Writer, args []string) error {
 		RecordScans: *scan,
 		ScreenPairs: *screen,
 		ScreenAlpha: *screenAlpha,
+		Workers:     *workers,
 	}
 	var model *pka.Model
 	var err error

@@ -31,6 +31,7 @@ func cmdServe(w io.Writer, args []string) error {
 	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	fs.IntVar(&cfg.maxBatch, "max-batch", 0, "max queries per batch request (0 = default)")
 	fs.IntVar(&cfg.maxObserve, "max-observe", 0, "max rows per observe request (0 = default)")
+	fs.IntVar(&cfg.workers, "workers", 0, "server-wide worker budget for batch queries, plus startup-discovery parallelism (0 = all cores, 1 = serial)")
 	fs.IntVar(&cfg.maxCard, "max-card", 64, "with -data: reject CSV columns with more distinct values than this")
 	fs.IntVar(&cfg.maxOrder, "max-order", 0, "with -data: highest attribute-family order to scan (0 = all)")
 	fs.BoolVar(&cfg.sparse, "sparse", false, "with -data: wide-schema mode (sparse tabulation, factored engine)")
@@ -51,6 +52,7 @@ type serveConfig struct {
 	addr              string
 	maxBatch          int
 	maxObserve        int
+	workers           int
 	maxCard, maxOrder int
 	sparse            bool
 	screen            bool
@@ -73,6 +75,7 @@ func runServe(ctx context.Context, w io.Writer, cfg serveConfig, ready func(net.
 			MaxOrder:    cfg.maxOrder,
 			ScreenPairs: cfg.screen,
 			ScreenAlpha: cfg.screenAlpha,
+			Workers:     cfg.workers,
 		}
 		var err error
 		if cfg.sparse {
@@ -94,6 +97,7 @@ func runServe(ctx context.Context, w io.Writer, cfg serveConfig, ready func(net.
 	handler := server.NewWithOptions(model, server.Options{
 		MaxBatch:       cfg.maxBatch,
 		MaxObserveRows: cfg.maxObserve,
+		Workers:        cfg.workers,
 	})
 	announce := func(a net.Addr) {
 		fmt.Fprintf(w, "serving %s (%d attributes, %d constraints, %s) on %s\n",

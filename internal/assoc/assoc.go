@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"pka/internal/contingency"
+	"pka/internal/par"
 	"pka/internal/report"
 	"pka/internal/stats"
 )
@@ -33,9 +34,89 @@ type PairStats struct {
 	CramersV float64
 }
 
+// scorePair computes the association statistics of one pair from its 2-D
+// marginal table (axes 0 and 1 of pair, cardinalities ci × cj); i and j
+// are the attribute positions reported, n the parent table's total.
+func scorePair(pair *contingency.Table, i, j int, n float64) (PairStats, error) {
+	ci, cj := pair.Card(0), pair.Card(1)
+	joint := make([]float64, ci*cj)
+	obs := make([]int64, ci*cj)
+	for a := 0; a < ci; a++ {
+		for b := 0; b < cj; b++ {
+			v, err := pair.At(a, b)
+			if err != nil {
+				return PairStats{}, err
+			}
+			joint[a*cj+b] = float64(v) / n
+			obs[a*cj+b] = v
+		}
+	}
+	mi, err := stats.MutualInformation(joint, ci, cj)
+	if err != nil {
+		return PairStats{}, err
+	}
+	// Expected counts under independence of the pair marginal.
+	rowSums := make([]float64, ci)
+	colSums := make([]float64, cj)
+	for a := 0; a < ci; a++ {
+		for b := 0; b < cj; b++ {
+			rowSums[a] += float64(obs[a*cj+b])
+			colSums[b] += float64(obs[a*cj+b])
+		}
+	}
+	expected := make([]float64, ci*cj)
+	for a := 0; a < ci; a++ {
+		for b := 0; b < cj; b++ {
+			expected[a*cj+b] = rowSums[a] * colSums[b] / n
+		}
+	}
+	g2, err := stats.GStat(obs, expected)
+	if err != nil {
+		return PairStats{}, err
+	}
+	x2, err := stats.ChiSquareStat(obs, expected)
+	if err != nil {
+		return PairStats{}, err
+	}
+	df := (ci - 1) * (cj - 1)
+	minDim := ci - 1
+	if cj-1 < minDim {
+		minDim = cj - 1
+	}
+	v := 0.0
+	if minDim > 0 && x2 > 0 {
+		v = sqrtClamp(x2 / (n * float64(minDim)))
+	}
+	return PairStats{
+		I: i, J: j,
+		MI:       mi,
+		G2:       g2,
+		DF:       df,
+		PValue:   stats.ChiSquareSF(g2, df),
+		CramersV: v,
+	}, nil
+}
+
+// sortByMI orders pair results by descending mutual information, stably
+// over the lexicographic pair enumeration they were scored in.
+func sortByMI(out []PairStats) {
+	sort.SliceStable(out, func(a, b int) bool { return out[a].MI > out[b].MI })
+}
+
 // Pairwise computes PairStats for every attribute pair, ordered by
-// descending mutual information.
+// descending mutual information. It fans the O(R²) pair grid out over
+// GOMAXPROCS workers; use PairwiseWorkers to pin the worker count.
 func Pairwise(t *contingency.Table) ([]PairStats, error) {
+	return PairwiseWorkers(t, 0)
+}
+
+// PairwiseWorkers is Pairwise with an explicit worker count: each pair's
+// marginalization and statistics are independent read-only work over the
+// shared table, so pairs are scored concurrently into indexed slots and
+// sorted afterwards — the output (ordering included) is bit-identical to
+// the sequential scan for any worker count. workers <= 0 uses GOMAXPROCS,
+// 1 forces the sequential loop.
+func PairwiseWorkers(t *contingency.Table, workers int) ([]PairStats, error) {
 	if t.Total() == 0 {
 		return nil, fmt.Errorf("assoc: empty table")
 	}
@@ -43,73 +124,26 @@ func Pairwise(t *contingency.Table) ([]PairStats, error) {
 		return nil, fmt.Errorf("assoc: need at least 2 attributes")
 	}
 	n := float64(t.Total())
-	var out []PairStats
-	for _, fam := range contingency.Combinations(t.R(), 2) {
+	fams := contingency.Combinations(t.R(), 2)
+	out := make([]PairStats, len(fams))
+	err := par.Do(len(fams), workers, func(k int) error {
+		fam := fams[k]
 		m := fam.Members()
-		i, j := m[0], m[1]
 		pair, err := t.Marginalize(fam)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ci, cj := t.Card(i), t.Card(j)
-		joint := make([]float64, ci*cj)
-		obs := make([]int64, ci*cj)
-		for a := 0; a < ci; a++ {
-			for b := 0; b < cj; b++ {
-				v, err := pair.At(a, b)
-				if err != nil {
-					return nil, err
-				}
-				joint[a*cj+b] = float64(v) / n
-				obs[a*cj+b] = v
-			}
-		}
-		mi, err := stats.MutualInformation(joint, ci, cj)
+		ps, err := scorePair(pair, m[0], m[1], n)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		// Expected counts under independence of the pair marginal.
-		rowSums := make([]float64, ci)
-		colSums := make([]float64, cj)
-		for a := 0; a < ci; a++ {
-			for b := 0; b < cj; b++ {
-				rowSums[a] += float64(obs[a*cj+b])
-				colSums[b] += float64(obs[a*cj+b])
-			}
-		}
-		expected := make([]float64, ci*cj)
-		for a := 0; a < ci; a++ {
-			for b := 0; b < cj; b++ {
-				expected[a*cj+b] = rowSums[a] * colSums[b] / n
-			}
-		}
-		g2, err := stats.GStat(obs, expected)
-		if err != nil {
-			return nil, err
-		}
-		x2, err := stats.ChiSquareStat(obs, expected)
-		if err != nil {
-			return nil, err
-		}
-		df := (ci - 1) * (cj - 1)
-		minDim := ci - 1
-		if cj-1 < minDim {
-			minDim = cj - 1
-		}
-		v := 0.0
-		if minDim > 0 && x2 > 0 {
-			v = sqrtClamp(x2 / (n * float64(minDim)))
-		}
-		out = append(out, PairStats{
-			I: i, J: j,
-			MI:       mi,
-			G2:       g2,
-			DF:       df,
-			PValue:   stats.ChiSquareSF(g2, df),
-			CramersV: v,
-		})
+		out[k] = ps
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sort.SliceStable(out, func(a, b int) bool { return out[a].MI > out[b].MI })
+	sortByMI(out)
 	return out, nil
 }
 
@@ -117,36 +151,54 @@ func Pairwise(t *contingency.Table) ([]PairStats, error) {
 // projection is extracted first, so the cost is O(pairs × occupied cells)
 // regardless of the joint-space size. This is the screening step of the
 // wide-schema workflow: survey all pairs sparsely, then project and run
-// discovery on the attribute subsets that light up.
+// discovery on the attribute subsets that light up. Pairs are scored over
+// GOMAXPROCS workers; use PairwiseSparseWorkers to pin the count.
 func PairwiseSparse(s *contingency.Sparse) ([]PairStats, error) {
+	return PairwiseSparseWorkers(s, 0)
+}
+
+// PairwiseSparseWorkers is PairwiseSparse with an explicit worker count
+// (<= 0 GOMAXPROCS, 1 the sequential loop); results are bit-identical
+// across worker counts.
+//
+// Concurrency: the pair projections come from Sparse.ProjectCached, whose
+// projection cache is guarded by the table's internal lock — concurrent
+// first-touch from several workers double-checks under the write lock and
+// all workers share one cached table per pair, so scoring is safe against
+// any number of concurrent readers. (Table mutation must still not
+// overlap screening: the sparse table's mutation contract is unchanged.)
+func PairwiseSparseWorkers(s *contingency.Sparse, workers int) ([]PairStats, error) {
 	if s.Total() == 0 {
 		return nil, fmt.Errorf("assoc: empty table")
 	}
 	if s.R() < 2 {
 		return nil, fmt.Errorf("assoc: need at least 2 attributes")
 	}
-	var out []PairStats
-	for _, fam := range contingency.Combinations(s.R(), 2) {
+	n := float64(s.Total())
+	fams := contingency.Combinations(s.R(), 2)
+	out := make([]PairStats, len(fams))
+	err := par.Do(len(fams), workers, func(k int) error {
 		// Cached projection: on long-lived tables under streaming ingest
 		// the 2-D pair tables are maintained in place by every mutation,
 		// so re-screening after a delta batch is O(pairs), not
 		// O(pairs × occupied).
+		fam := fams[k]
 		proj, err := s.ProjectCached(fam)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pairs, err := Pairwise(proj)
-		if err != nil {
-			return nil, err
-		}
-		// The projection has exactly one pair (its two axes); remap the
-		// positions back to the wide schema.
-		p := pairs[0]
 		m := fam.Members()
-		p.I, p.J = m[0], m[1]
-		out = append(out, p)
+		ps, err := scorePair(proj, m[0], m[1], n)
+		if err != nil {
+			return err
+		}
+		out[k] = ps
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sort.SliceStable(out, func(a, b int) bool { return out[a].MI > out[b].MI })
+	sortByMI(out)
 	return out, nil
 }
 

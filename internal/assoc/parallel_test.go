@@ -1,0 +1,176 @@
+package assoc
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"pka/internal/contingency"
+	"pka/internal/stats"
+)
+
+// wideSparseTable builds a 24-binary-attribute sparse table with a few
+// planted couplings, the wide-schema screening workload.
+func wideSparseTable(tb testing.TB, attrs, rows int, seed int64) *contingency.Sparse {
+	tb.Helper()
+	cards := make([]int, attrs)
+	for i := range cards {
+		cards[i] = 2
+	}
+	s, err := contingency.NewSparse(nil, cards)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := stats.NewRNG(seed)
+	cell := make([]int, attrs)
+	for n := 0; n < rows; n++ {
+		for i := range cell {
+			cell[i] = rng.Intn(2)
+		}
+		if rng.Float64() < 0.8 {
+			cell[attrs-1] = cell[0]
+		}
+		if rng.Float64() < 0.6 {
+			cell[attrs/2] = cell[1]
+		}
+		if err := s.Observe(cell...); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return s
+}
+
+// requireSamePairs fails unless the two results agree bitwise, ordering
+// included.
+func requireSamePairs(t *testing.T, want, got []PairStats, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d pairs vs %d", label, len(got), len(want))
+	}
+	for k := range want {
+		w, g := want[k], got[k]
+		same := w.I == g.I && w.J == g.J && w.DF == g.DF &&
+			math.Float64bits(w.MI) == math.Float64bits(g.MI) &&
+			math.Float64bits(w.G2) == math.Float64bits(g.G2) &&
+			math.Float64bits(w.PValue) == math.Float64bits(g.PValue) &&
+			math.Float64bits(w.CramersV) == math.Float64bits(g.CramersV)
+		if !same {
+			t.Fatalf("%s: pair slot %d differs:\nserial   %+v\nparallel %+v", label, k, w, g)
+		}
+	}
+}
+
+// TestPairwiseParallelBitIdentical scores the dense pair grid serially and
+// with several worker counts: identical PairStats values in identical
+// order.
+func TestPairwiseParallelBitIdentical(t *testing.T) {
+	tab := memoTable(t)
+	// A larger dense table too: 8 ternary attributes with structure.
+	cards := []int{3, 3, 3, 3, 3, 3, 3, 3}
+	wide := contingency.MustNew(nil, cards)
+	rng := stats.NewRNG(5)
+	cell := make([]int, len(cards))
+	for n := 0; n < 5000; n++ {
+		for i := range cell {
+			cell[i] = rng.Intn(3)
+		}
+		if rng.Float64() < 0.5 {
+			cell[3] = cell[6]
+		}
+		if err := wide.Observe(cell...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, table := range map[string]*contingency.Table{"memo": tab, "wide": wide} {
+		serial, err := PairwiseWorkers(table, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 3, 8} {
+			par, err := PairwiseWorkers(table, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSamePairs(t, serial, par, fmt.Sprintf("%s workers=%d", name, workers))
+		}
+	}
+}
+
+// TestPairwiseSparseParallelBitIdentical is the same contract over the
+// sparse screening path, exercised twice per worker count: once against a
+// cold projection cache (concurrent first touch) and once against the
+// warm cache.
+func TestPairwiseSparseParallelBitIdentical(t *testing.T) {
+	serial, err := PairwiseSparseWorkers(wideSparseTable(t, 24, 8000, 11), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 8} {
+		s := wideSparseTable(t, 24, 8000, 11) // fresh table: cold cache
+		cold, err := PairwiseSparseWorkers(s, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSamePairs(t, serial, cold, fmt.Sprintf("cold workers=%d", workers))
+		warm, err := PairwiseSparseWorkers(s, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSamePairs(t, serial, warm, fmt.Sprintf("warm workers=%d", workers))
+	}
+}
+
+// TestPairwiseSparseConcurrentScreens hammers one shared sparse table with
+// many whole-screen goroutines at once — the concurrent first-touch case
+// of the projection cache. Run under -race this is the guard the parallel
+// screen's safety claim rests on.
+func TestPairwiseSparseConcurrentScreens(t *testing.T) {
+	s := wideSparseTable(t, 20, 4000, 23)
+	serial, err := PairwiseSparseWorkers(s.Clone(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make([][]PairStats, 8)
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = PairwiseSparseWorkers(s, 2)
+		}(g)
+	}
+	wg.Wait()
+	for g := range results {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		requireSamePairs(t, serial, results[g], fmt.Sprintf("goroutine %d", g))
+	}
+}
+
+// BenchmarkPairwiseSparseParallel screens a 24-attribute sparse table from
+// a cold projection cache per iteration — the discovery-time screening
+// workload — at several worker counts. Values are bit-identical across
+// counts; only wall time differs.
+func BenchmarkPairwiseSparseParallel(b *testing.B) {
+	master := wideSparseTable(b, 24, 20000, 7)
+	for _, workers := range []int{1, 2, 4, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := master.Clone()
+				b.StartTimer()
+				pairs, err := PairwiseSparseWorkers(s, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(pairs) != 276 {
+					b.Fatalf("%d pairs, want C(24,2)=276", len(pairs))
+				}
+			}
+		})
+	}
+}

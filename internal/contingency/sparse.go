@@ -349,6 +349,26 @@ func (s *Sparse) ToDense() (*Table, error) {
 	return dense, nil
 }
 
+// Clone returns a deep copy of the table's counts. The projection cache
+// does not travel: the copy starts cold and rebuilds its cached
+// projections on first use — so cloning is cheap in proportion to the
+// occupied cells, and a clone taken for speculative mutation never
+// aliases the original's cached tables.
+func (s *Sparse) Clone() *Sparse {
+	cp := &Sparse{
+		names:  append([]string(nil), s.names...),
+		cards:  append([]int(nil), s.cards...),
+		shifts: append([]uint(nil), s.shifts...),
+		masks:  append([]uint64(nil), s.masks...),
+		cells:  make(map[uint64]int64, len(s.cells)),
+		total:  s.total,
+	}
+	for k, c := range s.cells {
+		cp.cells[k] = c
+	}
+	return cp
+}
+
 // FromDense converts a dense table to sparse form.
 func FromDense(t *Table) (*Sparse, error) {
 	s, err := NewSparse(t.Names(), t.Cards())

@@ -22,15 +22,17 @@ type ScreenReport struct {
 // buildScreen surveys every attribute pair of the counts backend and
 // returns the pass/fail adjacency plus the report. SPIRIT-style network
 // learners bound structure search the same way: cheap pairwise statistics
-// gate the expensive family scan.
-func buildScreen(table contingency.Counts, alpha float64) ([][]bool, *ScreenReport, error) {
+// gate the expensive family scan. workers fans the pair grid out over the
+// shared pool (Options.Workers semantics: 0 = GOMAXPROCS, 1 = serial);
+// the screen is bit-identical for any worker count.
+func buildScreen(table contingency.Counts, alpha float64, workers int) ([][]bool, *ScreenReport, error) {
 	var pairs []assoc.PairStats
 	var err error
 	switch tt := table.(type) {
 	case *contingency.Sparse:
-		pairs, err = assoc.PairwiseSparse(tt)
+		pairs, err = assoc.PairwiseSparseWorkers(tt, workers)
 	case *contingency.Table:
-		pairs, err = assoc.Pairwise(tt)
+		pairs, err = assoc.PairwiseWorkers(tt, workers)
 	default:
 		return nil, nil, fmt.Errorf("core: ScreenPairs needs a dense or sparse contingency backend, got %T", table)
 	}

@@ -160,7 +160,7 @@ func Update(prev *Result, table contingency.Counts, deltas []contingency.CellDel
 	}
 	if opts.ScreenPairs {
 		var rep *ScreenReport
-		adj, rep, err = buildScreen(table, opts.ScreenAlpha)
+		adj, rep, err = buildScreen(table, opts.ScreenAlpha, opts.Workers)
 		if err != nil {
 			return nil, err
 		}

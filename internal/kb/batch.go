@@ -3,7 +3,6 @@ package kb
 import (
 	"fmt"
 	"strconv"
-	"strings"
 
 	"pka/internal/contingency"
 )
@@ -37,6 +36,12 @@ type Batch struct {
 	probs map[string]float64        // canonical key -> eng.Prob value
 	dists map[string][]float64      // canonical key + attr pos -> slice numerators
 	mpes  map[string]Explanation    // canonical key -> MPE completion
+	// keyBuf is the reusable scratch every cache key is rendered into: map
+	// lookups go through the compiler's no-copy string(keyBuf) conversion,
+	// so the serving hot path allocates a key string only when inserting a
+	// genuinely new entry. (A Batch is single-goroutine by contract, so one
+	// buffer suffices.)
+	keyBuf []byte
 }
 
 // batchEvidence is one resolved evidence set shared by all queries that
@@ -65,55 +70,59 @@ func NewBatch(k *KnowledgeBase) *Batch {
 // batching drives down versus one-query-at-a-time serving.
 func (b *Batch) Evals() int { return b.evals }
 
-// canonKey renders a resolved assignment canonically.
-func canonKey(vs contingency.VarSet, values []int) string {
-	var sb strings.Builder
-	sb.WriteString(strconv.FormatUint(uint64(vs), 16))
+// canonKey renders a resolved assignment canonically into the batch's key
+// scratch; the returned slice is valid until the next key rendering.
+func (b *Batch) canonKey(vs contingency.VarSet, values []int) []byte {
+	dst := strconv.AppendUint(b.keyBuf[:0], uint64(vs), 16)
 	for _, v := range values {
-		sb.WriteByte(':')
-		sb.WriteString(strconv.Itoa(v))
+		dst = append(dst, ':')
+		dst = strconv.AppendInt(dst, int64(v), 10)
 	}
-	return sb.String()
+	b.keyBuf = dst
+	return dst
 }
 
-// rawKey renders an assignment slice order-sensitively, for the resolution
-// memo (quoting keeps distinct slices from colliding).
-func rawKey(assigns []Assignment) string {
-	var sb strings.Builder
+// rawKey renders an assignment slice order-sensitively into the key
+// scratch, for the resolution memo (quoting keeps distinct slices from
+// colliding). Valid until the next key rendering.
+func (b *Batch) rawKey(assigns []Assignment) []byte {
+	dst := b.keyBuf[:0]
 	for _, a := range assigns {
-		sb.WriteString(strconv.Quote(a.Attr))
-		sb.WriteByte('=')
-		sb.WriteString(strconv.Quote(a.Value))
-		sb.WriteByte(',')
+		dst = strconv.AppendQuote(dst, a.Attr)
+		dst = append(dst, '=')
+		dst = strconv.AppendQuote(dst, a.Value)
+		dst = append(dst, ',')
 	}
-	return sb.String()
+	b.keyBuf = dst
+	return dst
 }
 
 // evidenceFor resolves an evidence slice once per distinct ordering and
 // shares the canonical state across orderings of the same set.
 func (b *Batch) evidenceFor(given []Assignment) (*batchEvidence, error) {
-	rk := rawKey(given)
-	if ev, ok := b.raw[rk]; ok {
+	rk := b.rawKey(given)
+	if ev, ok := b.raw[string(rk)]; ok { // no-copy lookup
 		return ev, nil
 	}
+	rkStr := string(rk) // materialize before the scratch is reused below
 	vs, values, err := b.k.resolve(given)
 	if err != nil {
 		return nil, err
 	}
-	ck := canonKey(vs, values)
-	ev, ok := b.canon[ck]
+	ck := b.canonKey(vs, values)
+	ev, ok := b.canon[string(ck)]
 	if !ok {
-		ev = &batchEvidence{vs: vs, values: values, key: ck}
-		b.canon[ck] = ev
+		ev = &batchEvidence{vs: vs, values: values, key: string(ck)}
+		b.canon[ev.key] = ev
 	}
-	b.raw[rk] = ev
+	b.raw[rkStr] = ev
 	return ev, nil
 }
 
 // prob evaluates eng.Prob once per canonical assignment.
 func (b *Batch) prob(vs contingency.VarSet, values []int) (float64, error) {
-	key := canonKey(vs, values)
-	if p, ok := b.probs[key]; ok {
+	key := b.canonKey(vs, values)
+	if p, ok := b.probs[string(key)]; ok { // no-copy lookup
 		return p, nil
 	}
 	p, err := b.k.eng.Prob(vs, values)
@@ -121,7 +130,7 @@ func (b *Batch) prob(vs contingency.VarSet, values []int) (float64, error) {
 		return 0, err
 	}
 	b.evals++
-	b.probs[key] = p
+	b.probs[string(key)] = p
 	return p, nil
 }
 
@@ -142,8 +151,11 @@ func (b *Batch) clampVector(ev *batchEvidence) []int {
 // distNums returns the conditional-slice numerators of attribute pos under
 // the evidence — one batch sweep per (evidence, attribute) pair.
 func (b *Batch) distNums(ev *batchEvidence, pos int) ([]float64, error) {
-	key := ev.key + "|" + strconv.Itoa(pos)
-	if nums, ok := b.dists[key]; ok {
+	key := append(b.keyBuf[:0], ev.key...)
+	key = append(key, '|')
+	key = strconv.AppendInt(key, int64(pos), 10)
+	b.keyBuf = key
+	if nums, ok := b.dists[string(key)]; ok { // no-copy lookup
 		return nums, nil
 	}
 	nums, err := b.k.eng.MarginalGiven(contingency.NewVarSet(pos), b.clampVector(ev))
@@ -151,7 +163,7 @@ func (b *Batch) distNums(ev *batchEvidence, pos int) ([]float64, error) {
 		return nil, err
 	}
 	b.evals++
-	b.dists[key] = nums
+	b.dists[string(key)] = nums
 	return nums, nil
 }
 

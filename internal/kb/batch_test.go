@@ -174,3 +174,32 @@ func TestBatchErrorParity(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchCacheHitAllocs pins the alloc ceiling of the serving hot path:
+// once a batch session is warm, repeated conditionals over a cached
+// evidence set must not allocate key strings — the reusable key scratch
+// plus the compiler's no-copy map lookups keep steady-state allocations to
+// the per-call resolution scratch only.
+func TestBatchCacheHitAllocs(t *testing.T) {
+	k := memoKB(t)
+	b := NewBatch(k)
+	target := []Assignment{{Attr: "CANCER", Value: "Yes"}}
+	given := []Assignment{{Attr: "SMOKING", Value: "Smoker"}}
+	warm := func() {
+		if _, err := b.Conditional(target, given); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Probability(given...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm() // populate every cache the steady state reads
+	avg := testing.AllocsPerRun(200, warm)
+	// The warm path still resolves names (one VarSet/values pair per call);
+	// what it must NOT do is rebuild key strings per lookup. The pre-change
+	// string-concat keys cost 6+ allocations per warm pair of calls; the
+	// scratch-buffer keys cost at most the resolution's own 2.
+	if avg > 2 {
+		t.Errorf("warm batch pair of calls allocates %.1f times, want <= 2", avg)
+	}
+}

@@ -39,6 +39,13 @@ type Model struct {
 	// whose constraints did not move (see fitFactored).
 	dirty    map[contingency.VarSet]bool
 	fitClean bool
+	// blockA0 caches each constraint block's a0 contribution from the last
+	// factored fit, keyed by the block's member set. An Incremental refit
+	// reuses a clean block's cached contribution bit-for-bit instead of
+	// re-summing its cells, so the refit a0 stays exactly consistent with
+	// the previous fit. Dense solves invalidate it (coefficients move
+	// outside block bookkeeping); nil means no cache.
+	blockA0 map[contingency.VarSet]float64
 }
 
 // familyTerm holds the dense coefficient array of one attribute family.
@@ -388,6 +395,12 @@ func (m *Model) Clone() *Model {
 		cp.dirty = make(map[contingency.VarSet]bool, len(m.dirty))
 		for vs := range m.dirty {
 			cp.dirty[vs] = true
+		}
+	}
+	if m.blockA0 != nil {
+		cp.blockA0 = make(map[contingency.VarSet]float64, len(m.blockA0))
+		for vs, a := range m.blockA0 {
+			cp.blockA0[vs] = a
 		}
 	}
 	cp.fitClean = m.fitClean

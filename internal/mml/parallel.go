@@ -2,16 +2,16 @@ package mml
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"pka/internal/par"
 )
 
-// ScanOrderParallel is ScanOrder with the family pricing fanned out over a
-// worker pool: each family costs one batch marginal sweep plus its cell
-// tests, so families are the natural unit of parallel work. Results are
-// identical to the sequential scan (same order, same values); only wall
-// time changes. workers <= 0 uses GOMAXPROCS.
+// ScanOrderParallel is ScanOrder with the family pricing fanned out over
+// the shared worker pool (par.Do): each family costs one batch marginal
+// sweep plus its cell tests, so families are the natural unit of parallel
+// work. Results are identical to the sequential scan (same order, same
+// values); only wall time changes. workers <= 0 uses GOMAXPROCS; 1 runs
+// the families sequentially on the calling goroutine.
 //
 // Scoring is read-only on the tester, and the predictor must be safe for
 // concurrent use — compiled model engines are.
@@ -19,40 +19,14 @@ func (t *Tester) ScanOrderParallel(r int, pred Predictor, workers int) ([]CellTe
 	if r < 2 || r > t.table.R() {
 		return nil, fmt.Errorf("mml: scan order %d outside [2,%d]", r, t.table.R())
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	families := t.familiesAtOrder(r)
-	if workers > len(families) {
-		workers = len(families)
-	}
 	results := make([][]CellTest, len(families))
-	errs := make([]error, len(families))
-	var next atomic.Int64
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for !failed.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= len(families) {
-					return
-				}
-				results[i], errs[i] = t.scanFamily(families[i], pred)
-				if errs[i] != nil {
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	// Deterministic error selection: first failing family wins.
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := par.Do(len(families), workers, func(i int) error {
+		var err error
+		results[i], err = t.scanFamily(families[i], pred)
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	var out []CellTest
 	for _, tests := range results {

@@ -1,0 +1,126 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		knob, tasks, want int
+	}{
+		{0, 100, runtime.GOMAXPROCS(0)},
+		{-3, 100, runtime.GOMAXPROCS(0)},
+		{1, 100, 1},
+		{4, 100, 4},
+		{8, 3, 3},
+		{4, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.knob, c.tasks); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.knob, c.tasks, got, c.want)
+		}
+	}
+}
+
+// TestDoCoversEveryIndex checks each index runs exactly once, for serial
+// and parallel worker counts alike.
+func TestDoCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 13} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 257
+			counts := make([]atomic.Int32, n)
+			if err := Do(n, workers, func(i int) error {
+				counts[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("index %d ran %d times", i, got)
+				}
+			}
+		})
+	}
+}
+
+// TestDoResultsIndexOrdered checks the slot-per-index contract: the result
+// slice filled under parallel execution equals the sequential fill.
+func TestDoResultsIndexOrdered(t *testing.T) {
+	const n = 100
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got := make([]int, n)
+		if err := Do(n, workers, func(i int) error {
+			got[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDoFirstErrorDeterministic checks the lowest failing index's error is
+// returned no matter which worker hits which failure first.
+func TestDoFirstErrorDeterministic(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 2, 8} {
+		for trial := 0; trial < 20; trial++ {
+			err := Do(64, workers, func(i int) error {
+				switch i {
+				case 7:
+					return errLow
+				case 8, 20, 63:
+					return errHigh
+				}
+				return nil
+			})
+			if !errors.Is(err, errLow) {
+				t.Fatalf("workers=%d: got %v, want the lowest-index error", workers, err)
+			}
+		}
+	}
+}
+
+// TestDoCancelsAfterError checks workers stop claiming new indices once a
+// failure lands: with one worker the sequential loop must stop exactly at
+// the failure, so later indices never run.
+func TestDoCancelsAfterError(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	err := Do(1000, 1, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("sequential run evaluated %d tasks after early error, want 4", got)
+	}
+}
+
+func TestDoEmpty(t *testing.T) {
+	if err := Do(0, 4, func(i int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Do(-5, 4, func(i int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

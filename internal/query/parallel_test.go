@@ -1,0 +1,193 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pka/internal/kb"
+)
+
+// mixedBatch builds a workload spanning every query kind, several
+// distinct evidence sets (including re-orderings of the same set), and
+// deliberately failing queries.
+func mixedBatch() []Query {
+	smoker := []kb.Assignment{{Attr: "SMOKING", Value: "Smoker"}}
+	non := []kb.Assignment{{Attr: "SMOKING", Value: "Non smoker"}}
+	both := []kb.Assignment{{Attr: "SMOKING", Value: "Smoker"}, {Attr: "FAMILY HISTORY", Value: "Yes"}}
+	bothRev := []kb.Assignment{{Attr: "FAMILY HISTORY", Value: "Yes"}, {Attr: "SMOKING", Value: "Smoker"}}
+	cancerYes := []kb.Assignment{{Attr: "CANCER", Value: "Yes"}}
+	cancerNo := []kb.Assignment{{Attr: "CANCER", Value: "No"}}
+	var out []Query
+	for i := 0; i < 4; i++ {
+		out = append(out,
+			Query{Kind: KindProbability, Target: cancerYes},
+			Query{Kind: KindConditional, Target: cancerYes, Given: smoker},
+			Query{Kind: KindConditional, Target: cancerNo, Given: smoker},
+			Query{Kind: KindConditional, Target: cancerYes, Given: non},
+			Query{Kind: KindConditional, Target: cancerYes, Given: both},
+			Query{Kind: KindConditional, Target: cancerYes, Given: bothRev},
+			Query{Kind: KindDistribution, Attr: "CANCER", Given: smoker},
+			Query{Kind: KindDistribution, Attr: "SMOKING"},
+			Query{Kind: KindMostLikely, Attr: "CANCER", Given: both},
+			Query{Kind: KindLift, Target: cancerYes, Given: smoker},
+			Query{Kind: KindMPE, Given: smoker},
+			Query{Kind: KindMPE, Given: non},
+			// Failures: unknown attribute, unknown value, invalid shape.
+			Query{Kind: KindConditional, Target: []kb.Assignment{{Attr: "NOPE", Value: "x"}}, Given: smoker},
+			Query{Kind: KindProbability, Target: []kb.Assignment{{Attr: "CANCER", Value: "Maybe"}}},
+			Query{Kind: KindDistribution},
+		)
+	}
+	return out
+}
+
+// wireBytes marshals every result exactly as the server and CLI would.
+func wireBytes(t *testing.T, results []Result) []string {
+	t.Helper()
+	out := make([]string, len(results))
+	for i, r := range results {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+// TestAnswerBatchParallelBitIdentical executes the mixed workload — and a
+// seeded shuffle of it — serially and at several worker counts, and
+// demands byte-identical wire encodings slot for slot.
+func TestAnswerBatchParallelBitIdentical(t *testing.T) {
+	m := memoModel(t)
+	base := mixedBatch()
+	for _, shuffleSeed := range []int64{0, 9, 41} {
+		queries := base
+		if shuffleSeed != 0 {
+			queries = append([]Query(nil), base...)
+			rand.New(rand.NewSource(shuffleSeed)).Shuffle(len(queries), func(i, j int) {
+				queries[i], queries[j] = queries[j], queries[i]
+			})
+		}
+		serial, err := AnswerBatchWorkers(m, queries, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialWire := wireBytes(t, serial)
+		// The serial batch must itself match per-query answers.
+		for i, qu := range queries {
+			res, err := Answer(m, qu)
+			if err != nil {
+				res = Result{Kind: qu.Kind, Error: err.Error()}
+			}
+			b, merr := json.Marshal(res)
+			if merr != nil {
+				t.Fatal(merr)
+			}
+			if string(b) != serialWire[i] {
+				t.Fatalf("shuffle %d: serial batch slot %d %s != per-query %s",
+					shuffleSeed, i, serialWire[i], b)
+			}
+		}
+		for _, workers := range []int{0, 2, 3, 16} {
+			par, err := AnswerBatchWorkers(m, queries, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parWire := wireBytes(t, par)
+			for i := range serialWire {
+				if parWire[i] != serialWire[i] {
+					t.Fatalf("shuffle=%d workers=%d: slot %d\nparallel %s\nserial   %s",
+						shuffleSeed, workers, i, parWire[i], serialWire[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAnswerBatchWorkersPlainQuerier: implementations without a knowledge
+// base still answer per query, any worker count.
+func TestAnswerBatchWorkersPlainQuerier(t *testing.T) {
+	m := memoModel(t)
+	queries := mixedBatch()
+	serial, err := AnswerBatchWorkers(plainQuerier{m}, queries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AnswerBatchWorkers(plainQuerier{m}, queries, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialWire, parWire := wireBytes(t, serial), wireBytes(t, par)
+	for i := range serialWire {
+		if serialWire[i] != parWire[i] {
+			t.Fatalf("slot %d: %s != %s", i, parWire[i], serialWire[i])
+		}
+	}
+}
+
+// TestAnswerBatchWorkersEmpty keeps the degenerate shapes stable.
+func TestAnswerBatchWorkersEmpty(t *testing.T) {
+	m := memoModel(t)
+	for _, workers := range []int{1, 4} {
+		out, err := AnswerBatchWorkers(m, nil, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("workers=%d: %d results for empty batch", workers, len(out))
+		}
+	}
+	if _, err := AnswerBatchWorkers(nil, mixedBatch(), 4); err == nil {
+		t.Fatal("nil querier accepted")
+	}
+}
+
+// TestEvidenceGroupKey pins the grouping invariant: same set in any
+// order → same key; different sets → different keys; quoting prevents
+// collisions between crafted names.
+func TestEvidenceGroupKey(t *testing.T) {
+	a := []kb.Assignment{{Attr: "A", Value: "x"}, {Attr: "B", Value: "y"}}
+	b := []kb.Assignment{{Attr: "B", Value: "y"}, {Attr: "A", Value: "x"}}
+	if evidenceGroupKey(a) != evidenceGroupKey(b) {
+		t.Error("orderings of one evidence set keyed differently")
+	}
+	c := []kb.Assignment{{Attr: "A", Value: "x"}}
+	if evidenceGroupKey(a) == evidenceGroupKey(c) {
+		t.Error("distinct evidence sets share a key")
+	}
+	// A crafted value embedding the separator must not collide.
+	d := []kb.Assignment{{Attr: "A", Value: `x","B"="y`}}
+	if evidenceGroupKey(a) == evidenceGroupKey(d) {
+		t.Error("crafted value collides with a two-assignment set")
+	}
+	if evidenceGroupKey(nil) != "" {
+		t.Error("empty evidence key not empty")
+	}
+	if fmt.Sprint(evidenceGroupKey(c)) == "" {
+		t.Error("non-empty evidence keyed empty")
+	}
+}
+
+// TestCountEvidenceGroups pins the width estimator the server's worker
+// budget keys on.
+func TestCountEvidenceGroups(t *testing.T) {
+	smoker := []kb.Assignment{{Attr: "SMOKING", Value: "Smoker"}}
+	both := []kb.Assignment{{Attr: "SMOKING", Value: "Smoker"}, {Attr: "FAMILY HISTORY", Value: "Yes"}}
+	bothRev := []kb.Assignment{{Attr: "FAMILY HISTORY", Value: "Yes"}, {Attr: "SMOKING", Value: "Smoker"}}
+	if got := CountEvidenceGroups(nil); got != 0 {
+		t.Errorf("empty batch: %d groups, want 0", got)
+	}
+	queries := []Query{
+		{Kind: KindProbability, Target: smoker},          // no evidence
+		{Kind: KindConditional, Target: smoker},          // no evidence: same group
+		{Kind: KindMPE, Given: smoker},                   // group 2
+		{Kind: KindDistribution, Attr: "X", Given: both}, // group 3
+		{Kind: KindMPE, Given: bothRev},                  // same set as group 3
+	}
+	if got := CountEvidenceGroups(queries); got != 3 {
+		t.Errorf("%d groups, want 3", got)
+	}
+}

@@ -11,10 +11,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
+	"strconv"
+	"strings"
 
 	"pka/internal/contingency"
 	"pka/internal/dataset"
 	"pka/internal/kb"
+	"pka/internal/par"
 	"pka/internal/rules"
 )
 
@@ -272,25 +276,106 @@ func (s batchQuerier) MostProbableExplanation(given ...kb.Assignment) (kb.Explan
 //
 // Queriers backed by a compiled knowledge base get the full batch path
 // (per-evidence-set validation and denominators, grouped conditional-slice
-// sweeps); other Querier implementations are served per query.
+// sweeps), with the per-evidence-set groups executed concurrently over
+// GOMAXPROCS workers — use AnswerBatchWorkers to pin the count; other
+// Querier implementations are served per query on the calling goroutine.
 func AnswerBatch(q Querier, queries []Query) ([]Result, error) {
+	return AnswerBatchWorkers(q, queries, 0)
+}
+
+// AnswerBatchWorkers is AnswerBatch with an explicit worker count.
+// workers <= 0 uses GOMAXPROCS; 1 forces the sequential single-session
+// path (exactly the historical execution). With more workers, queries are
+// grouped by their evidence set and each group runs on its own batch
+// session over the shared immutable engine: within a group the evidence
+// is validated once, its denominator priced once, and same-evidence
+// conditionals served from one conditional-slice sweep — the full batch
+// fast path — while distinct evidence sets proceed concurrently. Each
+// query's Result (wire bytes included) is bit-identical for any worker
+// count: the per-query values never depend on which session computed
+// them, only the amount of shared work does.
+func AnswerBatchWorkers(q Querier, queries []Query, workers int) ([]Result, error) {
 	if q == nil {
 		return nil, fmt.Errorf("query: nil querier")
 	}
-	exec := q
+	var kbase *kb.KnowledgeBase
 	if p, ok := q.(kbProvider); ok {
-		if kbase := p.KnowledgeBase(); kbase != nil {
-			exec = batchQuerier{Querier: q, b: kb.NewBatch(kbase)}
-		}
+		kbase = p.KnowledgeBase()
 	}
 	out := make([]Result, len(queries))
-	for i, qu := range queries {
-		res, err := Answer(exec, qu)
-		if err != nil {
-			out[i] = Result{Kind: qu.Kind, Error: err.Error()}
-			continue
+	answerRange := func(exec Querier, idx []int) {
+		for _, i := range idx {
+			res, err := Answer(exec, queries[i])
+			if err != nil {
+				out[i] = Result{Kind: queries[i].Kind, Error: err.Error()}
+				continue
+			}
+			out[i] = res
 		}
-		out[i] = res
 	}
+	all := make([]int, len(queries))
+	for i := range all {
+		all[i] = i
+	}
+	if kbase == nil {
+		// Arbitrary Querier implementations carry no concurrency contract
+		// and no session to share: serve per query, in order.
+		answerRange(q, all)
+		return out, nil
+	}
+	if par.Workers(workers, len(queries)) == 1 {
+		answerRange(batchQuerier{Querier: q, b: kb.NewBatch(kbase)}, all)
+		return out, nil
+	}
+	// Group query indices by evidence set (first-appearance order): each
+	// group shares one session — denominators, sweeps, and MPE completions
+	// are computed once per group — and groups are independent, so they
+	// fan out over the pool. Result slots are written by original index.
+	groupOf := make(map[string]int)
+	var groups [][]int
+	for i, qu := range queries {
+		key := evidenceGroupKey(qu.Given)
+		g, ok := groupOf[key]
+		if !ok {
+			g = len(groups)
+			groupOf[key] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], i)
+	}
+	_ = par.Do(len(groups), workers, func(g int) error {
+		answerRange(batchQuerier{Querier: q, b: kb.NewBatch(kbase)}, groups[g])
+		return nil // per-query failures land in their Result slot
+	})
 	return out, nil
+}
+
+// CountEvidenceGroups returns how many distinct evidence sets the batch
+// spans — the batch's parallelizable width (AnswerBatchWorkers runs one
+// session per group). Callers budgeting worker goroutines across many
+// concurrent batches use it to avoid reserving parallelism a batch cannot
+// spend: a single-group batch executes sequentially no matter how many
+// workers it is offered.
+func CountEvidenceGroups(queries []Query) int {
+	seen := make(map[string]struct{}, len(queries))
+	for _, qu := range queries {
+		seen[evidenceGroupKey(qu.Given)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// evidenceGroupKey renders a query's evidence as an order-insensitive
+// grouping key, so every ordering of the same evidence set lands in one
+// batch session. Unresolvable names still key consistently — their
+// queries fail identically whichever session sees them.
+func evidenceGroupKey(given []kb.Assignment) string {
+	if len(given) == 0 {
+		return ""
+	}
+	parts := make([]string, len(given))
+	for i, a := range given {
+		parts[i] = strconv.Quote(a.Attr) + "=" + strconv.Quote(a.Value)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
 }

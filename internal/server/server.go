@@ -27,6 +27,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -34,7 +35,9 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
 	"pka/internal/kb"
@@ -52,6 +55,16 @@ type Options struct {
 	// MaxObserveRows caps the rows accepted per observe request
 	// (0 = DefaultMaxObserveRows).
 	MaxObserveRows int
+	// Workers is the server-wide parallelism budget for batch query
+	// execution: /v1/query/batch groups queries by evidence set and runs
+	// the groups concurrently, and the total extra goroutines across ALL
+	// in-flight batch requests never exceeds this budget — each request
+	// takes whatever tokens are free (falling back to sequential execution
+	// on its own request goroutine when none are), so concurrent batches
+	// cannot oversubscribe the scheduler. 0 uses GOMAXPROCS, 1 forces
+	// sequential execution for every request. Results are bit-identical at
+	// any setting.
+	Workers int
 }
 
 // DefaultMaxBatch bounds batch requests when Options.MaxBatch is 0.
@@ -79,6 +92,11 @@ func NewWithOptions(q query.Querier, opts Options) http.Handler {
 		opts.MaxObserveRows = DefaultMaxObserveRows
 	}
 	h := &handler{q: q, opts: opts}
+	budget := opts.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	h.workerTokens = make(chan struct{}, budget)
 	h.ingest, _ = q.(query.Ingestor)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", h.healthz)
@@ -97,20 +115,90 @@ type handler struct {
 	// model is read-only (loaded from a file, counts not retained).
 	ingest query.Ingestor
 	opts   Options
+	// workerTokens is the server-wide batch-parallelism budget (capacity =
+	// Options.Workers, GOMAXPROCS by default): each batch request grabs
+	// whatever tokens are free, runs its evidence-group fan-out on that
+	// many goroutines, and returns them. Under concurrent load the total
+	// batch worker goroutines stay bounded by the budget — late requests
+	// simply execute sequentially on their own request goroutine, which is
+	// bit-identical, instead of multiplying pools.
+	workerTokens chan struct{}
+}
+
+// acquireWorkers takes up to max tokens from the free budget without
+// blocking; the returned count may be 0 (run sequentially). A lone token
+// is never kept: one worker is the sequential path, so reserving a token
+// for it would waste budget other batches could spend.
+func (h *handler) acquireWorkers(max int) int {
+	if max > cap(h.workerTokens) {
+		max = cap(h.workerTokens)
+	}
+	if max < 2 {
+		return 0
+	}
+	n := 0
+	for n < max {
+		select {
+		case h.workerTokens <- struct{}{}:
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n == 1 {
+		<-h.workerTokens
+		return 0
+	}
+	return n
+}
+
+func (h *handler) releaseWorkers(n int) {
+	for i := 0; i < n; i++ {
+		<-h.workerTokens
+	}
+}
+
+// bufPool recycles response-encoding buffers across requests: every
+// response body is rendered into a pooled buffer and written in one call,
+// so the serving hot path allocates no fresh encoder scratch per request
+// and small responses avoid chunked encoding (one write = Content-Length
+// set by net/http).
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuf bounds the capacity returned to the pool, so one huge batch
+// response does not pin its buffer forever.
+const maxPooledBuf = 1 << 20
+
+// writeBody JSON-encodes v into a pooled buffer and writes it with the
+// given status. Encoding errors surface before any byte or header reaches
+// the client, so a failed encode still gets a clean 500.
+func writeBody(w http.ResponseWriter, status int, v any) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= maxPooledBuf {
+			bufPool.Put(buf)
+		}
+	}()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // writeError emits the shared error body — the same shape a failed batch
 // slot has: {"kind": ..., "error": "..."}; kind is empty (and omitted)
 // when the request failed before its kind was known.
 func writeError(w http.ResponseWriter, status int, kind query.Kind, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(query.Result{Kind: kind, Error: err.Error()})
+	writeBody(w, status, query.Result{Kind: kind, Error: err.Error()})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	writeBody(w, http.StatusOK, v)
 }
 
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
@@ -165,8 +253,9 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, qu.Kind, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = query.EncodeResult(w, res)
+	// writeJSON produces query.EncodeResult's exact wire bytes (one JSON
+	// object, trailing newline) from the pooled buffer.
+	writeJSON(w, res)
 }
 
 // batchRequest and batchResponse frame the batch endpoint.
@@ -193,7 +282,19 @@ func (h *handler) queryBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("server: batch of %d exceeds limit %d", len(req.Queries), h.opts.MaxBatch))
 		return
 	}
-	results, err := query.AnswerBatch(h.q, req.Queries)
+	// Spend free server-wide budget on this batch, but only as much as it
+	// can use: a batch parallelizes across its distinct evidence groups,
+	// so a one-group batch takes nothing and runs sequentially without
+	// starving concurrent batches. An exhausted budget likewise means
+	// sequential execution (workers = 1), never queueing — the answer
+	// bytes are identical either way.
+	tokens := h.acquireWorkers(query.CountEvidenceGroups(req.Queries))
+	defer h.releaseWorkers(tokens)
+	workers := tokens
+	if workers < 1 {
+		workers = 1
+	}
+	results, err := query.AnswerBatchWorkers(h.q, req.Queries, workers)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "", err)
 		return

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -297,6 +298,7 @@ func benchModel(b *testing.B) *pka.Model {
 func BenchmarkAnswerSequential(b *testing.B) {
 	m := benchModel(b)
 	queries := benchQueries()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, qu := range queries {
@@ -310,10 +312,90 @@ func BenchmarkAnswerSequential(b *testing.B) {
 func BenchmarkAnswerBatch(b *testing.B) {
 	m := benchModel(b)
 	queries := benchQueries()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pka.AnswerBatch(m, queries); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAnswerBatchParallel serves one batch of 128 queries spread over
+// 16 distinct evidence groups (conditionals, distributions, and MPE
+// completions per group) at several worker counts — the server's
+// /v1/query/batch hot path. Results are bit-identical across counts; the
+// sub-benchmarks differ only in wall time.
+func BenchmarkAnswerBatchParallel(b *testing.B) {
+	schema, err := pka.NewSchema([]pka.Attribute{
+		{Name: "A0", Values: []string{"a", "b", "c"}},
+		{Name: "A1", Values: []string{"a", "b", "c"}},
+		{Name: "A2", Values: []string{"a", "b", "c"}},
+		{Name: "A3", Values: []string{"a", "b", "c"}},
+		{Name: "A4", Values: []string{"a", "b", "c"}},
+		{Name: "A5", Values: []string{"a", "b", "c"}},
+		{Name: "A6", Values: []string{"a", "b", "c"}},
+		{Name: "A7", Values: []string{"a", "b", "c"}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels := []string{"a", "b", "c"}
+	data := pka.NewDataset(schema)
+	rng := rand.New(rand.NewSource(17))
+	row := make([]string, 8)
+	for n := 0; n < 6000; n++ {
+		for i := range row {
+			row[i] = labels[rng.Intn(3)]
+		}
+		if rng.Float64() < 0.6 {
+			row[1] = row[0]
+		}
+		if rng.Float64() < 0.5 {
+			row[5] = row[4]
+		}
+		if err := data.AppendLabeled(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m, err := pka.Discover(data, pka.Options{MaxOrder: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var queries []pka.Query
+	// Base-3 digits of g over three evidence attributes: 27 possible
+	// combos, so g = 0..15 yields 16 genuinely distinct evidence groups.
+	for g := 0; g < 16; g++ {
+		given := []pka.Assignment{
+			{Attr: "A0", Value: labels[g%3]},
+			{Attr: "A4", Value: labels[(g/3)%3]},
+			{Attr: "A6", Value: labels[(g/9)%3]},
+		}
+		for v := 0; v < 3; v++ {
+			queries = append(queries,
+				pka.Query{Kind: pka.QueryConditional, Target: []pka.Assignment{{Attr: "A1", Value: labels[v]}}, Given: given},
+				pka.Query{Kind: pka.QueryConditional, Target: []pka.Assignment{{Attr: "A5", Value: labels[v]}}, Given: given},
+			)
+		}
+		queries = append(queries,
+			pka.Query{Kind: pka.QueryDistribution, Attr: "A2", Given: given},
+			pka.Query{Kind: pka.QueryMPE, Given: given},
+		)
+	}
+	for _, workers := range []int{1, 2, 4, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				results, err := pka.AnswerBatchWorkers(m, queries, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for qi, r := range results {
+					if r.Error != "" {
+						b.Fatalf("query %d failed: %s", qi, r.Error)
+					}
+				}
+			}
+		})
 	}
 }

@@ -56,13 +56,22 @@ func Answer(q Querier, qu Query) (QueryResult, error) { return query.Answer(q, q
 
 // AnswerBatch executes a group of queries, sharing the engine work they
 // have in common instead of issuing len(queries) independent calls:
-// evidence is validated and priced once per distinct set, and groups of
+// evidence is validated and priced once per distinct set, groups of
 // same-evidence queries are served through the compiled engine's batch
-// conditional-slice sweep. Probabilities are bit-identical to per-query
-// Answer; a failed query carries its message in QueryResult.Error without
-// sinking the batch.
+// conditional-slice sweep, and distinct evidence groups execute
+// concurrently over GOMAXPROCS workers (the compiled engine is immutable
+// and safe for any number of goroutines). Probabilities are bit-identical
+// to per-query Answer for any worker count; a failed query carries its
+// message in QueryResult.Error without sinking the batch.
 func AnswerBatch(q Querier, queries []Query) ([]QueryResult, error) {
 	return query.AnswerBatch(q, queries)
+}
+
+// AnswerBatchWorkers is AnswerBatch with an explicit worker bound:
+// 0 uses GOMAXPROCS, 1 forces the sequential single-session execution.
+// Results (wire bytes included) are bit-identical across worker counts.
+func AnswerBatchWorkers(q Querier, queries []Query, workers int) ([]QueryResult, error) {
+	return query.AnswerBatchWorkers(q, queries, workers)
 }
 
 // EncodeQueryResult writes a result in the shared wire encoding (one JSON
