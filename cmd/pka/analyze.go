@@ -42,7 +42,7 @@ func cmdAnalyze(w io.Writer, args []string) error {
 //	pka validate -kb kb.json -in holdout.csv
 func cmdValidate(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
-	kbPath := fs.String("kb", "", "knowledge-base JSON from 'pka discover -out'")
+	kbPath := fs.String("kb", "", "knowledge base: JSON from 'pka discover -out' or PKAS binary from 'pka snapshot'")
 	in := fs.String("in", "", "validation CSV file")
 	if err := fs.Parse(args); err != nil {
 		return err

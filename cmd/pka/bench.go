@@ -21,9 +21,10 @@ import (
 // cmdBench runs a fixed performance suite over synthetic deterministic
 // workloads — dense discovery, wide sparse discovery with screening,
 // incremental refit, the factored block solver, batched query answering,
-// and the HTTP batch endpoint — and writes a machine-readable snapshot:
+// the HTTP batch endpoint, and cold-start (load-to-first-query) for both
+// persistence formats — and writes a machine-readable snapshot:
 //
-//	pka bench [-out BENCH_5.json] [-iters N] [-workers W]
+//	pka bench [-out BENCH_6.json] [-iters N] [-workers W]
 //
 // The snapshot (host info plus ns/op, allocs/op, and bytes/op per suite
 // item) seeds the repo's performance trajectory: each perf-focused PR
@@ -32,7 +33,7 @@ import (
 // snapshots use the default iteration count.
 func cmdBench(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_5.json", "snapshot output path (empty = stdout only)")
+	out := fs.String("out", "BENCH_6.json", "snapshot output path (empty = stdout only)")
 	iters := fs.Int("iters", 5, "iterations per suite item (1 = CI smoke)")
 	workers := fs.Int("workers", 0, "worker goroutines for the parallel suite items (0 = all cores, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
@@ -42,13 +43,14 @@ func cmdBench(w io.Writer, args []string) error {
 		return fmt.Errorf("bench: -iters must be >= 1, got %d", *iters)
 	}
 	snap := benchSnapshot{
-		Version: 5,
+		Version: 6,
 		Host: benchHost{
 			Go:         runtime.Version(),
 			OS:         runtime.GOOS,
 			Arch:       runtime.GOARCH,
 			NumCPU:     runtime.NumCPU(),
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			MultiCore:  runtime.NumCPU() > 1,
 		},
 		Workers: *workers,
 	}
@@ -88,12 +90,17 @@ type benchSnapshot struct {
 	Benchmarks []benchEntry `json:"benchmarks"`
 }
 
+// benchHost records where the numbers were taken. MultiCore flags whether
+// the parallel suite items (worker-pool discovery, block solves, batch
+// serving) could actually spread across cores on this host — single-core
+// snapshots are not comparable on those items.
 type benchHost struct {
 	Go         string `json:"go"`
 	OS         string `json:"os"`
 	Arch       string `json:"arch"`
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	MultiCore  bool   `json:"multi_core"`
 }
 
 type benchEntry struct {
@@ -371,6 +378,57 @@ func buildBenchSuite(workers int) (*benchSuite, error) {
 			_, err := refitModel.Update(delta)
 			return err
 		}, nil
+	}})
+
+	// Cold start: the wide sparse discovery output persisted once in each
+	// format, then timed from bytes to a served first answer. The snapshot
+	// bytes come from the JSON-loaded QueryModel so both items restore the
+	// identical schema+model payload (no discovery counts in either file) —
+	// the delta is purely parse + engine reconstruction, with the solve
+	// skipped on the binary path.
+	coldModel, err := pka.DiscoverSparse(sparseMaster.Clone(), sparseSchema, sparseOpts)
+	if err != nil {
+		return nil, err
+	}
+	var jsonBuf bytes.Buffer
+	if err := coldModel.Save(&jsonBuf); err != nil {
+		return nil, err
+	}
+	coldQuery, err := pka.Load(bytes.NewReader(jsonBuf.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	var snapBuf bytes.Buffer
+	if err := coldQuery.SaveSnapshot(&snapBuf); err != nil {
+		return nil, err
+	}
+	jsonBytes, snapBytes := jsonBuf.Bytes(), snapBuf.Bytes()
+	coldFirstQuery := func(m *pka.QueryModel) error {
+		p, err := m.Conditional(
+			[]pka.Assignment{{Attr: "W1", Value: "1"}},
+			[]pka.Assignment{{Attr: "W0", Value: "1"}},
+		)
+		if err != nil {
+			return err
+		}
+		if p <= 0 || p >= 1 {
+			return fmt.Errorf("cold-start query answered %g", p)
+		}
+		return nil
+	}
+	suite.items = append(suite.items, benchItem{name: "cold_start_json", fn: func() error {
+		m, err := pka.Load(bytes.NewReader(jsonBytes))
+		if err != nil {
+			return err
+		}
+		return coldFirstQuery(m)
+	}})
+	suite.items = append(suite.items, benchItem{name: "cold_start_snapshot", fn: func() error {
+		m, err := pka.LoadSnapshot(bytes.NewReader(snapBytes))
+		if err != nil {
+			return err
+		}
+		return coldFirstQuery(m)
 	}})
 
 	factoredMaster, err := benchFactoredModel()

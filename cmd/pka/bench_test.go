@@ -27,8 +27,8 @@ func TestCmdBenchSnapshot(t *testing.T) {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		t.Fatalf("snapshot is not valid JSON: %v", err)
 	}
-	if snap.Version != 5 {
-		t.Errorf("version = %d, want 5", snap.Version)
+	if snap.Version != 6 {
+		t.Errorf("version = %d, want 6", snap.Version)
 	}
 	if snap.Host.Go == "" || snap.Host.OS == "" || snap.Host.Arch == "" ||
 		snap.Host.NumCPU < 1 || snap.Host.GOMAXPROCS < 1 {
@@ -36,6 +36,7 @@ func TestCmdBenchSnapshot(t *testing.T) {
 	}
 	want := []string{
 		"discover_dense", "discover_sparse_screen", "incremental_refit",
+		"cold_start_json", "cold_start_snapshot",
 		"fit_factored", "answer_batch", "http_batch",
 	}
 	if len(snap.Benchmarks) != len(want) {

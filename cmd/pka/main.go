@@ -8,9 +8,10 @@
 //	pka discover -in data.csv -out kb.json [-max-order N] [-prior P] [-sparse] [-screen]
 //	pka rules    -kb kb.json [-min-prob P] [-min-lift D] [-top K]
 //	pka query    -kb kb.json -target "ATTR=value" [-given "A=v,B=w"] [-json]
-//	pka serve    -kb kb.json [-addr :8080]
+//	pka serve    -kb kb.json|kb.pkas [-addr :8080]
+//	pka snapshot -in kb.json -out kb.pkas [-format binary|json]
 //	pka tables   -in data.csv [-rows ATTR] [-cols ATTR]
-//	pka bench    [-out BENCH_5.json] [-iters N] [-workers W]
+//	pka bench    [-out BENCH_6.json] [-iters N] [-workers W]
 //
 // All probability output derives from the stored product formula; no raw
 // data is needed after discovery.
@@ -35,7 +36,7 @@ func main() {
 
 func run(w io.Writer, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: pka <discover|rules|query|serve|tables> [flags]")
+		return fmt.Errorf("usage: pka <discover|rules|query|serve|snapshot|tables> [flags]")
 	}
 	switch args[0] {
 	case "discover":
@@ -56,10 +57,12 @@ func run(w io.Writer, args []string) error {
 		return cmdValidate(w, args[1:])
 	case "serve":
 		return cmdServe(w, args[1:])
+	case "snapshot":
+		return cmdSnapshot(w, args[1:])
 	case "bench":
 		return cmdBench(w, args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want discover, rules, query, serve, tables, simulate, explain, analyze, validate, or bench)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want discover, rules, query, serve, snapshot, tables, simulate, explain, analyze, validate, or bench)", args[0])
 	}
 }
 
@@ -70,7 +73,7 @@ func run(w io.Writer, args []string) error {
 //	pka explain -kb kb.json -given "A=x,B=y"     # MPE completion
 func cmdExplain(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
-	kbPath := fs.String("kb", "", "knowledge-base JSON from 'pka discover -out'")
+	kbPath := fs.String("kb", "", "knowledge base: JSON from 'pka discover -out' or PKAS binary from 'pka snapshot'")
 	given := fs.String("given", "", "evidence; if set, print the most probable explanation")
 	dot := fs.Bool("dot", false, "emit the dependency structure as Graphviz instead")
 	if err := fs.Parse(args); err != nil {
@@ -253,7 +256,7 @@ func discoverFromCSVMerged(path string, maxCard int, mergeRare int64, opts pka.O
 
 func cmdRules(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("rules", flag.ContinueOnError)
-	kbPath := fs.String("kb", "", "knowledge-base JSON from 'pka discover -out'")
+	kbPath := fs.String("kb", "", "knowledge base: JSON from 'pka discover -out' or PKAS binary from 'pka snapshot'")
 	minProb := fs.Float64("min-prob", 0, "minimum rule probability")
 	minLift := fs.Float64("min-lift", 0, "minimum |lift-1| distance from independence")
 	top := fs.Int("top", 0, "keep only the strongest K rules (0 = all)")
@@ -299,7 +302,7 @@ func cmdRules(w io.Writer, args []string) error {
 
 func cmdQuery(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
-	kbPath := fs.String("kb", "", "knowledge-base JSON from 'pka discover -out'")
+	kbPath := fs.String("kb", "", "knowledge base: JSON from 'pka discover -out' or PKAS binary from 'pka snapshot'")
 	target := fs.String("target", "", `target assignments, e.g. "CANCER=Yes"`)
 	given := fs.String("given", "", `evidence assignments, e.g. "SMOKING=Smoker,FAMILY HISTORY=Yes"`)
 	dist := fs.String("dist", "", "print the full distribution of this attribute instead")
@@ -420,6 +423,8 @@ func cmdTables(w io.Writer, args []string) error {
 	return table.RenderSlices(w, rowAxis, colAxis, true)
 }
 
+// loadKB opens a saved knowledge base in either on-disk format — JSON or
+// PKAS binary snapshot — sniffing the magic bytes to dispatch.
 func loadKB(path string) (*pka.QueryModel, error) {
 	if path == "" {
 		return nil, fmt.Errorf("-kb is required")
@@ -429,7 +434,7 @@ func loadKB(path string) (*pka.QueryModel, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return pka.Load(f)
+	return pka.LoadAny(f)
 }
 
 // parseAssignments parses "A=x,B=y" into assignments; attribute names may

@@ -26,7 +26,7 @@ import (
 func cmdServe(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	cfg := serveConfig{}
-	fs.StringVar(&cfg.kbPath, "kb", "", "knowledge-base JSON from 'pka discover -out' (read-only serving)")
+	fs.StringVar(&cfg.kbPath, "kb", "", "knowledge base to serve read-only: JSON or PKAS binary snapshot, auto-detected by magic bytes")
 	fs.StringVar(&cfg.dataPath, "data", "", "observation CSV: discover at startup and serve with streaming ingest")
 	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	fs.IntVar(&cfg.maxBatch, "max-batch", 0, "max queries per batch request (0 = default)")

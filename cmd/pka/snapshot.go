@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pka"
+	"pka/internal/snapshot"
+)
+
+// cmdSnapshot converts a saved knowledge base between the two on-disk
+// formats:
+//
+//	pka snapshot -in kb.json -out kb.pkas            # JSON -> binary
+//	pka snapshot -in kb.pkas -out kb.json            # binary -> JSON
+//	pka snapshot -in kb.json -out copy.json -format json
+//
+// The input format is auto-detected from the PKAS magic bytes; without
+// -format the output is the opposite format, so the bare invocation always
+// converts. JSON is the interchange format (stable, diffable); the binary
+// snapshot carries the already-solved engine state for near-instant serve
+// cold starts.
+func cmdSnapshot(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("snapshot", flag.ContinueOnError)
+	in := fs.String("in", "", "input knowledge base (JSON or PKAS binary, auto-detected)")
+	out := fs.String("out", "", "output path")
+	format := fs.String("format", "", "output format: binary or json (default: the opposite of the input)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("snapshot: -in and -out are required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	inFormat := "json"
+	if snapshot.IsSnapshot(data) {
+		inFormat = "binary"
+	}
+	outFormat := *format
+	if outFormat == "" {
+		if inFormat == "binary" {
+			outFormat = "json"
+		} else {
+			outFormat = "binary"
+		}
+	}
+	if outFormat != "binary" && outFormat != "json" {
+		return fmt.Errorf("snapshot: unknown -format %q (want binary or json)", outFormat)
+	}
+	model, err := pka.LoadAny(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("snapshot: reading %s: %w", *in, err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if outFormat == "binary" {
+		err = model.SaveSnapshot(f)
+	} else {
+		err = model.Save(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("snapshot: writing %s: %w", *out, err)
+	}
+	fmt.Fprintf(w, "%s (%s) -> %s (%s)\n", *in, inFormat, *out, outFormat)
+	return nil
+}

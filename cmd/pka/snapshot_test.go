@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pka/internal/snapshot"
+)
+
+// queryJSON answers one canned conditional through the query subcommand's
+// -json wire format, from whichever KB file format is given.
+func queryJSON(t *testing.T, kbPath string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(&buf, []string{"query", "-kb", kbPath, "-json",
+		"-target", "CANCER=Yes", "-given", "SMOKING=Smoker"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestCmdSnapshotRoundTrip drives the full CLI loop: discover a JSON KB,
+// convert it to a PKAS binary, serve queries from both, convert back to
+// JSON, and check every stop answers identically.
+func TestCmdSnapshotRoundTrip(t *testing.T) {
+	kbPath := discoverKB(t)
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "kb.pkas")
+	backPath := filepath.Join(dir, "back.json")
+
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"snapshot", "-in", kbPath, "-out", binPath}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(json) -> ") || !strings.Contains(buf.String(), "(binary)") {
+		t.Errorf("conversion report = %q", buf.String())
+	}
+	data, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snapshot.IsSnapshot(data) {
+		t.Fatal("snapshot output lacks PKAS magic")
+	}
+
+	buf.Reset()
+	if err := run(&buf, []string{"snapshot", "-in", binPath, "-out", backPath}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(binary) -> ") || !strings.Contains(buf.String(), "(json)") {
+		t.Errorf("conversion report = %q", buf.String())
+	}
+
+	fromJSON := queryJSON(t, kbPath)
+	fromBinary := queryJSON(t, binPath)
+	fromBack := queryJSON(t, backPath)
+	if fromJSON != fromBinary {
+		t.Errorf("binary KB answers differently:\njson:   %sbinary: %s", fromJSON, fromBinary)
+	}
+	if fromJSON != fromBack {
+		t.Errorf("round-tripped JSON KB answers differently:\njson: %sback: %s", fromJSON, fromBack)
+	}
+}
+
+func TestCmdSnapshotExplicitFormat(t *testing.T) {
+	kbPath := discoverKB(t)
+	copyPath := filepath.Join(t.TempDir(), "copy.json")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"snapshot", "-in", kbPath, "-out", copyPath, "-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	if queryJSON(t, kbPath) != queryJSON(t, copyPath) {
+		t.Error("json -> json copy answers differently")
+	}
+}
+
+func TestCmdSnapshotErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"snapshot"}); err == nil {
+		t.Error("snapshot without flags accepted")
+	}
+	if err := run(&buf, []string{"snapshot", "-in", "/nonexistent", "-out", "x"}); err == nil {
+		t.Error("missing input accepted")
+	}
+	kbPath := discoverKB(t)
+	out := filepath.Join(t.TempDir(), "out")
+	if err := run(&buf, []string{"snapshot", "-in", kbPath, "-out", out, "-format", "yaml"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage")
+	if err := os.WriteFile(garbage, []byte("not a kb"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, []string{"snapshot", "-in", garbage, "-out", out}); err == nil {
+		t.Error("garbage input accepted")
+	}
+}

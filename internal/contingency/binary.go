@@ -1,0 +1,204 @@
+package contingency
+
+import (
+	"fmt"
+	"sort"
+
+	"pka/internal/wire"
+)
+
+// Binary codec for the snapshot format (internal/snapshot): tables encode
+// their shape and exact integer counts, and a sparse table additionally
+// carries its per-family dense-projection cache so a restored replica
+// starts with the same warm marginals the saved process had. Encodings are
+// canonical — sparse cells sort by packed key, cached projections by
+// family mask — so Save→Load→Save reproduces identical bytes.
+
+// encodeShape writes the shared axis header: labels then cardinalities.
+func encodeShape(w *wire.Writer, names []string, cards []int) {
+	w.Int(len(names))
+	for _, n := range names {
+		w.String(n)
+	}
+	w.Ints(cards)
+}
+
+// decodeShape reads the axis header written by encodeShape.
+func decodeShape(r *wire.Reader) (names []string, cards []int) {
+	n := r.Int()
+	if r.Err() != nil || n < 0 || n > MaxVars {
+		return nil, nil
+	}
+	names = make([]string, n)
+	for i := range names {
+		names[i] = r.String()
+	}
+	cards = r.Ints()
+	return names, cards
+}
+
+// EncodeTable appends a dense table: shape, then every cell count in
+// row-major order (the count of cells is derived from the cardinalities).
+func EncodeTable(w *wire.Writer, t *Table) {
+	encodeShape(w, t.names, t.cards)
+	for _, c := range t.counts {
+		w.Uvarint(uint64(c))
+	}
+}
+
+// DecodeTable reads a dense table written by EncodeTable, revalidating the
+// shape and recomputing the total from the decoded counts.
+func DecodeTable(r *wire.Reader) (*Table, error) {
+	names, cards := decodeShape(r)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("contingency: decoding dense shape: %w", err)
+	}
+	t, err := New(names, cards)
+	if err != nil {
+		return nil, err
+	}
+	for i := range t.counts {
+		c := r.Uvarint()
+		t.counts[i] = int64(c)
+		t.total += int64(c)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("contingency: decoding dense counts: %w", err)
+	}
+	if t.total < 0 {
+		return nil, fmt.Errorf("contingency: decoded counts overflow int64 total")
+	}
+	return t, nil
+}
+
+// EncodeSparse appends a sparse table: shape, the occupied cells as
+// (packed key, count) pairs in ascending key order, and the cached dense
+// projections as (family mask, row-major counts) in ascending mask order.
+// Read-only with respect to the table; safe alongside concurrent readers.
+func EncodeSparse(w *wire.Writer, s *Sparse) {
+	encodeShape(w, s.names, s.cards)
+	keys := make([]uint64, 0, len(s.cells))
+	for k := range s.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.Int(len(keys))
+	for _, k := range keys {
+		w.Uint64(k)
+		w.Uvarint(uint64(s.cells[k]))
+	}
+	s.projMu.RLock()
+	masks := make([]VarSet, 0, len(s.projs))
+	for vs := range s.projs {
+		masks = append(masks, vs)
+	}
+	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+	w.Int(len(masks))
+	for _, vs := range masks {
+		w.Uvarint(uint64(vs))
+		// Shape is derivable from the parent table, so only counts travel.
+		for _, c := range s.projs[vs].counts {
+			w.Uvarint(uint64(c))
+		}
+	}
+	s.projMu.RUnlock()
+}
+
+// DecodeSparse reads a sparse table written by EncodeSparse. Every packed
+// key is unpacked and revalidated against the cardinalities, counts must
+// be positive, and each restored projection must be cacheable and account
+// for the full total — so a corrupt payload fails here rather than
+// producing a silently inconsistent table.
+func DecodeSparse(r *wire.Reader) (*Sparse, error) {
+	names, cards := decodeShape(r)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("contingency: decoding sparse shape: %w", err)
+	}
+	s, err := NewSparse(names, cards)
+	if err != nil {
+		return nil, err
+	}
+	ncells := r.Int()
+	if r.Err() != nil || ncells < 0 || ncells > r.Remaining() {
+		return nil, fmt.Errorf("contingency: decoding sparse cells: %w", wire.ErrTruncated)
+	}
+	cell := make([]int, len(cards))
+	prevKey, havePrev := uint64(0), false
+	for i := 0; i < ncells; i++ {
+		k := r.Uint64()
+		c := int64(r.Uvarint())
+		if r.Err() != nil {
+			break
+		}
+		if havePrev && k <= prevKey {
+			return nil, fmt.Errorf("contingency: sparse cell keys not strictly ascending")
+		}
+		prevKey, havePrev = k, true
+		s.unkey(k, cell)
+		rk, err := s.key(cell)
+		if err != nil || rk != k {
+			return nil, fmt.Errorf("contingency: sparse cell key %#x does not unpack to a valid cell", k)
+		}
+		if c <= 0 {
+			return nil, fmt.Errorf("contingency: sparse cell %v holds non-positive count %d", cell, c)
+		}
+		s.cells[k] = c
+		s.total += c
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("contingency: decoding sparse cells: %w", err)
+	}
+	nprojs := r.Int()
+	if r.Err() != nil || nprojs < 0 || nprojs > r.Remaining() {
+		return nil, fmt.Errorf("contingency: decoding projection cache: %w", wire.ErrTruncated)
+	}
+	var prevMask VarSet
+	for i := 0; i < nprojs; i++ {
+		vs := VarSet(r.Uvarint())
+		if r.Err() != nil {
+			break
+		}
+		if (i > 0 && vs <= prevMask) || vs.Empty() {
+			return nil, fmt.Errorf("contingency: projection masks not strictly ascending")
+		}
+		prevMask = vs
+		members := vs.Members()
+		if members[len(members)-1] >= len(cards) {
+			return nil, fmt.Errorf("contingency: projection family %v exceeds table's %d axes", vs, len(cards))
+		}
+		size := 1
+		subNames := make([]string, len(members))
+		subCards := make([]int, len(members))
+		for j, p := range members {
+			subNames[j] = s.names[p]
+			subCards[j] = s.cards[p]
+			size *= s.cards[p]
+		}
+		if size > maxCachedProjCells {
+			return nil, fmt.Errorf("contingency: projection family %v exceeds cache limit", vs)
+		}
+		t, err := New(subNames, subCards)
+		if err != nil {
+			return nil, err
+		}
+		for j := range t.counts {
+			c := int64(r.Uvarint())
+			t.counts[j] = c
+			t.total += c
+		}
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("contingency: decoding projection %v: %w", vs, err)
+		}
+		if t.total != s.total {
+			return nil, fmt.Errorf("contingency: projection %v total %d != table total %d", vs, t.total, s.total)
+		}
+		if s.projs == nil {
+			s.projs = make(map[VarSet]*Table)
+		}
+		s.projs[vs] = t
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("contingency: decoding projection cache: %w", err)
+	}
+	return s, nil
+}

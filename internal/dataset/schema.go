@@ -49,6 +49,13 @@ func NewSchema(attrs []Attribute) (*Schema, error) {
 		attrs: make([]Attribute, len(attrs)),
 		index: make(map[string]int, len(attrs)),
 	}
+	// The defensive value-label copies share one backing array — schema
+	// construction sits on the snapshot-restore cold-start path.
+	total := 0
+	for _, a := range attrs {
+		total += len(a.Values)
+	}
+	vbuf := make([]string, total)
 	for i, a := range attrs {
 		if strings.TrimSpace(a.Name) == "" {
 			return nil, fmt.Errorf("dataset: attribute %d has empty name", i)
@@ -59,20 +66,46 @@ func NewSchema(attrs []Attribute) (*Schema, error) {
 		if len(a.Values) == 0 {
 			return nil, fmt.Errorf("dataset: attribute %q has no values", a.Name)
 		}
-		seen := make(map[string]bool, len(a.Values))
-		for _, v := range a.Values {
-			if strings.TrimSpace(v) == "" {
-				return nil, fmt.Errorf("dataset: attribute %q has empty value label", a.Name)
-			}
-			if seen[v] {
-				return nil, fmt.Errorf("dataset: attribute %q has duplicate value %q", a.Name, v)
-			}
-			seen[v] = true
+		if err := checkValueLabels(a); err != nil {
+			return nil, err
 		}
-		s.attrs[i] = Attribute{Name: a.Name, Values: append([]string(nil), a.Values...)}
+		vals := vbuf[:len(a.Values):len(a.Values)]
+		vbuf = vbuf[len(a.Values):]
+		copy(vals, a.Values)
+		s.attrs[i] = Attribute{Name: a.Name, Values: vals}
 		s.index[a.Name] = i
 	}
 	return s, nil
+}
+
+// checkValueLabels rejects empty or duplicate value labels. Typical
+// cardinalities are small, so duplicates are found by quadratic scan below
+// a threshold — schema construction sits on the snapshot-restore cold-start
+// path, where a per-attribute map shows up in profiles.
+func checkValueLabels(a Attribute) error {
+	for _, v := range a.Values {
+		if strings.TrimSpace(v) == "" {
+			return fmt.Errorf("dataset: attribute %q has empty value label", a.Name)
+		}
+	}
+	if len(a.Values) <= 16 {
+		for i, v := range a.Values {
+			for _, u := range a.Values[:i] {
+				if u == v {
+					return fmt.Errorf("dataset: attribute %q has duplicate value %q", a.Name, v)
+				}
+			}
+		}
+		return nil
+	}
+	seen := make(map[string]bool, len(a.Values))
+	for _, v := range a.Values {
+		if seen[v] {
+			return fmt.Errorf("dataset: attribute %q has duplicate value %q", a.Name, v)
+		}
+		seen[v] = true
+	}
+	return nil
 }
 
 // MustSchema is NewSchema for statically-valid fixtures.

@@ -64,10 +64,12 @@ type Assignment struct {
 func (a Assignment) String() string { return a.Attr + "=" + a.Value }
 
 // resolve converts label assignments to (VarSet, ascending values), checking
-// for unknown names, unknown values, and contradictory duplicates.
+// for unknown names, unknown values, and contradictory duplicates. Positions
+// are bounded by MaxVars, so a stack array stands in for a per-call map —
+// the values slice is the query hot path's only allocation here.
 func (k *KnowledgeBase) resolve(assigns []Assignment) (contingency.VarSet, []int, error) {
 	var vs contingency.VarSet
-	byPos := make(map[int]int)
+	var byPos [contingency.MaxVars]int
 	for _, a := range assigns {
 		attr, pos, err := k.schema.AttrByName(a.Attr)
 		if err != nil {
@@ -77,8 +79,8 @@ func (k *KnowledgeBase) resolve(assigns []Assignment) (contingency.VarSet, []int
 		if vi < 0 {
 			return 0, nil, fmt.Errorf("kb: attribute %q has no value %q", a.Attr, a.Value)
 		}
-		if prev, dup := byPos[pos]; dup {
-			if prev != vi {
+		if vs.Has(pos) {
+			if byPos[pos] != vi {
 				return 0, nil, fmt.Errorf("kb: contradictory assignments for %q", a.Attr)
 			}
 			continue

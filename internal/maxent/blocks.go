@@ -3,6 +3,7 @@ package maxent
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"pka/internal/contingency"
 	"pka/internal/par"
@@ -81,21 +82,42 @@ func (m *Model) blocks() [][]int {
 		}
 	}
 	for vs := range m.families {
-		members := vs.Members()
-		for i := 1; i < len(members); i++ {
-			union(members[0], members[i])
+		v := uint64(vs)
+		first := bits.TrailingZeros64(v)
+		for w := v &^ (1 << uint(first)); w != 0; {
+			p := bits.TrailingZeros64(w)
+			w &^= 1 << uint(p)
+			union(first, p)
 		}
 	}
-	groups := make(map[int][]int)
+	// Gather components without a map: count members per root, carve each
+	// block out of one shared backing array, then fill in position order
+	// (which keeps members ascending). blocks() runs on every compile,
+	// including the snapshot-restore cold-start path.
+	cnt := make([]int, len(m.cards))
+	nb := 0
 	for p := range m.cards {
 		r := find(p)
-		groups[r] = append(groups[r], p)
-	}
-	out := make([][]int, 0, len(groups))
-	for p := range m.cards {
-		if find(p) == p {
-			out = append(out, groups[p]) // members already ascend: appended in p order
+		if cnt[r] == 0 {
+			nb++
 		}
+		cnt[r]++
+	}
+	out := make([][]int, 0, nb)
+	buf := make([]int, len(m.cards))
+	cursor := make([]int, len(m.cards))
+	pos := 0
+	for p := range m.cards {
+		if parent[p] == p {
+			out = append(out, buf[pos:pos+cnt[p]:pos+cnt[p]]) // roots ascend: block order is by smallest member
+			cursor[p] = pos
+			pos += cnt[p]
+		}
+	}
+	for p := range m.cards {
+		r := find(p)
+		buf[cursor[r]] = p
+		cursor[r]++
 	}
 	return out
 }

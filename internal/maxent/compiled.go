@@ -101,46 +101,111 @@ func (c *Compiled) Factored() bool { return c.eng == nil }
 // compileBlocks builds one sub-engine per constraint block of the model.
 func (m *Model) compileBlocks() ([]*compiledBlock, error) {
 	var out []*compiledBlock
+	fams := m.sortedFamilyTerms()
+	var ar blockArena
 	for _, blk := range m.blocks() {
-		if _, err := m.blockDenseSize(blk); err != nil {
-			return nil, err
-		}
-		b := &compiledBlock{
-			vars:  append([]int(nil), blk...),
-			cards: make([]int, len(blk)),
-			local: make([]int, len(m.cards)),
-		}
-		for i := range b.local {
-			b.local[i] = -1
-		}
-		for i, p := range blk {
-			b.cards[i] = m.cards[p]
-			b.local[p] = i
-		}
-		var terms []sumprod.Term
-		for _, vs := range sortedFamilies(m.families) {
-			ft := m.families[vs]
-			if b.local[ft.vars[0]] < 0 {
-				continue
-			}
-			lv := make([]int, len(ft.vars))
-			for i, p := range ft.vars {
-				if b.local[p] < 0 {
-					return nil, fmt.Errorf("maxent: family %v straddles blocks", vs)
-				}
-				lv[i] = b.local[p]
-			}
-			terms = append(terms, sumprod.Term{Vars: lv, Coeffs: ft.coeffs})
-		}
-		eng, err := sumprod.Compile(b.cards, terms)
+		b, err := m.buildBlock(blk, fams, &ar)
 		if err != nil {
 			return nil, err
 		}
-		b.eng = eng
-		b.sum = eng.Sum()
+		b.sum = b.eng.Sum()
 		out = append(out, b)
 	}
 	return out, nil
+}
+
+// blockArena carves the per-block int buffers of one compilation out of
+// chunked backing arrays — a model decomposes into many small blocks, and
+// block compilation runs on the snapshot-restore cold-start path where a
+// few allocations per block dominate the profile. Carved slices have
+// len == cap and chunks are never reallocated, so handing out a new slice
+// never moves one already handed out.
+type blockArena struct {
+	free []int
+}
+
+func (a *blockArena) take(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	if len(a.free) < n {
+		size := 1024
+		if n > size {
+			size = n
+		}
+		a.free = make([]int, size)
+	}
+	s := a.free[:n:n]
+	a.free = a.free[n:]
+	return s
+}
+
+// sortedFamilyTerms resolves the family map into deterministic mask order
+// once, so per-block compilation iterates a slice instead of re-sorting
+// the map for every block.
+func (m *Model) sortedFamilyTerms() []*familyTerm {
+	out := make([]*familyTerm, 0, len(m.families))
+	for _, vs := range sortedFamilies(m.families) {
+		out = append(out, m.families[vs])
+	}
+	return out
+}
+
+// buildBlock compiles one constraint block's sub-engine from the current
+// coefficients, leaving the cached block sum unset: compileBlocks
+// accumulates it fresh, the snapshot restore path injects the stored value
+// so the restored engine reproduces the saved one bit for bit. fams is the
+// caller's sortedFamilyTerms() — hoisted out because it is shared by every
+// block of one compilation.
+func (m *Model) buildBlock(blk []int, fams []*familyTerm, ar *blockArena) (*compiledBlock, error) {
+	if _, err := m.blockDenseSize(blk); err != nil {
+		return nil, err
+	}
+	// One arena carve serves vars, cards, and local.
+	buf := ar.take(2*len(blk) + len(m.cards))
+	b := &compiledBlock{
+		vars:  buf[:len(blk):len(blk)],
+		cards: buf[len(blk) : 2*len(blk) : 2*len(blk)],
+		local: buf[2*len(blk):],
+	}
+	copy(b.vars, blk)
+	for i := range b.local {
+		b.local[i] = -1
+	}
+	for i, p := range blk {
+		b.cards[i] = m.cards[p]
+		b.local[p] = i
+	}
+	nt, nv := 0, 0
+	for _, ft := range fams {
+		if b.local[ft.vars[0]] >= 0 {
+			nt++
+			nv += len(ft.vars)
+		}
+	}
+	terms := make([]sumprod.Term, 0, nt)
+	lvbuf := ar.take(nv)
+	for _, ft := range fams {
+		if b.local[ft.vars[0]] < 0 {
+			continue
+		}
+		lv := lvbuf[:len(ft.vars):len(ft.vars)]
+		lvbuf = lvbuf[len(ft.vars):]
+		for i, p := range ft.vars {
+			if b.local[p] < 0 {
+				return nil, fmt.Errorf("maxent: family %v straddles blocks",
+					contingency.NewVarSet(ft.vars...))
+			}
+			lv[i] = b.local[p]
+		}
+		terms = append(terms, sumprod.Term{Vars: lv, Coeffs: ft.coeffs})
+	}
+	eng, err := sumprod.Compile(b.cards, terms)
+	if err != nil {
+		return nil, err
+	}
+	b.eng = eng
+	return b, nil
 }
 
 // R returns the number of attributes.

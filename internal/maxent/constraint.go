@@ -2,6 +2,8 @@ package maxent
 
 import (
 	"fmt"
+	"math/bits"
+	"strconv"
 	"strings"
 
 	"pka/internal/contingency"
@@ -20,21 +22,27 @@ type Constraint struct {
 	Target float64
 }
 
-// validate checks the constraint against attribute cardinalities.
+// validate checks the constraint against attribute cardinalities. Members
+// are walked by bit iteration rather than materialized — validate runs once
+// per constraint on every model load, and the Members() slice showed up in
+// restore allocation profiles.
 func (c Constraint) validate(cards []int) error {
-	members := c.Family.Members()
-	if len(members) == 0 {
+	fam := uint64(c.Family)
+	if fam == 0 {
 		return fmt.Errorf("maxent: constraint with empty attribute family")
 	}
-	if members[len(members)-1] >= len(cards) {
+	if 63-bits.LeadingZeros64(fam) >= len(cards) {
 		return fmt.Errorf("maxent: constraint family %v exceeds %d attributes",
 			c.Family, len(cards))
 	}
-	if len(c.Values) != len(members) {
+	if len(c.Values) != bits.OnesCount64(fam) {
 		return fmt.Errorf("maxent: constraint over %v has %d values, want %d",
-			c.Family, len(c.Values), len(members))
+			c.Family, len(c.Values), bits.OnesCount64(fam))
 	}
-	for i, p := range members {
+	i := 0
+	for v := fam; v != 0; i++ {
+		p := bits.TrailingZeros64(v)
+		v &^= 1 << uint(p)
 		if c.Values[i] < 0 || c.Values[i] >= cards[p] {
 			return fmt.Errorf("maxent: constraint value %d for attribute %d out of range [0,%d)",
 				c.Values[i], p, cards[p])
@@ -49,14 +57,18 @@ func (c Constraint) validate(cards []int) error {
 // Order returns the number of attributes the constraint spans.
 func (c Constraint) Order() int { return c.Family.Len() }
 
-// key is the dedupe identity: family plus cell values.
+// key is the dedupe identity: family plus cell values. Built with
+// strconv, not fmt — it runs once per constraint on every model load, and
+// reflection-based formatting dominated restore profiles.
 func (c Constraint) key() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d:", uint64(c.Family))
+	b := make([]byte, 0, 24+4*len(c.Values))
+	b = strconv.AppendUint(b, uint64(c.Family), 10)
+	b = append(b, ':')
 	for _, v := range c.Values {
-		fmt.Fprintf(&b, "%d,", v)
+		b = strconv.AppendInt(b, int64(v), 10)
+		b = append(b, ',')
 	}
-	return b.String()
+	return string(b)
 }
 
 // Label renders the constraint in the memo's a-notation using the supplied

@@ -129,8 +129,24 @@ func (m *Model) NumConstraints() int { return len(m.cons) }
 // HasConstraint reports whether a constraint on exactly this family cell is
 // registered.
 func (m *Model) HasConstraint(family contingency.VarSet, values []int) bool {
+	m.ensureConIdx()
 	_, ok := m.conIdx[Constraint{Family: family, Values: values}.key()]
 	return ok
+}
+
+// ensureConIdx builds the constraint lookup index on first use. A restored
+// model leaves conIdx nil — snapshot loads never mutate, so paying for the
+// index (and its string keys) up front would tax every cold start for a map
+// most servers never touch. Mutation entry points call this before reading
+// the map; like all Model mutation it assumes the single-writer contract.
+func (m *Model) ensureConIdx() {
+	if m.conIdx != nil {
+		return
+	}
+	m.conIdx = make(map[string]int, len(m.cons))
+	for i, c := range m.cons {
+		m.conIdx[c.key()] = i
+	}
 }
 
 // AddConstraint registers a constraint and allocates its coefficient.
@@ -140,6 +156,7 @@ func (m *Model) AddConstraint(c Constraint) error {
 	if err := c.validate(m.cards); err != nil {
 		return err
 	}
+	m.ensureConIdx()
 	k := c.key()
 	if _, dup := m.conIdx[k]; dup {
 		return fmt.Errorf("maxent: duplicate constraint on %s", c.Label(m.names))
@@ -189,6 +206,7 @@ func (m *Model) SetTarget(family contingency.VarSet, values []int, target float6
 	if err := c.validate(m.cards); err != nil {
 		return err
 	}
+	m.ensureConIdx()
 	i, ok := m.conIdx[c.key()]
 	if !ok {
 		return fmt.Errorf("maxent: no constraint on %s to retarget", c.Label(m.names))
@@ -373,7 +391,6 @@ func (m *Model) Clone() *Model {
 		a0:       m.a0,
 		families: make(map[contingency.VarSet]*familyTerm, len(m.families)),
 		cons:     make([]Constraint, len(m.cons)),
-		conIdx:   make(map[string]int, len(m.conIdx)),
 	}
 	for vs, ft := range m.families {
 		cp.families[vs] = &familyTerm{
@@ -388,8 +405,13 @@ func (m *Model) Clone() *Model {
 			Target: c.Target,
 		}
 	}
-	for k, v := range m.conIdx {
-		cp.conIdx[k] = v
+	// A nil conIdx (restored-from-snapshot model, index not yet demanded)
+	// stays nil in the clone; ensureConIdx rebuilds it on first mutation.
+	if m.conIdx != nil {
+		cp.conIdx = make(map[string]int, len(m.conIdx))
+		for k, v := range m.conIdx {
+			cp.conIdx[k] = v
+		}
 	}
 	if m.dirty != nil {
 		cp.dirty = make(map[contingency.VarSet]bool, len(m.dirty))

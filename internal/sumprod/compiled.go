@@ -60,14 +60,27 @@ func Compile(cards []int, terms []Term) (*Compiled, error) {
 		byLevel: make([][]int, len(cards)),
 		size:    size,
 	}
+	// The deep copies share one backing array per kind: engines are compiled
+	// per block on the snapshot-restore cold-start path, where two
+	// allocations per term dominate the profile.
+	nv, nc := 0, 0
+	for _, t := range terms {
+		nv += len(t.Vars)
+		nc += len(t.Coeffs)
+	}
+	vbuf := make([]int, nv)
+	cbuf := make([]float64, nc)
 	for ti, t := range terms {
 		if err := t.Validate(cards); err != nil {
 			return nil, err
 		}
-		c.terms[ti] = Term{
-			Vars:   append([]int(nil), t.Vars...),
-			Coeffs: append([]float64(nil), t.Coeffs...),
-		}
+		tv := vbuf[:len(t.Vars):len(t.Vars)]
+		vbuf = vbuf[len(t.Vars):]
+		copy(tv, t.Vars)
+		tc := cbuf[:len(t.Coeffs):len(t.Coeffs)]
+		cbuf = cbuf[len(t.Coeffs):]
+		copy(tc, t.Coeffs)
+		c.terms[ti] = Term{Vars: tv, Coeffs: tc}
 		h := t.Vars[len(t.Vars)-1]
 		c.byLevel[h] = append(c.byLevel[h], ti)
 	}

@@ -1,0 +1,300 @@
+// Package wire provides the little-endian primitive codec shared by the
+// binary snapshot format: an appending Writer and a sticky-error Reader
+// over byte slices. Integers use unsigned varints, floats travel as their
+// exact IEEE-754 bit patterns (so coefficients round-trip bit for bit),
+// and strings and arrays are length-prefixed. The framing above these
+// primitives (magic, version, sections, checksum) belongs to
+// internal/snapshot.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrTruncated reports a read past the end of the input — the decoder's
+// uniform "file cut short or length field corrupted" failure.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// maxSliceLen bounds decoded element counts so a corrupt length prefix
+// fails cleanly instead of attempting a multi-gigabyte allocation. Every
+// length-prefixed read checks its remaining bytes too; this is the cap for
+// counts whose elements are at least one byte.
+const maxSliceLen = 1 << 31
+
+// Writer accumulates an encoded payload. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated payload. The slice aliases the writer's
+// buffer; further writes may reallocate it.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Byte appends one raw byte.
+func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
+
+// Raw appends bytes verbatim, with no length prefix.
+func (w *Writer) Raw(p []byte) { w.buf = append(w.buf, p...) }
+
+// Uvarint appends v in unsigned-varint encoding.
+func (w *Writer) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Int appends a non-negative int as a uvarint.
+func (w *Writer) Int(v int) { w.Uvarint(uint64(v)) }
+
+// Uint64 appends v as 8 fixed little-endian bytes.
+func (w *Writer) Uint64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// Float64 appends the exact IEEE-754 bits of f, little-endian.
+func (w *Writer) Float64(f float64) { w.Uint64(math.Float64bits(f)) }
+
+// String appends a uvarint length prefix followed by the raw bytes.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Ints appends a uvarint count followed by each element as a uvarint.
+// Elements must be non-negative.
+func (w *Writer) Ints(v []int) {
+	w.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		w.Uvarint(uint64(x))
+	}
+}
+
+// Floats appends a uvarint count followed by each element's raw bits.
+func (w *Writer) Floats(v []float64) {
+	w.Uvarint(uint64(len(v)))
+	for _, f := range v {
+		w.Float64(f)
+	}
+}
+
+// Reader decodes a payload produced by Writer. Errors are sticky: after
+// the first failure every read returns zero values and Err() reports the
+// failure, so decoders can read a whole structure linearly and check once.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+	// str mirrors data as one immutable string, converted lazily on the
+	// first String() call: every decoded string is then a zero-allocation
+	// substring of the single conversion instead of its own copy.
+	str string
+}
+
+// NewReader wraps data for decoding. The reader does not copy: the caller
+// must keep data alive and unmodified while reading.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Err returns the first decoding failure, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns how many bytes are left.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+// Byte reads one raw byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil || r.off >= len(r.data) {
+		r.fail()
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads a uvarint-encoded non-negative int.
+func (r *Reader) Int() int {
+	v := r.Uvarint()
+	if v > math.MaxInt {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+// Uint64 reads 8 fixed little-endian bytes.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil || r.off+8 > len(r.data) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+// Float64 reads an IEEE-754 bit pattern.
+func (r *Reader) Float64() float64 { return math.Float64frombits(r.Uint64()) }
+
+// String reads a length-prefixed string. Decoded strings alias one shared
+// conversion of the reader's buffer, so callers may retain them freely —
+// at worst they pin that one copy alive.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail()
+		return ""
+	}
+	if r.str == "" && len(r.data) > 0 {
+		r.str = string(r.data)
+	}
+	s := r.str[r.off : r.off+int(n)]
+	r.off += int(n)
+	return s
+}
+
+// sliceLen validates a decoded element count against the remaining input
+// (each element occupies at least minBytes bytes).
+func (r *Reader) sliceLen(minBytes int) (int, bool) {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0, false
+	}
+	if n > maxSliceLen || n*uint64(minBytes) > uint64(r.Remaining()) {
+		r.fail()
+		return 0, false
+	}
+	return int(n), true
+}
+
+// Ints reads a count-prefixed int slice (nil when the count is zero).
+func (r *Reader) Ints() []int {
+	n, ok := r.sliceLen(1)
+	if !ok || n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// IntArena carves small int slices out of chunked backing arrays, so a
+// decoder reading hundreds of tiny length-prefixed slices pays a handful
+// of heap allocations instead of one each. Returned slices have len ==
+// cap, so appends copy out rather than stomping a neighbor, and a chunk
+// is never reallocated — handing out a new slice never moves slices
+// already handed out. The zero value is ready to use.
+type IntArena struct {
+	free []int
+}
+
+func (a *IntArena) take(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	if len(a.free) < n {
+		size := 256
+		if n > size {
+			size = n
+		}
+		a.free = make([]int, size)
+	}
+	s := a.free[:n:n]
+	a.free = a.free[n:]
+	return s
+}
+
+// IntsArena is Ints with the result carved from the caller's arena.
+func (r *Reader) IntsArena(a *IntArena) []int {
+	n, ok := r.sliceLen(1)
+	if !ok || n == 0 {
+		return nil
+	}
+	out := a.take(n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// FloatArena is IntArena for float64 slices.
+type FloatArena struct {
+	free []float64
+}
+
+func (a *FloatArena) take(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if len(a.free) < n {
+		size := 256
+		if n > size {
+			size = n
+		}
+		a.free = make([]float64, size)
+	}
+	s := a.free[:n:n]
+	a.free = a.free[n:]
+	return s
+}
+
+// FloatsArena is Floats with the result carved from the caller's arena.
+func (r *Reader) FloatsArena(a *FloatArena) []float64 {
+	n, ok := r.sliceLen(8)
+	if !ok || n == 0 {
+		return nil
+	}
+	out := a.take(n)
+	for i := range out {
+		out[i] = r.Float64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Floats reads a count-prefixed float64 slice (nil when the count is zero).
+func (r *Reader) Floats() []float64 {
+	n, ok := r.sliceLen(8)
+	if !ok || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	var w Writer
+	w.Byte(0xAB)
+	w.Uvarint(0)
+	w.Uvarint(1<<63 + 17)
+	w.Int(42)
+	w.Uint64(math.MaxUint64)
+	w.Float64(-0.0)
+	w.Float64(math.Pi)
+	w.Float64(math.Inf(-1))
+	w.String("")
+	w.String("hello, wire")
+	w.Ints(nil)
+	w.Ints([]int{3, 1, 4, 1, 5})
+	w.Floats([]float64{1.5, -2.25})
+
+	r := NewReader(w.Bytes())
+	if got := r.Byte(); got != 0xAB {
+		t.Errorf("Byte = %#x", got)
+	}
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.Uvarint(); got != 1<<63+17 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.Int(); got != 42 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.Uint64(); got != math.MaxUint64 {
+		t.Errorf("Uint64 = %d", got)
+	}
+	if got := r.Float64(); math.Float64bits(got) != math.Float64bits(-0.0) {
+		t.Errorf("Float64 lost the -0 bit pattern: %v", got)
+	}
+	if got := r.Float64(); got != math.Pi {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := r.Float64(); !math.IsInf(got, -1) {
+		t.Errorf("Float64 = %v, want -Inf", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != "hello, wire" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Ints(); got != nil {
+		t.Errorf("Ints(nil) = %v", got)
+	}
+	ints := r.Ints()
+	if len(ints) != 5 || ints[0] != 3 || ints[4] != 5 {
+		t.Errorf("Ints = %v", ints)
+	}
+	floats := r.Floats()
+	if len(floats) != 2 || floats[0] != 1.5 || floats[1] != -2.25 {
+		t.Errorf("Floats = %v", floats)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("%d bytes left over", r.Remaining())
+	}
+}
+
+// TestStickyTruncation checks the error model: the first read past the end
+// fails with ErrTruncated, and every later read returns zero values
+// without clearing it.
+func TestStickyTruncation(t *testing.T) {
+	var w Writer
+	w.Uvarint(7)
+	r := NewReader(w.Bytes())
+	if got := r.Uvarint(); got != 7 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if got := r.Uint64(); got != 0 {
+		t.Errorf("read past end returned %d", got)
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Errorf("Err = %v, want ErrTruncated", r.Err())
+	}
+	if got := r.Byte(); got != 0 {
+		t.Errorf("read after failure returned %#x", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("String after failure = %q", got)
+	}
+}
+
+// TestCorruptLengthPrefix checks a corrupt count fails cleanly instead of
+// attempting a huge allocation: the count is validated against the
+// remaining input before anything is allocated.
+func TestCorruptLengthPrefix(t *testing.T) {
+	var w Writer
+	w.Uvarint(1 << 40) // claims a trillion elements follow
+	for _, read := range []func(r *Reader){
+		func(r *Reader) { r.Ints() },
+		func(r *Reader) { r.Floats() },
+		func(r *Reader) { _ = r.String() },
+		func(r *Reader) { var a IntArena; r.IntsArena(&a) },
+		func(r *Reader) { var a FloatArena; r.FloatsArena(&a) },
+	} {
+		r := NewReader(w.Bytes())
+		read(r)
+		if !errors.Is(r.Err(), ErrTruncated) {
+			t.Errorf("corrupt count: Err = %v, want ErrTruncated", r.Err())
+		}
+	}
+}
+
+// TestArenaReads checks the arena variants decode the same values as the
+// plain readers and hand out full (len == cap) slices that stay stable as
+// the arena keeps carving — including across a chunk refill.
+func TestArenaReads(t *testing.T) {
+	var w Writer
+	slices := [][]int{{1, 2, 3}, {}, {10}, make([]int, 300)} // 300 forces a fresh chunk
+	for i := range slices[3] {
+		slices[3][i] = i
+	}
+	for _, s := range slices {
+		w.Ints(s)
+	}
+	w.Floats([]float64{0.5, 1.5})
+	w.Floats([]float64{2.5})
+
+	r := NewReader(w.Bytes())
+	var ia IntArena
+	var got [][]int
+	for range slices {
+		got = append(got, r.IntsArena(&ia))
+	}
+	var fa FloatArena
+	f1 := r.FloatsArena(&fa)
+	f2 := r.FloatsArena(&fa)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range slices {
+		g := got[i]
+		if len(want) == 0 {
+			if g != nil {
+				t.Errorf("slice %d: empty input decoded to %v", i, g)
+			}
+			continue
+		}
+		if len(g) != len(want) || cap(g) != len(want) {
+			t.Errorf("slice %d: len/cap = %d/%d, want %d/%d", i, len(g), cap(g), len(want), len(want))
+		}
+		for j := range want {
+			if g[j] != want[j] {
+				t.Errorf("slice %d[%d] = %d, want %d", i, j, g[j], want[j])
+			}
+		}
+	}
+	if len(f1) != 2 || f1[0] != 0.5 || f1[1] != 1.5 || cap(f1) != 2 {
+		t.Errorf("FloatsArena = %v (cap %d)", f1, cap(f1))
+	}
+	if len(f2) != 1 || f2[0] != 2.5 {
+		t.Errorf("FloatsArena = %v", f2)
+	}
+	// Appending to one arena slice must not clobber its neighbor.
+	_ = append(got[0], 99)
+	if got[2][0] != 10 {
+		t.Error("append to one arena slice stomped another")
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"pka/internal/mml"
 	"pka/internal/query"
 	"pka/internal/rules"
+	"pka/internal/snapshot"
 	"pka/internal/stats"
 )
 
@@ -442,6 +443,113 @@ func Load(r io.Reader) (*QueryModel, error) {
 	q := &QueryModel{}
 	q.kbase.Store(kbase)
 	return q, nil
+}
+
+// SaveSnapshot persists the model as a PKAS binary snapshot, discovery
+// counts and options included — the fast-restart format: LoadSnapshot (or
+// LoadModelSnapshot, to restore streaming ingest) reconstructs the
+// compiled engine directly from the stored coefficients, skipping the
+// solve entirely. Use Save for the JSON interchange form.
+func (m *Model) SaveSnapshot(w io.Writer) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	kbase := m.kb()
+	opts := snapshotOptions(m.opts)
+	return snapshot.Write(w, &snapshot.Snapshot{
+		Schema:  kbase.Schema(),
+		Model:   kbase.Model(),
+		Counts:  m.counts,
+		Options: &opts,
+	})
+}
+
+// LoadSnapshot reads a PKAS binary snapshot saved with SaveSnapshot (or
+// `pka snapshot`) into a query-only model. Load-to-first-query is pure
+// deserialization — no refit, no block summation — and every answer is
+// bit-identical to the model that was saved.
+func LoadSnapshot(r io.Reader) (*QueryModel, error) {
+	kbase, err := kb.LoadBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	q := &QueryModel{}
+	q.kbase.Store(kbase)
+	return q, nil
+}
+
+// LoadAny reads a saved knowledge base in either format — PKAS binary
+// snapshot or JSON — sniffing the magic bytes to dispatch. It is what
+// `pka serve -kb` uses, so one flag serves both formats.
+func LoadAny(r io.Reader) (*QueryModel, error) {
+	kbase, err := kb.LoadAny(r)
+	if err != nil {
+		return nil, err
+	}
+	q := &QueryModel{}
+	q.kbase.Store(kbase)
+	return q, nil
+}
+
+// LoadModelSnapshot restores a full updatable Model from a binary snapshot
+// that carries discovery counts (Model.SaveSnapshot writes them;
+// query-only snapshots are rejected — use LoadSnapshot for those). The
+// restored model resumes streaming ingest: counts, cached sparse
+// projections, discovery options, and the solved coefficients all travel,
+// so the first Update after a restart warm-starts exactly as it would have
+// in the saved process. The discovery narrative (findings, scans) does not
+// travel; Findings() starts empty and accumulates from new updates.
+func LoadModelSnapshot(r io.Reader) (*Model, error) {
+	s, err := snapshot.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if s.Counts == nil {
+		return nil, fmt.Errorf("pka: snapshot carries no discovery counts (query-only); use LoadSnapshot")
+	}
+	kbase, err := kb.New(s.Schema, s.Model)
+	if err != nil {
+		return nil, err
+	}
+	fit, err := core.GoodnessOfFit(s.Counts, s.Model)
+	if err != nil {
+		return nil, err
+	}
+	var opts Options
+	if s.Options != nil {
+		opts = discoveryOptions(*s.Options)
+	}
+	res := &core.Result{Model: s.Model, TotalSamples: s.Counts.Total()}
+	m := &Model{result: res, fit: fit, counts: s.Counts, opts: opts}
+	m.kbase.Store(kbase)
+	return m, nil
+}
+
+// snapshotOptions converts public discovery options to the snapshot form.
+func snapshotOptions(o Options) snapshot.DiscoveryOptions {
+	return snapshot.DiscoveryOptions{
+		MaxOrder:           o.MaxOrder,
+		PriorH2:            o.PriorH2,
+		MaxConstraints:     o.MaxConstraints,
+		RecordScans:        o.RecordScans,
+		IncludeForcedCells: o.IncludeForcedCells,
+		Workers:            o.Workers,
+		ScreenPairs:        o.ScreenPairs,
+		ScreenAlpha:        o.ScreenAlpha,
+	}
+}
+
+// discoveryOptions is the inverse of snapshotOptions.
+func discoveryOptions(o snapshot.DiscoveryOptions) Options {
+	return Options{
+		MaxOrder:           o.MaxOrder,
+		PriorH2:            o.PriorH2,
+		MaxConstraints:     o.MaxConstraints,
+		RecordScans:        o.RecordScans,
+		IncludeForcedCells: o.IncludeForcedCells,
+		Workers:            o.Workers,
+		ScreenPairs:        o.ScreenPairs,
+		ScreenAlpha:        o.ScreenAlpha,
+	}
 }
 
 // QueryModel is a loaded, query-only knowledge base: the same Querier

@@ -1,0 +1,287 @@
+package pka_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"pka"
+	"pka/internal/paperdata"
+	"pka/internal/snapshot"
+)
+
+// allKindQueries builds one query of every kind from the schema's first
+// two attributes, so the round-trip test exercises the full query surface
+// without hard-coding attribute names.
+func allKindQueries(s *pka.Schema) []pka.Query {
+	a0, a1 := s.Attr(0), s.Attr(1)
+	t0 := pka.Assignment{Attr: a0.Name, Value: a0.Values[0]}
+	t1 := pka.Assignment{Attr: a1.Name, Value: a1.Values[len(a1.Values)-1]}
+	return []pka.Query{
+		{Kind: pka.QueryProbability, Target: []pka.Assignment{t0}},
+		{Kind: pka.QueryProbability, Target: []pka.Assignment{t0, t1}},
+		{Kind: pka.QueryConditional, Target: []pka.Assignment{t1}, Given: []pka.Assignment{t0}},
+		{Kind: pka.QueryDistribution, Attr: a1.Name, Given: []pka.Assignment{t0}},
+		{Kind: pka.QueryMostLikely, Attr: a0.Name, Given: []pka.Assignment{t1}},
+		{Kind: pka.QueryLift, Target: []pka.Assignment{t1}, Given: []pka.Assignment{t0}},
+		{Kind: pka.QueryMPE, Given: []pka.Assignment{t0}},
+	}
+}
+
+// denseModel is the paper's 3-attribute memo model: small enough for the
+// dense joint engine, the counterpart to the factored wide model.
+func denseModel(t *testing.T) *pka.Model {
+	t.Helper()
+	m, err := pka.Discover(paperdata.Records(), pka.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func snapshotBytes(t *testing.T, m *pka.Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func encodeAnswer(t *testing.T, q pka.Querier, qu pka.Query) []byte {
+	t.Helper()
+	res, err := pka.Answer(q, qu)
+	if err != nil {
+		t.Fatalf("query %v: %v", qu, err)
+	}
+	var buf bytes.Buffer
+	if err := pka.EncodeQueryResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotRoundTripBitIdentical is the snapshot acceptance gate: a
+// model restored from a binary snapshot must answer every query kind with
+// wire bytes identical to the live model it was saved from, in both the
+// dense-joint and the factored (wide, per-block) engine modes.
+func TestSnapshotRoundTripBitIdentical(t *testing.T) {
+	cases := []struct {
+		name  string
+		model func(testing.TB) *pka.Model
+	}{
+		{"dense", func(tb testing.TB) *pka.Model { return denseModel(tb.(*testing.T)) }},
+		{"factored", wideColdStartModel},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			live := tc.model(t)
+			data := snapshotBytes(t, live)
+			restored, err := pka.LoadSnapshot(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !restored.Schema().Equal(live.Schema()) {
+				t.Fatal("restored schema differs from live schema")
+			}
+			for _, qu := range allKindQueries(live.Schema()) {
+				want := encodeAnswer(t, live, qu)
+				got := encodeAnswer(t, restored, qu)
+				if !bytes.Equal(want, got) {
+					t.Errorf("%s %v: live %s != restored %s", qu.Kind, qu, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotSaveLoadSaveIdentical pins the canonical encoding: saving a
+// loaded snapshot reproduces the input byte for byte, for both the full
+// (counts-carrying) form and the query-only form.
+func TestSnapshotSaveLoadSaveIdentical(t *testing.T) {
+	models := []struct {
+		name  string
+		model func(testing.TB) *pka.Model
+	}{
+		{"dense", func(tb testing.TB) *pka.Model { return denseModel(tb.(*testing.T)) }},
+		{"factored", wideColdStartModel},
+	}
+	for _, tc := range models {
+		t.Run(tc.name, func(t *testing.T) {
+			first := snapshotBytes(t, tc.model(t))
+
+			// Full snapshot: counts and options travel, so a restored
+			// updatable model re-saves identically.
+			m2, err := pka.LoadModelSnapshot(bytes.NewReader(first))
+			if err != nil {
+				t.Fatal(err)
+			}
+			second := snapshotBytes(t, m2)
+			if !bytes.Equal(first, second) {
+				t.Errorf("full snapshot not byte-stable: %d bytes then %d bytes", len(first), len(second))
+			}
+
+			// Query-only snapshot: a QueryModel saves without counts; that
+			// form must be byte-stable under its own load/save cycle.
+			qm, err := pka.LoadSnapshot(bytes.NewReader(first))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var q1 bytes.Buffer
+			if err := qm.SaveSnapshot(&q1); err != nil {
+				t.Fatal(err)
+			}
+			qm2, err := pka.LoadSnapshot(bytes.NewReader(q1.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var q2 bytes.Buffer
+			if err := qm2.SaveSnapshot(&q2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(q1.Bytes(), q2.Bytes()) {
+				t.Errorf("query-only snapshot not byte-stable: %d bytes then %d bytes", q1.Len(), q2.Len())
+			}
+		})
+	}
+}
+
+// TestSnapshotCorruptInputs drives every corruption class through the
+// loader and checks the named error, so callers can dispatch with
+// errors.Is instead of string matching. The version-skew case relies on
+// header-first validation: a future version is rejected before the
+// payload (or its checksum) is ever read.
+func TestSnapshotCorruptInputs(t *testing.T) {
+	valid := snapshotBytes(t, denseModel(t))
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"empty", func([]byte) []byte { return nil }, snapshot.ErrBadMagic},
+		{"short prefix", func([]byte) []byte { return []byte("PK") }, snapshot.ErrBadMagic},
+		{"json not snapshot", func([]byte) []byte { return []byte(`{"version":1}`) }, snapshot.ErrBadMagic},
+		{"wrong magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[3] = 'Z'
+			return c
+		}, snapshot.ErrBadMagic},
+		{"header cut short", func(b []byte) []byte { return append([]byte(nil), b[:9]...) }, snapshot.ErrTruncated},
+		{"payload cut short", func(b []byte) []byte { return append([]byte(nil), b[:len(b)/2]...) }, snapshot.ErrTruncated},
+		{"checksum cut off", func(b []byte) []byte { return append([]byte(nil), b[:len(b)-2]...) }, snapshot.ErrTruncated},
+		{"trailing garbage", func(b []byte) []byte {
+			return append(append([]byte(nil), b...), 0x00)
+		}, snapshot.ErrTruncated},
+		{"future version", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[4] = snapshot.FormatVersion + 1 // version uint16 at offset 4
+			return c
+		}, snapshot.ErrUnsupportedVersion},
+		{"payload bit flip", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[20] ^= 0xFF
+			return c
+		}, snapshot.ErrChecksum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := pka.LoadSnapshot(bytes.NewReader(tc.mutate(valid)))
+			if !errors.Is(err, tc.want) {
+				t.Errorf("got %v, want errors.Is(err, %v)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadModelSnapshotResume checks the updatable round trip: a model
+// restored from a full snapshot keeps its counts and options, so
+// streaming updates continue where the saved model left off. A query-only
+// snapshot must be rejected with a pointer at LoadSnapshot.
+func TestLoadModelSnapshotResume(t *testing.T) {
+	m := denseModel(t)
+	data := snapshotBytes(t, m)
+	m2, err := pka.LoadModelSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m2.Update([]pka.Record{{0, 0, 0}, {1, 1, 1}, {2, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows != 3 {
+		t.Errorf("update saw %d rows, want 3", rep.Rows)
+	}
+	if _, err := pka.Answer(m2, allKindQueries(m2.Schema())[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	qm, err := pka.LoadSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queryOnly bytes.Buffer
+	if err := qm.SaveSnapshot(&queryOnly); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pka.LoadModelSnapshot(bytes.NewReader(queryOnly.Bytes())); err == nil {
+		t.Error("LoadModelSnapshot accepted a query-only snapshot")
+	}
+}
+
+// TestLoadAnyDispatch checks the magic-byte sniffing: both on-disk
+// formats load through the one entry point, and garbage fails.
+func TestLoadAnyDispatch(t *testing.T) {
+	m := denseModel(t)
+	var jsonBuf bytes.Buffer
+	if err := m.Save(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	snapBuf := snapshotBytes(t, m)
+
+	fromJSON, err := pka.LoadAny(bytes.NewReader(jsonBuf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadAny(json): %v", err)
+	}
+	fromSnap, err := pka.LoadAny(bytes.NewReader(snapBuf))
+	if err != nil {
+		t.Fatalf("LoadAny(snapshot): %v", err)
+	}
+	qu := allKindQueries(m.Schema())[0]
+	if a, b := encodeAnswer(t, fromJSON, qu), encodeAnswer(t, fromSnap, qu); !bytes.Equal(a, b) {
+		t.Errorf("LoadAny answers differ across formats: %s vs %s", a, b)
+	}
+	if _, err := pka.LoadAny(bytes.NewReader([]byte("neither format"))); err == nil {
+		t.Error("LoadAny accepted garbage")
+	}
+}
+
+// FuzzLoadSnapshot asserts the binary loader never panics: any byte
+// mutation must surface as an error (or a structurally valid snapshot),
+// never a crash.
+func FuzzLoadSnapshot(f *testing.F) {
+	var valid []byte
+	{
+		m, err := pka.Discover(paperdata.Records(), pka.Options{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.SaveSnapshot(&buf); err != nil {
+			f.Fatal(err)
+		}
+		valid = buf.Bytes()
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("PKAS"))
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x55
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		qm, err := pka.LoadSnapshot(bytes.NewReader(data))
+		if err == nil && qm.Schema().R() == 0 {
+			t.Error("loaded snapshot with empty schema")
+		}
+	})
+}

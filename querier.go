@@ -189,8 +189,16 @@ func (c *queryCore) LogLossSparse(table *SparseTable) (float64, error) {
 	return c.kb().LogLoss(table)
 }
 
-// Save persists the knowledge base (schema + fitted model) as JSON.
+// Save persists the knowledge base (schema + fitted model) as JSON — the
+// interchange format.
 func (c *queryCore) Save(w io.Writer) error { return c.kb().Save(w) }
+
+// SaveSnapshot persists the knowledge base as a PKAS binary snapshot:
+// schema, constraints, and the already-solved coefficients with their
+// compiled engine state, so LoadSnapshot restores to the first query
+// without refitting. Model overrides this with the full form that also
+// carries the discovery counts; a QueryModel saves the query-only form.
+func (c *queryCore) SaveSnapshot(w io.Writer) error { return c.kb().SaveBinary(w) }
 
 // Entropy returns the fitted joint's entropy in nats.
 func (c *queryCore) Entropy() (float64, error) { return c.kb().Model().Entropy() }
