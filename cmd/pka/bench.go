@@ -16,15 +16,19 @@ import (
 	"pka"
 	"pka/internal/contingency"
 	"pka/internal/maxent"
+	"pka/internal/stats"
+	"pka/internal/synth"
 )
 
 // cmdBench runs a fixed performance suite over synthetic deterministic
 // workloads — dense discovery, wide sparse discovery with screening,
+// 520-attribute multi-word discovery with the conditional-independence
+// screen,
 // incremental refit, the factored block solver, batched query answering,
 // the HTTP batch endpoint, and cold-start (load-to-first-query) for both
 // persistence formats — and writes a machine-readable snapshot:
 //
-//	pka bench [-out BENCH_6.json] [-iters N] [-workers W]
+//	pka bench [-out BENCH_7.json] [-iters N] [-workers W]
 //
 // The snapshot (host info plus ns/op, allocs/op, and bytes/op per suite
 // item) seeds the repo's performance trajectory: each perf-focused PR
@@ -33,7 +37,7 @@ import (
 // snapshots use the default iteration count.
 func cmdBench(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_6.json", "snapshot output path (empty = stdout only)")
+	out := fs.String("out", "BENCH_7.json", "snapshot output path (empty = stdout only)")
 	iters := fs.Int("iters", 5, "iterations per suite item (1 = CI smoke)")
 	workers := fs.Int("workers", 0, "worker goroutines for the parallel suite items (0 = all cores, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
@@ -43,7 +47,7 @@ func cmdBench(w io.Writer, args []string) error {
 		return fmt.Errorf("bench: -iters must be >= 1, got %d", *iters)
 	}
 	snap := benchSnapshot{
-		Version: 6,
+		Version: 7,
 		Host: benchHost{
 			Go:         runtime.Version(),
 			OS:         runtime.GOOS,
@@ -350,6 +354,32 @@ func buildBenchSuite(workers int) (*benchSuite, error) {
 		// DiscoverSparse takes ownership of its table: each iteration
 		// clones the master (O(occupied), cold projection cache).
 		_, err := pka.DiscoverSparse(sparseMaster.Clone(), sparseSchema, sparseOpts)
+		return err
+	}})
+
+	// The mammoth-schema workload: 520 binary attributes (8 key words) with
+	// 260 planted pair couplings, discovered through the flattened bulk
+	// pairwise screen, the conditional-independence refinement, and the
+	// factored fit under a constraint cap. This is the representative
+	// measurement of the multi-word representation: no single-word schema
+	// can express it.
+	wideTruth, err := synth.WidePairs(260, 3)
+	if err != nil {
+		return nil, err
+	}
+	wideMaster, err := wideTruth.SampleSparse(stats.NewRNG(707), 1200)
+	if err != nil {
+		return nil, err
+	}
+	wideOpts := pka.Options{
+		MaxOrder:       2,
+		ScreenPairs:    true,
+		ScreenCI:       true,
+		MaxConstraints: 32,
+		Workers:        workers,
+	}
+	suite.items = append(suite.items, benchItem{name: "wide_discover", fn: func() error {
+		_, err := pka.DiscoverSparse(wideMaster.Clone(), wideTruth.Schema(), wideOpts)
 		return err
 	}})
 

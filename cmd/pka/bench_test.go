@@ -27,15 +27,16 @@ func TestCmdBenchSnapshot(t *testing.T) {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		t.Fatalf("snapshot is not valid JSON: %v", err)
 	}
-	if snap.Version != 6 {
-		t.Errorf("version = %d, want 6", snap.Version)
+	if snap.Version != 7 {
+		t.Errorf("version = %d, want 7", snap.Version)
 	}
 	if snap.Host.Go == "" || snap.Host.OS == "" || snap.Host.Arch == "" ||
 		snap.Host.NumCPU < 1 || snap.Host.GOMAXPROCS < 1 {
 		t.Errorf("host info incomplete: %+v", snap.Host)
 	}
 	want := []string{
-		"discover_dense", "discover_sparse_screen", "incremental_refit",
+		"discover_dense", "discover_sparse_screen", "wide_discover",
+		"incremental_refit",
 		"cold_start_json", "cold_start_snapshot",
 		"fit_factored", "answer_batch", "http_batch",
 	}

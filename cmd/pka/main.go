@@ -120,6 +120,9 @@ func cmdDiscover(w io.Writer, args []string) error {
 	sparse := fs.Bool("sparse", false, "wide-schema mode: tabulate into a sparse table and discover without materializing the joint space")
 	screen := fs.Bool("screen", false, "gate order >= 2 scans on a pairwise association screen (recommended with -sparse)")
 	screenAlpha := fs.Float64("screen-alpha", 0, "pairwise G² p-value threshold for -screen (0 = Bonferroni 0.05/pairs)")
+	screenCI := fs.Bool("screen-ci", false, "refine -screen with conditional-independence triple tests (prunes pairs a common neighbor explains)")
+	screenCIAlpha := fs.Float64("screen-ci-alpha", 0, "p-value above which a conditional test counts as independent for -screen-ci (0 = 0.05)")
+	maxConstraints := fs.Int("max-constraints", 0, "stop after accepting this many order >= 2 constraints (0 = no cap)")
 	workers := fs.Int("workers", 0, "worker goroutines for scans, screening, and block solves (0 = all cores, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -154,12 +157,15 @@ func cmdDiscover(w io.Writer, args []string) error {
 		*maxOrder = best
 	}
 	opts := pka.Options{
-		MaxOrder:    *maxOrder,
-		PriorH2:     *prior,
-		RecordScans: *scan,
-		ScreenPairs: *screen,
-		ScreenAlpha: *screenAlpha,
-		Workers:     *workers,
+		MaxOrder:       *maxOrder,
+		PriorH2:        *prior,
+		RecordScans:    *scan,
+		ScreenPairs:    *screen,
+		ScreenAlpha:    *screenAlpha,
+		ScreenCI:       *screenCI,
+		ScreenCIAlpha:  *screenCIAlpha,
+		MaxConstraints: *maxConstraints,
+		Workers:        *workers,
 	}
 	var model *pka.Model
 	var err error
@@ -172,8 +178,13 @@ func cmdDiscover(w io.Writer, args []string) error {
 		return err
 	}
 	if rep := model.Screen(); rep != nil {
-		fmt.Fprintf(w, "screen: %d of %d attribute pairs passed (alpha %.3g)\n\n",
+		fmt.Fprintf(w, "screen: %d of %d attribute pairs passed (alpha %.3g)\n",
 			rep.PairsKept, rep.PairsTotal, rep.Alpha)
+		if rep.CIAlpha != 0 {
+			fmt.Fprintf(w, "screen-ci: %d conditional tests dropped %d pairs (alpha %.3g)\n",
+				rep.CITriplesTested, rep.CIEdgesDropped, rep.CIAlpha)
+		}
+		fmt.Fprintln(w)
 	}
 	if *scan {
 		if err := printFirstScan(w, model); err != nil {

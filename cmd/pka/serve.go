@@ -37,6 +37,8 @@ func cmdServe(w io.Writer, args []string) error {
 	fs.BoolVar(&cfg.sparse, "sparse", false, "with -data: wide-schema mode (sparse tabulation, factored engine)")
 	fs.BoolVar(&cfg.screen, "screen", false, "with -data: gate order >= 2 scans on a pairwise association screen")
 	fs.Float64Var(&cfg.screenAlpha, "screen-alpha", 0, "with -data: screen p-value threshold (0 = Bonferroni)")
+	fs.BoolVar(&cfg.screenCI, "screen-ci", false, "with -data: refine -screen with conditional-independence triple tests")
+	fs.Float64Var(&cfg.screenCIAlpha, "screen-ci-alpha", 0, "with -data: independence p-value for -screen-ci (0 = 0.05)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,6 +59,8 @@ type serveConfig struct {
 	sparse            bool
 	screen            bool
 	screenAlpha       float64
+	screenCI          bool
+	screenCIAlpha     float64
 }
 
 // runServe is cmdServe minus flag and signal handling, so tests can drive
@@ -72,10 +76,12 @@ func runServe(ctx context.Context, w io.Writer, cfg serveConfig, ready func(net.
 		source = cfg.dataPath
 		mode = "streaming ingest"
 		opts := pka.Options{
-			MaxOrder:    cfg.maxOrder,
-			ScreenPairs: cfg.screen,
-			ScreenAlpha: cfg.screenAlpha,
-			Workers:     cfg.workers,
+			MaxOrder:      cfg.maxOrder,
+			ScreenPairs:   cfg.screen,
+			ScreenAlpha:   cfg.screenAlpha,
+			ScreenCI:      cfg.screenCI,
+			ScreenCIAlpha: cfg.screenCIAlpha,
+			Workers:       cfg.workers,
 		}
 		var err error
 		if cfg.sparse {

@@ -18,12 +18,12 @@ import (
 func cmdSimulate(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	scenario := fs.String("scenario", "survey",
-		"one of: paper, survey, telemetry, xor")
+		"one of: paper, survey, telemetry, xor, wide")
 	n := fs.Int("n", 10000, "number of records")
 	seed := fs.Int64("seed", 1, "random seed (paper scenario ignores it)")
 	out := fs.String("out", "", "output CSV file (default stdout)")
-	factors := fs.Int("factors", 4, "survey scenario: number of risk factors")
-	strength := fs.Float64("strength", 2.5, "survey/xor scenario: coupling strength")
+	factors := fs.Int("factors", 4, "survey: number of risk factors; wide: number of coupled attribute pairs (2x attributes)")
+	strength := fs.Float64("strength", 2.5, "survey/xor/wide scenario: coupling strength")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,6 +42,20 @@ func cmdSimulate(w io.Writer, args []string) error {
 	if *scenario == "paper" {
 		// The paper's exact survey, not a sample.
 		return paperdata.Records().WriteCSV(dst)
+	}
+	if *scenario == "wide" {
+		// Product-of-pairs ground truth: no joint is materialized, so the
+		// schema can go far past the dense builder's cell cap — this is the
+		// data source for the 500+-attribute workflow.
+		truth, err := synth.WidePairs(*factors, *strength)
+		if err != nil {
+			return err
+		}
+		data, err := truth.SampleDataset(stats.NewRNG(*seed), *n)
+		if err != nil {
+			return err
+		}
+		return data.WriteCSV(dst)
 	}
 	truth, err := buildScenario(*scenario, *factors, *strength)
 	if err != nil {
@@ -63,6 +77,6 @@ func buildScenario(name string, factors int, strength float64) (*synth.GroundTru
 	case "xor":
 		return synth.XOR3(strength)
 	default:
-		return nil, fmt.Errorf("simulate: unknown scenario %q (want paper, survey, telemetry, or xor)", name)
+		return nil, fmt.Errorf("simulate: unknown scenario %q (want paper, survey, telemetry, xor, or wide)", name)
 	}
 }

@@ -20,6 +20,20 @@ func TestSimulateScenarios(t *testing.T) {
 	}
 }
 
+func TestSimulateWide(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"simulate", "-scenario", "wide", "-factors", "40", "-n", "25", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 26 { // header + 25 rows
+		t.Fatalf("%d lines, want 26", len(lines))
+	}
+	if got := strings.Count(lines[0], ",") + 1; got != 80 {
+		t.Errorf("header has %d columns, want 80 (2 x 40 pairs)", got)
+	}
+}
+
 func TestSimulatePaperExact(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, []string{"simulate", "-scenario", "paper"}); err != nil {

@@ -174,6 +174,12 @@ func PairwiseSparseWorkers(s *contingency.Sparse, workers int) ([]PairStats, err
 	if s.R() < 2 {
 		return nil, fmt.Errorf("assoc: need at least 2 attributes")
 	}
+	if s.R() >= bulkPairwiseMinR {
+		// Wide schemas flatten the occupied cells once instead of paying a
+		// full-width unpack per pair and caching O(R²) projections; the
+		// statistics are bit-identical to the projection path.
+		return pairwiseSparseBulk(s, workers)
+	}
 	n := float64(s.Total())
 	fams := contingency.Combinations(s.R(), 2)
 	out := make([]PairStats, len(fams))

@@ -1,0 +1,154 @@
+package assoc
+
+import (
+	"fmt"
+	"math"
+
+	"pka/internal/contingency"
+	"pka/internal/par"
+	"pka/internal/stats"
+)
+
+// logRatio returns ln(num/den) for positive integer products.
+func logRatio(num, den int64) float64 {
+	return math.Log(float64(num) / float64(den))
+}
+
+// bulkPairwiseMinR is the attribute count at which PairwiseSparseWorkers
+// switches from per-pair cached projections to the flattened bulk path.
+// Below it (every schema the old single-word representation could hold)
+// the projection cache stays warm across streaming re-screens; above it,
+// caching O(R²) pair tables on the parent would cost more than it saves,
+// and each projection's O(occupied × R) unpacking would dominate — the
+// bulk path unpacks every occupied cell exactly once instead.
+const bulkPairwiseMinR = 65
+
+// FlatCells is a contingency backend's occupied cells materialized once,
+// in deterministic (sorted for sparse, row-major for dense) order: row i
+// of the matrix is the full-width coordinate tuple of one occupied cell,
+// Counts[i] its count. Wide-schema screening builds this view once and
+// reads two or three columns per test, instead of unpacking all R
+// coordinates of every cell once per pair.
+type FlatCells struct {
+	Cards  []int
+	Counts []int64
+	Total  int64
+	r      int
+	data   []int
+}
+
+// Flatten materializes the occupied cells of any enumerable counts
+// backend. Memory is O(occupied × R).
+func Flatten(c contingency.Counts) (*FlatCells, error) {
+	each, err := contingency.EachCellDeterministic(c)
+	if err != nil {
+		return nil, fmt.Errorf("assoc: flattening counts: %w", err)
+	}
+	r := c.R()
+	cards := make([]int, r)
+	for i := range cards {
+		cards[i] = c.Card(i)
+	}
+	f := &FlatCells{Cards: cards, Total: c.Total(), r: r}
+	each(func(cell []int, n int64) {
+		f.data = append(f.data, cell...)
+		f.Counts = append(f.Counts, n)
+	})
+	return f, nil
+}
+
+// Len returns the number of occupied cells.
+func (f *FlatCells) Len() int { return len(f.Counts) }
+
+// Row returns the coordinates of occupied cell i (read-only view).
+func (f *FlatCells) Row(i int) []int { return f.data[i*f.r : (i+1)*f.r] }
+
+// CondG2 runs the conditional-independence G² test of attributes i and j
+// given k: the likelihood-ratio statistic of i ⊥ j within each slice of
+// k, summed over slices, with df = (card_i-1)(card_j-1)·card_k. A high
+// p-value means the data cannot distinguish the pair's association from
+// one mediated entirely by k. Iteration over the dense triple array keeps
+// the floating-point accumulation order deterministic.
+func (f *FlatCells) CondG2(i, j, k int) (g2 float64, df int, pvalue float64) {
+	ci, cj, ck := f.Cards[i], f.Cards[j], f.Cards[k]
+	triple := make([]int64, ci*cj*ck)
+	for ridx, n := range f.Counts {
+		row := f.Row(ridx)
+		triple[(row[i]*cj+row[j])*ck+row[k]] += n
+	}
+	nAC := make([]int64, ci*ck) // Σ_b n_abc
+	nBC := make([]int64, cj*ck) // Σ_a n_abc
+	nC := make([]int64, ck)     // Σ_ab n_abc
+	for a := 0; a < ci; a++ {
+		for b := 0; b < cj; b++ {
+			for c := 0; c < ck; c++ {
+				n := triple[(a*cj+b)*ck+c]
+				nAC[a*ck+c] += n
+				nBC[b*ck+c] += n
+				nC[c] += n
+			}
+		}
+	}
+	for a := 0; a < ci; a++ {
+		for b := 0; b < cj; b++ {
+			for c := 0; c < ck; c++ {
+				n := triple[(a*cj+b)*ck+c]
+				if n == 0 {
+					continue
+				}
+				g2 += 2 * float64(n) * logRatio(n*nC[c], nAC[a*ck+c]*nBC[b*ck+c])
+			}
+		}
+	}
+	df = (ci - 1) * (cj - 1) * ck
+	return g2, df, stats.ChiSquareSF(g2, df)
+}
+
+// pairwiseSparseBulk scores every pair from one flattened pass over the
+// occupied cells — the wide-schema arm of PairwiseSparseWorkers. It builds
+// each pair's dense table from exact integer adds, so its statistics are
+// bit-identical to the projection-based path.
+func pairwiseSparseBulk(s *contingency.Sparse, workers int) ([]PairStats, error) {
+	f, err := Flatten(s)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(s.Total())
+	names := s.Names()
+	fams := contingency.Combinations(s.R(), 2)
+	out := make([]PairStats, len(fams))
+	err = par.Do(len(fams), workers, func(idx int) error {
+		m := fams[idx].Members()
+		i, j := m[0], m[1]
+		ci, cj := f.Cards[i], f.Cards[j]
+		obs := make([]int64, ci*cj)
+		for ridx, c := range f.Counts {
+			row := f.Row(ridx)
+			obs[row[i]*cj+row[j]] += c
+		}
+		pair, err := contingency.New([]string{names[i], names[j]}, []int{ci, cj})
+		if err != nil {
+			return err
+		}
+		for a := 0; a < ci; a++ {
+			for b := 0; b < cj; b++ {
+				if v := obs[a*cj+b]; v != 0 {
+					if err := pair.Set(v, a, b); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		ps, err := scorePair(pair, i, j, n)
+		if err != nil {
+			return err
+		}
+		out[idx] = ps
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortByMI(out)
+	return out, nil
+}

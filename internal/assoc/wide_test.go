@@ -1,0 +1,192 @@
+package assoc
+
+import (
+	"math/rand"
+	"testing"
+
+	"pka/internal/contingency"
+)
+
+// coupledSparse builds a seeded sparse table over r ternary attributes with
+// two planted couplings, for comparing the two pairwise screening paths.
+func coupledSparse(t *testing.T, r, rows int, seed int64) *contingency.Sparse {
+	t.Helper()
+	cards := make([]int, r)
+	for i := range cards {
+		cards[i] = 3
+	}
+	s, err := contingency.NewSparse(nil, cards)
+	if err != nil {
+		t.Fatalf("NewSparse: %v", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cell := make([]int, r)
+	for n := 0; n < rows; n++ {
+		for i := range cell {
+			cell[i] = rng.Intn(3)
+		}
+		if rng.Float64() < 0.7 {
+			cell[1] = cell[0]
+		}
+		if rng.Float64() < 0.6 {
+			cell[r-1] = cell[2]
+		}
+		if err := s.Observe(cell...); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	return s
+}
+
+// TestPairwiseSparseBulkMatchesProjection pins the wide-path contract: the
+// flattened bulk scorer must reproduce the projection-based path bit for
+// bit, on any worker count.
+func TestPairwiseSparseBulkMatchesProjection(t *testing.T) {
+	s := coupledSparse(t, 8, 3000, 42)
+	want, err := PairwiseSparseWorkers(s, 1)
+	if err != nil {
+		t.Fatalf("projection path: %v", err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := pairwiseSparseBulk(s, workers)
+		if err != nil {
+			t.Fatalf("bulk path (workers=%d): %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("bulk path returned %d pairs, want %d", len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Errorf("workers=%d pair %d: bulk %+v != projection %+v", workers, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestPairwiseSparseWideDispatch checks that a 65-attribute table takes the
+// bulk path and still produces a full, finite pair survey.
+func TestPairwiseSparseWideDispatch(t *testing.T) {
+	const r = bulkPairwiseMinR
+	cards := make([]int, r)
+	for i := range cards {
+		cards[i] = 2
+	}
+	s, err := contingency.NewSparse(nil, cards)
+	if err != nil {
+		t.Fatalf("NewSparse: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	cell := make([]int, r)
+	for n := 0; n < 500; n++ {
+		for i := range cell {
+			cell[i] = rng.Intn(2)
+		}
+		if rng.Float64() < 0.8 {
+			cell[1] = cell[0]
+		}
+		if err := s.Observe(cell...); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	pairs, err := PairwiseSparseWorkers(s, 0)
+	if err != nil {
+		t.Fatalf("PairwiseSparseWorkers: %v", err)
+	}
+	if want := r * (r - 1) / 2; len(pairs) != want {
+		t.Fatalf("got %d pairs, want %d", len(pairs), want)
+	}
+	// The planted coupling must surface as the top pair by MI.
+	if pairs[0].I != 0 || pairs[0].J != 1 {
+		t.Errorf("top pair is (%d,%d), want the planted (0,1)", pairs[0].I, pairs[0].J)
+	}
+	if pairs[0].PValue > 1e-6 {
+		t.Errorf("planted pair p-value %g, want overwhelming significance", pairs[0].PValue)
+	}
+}
+
+// chainSparse samples X -> Y -> Z (each copies its parent with probability
+// copy) into a 3-attribute binary sparse table.
+func chainSparse(t *testing.T, rows int, copy float64, seed int64) *contingency.Sparse {
+	t.Helper()
+	s, err := contingency.NewSparse([]string{"X", "Y", "Z"}, []int{2, 2, 2})
+	if err != nil {
+		t.Fatalf("NewSparse: %v", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	flip := func(parent int) int {
+		if rng.Float64() < copy {
+			return parent
+		}
+		return rng.Intn(2)
+	}
+	for n := 0; n < rows; n++ {
+		x := rng.Intn(2)
+		y := flip(x)
+		z := flip(y)
+		if err := s.Observe(x, y, z); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	return s
+}
+
+// TestCondG2Chain checks the conditional-independence test on a known
+// chain: X and Z are marginally dependent but independent given Y, while X
+// and Y stay dependent given Z.
+func TestCondG2Chain(t *testing.T) {
+	s := chainSparse(t, 4000, 0.9, 11)
+	flat, err := Flatten(s)
+	if err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
+	g2, df, p := flat.CondG2(0, 2, 1)
+	if df != 2 {
+		t.Errorf("CondG2(X,Z|Y) df = %d, want 2", df)
+	}
+	if p < 0.01 {
+		t.Errorf("CondG2(X,Z|Y) = %.2f (p=%g): chain should look independent given the mediator", g2, p)
+	}
+	if _, _, p := flat.CondG2(0, 1, 2); p > 1e-9 {
+		t.Errorf("CondG2(X,Y|Z) p=%g: direct edge should stay significant", p)
+	}
+}
+
+// TestFlattenDeterministic checks the flattened view: deterministic row
+// order, counts matching the backend, total preserved.
+func TestFlattenDeterministic(t *testing.T) {
+	s := coupledSparse(t, 5, 800, 3)
+	flat, err := Flatten(s)
+	if err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
+	if flat.Total != s.Total() {
+		t.Fatalf("Total = %d, want %d", flat.Total, s.Total())
+	}
+	var sum int64
+	for i := 0; i < flat.Len(); i++ {
+		row := flat.Row(i)
+		n, err := s.At(row...)
+		if err != nil {
+			t.Fatalf("At(%v): %v", row, err)
+		}
+		if n != flat.Counts[i] {
+			t.Errorf("row %d count %d, backend has %d", i, flat.Counts[i], n)
+		}
+		sum += flat.Counts[i]
+	}
+	if sum != s.Total() {
+		t.Errorf("counts sum to %d, want %d", sum, s.Total())
+	}
+	again, err := Flatten(s)
+	if err != nil {
+		t.Fatalf("Flatten again: %v", err)
+	}
+	for i := 0; i < flat.Len(); i++ {
+		a, b := flat.Row(i), again.Row(i)
+		for c := range a {
+			if a[c] != b[c] {
+				t.Fatalf("row %d differs between flattens: %v vs %v", i, a, b)
+			}
+		}
+	}
+}

@@ -12,7 +12,12 @@ import (
 // carries its per-family dense-projection cache so a restored replica
 // starts with the same warm marginals the saved process had. Encodings are
 // canonical — sparse cells sort by packed key, cached projections by
-// family mask — so Save→Load→Save reproduces identical bytes.
+// family order — so Save→Load→Save reproduces identical bytes.
+//
+// Two sparse wire forms exist. Version 1 (the single-word era) stored each
+// cell key as one uint64 and each projection family as a uvarint bitmask;
+// version 2 stores KeyWords() uint64 words per cell and each family as its
+// member list, so any schema width round-trips. Decoding accepts both.
 
 // encodeShape writes the shared axis header: labels then cardinalities.
 func encodeShape(w *wire.Writer, names []string, cards []int) {
@@ -71,31 +76,43 @@ func DecodeTable(r *wire.Reader) (*Table, error) {
 	return t, nil
 }
 
-// EncodeSparse appends a sparse table: shape, the occupied cells as
-// (packed key, count) pairs in ascending key order, and the cached dense
-// projections as (family mask, row-major counts) in ascending mask order.
-// Read-only with respect to the table; safe alongside concurrent readers.
+// wordsLess compares equal-length packed keys as multi-word integers
+// (words least-significant first).
+func wordsLess(a, b []uint64) bool {
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// EncodeSparse appends a sparse table in the version-2 form: shape, the
+// occupied cells as (packed key words, count) pairs in ascending key order,
+// and the cached dense projections as (family member list, row-major
+// counts) in ascending family order. On single-word schemas the cell
+// section is byte-identical to version 1. Read-only with respect to the
+// table; safe alongside concurrent readers.
 func EncodeSparse(w *wire.Writer, s *Sparse) {
 	encodeShape(w, s.names, s.cards)
-	keys := make([]uint64, 0, len(s.cells))
-	for k := range s.cells {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	w.Int(len(keys))
-	for _, k := range keys {
-		w.Uint64(k)
-		w.Uvarint(uint64(s.cells[k]))
-	}
+	w.Int(s.store.occupied())
+	words := make([]uint64, s.keyWords)
+	s.EachCellSorted(func(cell []int, c int64) {
+		s.packWords(cell, words)
+		for _, wd := range words {
+			w.Uint64(wd)
+		}
+		w.Uvarint(uint64(c))
+	})
 	s.projMu.RLock()
 	masks := make([]VarSet, 0, len(s.projs))
 	for vs := range s.projs {
 		masks = append(masks, vs)
 	}
-	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+	sort.Slice(masks, func(i, j int) bool { return masks[i].Less(masks[j]) })
 	w.Int(len(masks))
 	for _, vs := range masks {
-		w.Uvarint(uint64(vs))
+		w.Ints(vs.Members())
 		// Shape is derivable from the parent table, so only counts travel.
 		for _, c := range s.projs[vs].counts {
 			w.Uvarint(uint64(c))
@@ -104,12 +121,13 @@ func EncodeSparse(w *wire.Writer, s *Sparse) {
 	s.projMu.RUnlock()
 }
 
-// DecodeSparse reads a sparse table written by EncodeSparse. Every packed
-// key is unpacked and revalidated against the cardinalities, counts must
-// be positive, and each restored projection must be cacheable and account
-// for the full total — so a corrupt payload fails here rather than
-// producing a silently inconsistent table.
-func DecodeSparse(r *wire.Reader) (*Sparse, error) {
+// DecodeSparse reads a sparse table written by EncodeSparse (or, for
+// version 1, by the single-word writer). Every packed key is unpacked and
+// revalidated against the cardinalities, counts must be positive, and each
+// restored projection must be cacheable and account for the full total —
+// so a corrupt payload fails here rather than producing a silently
+// inconsistent table.
+func DecodeSparse(r *wire.Reader, version int) (*Sparse, error) {
 	names, cards := decodeShape(r)
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("contingency: decoding sparse shape: %w", err)
@@ -118,31 +136,47 @@ func DecodeSparse(r *wire.Reader) (*Sparse, error) {
 	if err != nil {
 		return nil, err
 	}
+	keyWords := s.keyWords
+	if version == 1 {
+		if keyWords != 1 {
+			return nil, fmt.Errorf(
+				"contingency: version-1 sparse payload declares a schema needing %d key words", keyWords)
+		}
+	}
 	ncells := r.Int()
 	if r.Err() != nil || ncells < 0 || ncells > r.Remaining() {
 		return nil, fmt.Errorf("contingency: decoding sparse cells: %w", wire.ErrTruncated)
 	}
 	cell := make([]int, len(cards))
-	prevKey, havePrev := uint64(0), false
+	words := make([]uint64, keyWords)
+	rewords := make([]uint64, keyWords)
+	prev := make([]uint64, keyWords)
+	havePrev := false
 	for i := 0; i < ncells; i++ {
-		k := r.Uint64()
+		for j := range words {
+			words[j] = r.Uint64()
+		}
 		c := int64(r.Uvarint())
 		if r.Err() != nil {
 			break
 		}
-		if havePrev && k <= prevKey {
+		if havePrev && !wordsLess(prev, words) {
 			return nil, fmt.Errorf("contingency: sparse cell keys not strictly ascending")
 		}
-		prevKey, havePrev = k, true
-		s.unkey(k, cell)
-		rk, err := s.key(cell)
-		if err != nil || rk != k {
-			return nil, fmt.Errorf("contingency: sparse cell key %#x does not unpack to a valid cell", k)
+		copy(prev, words)
+		havePrev = true
+		s.unpackWords(words, cell)
+		if err := s.checkCell(cell); err != nil {
+			return nil, fmt.Errorf("contingency: sparse cell key %#x does not unpack to a valid cell", words)
+		}
+		s.packWords(cell, rewords)
+		if !slicesEqual(rewords, words) {
+			return nil, fmt.Errorf("contingency: sparse cell key %#x does not unpack to a valid cell", words)
 		}
 		if c <= 0 {
 			return nil, fmt.Errorf("contingency: sparse cell %v holds non-positive count %d", cell, c)
 		}
-		s.cells[k] = c
+		s.store.add(cell, c)
 		s.total += c
 	}
 	if err := r.Err(); err != nil {
@@ -154,12 +188,23 @@ func DecodeSparse(r *wire.Reader) (*Sparse, error) {
 	}
 	var prevMask VarSet
 	for i := 0; i < nprojs; i++ {
-		vs := VarSet(r.Uvarint())
+		var vs VarSet
+		if version == 1 {
+			vs = VarSetFromMask(r.Uvarint())
+		} else {
+			members := r.Ints()
+			for _, p := range members {
+				if p < 0 || p >= MaxVars {
+					return nil, fmt.Errorf("contingency: projection member %d out of range", p)
+				}
+				vs = vs.Add(p)
+			}
+		}
 		if r.Err() != nil {
 			break
 		}
-		if (i > 0 && vs <= prevMask) || vs.Empty() {
-			return nil, fmt.Errorf("contingency: projection masks not strictly ascending")
+		if (i > 0 && !prevMask.Less(vs)) || vs.Empty() {
+			return nil, fmt.Errorf("contingency: projection families not strictly ascending")
 		}
 		prevMask = vs
 		members := vs.Members()
@@ -201,4 +246,13 @@ func DecodeSparse(r *wire.Reader) (*Sparse, error) {
 		return nil, fmt.Errorf("contingency: decoding projection cache: %w", err)
 	}
 	return s, nil
+}
+
+func slicesEqual(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

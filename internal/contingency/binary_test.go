@@ -73,7 +73,7 @@ func TestTableBinaryRoundTrip(t *testing.T) {
 
 func TestSparseBinaryRoundTrip(t *testing.T) {
 	s, data := encodedSparse(t)
-	got, err := DecodeSparse(wire.NewReader(data))
+	got, err := DecodeSparse(wire.NewReader(data), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestDecodeSparseRejectsCorrupt(t *testing.T) {
 			w.Uint64(0)
 			w.Uvarint(4)
 			w.Int(1)
-			w.Uvarint(uint64(NewVarSet(0)))
+			w.Ints([]int{0})
 			w.Uvarint(1) // projection sums to 3, table totals 4
 			w.Uvarint(2)
 		}, "total"},
@@ -152,7 +152,7 @@ func TestDecodeSparseRejectsCorrupt(t *testing.T) {
 			shape(w)
 			w.Int(0)
 			w.Int(1)
-			w.Uvarint(uint64(NewVarSet(5)))
+			w.Ints([]int{5})
 			w.Uvarint(0)
 			w.Uvarint(0)
 		}, "axes"},
@@ -167,7 +167,7 @@ func TestDecodeSparseRejectsCorrupt(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			var w wire.Writer
 			tc.build(&w)
-			_, err := DecodeSparse(wire.NewReader(w.Bytes()))
+			_, err := DecodeSparse(wire.NewReader(w.Bytes()), 2)
 			if err == nil || !strings.Contains(err.Error(), tc.want) {
 				t.Errorf("got %v, want error containing %q", err, tc.want)
 			}

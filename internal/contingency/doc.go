@@ -4,7 +4,9 @@
 // subset/family enumeration for the level-wise discovery scan, text rendering
 // in the memo's layout, and JSON persistence.
 //
-// Attribute subsets are represented as VarSet bitmasks over attribute
-// positions, supporting up to 64 attributes — far beyond the enumeration
-// limits of the dense representation itself.
+// Attribute subsets are represented as VarSet multi-word bitmasks over
+// attribute positions — an inline word covers the first 64 positions
+// allocation-free, and wider schemas spill into further words up to the
+// MaxVars sanity ceiling — far beyond the enumeration limits of the dense
+// representation itself.
 package contingency

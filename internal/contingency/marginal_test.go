@@ -102,7 +102,7 @@ func TestMarginalizeIdentity(t *testing.T) {
 
 func TestMarginalizeErrors(t *testing.T) {
 	tab := memoTable(t)
-	if _, err := tab.Marginalize(0); err == nil {
+	if _, err := tab.Marginalize(VarSet{}); err == nil {
 		t.Error("empty keep set accepted")
 	}
 	if _, err := tab.Marginalize(NewVarSet(3)); err == nil {
@@ -121,7 +121,7 @@ func TestMarginalCountAgainstMarginalize(t *testing.T) {
 		t.Errorf("N^AC_12 = %d, memo says 750", v)
 	}
 	// Empty set -> grand total.
-	v, err = tab.MarginalCount(0, nil)
+	v, err = tab.MarginalCount(VarSet{}, nil)
 	if err != nil || v != 3428 {
 		t.Errorf("MarginalCount(∅) = %d err %v", v, err)
 	}

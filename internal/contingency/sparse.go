@@ -1,6 +1,7 @@
 package contingency
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -15,14 +16,26 @@ import (
 // Discovery itself solves over dense projected spaces; the sparse table's
 // job is tabulation and projection: Project extracts the dense marginal
 // table over any small attribute subset.
+//
+// Cell keys are packed bit fields over however many 64-bit words the
+// schema needs. Schemas that fit one word (Σ ceil(log2(card)) <= 64 — the
+// old hard cap) keep the original single-uint64 hash as a fast path;
+// two-word schemas use a fixed [2]uint64 key; anything wider packs the
+// words into a comparable string key. All three specializations sit behind
+// the same Counts contract, projection cache, and batch-mutation paths.
 type Sparse struct {
 	names []string
 	cards []int
-	// shift/mask pack each coordinate into a fixed bit field of the key.
-	shifts []uint
-	masks  []uint64
-	cells  map[uint64]int64
-	total  int64
+	// fields maps each attribute to its packed bit field: a word index
+	// plus shift/mask within that word (fields never straddle words).
+	fields   []keyField
+	keyWords int
+	store    cellStore
+	total    int64
+
+	// subScratch is the mutation-path projection scratch; safe because
+	// mutation must not overlap any other call (see the contract below).
+	subScratch []int
 
 	// projMu guards projs, the per-family dense-projection cache behind
 	// MarginalCount: the first marginal query over an attribute family
@@ -44,39 +57,73 @@ type Sparse struct {
 // cells instead of materializing a large dense table per family.
 const maxCachedProjCells = 1 << 16
 
-// NewSparse creates an empty sparse table. The packed cell key must fit in
-// 64 bits: Σ ceil(log2(card)) <= 64 over all attributes (so e.g. 64 binary
-// attributes or 16 attributes of 16 values are the widest uniform schemas).
-func NewSparse(names []string, cards []int) (*Sparse, error) {
-	if len(cards) == 0 {
-		return nil, fmt.Errorf("contingency: sparse table needs at least one attribute")
-	}
-	if names != nil && len(names) != len(cards) {
-		return nil, fmt.Errorf("contingency: %d names for %d attributes", len(names), len(cards))
-	}
-	s := &Sparse{
-		cards:  append([]int(nil), cards...),
-		shifts: make([]uint, len(cards)),
-		masks:  make([]uint64, len(cards)),
-		cells:  make(map[uint64]int64),
-	}
-	var width uint
+// keyField locates one attribute's coordinate inside the packed multi-word
+// cell key.
+type keyField struct {
+	word  int
+	shift uint
+	mask  uint64
+}
+
+// buildKeyLayout assigns each attribute a bit field, packing fields
+// tightly but never across a word boundary — so single-word schemas get
+// the exact layout (and therefore the exact keys and canonical cell order)
+// the old uint64 implementation produced.
+func buildKeyLayout(cards []int) (fields []keyField, nwords int, err error) {
+	fields = make([]keyField, len(cards))
+	word, used := 0, uint(0)
 	for i, c := range cards {
 		if c < 1 {
-			return nil, fmt.Errorf("contingency: attribute %d has cardinality %d", i, c)
+			return nil, 0, fmt.Errorf("contingency: attribute %d has cardinality %d", i, c)
 		}
 		b := uint(bits.Len64(uint64(c - 1)))
 		if b == 0 {
 			b = 1
 		}
-		s.shifts[i] = width
-		s.masks[i] = (1 << b) - 1
-		width += b
+		if used+b > 64 {
+			word++
+			used = 0
+		}
+		fields[i] = keyField{word: word, shift: used, mask: (1 << b) - 1}
+		used += b
 	}
-	if width > 64 {
+	return fields, word + 1, nil
+}
+
+// NewSparse creates an empty sparse table. Any schema width is accepted:
+// the packed cell key spans as many 64-bit words as Σ ceil(log2(card))
+// requires, with single-word schemas (the old 64-bit ceiling) served by
+// the original fast path. Only the MaxVars attribute-count sanity ceiling
+// applies.
+func NewSparse(names []string, cards []int) (*Sparse, error) {
+	if len(cards) == 0 {
+		return nil, fmt.Errorf("contingency: sparse table needs at least one attribute")
+	}
+	if len(cards) > MaxVars {
 		return nil, fmt.Errorf(
-			"contingency: schema needs %d packed key bits (Σ ceil(log2(card)) over %d attributes), limit is 64; reduce attribute count or cardinalities",
-			width, len(cards))
+			"contingency: schema has %d attributes, the multi-word sparse backend caps out at %d",
+			len(cards), MaxVars)
+	}
+	if names != nil && len(names) != len(cards) {
+		return nil, fmt.Errorf("contingency: %d names for %d attributes", len(names), len(cards))
+	}
+	fields, nwords, err := buildKeyLayout(cards)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sparse{
+		cards:      append([]int(nil), cards...),
+		fields:     fields,
+		keyWords:   nwords,
+		subScratch: make([]int, len(cards)),
+	}
+	switch nwords {
+	case 1:
+		s.store = &cellMap[uint64, key64]{codec: key64{fields: fields}, m: make(map[uint64]int64)}
+	case 2:
+		s.store = &cellMap[[2]uint64, key128]{codec: key128{fields: fields}, m: make(map[[2]uint64]int64)}
+	default:
+		s.store = &cellMap[string, keyWide]{codec: keyWide{fields: fields, nwords: nwords}, m: make(map[string]int64)}
 	}
 	if names == nil {
 		s.names = make([]string, len(cards))
@@ -105,29 +152,41 @@ func (s *Sparse) Names() []string { return append([]string(nil), s.names...) }
 func (s *Sparse) Total() int64 { return s.total }
 
 // Occupied returns the number of distinct non-zero cells.
-func (s *Sparse) Occupied() int { return len(s.cells) }
+func (s *Sparse) Occupied() int { return s.store.occupied() }
 
-// key packs a cell into its hash key, validating coordinates.
-func (s *Sparse) key(cell []int) (uint64, error) {
+// KeyWords returns how many 64-bit words the packed cell key spans — 1 for
+// every schema the old single-word representation could hold.
+func (s *Sparse) KeyWords() int { return s.keyWords }
+
+// checkCell validates a cell's coordinates.
+func (s *Sparse) checkCell(cell []int) error {
 	if len(cell) != len(s.cards) {
-		return 0, fmt.Errorf("contingency: cell has %d coordinates, table has %d axes",
+		return fmt.Errorf("contingency: cell has %d coordinates, table has %d axes",
 			len(cell), len(s.cards))
 	}
-	var k uint64
 	for i, v := range cell {
 		if v < 0 || v >= s.cards[i] {
-			return 0, fmt.Errorf("contingency: coordinate %d = %d out of range [0,%d)",
+			return fmt.Errorf("contingency: coordinate %d = %d out of range [0,%d)",
 				i, v, s.cards[i])
 		}
-		k |= uint64(v) << s.shifts[i]
 	}
-	return k, nil
+	return nil
 }
 
-// unkey unpacks a key into cell.
-func (s *Sparse) unkey(k uint64, cell []int) {
-	for i := range s.cards {
-		cell[i] = int((k >> s.shifts[i]) & s.masks[i])
+// packWords packs a validated cell into words[0:KeyWords()].
+func (s *Sparse) packWords(cell []int, words []uint64) {
+	for i := range words[:s.keyWords] {
+		words[i] = 0
+	}
+	for i, f := range s.fields {
+		words[f.word] |= uint64(cell[i]) << f.shift
+	}
+}
+
+// unpackWords is the inverse of packWords.
+func (s *Sparse) unpackWords(words []uint64, cell []int) {
+	for i, f := range s.fields {
+		cell[i] = int((words[f.word] >> f.shift) & f.mask)
 	}
 }
 
@@ -139,22 +198,16 @@ func (s *Sparse) Observe(cell ...int) error { return s.Add(1, cell...) }
 // pure validation (it never touches cells or caches). Mutation must not
 // overlap other calls (see the concurrency contract on Sparse).
 func (s *Sparse) Add(delta int64, cell ...int) error {
-	k, err := s.key(cell)
-	if err != nil {
+	if err := s.checkCell(cell); err != nil {
 		return err
 	}
 	if delta == 0 {
 		return nil
 	}
-	nv := s.cells[k] + delta
-	if nv < 0 {
+	if s.store.get(cell)+delta < 0 {
 		return fmt.Errorf("contingency: cell %v would go negative", cell)
 	}
-	if nv == 0 {
-		delete(s.cells, k)
-	} else {
-		s.cells[k] = nv
-	}
+	s.store.add(cell, delta)
 	s.total += delta
 	s.applyToProjections(cell, delta)
 	return nil
@@ -168,7 +221,7 @@ func (s *Sparse) applyToProjections(cell []int, delta int64) {
 	if len(s.projs) == 0 {
 		return
 	}
-	var sub [MaxVars]int
+	sub := s.subScratch
 	for vs, t := range s.projs {
 		members := vs.Members()
 		for i, p := range members {
@@ -198,47 +251,7 @@ func (s *Sparse) ApplyBatch(deltas []CellDelta) error {
 	if len(deltas) == 0 {
 		return nil
 	}
-	// Validate every cell and aggregate per packed key, so duplicate cells
-	// in one batch are checked against their combined delta.
-	agg := make(map[uint64]int64, len(deltas))
-	order := make([]uint64, 0, len(deltas))
-	for i, d := range deltas {
-		k, err := s.key(d.Cell)
-		if err != nil {
-			return fmt.Errorf("contingency: batch delta %d: %w", i, err)
-		}
-		if _, seen := agg[k]; !seen {
-			order = append(order, k)
-		}
-		agg[k] += d.Delta
-	}
-	for _, k := range order {
-		if nv := s.cells[k] + agg[k]; nv < 0 {
-			cell := make([]int, len(s.cards))
-			s.unkey(k, cell)
-			return fmt.Errorf("contingency: batch would drive cell %v negative (%d%+d)",
-				cell, s.cells[k], agg[k])
-		}
-	}
-	// Commit. Deltas are folded into the caches per distinct cell in batch
-	// order, so the update is deterministic and exact (integer adds).
-	cell := make([]int, len(s.cards))
-	for _, k := range order {
-		d := agg[k]
-		if d == 0 {
-			continue
-		}
-		nv := s.cells[k] + d
-		if nv == 0 {
-			delete(s.cells, k)
-		} else {
-			s.cells[k] = nv
-		}
-		s.total += d
-		s.unkey(k, cell)
-		s.applyToProjections(cell, d)
-	}
-	return nil
+	return s.store.applyBatch(s, deltas)
 }
 
 // ObserveBatch records one sample per row, atomically: either every row is
@@ -258,21 +271,16 @@ func (s *Sparse) ObserveBatch(rows [][]int) error {
 
 // At returns a cell's count (zero for unobserved cells).
 func (s *Sparse) At(cell ...int) (int64, error) {
-	k, err := s.key(cell)
-	if err != nil {
+	if err := s.checkCell(cell); err != nil {
 		return 0, err
 	}
-	return s.cells[k], nil
+	return s.store.get(cell), nil
 }
 
 // EachCell visits every occupied cell. Iteration order is unspecified; the
 // coordinate slice is reused between calls.
 func (s *Sparse) EachCell(fn func(cell []int, count int64)) {
-	cell := make([]int, len(s.cards))
-	for k, c := range s.cells {
-		s.unkey(k, cell)
-		fn(cell, c)
-	}
+	s.store.each(make([]int, len(s.cards)), fn)
 }
 
 // Project sums the sparse table onto the kept attribute subset, returning a
@@ -297,15 +305,18 @@ func (s *Sparse) Project(keep VarSet) (*Table, error) {
 		return nil, err
 	}
 	sub := make([]int, len(members))
-	cell := make([]int, len(s.cards))
-	for k, c := range s.cells {
-		s.unkey(k, cell)
+	var outer error
+	s.store.each(make([]int, len(s.cards)), func(cell []int, c int64) {
+		if outer != nil {
+			return
+		}
 		for i, p := range members {
 			sub[i] = cell[p]
 		}
-		if err := dense.Add(c, sub...); err != nil {
-			return nil, err
-		}
+		outer = dense.Add(c, sub...)
+	})
+	if outer != nil {
+		return nil, outer
 	}
 	return dense, nil
 }
@@ -339,12 +350,15 @@ func (s *Sparse) ToDense() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	cell := make([]int, len(s.cards))
-	for k, c := range s.cells {
-		s.unkey(k, cell)
-		if err := dense.Add(c, cell...); err != nil {
-			return nil, err
+	var outer error
+	s.store.each(make([]int, len(s.cards)), func(cell []int, c int64) {
+		if outer != nil {
+			return
 		}
+		outer = dense.Add(c, cell...)
+	})
+	if outer != nil {
+		return nil, outer
 	}
 	return dense, nil
 }
@@ -355,18 +369,15 @@ func (s *Sparse) ToDense() (*Table, error) {
 // occupied cells, and a clone taken for speculative mutation never
 // aliases the original's cached tables.
 func (s *Sparse) Clone() *Sparse {
-	cp := &Sparse{
-		names:  append([]string(nil), s.names...),
-		cards:  append([]int(nil), s.cards...),
-		shifts: append([]uint(nil), s.shifts...),
-		masks:  append([]uint64(nil), s.masks...),
-		cells:  make(map[uint64]int64, len(s.cells)),
-		total:  s.total,
+	return &Sparse{
+		names:      append([]string(nil), s.names...),
+		cards:      append([]int(nil), s.cards...),
+		fields:     append([]keyField(nil), s.fields...),
+		keyWords:   s.keyWords,
+		store:      s.store.clone(),
+		total:      s.total,
+		subScratch: make([]int, len(s.cards)),
 	}
-	for k, c := range s.cells {
-		cp.cells[k] = c
-	}
-	return cp
 }
 
 // FromDense converts a dense table to sparse form.
@@ -421,20 +432,14 @@ func (s *Sparse) MarginalCount(vars VarSet, values []int) (int64, error) {
 // reference path in tests and benchmarks.
 func (s *Sparse) marginalCountScan(members, values []int) int64 {
 	var sum int64
-	cell := make([]int, len(s.cards))
-	for k, c := range s.cells {
-		s.unkey(k, cell)
-		match := true
+	s.store.each(make([]int, len(s.cards)), func(cell []int, c int64) {
 		for i, p := range members {
 			if cell[p] != values[i] {
-				match = false
-				break
+				return
 			}
 		}
-		if match {
-			sum += c
-		}
-	}
+		sum += c
+	})
 	return sum
 }
 
@@ -476,18 +481,11 @@ func (s *Sparse) projection(vars VarSet, members []int) *Table {
 
 // EachCellSorted visits every occupied cell in ascending packed-key order —
 // a deterministic enumeration (map iteration is not) for consumers whose
-// floating-point accumulations must reproduce run to run.
+// floating-point accumulations must reproduce run to run. Multi-word keys
+// order as multi-word integers, so single-word schemas keep the exact
+// pre-refactor order.
 func (s *Sparse) EachCellSorted(fn func(cell []int, count int64)) {
-	keys := make([]uint64, 0, len(s.cells))
-	for k := range s.cells {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	cell := make([]int, len(s.cards))
-	for _, k := range keys {
-		s.unkey(k, cell)
-		fn(cell, s.cells[k])
-	}
+	s.store.eachSorted(make([]int, len(s.cards)), fn)
 }
 
 // CheckConsistency verifies the cheap bookkeeping invariants: the cached
@@ -496,11 +494,15 @@ func (s *Sparse) EachCellSorted(fn func(cell []int, count int64)) {
 // VerifyProjections adds the (more expensive) cache bit-identity check.
 func (s *Sparse) CheckConsistency() error {
 	var sum int64
-	for k, c := range s.cells {
-		if c <= 0 {
-			return fmt.Errorf("contingency: sparse cell %d holds non-positive count %d", k, c)
+	var bad error
+	s.store.each(make([]int, len(s.cards)), func(cell []int, c int64) {
+		if c <= 0 && bad == nil {
+			bad = fmt.Errorf("contingency: sparse cell %v holds non-positive count %d", cell, c)
 		}
 		sum += c
+	})
+	if bad != nil {
+		return bad
 	}
 	if sum != s.total {
 		return fmt.Errorf("contingency: cached total %d != cell sum %d", s.total, sum)
@@ -535,4 +537,190 @@ func (s *Sparse) CachedProjections() int {
 	s.projMu.RLock()
 	defer s.projMu.RUnlock()
 	return len(s.projs)
+}
+
+// ---------------------------------------------------------------------------
+// Cell stores: one generic hash-of-cells implementation instantiated per
+// key width. The codec is a value type so key operations compile to direct
+// calls; the store interface is what Sparse dispatches through.
+
+// keyCodec packs validated cells to comparable keys and back.
+type keyCodec[K comparable] interface {
+	pack(cell []int) K
+	unpack(k K, cell []int)
+	less(a, b K) bool
+}
+
+// key64 is the original single-word fast path.
+type key64 struct{ fields []keyField }
+
+func (c key64) pack(cell []int) uint64 {
+	var k uint64
+	for i, f := range c.fields {
+		k |= uint64(cell[i]) << f.shift
+	}
+	return k
+}
+
+func (c key64) unpack(k uint64, cell []int) {
+	for i, f := range c.fields {
+		cell[i] = int((k >> f.shift) & f.mask)
+	}
+}
+
+func (key64) less(a, b uint64) bool { return a < b }
+
+// key128 covers schemas needing two words ([2]uint64 keys hash inline —
+// no allocation per cell).
+type key128 struct{ fields []keyField }
+
+func (c key128) pack(cell []int) (k [2]uint64) {
+	for i, f := range c.fields {
+		k[f.word] |= uint64(cell[i]) << f.shift
+	}
+	return k
+}
+
+func (c key128) unpack(k [2]uint64, cell []int) {
+	for i, f := range c.fields {
+		cell[i] = int((k[f.word] >> f.shift) & f.mask)
+	}
+}
+
+func (key128) less(a, b [2]uint64) bool {
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	return a[0] < b[0]
+}
+
+// keyWide packs any number of words into a string key. Words serialize
+// most-significant first in big-endian byte order, so the string's
+// lexicographic order is the keys' numeric order and sorted enumeration
+// needs no decoding.
+type keyWide struct {
+	fields []keyField
+	nwords int
+}
+
+func (c keyWide) pack(cell []int) string {
+	buf := make([]byte, 8*c.nwords)
+	for i, f := range c.fields {
+		off := (c.nwords - 1 - f.word) * 8
+		v := uint64(cell[i]) << f.shift
+		binary.BigEndian.PutUint64(buf[off:], binary.BigEndian.Uint64(buf[off:])|v)
+	}
+	return string(buf)
+}
+
+func (c keyWide) unpack(k string, cell []int) {
+	for i, f := range c.fields {
+		off := (c.nwords - 1 - f.word) * 8
+		w := binary.BigEndian.Uint64([]byte(k[off : off+8]))
+		cell[i] = int((w >> f.shift) & f.mask)
+	}
+}
+
+func (keyWide) less(a, b string) bool { return a < b }
+
+// cellStore is the width-erased view Sparse drives; every method takes
+// pre-validated cells.
+type cellStore interface {
+	occupied() int
+	get(cell []int) int64
+	// add applies a delta to a cell, deleting it at zero. The caller has
+	// checked the result stays non-negative.
+	add(cell []int, delta int64)
+	each(scratch []int, fn func(cell []int, count int64))
+	eachSorted(scratch []int, fn func(cell []int, count int64))
+	clone() cellStore
+	applyBatch(s *Sparse, deltas []CellDelta) error
+}
+
+// cellMap is the generic hash-of-cells store.
+type cellMap[K comparable, C keyCodec[K]] struct {
+	codec C
+	m     map[K]int64
+}
+
+func (c *cellMap[K, C]) occupied() int { return len(c.m) }
+
+func (c *cellMap[K, C]) get(cell []int) int64 { return c.m[c.codec.pack(cell)] }
+
+func (c *cellMap[K, C]) add(cell []int, delta int64) {
+	k := c.codec.pack(cell)
+	if nv := c.m[k] + delta; nv == 0 {
+		delete(c.m, k)
+	} else {
+		c.m[k] = nv
+	}
+}
+
+func (c *cellMap[K, C]) each(scratch []int, fn func(cell []int, count int64)) {
+	for k, v := range c.m {
+		c.codec.unpack(k, scratch)
+		fn(scratch, v)
+	}
+}
+
+func (c *cellMap[K, C]) eachSorted(scratch []int, fn func(cell []int, count int64)) {
+	keys := make([]K, 0, len(c.m))
+	for k := range c.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return c.codec.less(keys[i], keys[j]) })
+	for _, k := range keys {
+		c.codec.unpack(k, scratch)
+		fn(scratch, c.m[k])
+	}
+}
+
+func (c *cellMap[K, C]) clone() cellStore {
+	cp := &cellMap[K, C]{codec: c.codec, m: make(map[K]int64, len(c.m))}
+	for k, v := range c.m {
+		cp.m[k] = v
+	}
+	return cp
+}
+
+// applyBatch is ApplyBatch's width-specific core: validate and aggregate
+// per packed key, reject if any aggregate would drive a cell negative,
+// then commit in first-seen batch order, folding each distinct cell's
+// delta into the cached projections.
+func (c *cellMap[K, C]) applyBatch(s *Sparse, deltas []CellDelta) error {
+	agg := make(map[K]int64, len(deltas))
+	order := make([]K, 0, len(deltas))
+	for i, d := range deltas {
+		if err := s.checkCell(d.Cell); err != nil {
+			return fmt.Errorf("contingency: batch delta %d: %w", i, err)
+		}
+		k := c.codec.pack(d.Cell)
+		if _, seen := agg[k]; !seen {
+			order = append(order, k)
+		}
+		agg[k] += d.Delta
+	}
+	cell := make([]int, len(s.cards))
+	for _, k := range order {
+		if nv := c.m[k] + agg[k]; nv < 0 {
+			c.codec.unpack(k, cell)
+			return fmt.Errorf("contingency: batch would drive cell %v negative (%d%+d)",
+				cell, c.m[k], agg[k])
+		}
+	}
+	for _, k := range order {
+		d := agg[k]
+		if d == 0 {
+			continue
+		}
+		if nv := c.m[k] + d; nv == 0 {
+			delete(c.m, k)
+		} else {
+			c.m[k] = nv
+		}
+		s.total += d
+		c.codec.unpack(k, cell)
+		s.applyToProjections(cell, d)
+	}
+	return nil
 }

@@ -17,13 +17,14 @@ func TestNewSparseValidation(t *testing.T) {
 	if _, err := NewSparse([]string{"x"}, []int{2, 2}); err == nil {
 		t.Error("name mismatch accepted")
 	}
-	// 33 binary attributes fit (33 bits); 65 do not.
+	// 65 binary attributes — over the old single-word cap — are accepted
+	// and spill to a second key word.
 	big := make([]int, 65)
 	for i := range big {
 		big[i] = 2
 	}
-	if _, err := NewSparse(nil, big); err == nil {
-		t.Error("65-bit key accepted")
+	if s, err := NewSparse(nil, big); err != nil || s.KeyWords() != 2 {
+		t.Errorf("65-bit key: err=%v, want a two-word key", err)
 	}
 	wide := make([]int, 60)
 	for i := range wide {
@@ -115,7 +116,7 @@ func TestSparseProjectMatchesDenseMarginalize(t *testing.T) {
 			t.Errorf("projection over %v differs from dense marginalization", keep)
 		}
 	}
-	if _, err := s.Project(0); err == nil {
+	if _, err := s.Project(VarSet{}); err == nil {
 		t.Error("empty projection accepted")
 	}
 	if _, err := s.Project(NewVarSet(9)); err == nil {
@@ -136,7 +137,7 @@ func TestSparseMarginalCountMatchesDense(t *testing.T) {
 		{NewVarSet(0), []int{0}},
 		{NewVarSet(0, 2), []int{0, 1}},
 		{NewVarSet(0, 1, 2), []int{2, 1, 1}},
-		{0, nil},
+		{VarSet{}, nil},
 	}
 	for _, c := range cases {
 		want, err := dense.MarginalCount(c.vars, c.values)
@@ -231,34 +232,38 @@ func TestSparseKeyRoundTripProperty(t *testing.T) {
 }
 
 func TestNewSparseKeyWidthBoundary(t *testing.T) {
-	// Exactly 64 packed bits is accepted: 64 binary attributes...
+	// Exactly 64 packed bits stays on the single-word fast path: 64 binary
+	// attributes...
 	exact := make([]int, 64)
 	for i := range exact {
 		exact[i] = 2
 	}
-	if _, err := NewSparse(nil, exact); err != nil {
-		t.Errorf("64-bit key rejected: %v", err)
+	if s, err := NewSparse(nil, exact); err != nil || s.KeyWords() != 1 {
+		t.Errorf("64-bit key: err=%v, want single word", err)
 	}
 	// ...and 16 attributes of 16 values (16 × 4 bits).
 	nibble := make([]int, 16)
 	for i := range nibble {
 		nibble[i] = 16
 	}
-	if _, err := NewSparse(nil, nibble); err != nil {
-		t.Errorf("16×16 (64-bit) schema rejected: %v", err)
+	if s, err := NewSparse(nil, nibble); err != nil || s.KeyWords() != 1 {
+		t.Errorf("16×16 (64-bit) schema: err=%v, want single word", err)
 	}
-	// 65 bits is rejected, and the error reports the schema's total bit
-	// requirement and the limit, not just the attribute it overflowed at.
+	// 65 bits — the old hard ceiling — now rolls over to a two-word key.
 	over := append(append([]int(nil), exact...), 2)
-	_, err := NewSparse(nil, over)
-	if err == nil {
-		t.Fatal("65-bit key accepted")
+	s, err := NewSparse(nil, over)
+	if err != nil {
+		t.Fatalf("65-bit schema rejected: %v", err)
 	}
-	msg := err.Error()
-	for _, want := range []string{"65", "64", "bits"} {
-		if !strings.Contains(msg, want) {
-			t.Errorf("key-width error %q missing %q", msg, want)
-		}
+	if s.KeyWords() != 2 {
+		t.Errorf("65-bit schema uses %d key words, want 2", s.KeyWords())
+	}
+	// Only the MaxVars attribute-count sanity ceiling remains, and its
+	// error names the wide backend's cap rather than telling the caller to
+	// shrink the schema.
+	if _, err := NewSparse(nil, make([]int, MaxVars+1)); err == nil ||
+		!strings.Contains(err.Error(), "multi-word") {
+		t.Errorf("MaxVars cap error = %v, want mention of the multi-word backend", err)
 	}
 }
 

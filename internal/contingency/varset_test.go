@@ -26,7 +26,7 @@ func TestVarSetBasics(t *testing.T) {
 }
 
 func TestVarSetAddRemove(t *testing.T) {
-	s := VarSet(0)
+	var s VarSet
 	if !s.Empty() {
 		t.Error("zero value should be empty")
 	}
@@ -47,10 +47,10 @@ func TestVarSetAddRemove(t *testing.T) {
 func TestVarSetAddOutOfRangePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("Add(64) did not panic")
+			t.Fatal("Add(MaxVars) did not panic")
 		}
 	}()
-	VarSet(0).Add(64)
+	VarSet{}.Add(MaxVars)
 }
 
 func TestVarSetAlgebra(t *testing.T) {
@@ -89,7 +89,7 @@ func TestVarSetSubsets(t *testing.T) {
 			t.Errorf("%v not a subset of %v", x, s)
 		}
 	}
-	for _, want := range []VarSet{0, NewVarSet(1), NewVarSet(4), s} {
+	for _, want := range []VarSet{{}, NewVarSet(1), NewVarSet(4), s} {
 		if !seen[want] {
 			t.Errorf("missing subset %v", want)
 		}
@@ -107,7 +107,7 @@ func TestVarSetSubsets(t *testing.T) {
 
 func TestVarSetSubsetsCountProperty(t *testing.T) {
 	f := func(raw uint16) bool {
-		s := VarSet(raw) // up to 16 members
+		s := VarSetFromMask(uint64(raw)) // up to 16 members
 		return len(s.Subsets()) == 1<<uint(s.Len())
 	}
 	if err := quick.Check(f, nil); err != nil {

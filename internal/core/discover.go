@@ -66,6 +66,11 @@ func DiscoverCounts(table contingency.Counts, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if opts.ScreenCI {
+			if err := applyCIScreen(table, adj, opts.ScreenCIAlpha, opts.Workers, rep); err != nil {
+				return nil, err
+			}
+		}
 		seedFams := make([]contingency.VarSet, 0, len(opts.Seed))
 		for _, c := range opts.Seed {
 			seedFams = append(seedFams, c.Family)

@@ -48,6 +48,18 @@ type Options struct {
 	// ScreenAlpha is the pairwise G² p-value a pair must beat to pass the
 	// screen. 0 means the Bonferroni default 0.05 / (number of pairs).
 	ScreenAlpha float64
+	// ScreenCI adds a conditional-independence pass on top of the pairwise
+	// screen (requires ScreenPairs): for every surviving pair, each common
+	// neighbor k is tried as a separator with a per-slice G² test of
+	// i ⊥ j | k, and pairs some k renders independent are dropped from the
+	// adjacency before order >= 2 families are enumerated. This is the
+	// PC-algorithm order-1 refinement: on wide schemas it prunes the
+	// transitive edges a marginal-only screen keeps, shrinking the clique
+	// universe the family scan walks.
+	ScreenCI bool
+	// ScreenCIAlpha is the p-value above which a conditional test counts
+	// as "independent given k" (larger drops more edges). 0 means 0.05.
+	ScreenCIAlpha float64
 
 	// predictor builds the scan predictor for a model. It defaults to the
 	// model itself — Model.Marginal satisfies mml.Predictor, serving one
@@ -80,6 +92,12 @@ func (o Options) withDefaults(r int) (Options, error) {
 	}
 	if o.ScreenAlpha < 0 || o.ScreenAlpha >= 1 {
 		return o, fmt.Errorf("core: ScreenAlpha %g outside [0,1)", o.ScreenAlpha)
+	}
+	if o.ScreenCI && !o.ScreenPairs {
+		return o, fmt.Errorf("core: ScreenCI refines the pairwise adjacency and requires ScreenPairs")
+	}
+	if o.ScreenCIAlpha < 0 || o.ScreenCIAlpha >= 1 {
+		return o, fmt.Errorf("core: ScreenCIAlpha %g outside [0,1)", o.ScreenCIAlpha)
 	}
 	return o, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"pka/internal/assoc"
 	"pka/internal/contingency"
+	"pka/internal/par"
 )
 
 // ScreenReport summarizes an association screen: how many attribute pairs
@@ -15,8 +16,16 @@ type ScreenReport struct {
 	Alpha float64
 	// PairsTotal is the number of attribute pairs surveyed: R(R-1)/2.
 	PairsTotal int
-	// PairsKept is how many pairs passed the screen.
+	// PairsKept is how many pairs passed the screen (after the CI pass,
+	// when enabled).
 	PairsKept int
+	// CIAlpha is the conditional-independence threshold applied, zero when
+	// the CI pass was off.
+	CIAlpha float64
+	// CITriplesTested counts the per-triple conditional G² tests run.
+	CITriplesTested int
+	// CIEdgesDropped counts pairwise-passing edges the CI pass removed.
+	CIEdgesDropped int
 }
 
 // buildScreen surveys every attribute pair of the counts backend and
@@ -56,6 +65,65 @@ func buildScreen(table contingency.Counts, alpha float64, workers int) ([][]bool
 		}
 	}
 	return adj, rep, nil
+}
+
+// applyCIScreen refines a pairwise adjacency in place with order-1
+// conditional-independence tests (the PC-algorithm step): for each edge
+// (i,j) that passed the marginal screen, every common neighbor k is tried
+// in ascending order as a separator via assoc's per-slice G² test, and the
+// edge is dropped at the first k whose test fails to reject independence
+// (p > alpha). Edges are tested concurrently over the shared pool, but
+// every decision reads the ORIGINAL adjacency and removals are applied
+// after the parallel pass — so the result is deterministic and
+// bit-identical for any worker count. alpha == 0 applies the 0.05 default.
+func applyCIScreen(table contingency.Counts, adj [][]bool, alpha float64, workers int, rep *ScreenReport) error {
+	if alpha == 0 {
+		alpha = 0.05
+	}
+	flat, err := assoc.Flatten(table)
+	if err != nil {
+		return err
+	}
+	r := table.R()
+	type edge struct{ i, j int }
+	var edges []edge
+	for i := 0; i < r; i++ {
+		for j := i + 1; j < r; j++ {
+			if adj[i][j] {
+				edges = append(edges, edge{i, j})
+			}
+		}
+	}
+	drop := make([]bool, len(edges))
+	tested := make([]int, len(edges))
+	if err := par.Do(len(edges), workers, func(e int) error {
+		i, j := edges[e].i, edges[e].j
+		for k := 0; k < r; k++ {
+			if k == i || k == j || !adj[i][k] || !adj[j][k] {
+				continue
+			}
+			_, _, p := flat.CondG2(i, j, k)
+			tested[e]++
+			if p > alpha {
+				drop[e] = true
+				break
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	rep.CIAlpha = alpha
+	for e := range edges {
+		rep.CITriplesTested += tested[e]
+		if drop[e] {
+			adj[edges[e].i][edges[e].j] = false
+			adj[edges[e].j][edges[e].i] = false
+			rep.CIEdgesDropped++
+			rep.PairsKept--
+		}
+	}
+	return nil
 }
 
 // screenedFamilies returns the order-r attribute families eligible under

@@ -164,6 +164,11 @@ func Update(prev *Result, table contingency.Counts, deltas []contingency.CellDel
 		if err != nil {
 			return nil, err
 		}
+		if opts.ScreenCI {
+			if err := applyCIScreen(table, adj, opts.ScreenCIAlpha, opts.Workers, rep); err != nil {
+				return nil, err
+			}
+		}
 		res.Screen = rep
 	}
 	r := table.R()

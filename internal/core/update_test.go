@@ -57,7 +57,7 @@ func asDeltas(rows [][]int) []contingency.CellDelta {
 
 // constraintKey identifies a constraint up to its target.
 func constraintKey(c maxent.Constraint) string {
-	return fmt.Sprintf("%d:%v", uint64(c.Family), c.Values)
+	return fmt.Sprintf("%v:%v", c.Family, c.Values)
 }
 
 // TestUpdateMatchesScratch drives K incremental batches through Update and

@@ -73,7 +73,7 @@ func (b *Batch) Evals() int { return b.evals }
 // canonKey renders a resolved assignment canonically into the batch's key
 // scratch; the returned slice is valid until the next key rendering.
 func (b *Batch) canonKey(vs contingency.VarSet, values []int) []byte {
-	dst := strconv.AppendUint(b.keyBuf[:0], uint64(vs), 16)
+	dst := vs.AppendKey(b.keyBuf[:0])
 	for _, v := range values {
 		dst = append(dst, ':')
 		dst = strconv.AppendInt(dst, int64(v), 10)

@@ -65,23 +65,28 @@ func (a Assignment) String() string { return a.Attr + "=" + a.Value }
 
 // resolve converts label assignments to (VarSet, ascending values), checking
 // for unknown names, unknown values, and contradictory duplicates. Positions
-// are bounded by MaxVars, so a stack array stands in for a per-call map —
-// the values slice is the query hot path's only allocation here.
+// are bounded by the schema width, so a stack array stands in for a per-call
+// map on narrow schemas (wider ones size a slice to the schema) — the values
+// slice is the query hot path's only allocation here.
 func (k *KnowledgeBase) resolve(assigns []Assignment) (contingency.VarSet, []int, error) {
 	var vs contingency.VarSet
-	var byPos [contingency.MaxVars]int
+	var stack [64]int
+	byPos := stack[:]
+	if r := k.schema.R(); r > len(byPos) {
+		byPos = make([]int, r)
+	}
 	for _, a := range assigns {
 		attr, pos, err := k.schema.AttrByName(a.Attr)
 		if err != nil {
-			return 0, nil, fmt.Errorf("kb: %w", err)
+			return contingency.VarSet{}, nil, fmt.Errorf("kb: %w", err)
 		}
 		vi := attr.ValueIndex(a.Value)
 		if vi < 0 {
-			return 0, nil, fmt.Errorf("kb: attribute %q has no value %q", a.Attr, a.Value)
+			return contingency.VarSet{}, nil, fmt.Errorf("kb: attribute %q has no value %q", a.Attr, a.Value)
 		}
 		if vs.Has(pos) {
 			if byPos[pos] != vi {
-				return 0, nil, fmt.Errorf("kb: contradictory assignments for %q", a.Attr)
+				return contingency.VarSet{}, nil, fmt.Errorf("kb: contradictory assignments for %q", a.Attr)
 			}
 			continue
 		}
@@ -250,7 +255,7 @@ func (k *KnowledgeBase) Explain() string {
 		if cons[i].Order() != cons[j].Order() {
 			return cons[i].Order() < cons[j].Order()
 		}
-		return uint64(cons[i].Family) < uint64(cons[j].Family)
+		return cons[i].Family.Less(cons[j].Family)
 	})
 	fmt.Fprintf(&b, "p(cell) = a0 · Π a_constraint   (%d constraints)\n", len(cons))
 	for _, c := range cons {

@@ -82,12 +82,17 @@ func (m *Model) blocks() [][]int {
 		}
 	}
 	for vs := range m.families {
-		v := uint64(vs)
-		first := bits.TrailingZeros64(v)
-		for w := v &^ (1 << uint(first)); w != 0; {
-			p := bits.TrailingZeros64(w)
-			w &^= 1 << uint(p)
-			union(first, p)
+		first := -1
+		for wi, nw := 0, vs.NumWords(); wi < nw; wi++ {
+			base := wi * 64
+			for w := vs.Word(wi); w != 0; w &= w - 1 {
+				p := base + bits.TrailingZeros64(w)
+				if first < 0 {
+					first = p
+				} else {
+					union(first, p)
+				}
+			}
 		}
 	}
 	// Gather components without a map: count members per root, carve each

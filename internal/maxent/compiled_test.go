@@ -64,7 +64,7 @@ func TestCompiledProbBitIdenticalToPerCellPath(t *testing.T) {
 	r := m.R()
 	for mask := 1; mask < 1<<r; mask++ {
 		var members []int
-		fam := contingency.VarSet(0)
+		var fam contingency.VarSet
 		for v := 0; v < r; v++ {
 			if mask&(1<<v) != 0 {
 				members = append(members, v)
@@ -347,7 +347,7 @@ func TestCompiledValidationErrors(t *testing.T) {
 	if _, err := c.Prob(contingency.NewVarSet(0), []int{5}); err == nil {
 		t.Error("out-of-range value accepted")
 	}
-	if _, err := c.Marginal(contingency.VarSet(0)); err == nil {
+	if _, err := c.Marginal(contingency.VarSet{}); err == nil {
 		t.Error("empty marginal family accepted")
 	}
 	if _, err := c.Marginal(contingency.NewVarSet(9)); err == nil {

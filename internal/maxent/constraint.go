@@ -27,25 +27,27 @@ type Constraint struct {
 // per constraint on every model load, and the Members() slice showed up in
 // restore allocation profiles.
 func (c Constraint) validate(cards []int) error {
-	fam := uint64(c.Family)
-	if fam == 0 {
+	if c.Family.Empty() {
 		return fmt.Errorf("maxent: constraint with empty attribute family")
 	}
-	if 63-bits.LeadingZeros64(fam) >= len(cards) {
-		return fmt.Errorf("maxent: constraint family %v exceeds %d attributes",
-			c.Family, len(cards))
-	}
-	if len(c.Values) != bits.OnesCount64(fam) {
+	if n := c.Family.Len(); len(c.Values) != n {
 		return fmt.Errorf("maxent: constraint over %v has %d values, want %d",
-			c.Family, len(c.Values), bits.OnesCount64(fam))
+			c.Family, len(c.Values), n)
 	}
 	i := 0
-	for v := fam; v != 0; i++ {
-		p := bits.TrailingZeros64(v)
-		v &^= 1 << uint(p)
-		if c.Values[i] < 0 || c.Values[i] >= cards[p] {
-			return fmt.Errorf("maxent: constraint value %d for attribute %d out of range [0,%d)",
-				c.Values[i], p, cards[p])
+	for wi, nw := 0, c.Family.NumWords(); wi < nw; wi++ {
+		base := wi * 64
+		for w := c.Family.Word(wi); w != 0; w &= w - 1 {
+			p := base + bits.TrailingZeros64(w)
+			if p >= len(cards) {
+				return fmt.Errorf("maxent: constraint family %v exceeds %d attributes",
+					c.Family, len(cards))
+			}
+			if c.Values[i] < 0 || c.Values[i] >= cards[p] {
+				return fmt.Errorf("maxent: constraint value %d for attribute %d out of range [0,%d)",
+					c.Values[i], p, cards[p])
+			}
+			i++
 		}
 	}
 	if c.Target < 0 || c.Target > 1 {
@@ -62,7 +64,7 @@ func (c Constraint) Order() int { return c.Family.Len() }
 // reflection-based formatting dominated restore profiles.
 func (c Constraint) key() string {
 	b := make([]byte, 0, 24+4*len(c.Values))
-	b = strconv.AppendUint(b, uint64(c.Family), 10)
+	b = c.Family.AppendKey(b)
 	b = append(b, ':')
 	for _, v := range c.Values {
 		b = strconv.AppendInt(b, int64(v), 10)

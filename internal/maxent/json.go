@@ -58,7 +58,7 @@ func sortedFamilies(fams map[contingency.VarSet]*familyTerm) []contingency.VarSe
 		keys = append(keys, k)
 	}
 	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+		for j := i; j > 0 && keys[j].Less(keys[j-1]); j-- {
 			keys[j], keys[j-1] = keys[j-1], keys[j]
 		}
 	}

@@ -73,7 +73,7 @@ func TestNewModelValidation(t *testing.T) {
 func TestAddConstraintValidation(t *testing.T) {
 	m, _ := NewModel(nil, []int{3, 2})
 	bad := []Constraint{
-		{Family: 0, Values: nil, Target: 0.5},
+		{Family: contingency.VarSet{}, Values: nil, Target: 0.5},
 		{Family: contingency.NewVarSet(5), Values: []int{0}, Target: 0.5},
 		{Family: contingency.NewVarSet(0), Values: []int{0, 1}, Target: 0.5},
 		{Family: contingency.NewVarSet(0), Values: []int{9}, Target: 0.5},

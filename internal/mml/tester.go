@@ -3,7 +3,7 @@ package mml
 import (
 	"fmt"
 	"math"
-	"strings"
+	"strconv"
 	"sync"
 
 	"pka/internal/contingency"
@@ -121,12 +121,13 @@ func (t *Tester) familiesAtOrder(r int) []contingency.VarSet {
 }
 
 func cellKey(family contingency.VarSet, values []int) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d:", uint64(family))
+	b := family.AppendKey(make([]byte, 0, 24+4*len(values)))
+	b = append(b, ':')
 	for _, v := range values {
-		fmt.Fprintf(&b, "%d,", v)
+		b = strconv.AppendInt(b, int64(v), 10)
+		b = append(b, ',')
 	}
-	return b.String()
+	return string(b)
 }
 
 // MarkSignificant records a cell as an accepted constraint (the discovery

@@ -18,9 +18,18 @@ import (
 // Magic is the 4-byte file signature every PKAS snapshot starts with.
 const Magic = "PKAS"
 
-// FormatVersion is the current container version. Readers reject higher
-// versions with ErrUnsupportedVersion rather than guessing at a layout.
-const FormatVersion = 1
+// FormatVersion is the current container version. Version 2 lifted the
+// 64-bit schema ceiling: constraint families and cached-projection
+// families travel as member lists and sparse cell keys as multi-word
+// packings, so any schema width round-trips. Readers accept every version
+// back to minFormatVersion and reject higher versions with
+// ErrUnsupportedVersion rather than guessing at a layout.
+const FormatVersion = 2
+
+// minFormatVersion is the oldest version Read still decodes. Version-1
+// snapshots (single-word families and keys) load transparently; writes
+// always produce the current version.
+const minFormatVersion = 1
 
 // headerLen is the fixed container header size: magic, version, flags,
 // payload length.
@@ -65,6 +74,8 @@ type DiscoveryOptions struct {
 	Workers            int
 	ScreenPairs        bool
 	ScreenAlpha        float64
+	ScreenCI           bool
+	ScreenCIAlpha      float64
 }
 
 // Snapshot is the in-memory form of one PKAS file. Schema and Model are
@@ -157,10 +168,10 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if n < headerLen {
 		return nil, fmt.Errorf("%w: %d-byte input is shorter than the fixed framing", ErrTruncated, n)
 	}
-	version := binary.LittleEndian.Uint16(hdr[4:6])
-	if version != FormatVersion {
-		return nil, fmt.Errorf("%w: file has version %d, this build reads version %d",
-			ErrUnsupportedVersion, version, FormatVersion)
+	version := int(binary.LittleEndian.Uint16(hdr[4:6]))
+	if version < minFormatVersion || version > FormatVersion {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads versions %d through %d",
+			ErrUnsupportedVersion, version, minFormatVersion, FormatVersion)
 	}
 	if flags := binary.LittleEndian.Uint16(hdr[6:8]); flags != 0 {
 		return nil, fmt.Errorf("snapshot: unsupported flags %#x", flags)
@@ -231,15 +242,15 @@ func Read(r io.Reader) (*Snapshot, error) {
 				return nil, err
 			}
 		case secModel:
-			if s.Model, err = decodeModel(body); err != nil {
+			if s.Model, err = decodeModel(body, version); err != nil {
 				return nil, err
 			}
 		case secCounts:
-			if s.Counts, err = decodeCounts(body); err != nil {
+			if s.Counts, err = decodeCounts(body, version); err != nil {
 				return nil, err
 			}
 		case secOptions:
-			if s.Options, err = decodeOptions(body); err != nil {
+			if s.Options, err = decodeOptions(body, version); err != nil {
 				return nil, err
 			}
 		default:
@@ -320,7 +331,8 @@ func encodeModel(w *wire.Writer, st *maxent.ModelState) {
 	w.Float64(st.A0)
 	w.Int(len(st.Constraints))
 	for _, c := range st.Constraints {
-		w.Uvarint(uint64(c.Family))
+		// v2: the family travels as its member list, valid at any width.
+		w.Ints(c.Family.Members())
 		w.Ints(c.Values)
 		w.Float64(c.Target)
 	}
@@ -351,7 +363,7 @@ func encodeModel(w *wire.Writer, st *maxent.ModelState) {
 // engine included, through maxent.RestoreModel. The many per-constraint
 // and per-family slices come out of shared arenas: restore is the
 // cold-start hot path, where hundreds of tiny allocations dominate.
-func decodeModel(r *wire.Reader) (*maxent.Model, error) {
+func decodeModel(r *wire.Reader, version int) (*maxent.Model, error) {
 	var ints wire.IntArena
 	var floats wire.FloatArena
 	st := &maxent.ModelState{}
@@ -371,14 +383,22 @@ func decodeModel(r *wire.Reader) (*maxent.Model, error) {
 	}
 	st.Constraints = make([]maxent.Constraint, ncons)
 	for i := range st.Constraints {
-		fam := r.Uvarint()
+		var fam contingency.VarSet
+		if version == 1 {
+			fam = contingency.VarSetFromMask(r.Uvarint())
+		} else {
+			var err error
+			if fam, err = varSetFromMembers(r.IntsArena(&ints)); err != nil {
+				return nil, fmt.Errorf("snapshot: decoding model: %w", err)
+			}
+		}
 		vals := r.IntsArena(&ints)
 		target := r.Float64()
 		if r.Err() != nil {
 			return nil, fmt.Errorf("snapshot: decoding model: %w", r.Err())
 		}
 		st.Constraints[i] = maxent.Constraint{
-			Family: contingency.VarSet(fam),
+			Family: fam,
 			Values: vals,
 			Target: target,
 		}
@@ -423,6 +443,20 @@ func decodeModel(r *wire.Reader) (*maxent.Model, error) {
 	return m, nil
 }
 
+// varSetFromMembers rebuilds a family from its decoded member list,
+// rejecting out-of-range positions (NewVarSet would panic, and decoders
+// must fail on corrupt data instead).
+func varSetFromMembers(members []int) (contingency.VarSet, error) {
+	var vs contingency.VarSet
+	for _, p := range members {
+		if p < 0 || p >= contingency.MaxVars {
+			return contingency.VarSet{}, fmt.Errorf("family member %d out of range", p)
+		}
+		vs = vs.Add(p)
+	}
+	return vs, nil
+}
+
 // modelCount reads a structure count and bounds it by the remaining bytes
 // (every counted element occupies at least one byte).
 func modelCount(r *wire.Reader) (int, bool) {
@@ -449,12 +483,12 @@ func encodeCounts(w *wire.Writer, c contingency.Counts) error {
 }
 
 // decodeCounts reads section 3.
-func decodeCounts(r *wire.Reader) (contingency.Counts, error) {
+func decodeCounts(r *wire.Reader, version int) (contingency.Counts, error) {
 	switch kind := r.Byte(); kind {
 	case countsDense:
 		return contingency.DecodeTable(r)
 	case countsSparse:
-		return contingency.DecodeSparse(r)
+		return contingency.DecodeSparse(r, version)
 	default:
 		if err := r.Err(); err != nil {
 			return nil, fmt.Errorf("snapshot: decoding counts: %w", err)
@@ -478,13 +512,18 @@ func encodeOptions(w *wire.Writer, o *DiscoveryOptions) {
 	if o.ScreenPairs {
 		flags |= 4
 	}
+	if o.ScreenCI {
+		flags |= 8
+	}
 	w.Byte(flags)
 	w.Float64(o.ScreenAlpha)
 	w.Int(o.Workers)
+	// v2 appends the conditional-independence screen knob.
+	w.Float64(o.ScreenCIAlpha)
 }
 
 // decodeOptions reads section 4.
-func decodeOptions(r *wire.Reader) (*DiscoveryOptions, error) {
+func decodeOptions(r *wire.Reader, version int) (*DiscoveryOptions, error) {
 	o := &DiscoveryOptions{}
 	o.MaxOrder = r.Int()
 	o.PriorH2 = r.Float64()
@@ -493,8 +532,12 @@ func decodeOptions(r *wire.Reader) (*DiscoveryOptions, error) {
 	o.RecordScans = flags&1 != 0
 	o.IncludeForcedCells = flags&2 != 0
 	o.ScreenPairs = flags&4 != 0
+	o.ScreenCI = flags&8 != 0
 	o.ScreenAlpha = r.Float64()
 	o.Workers = r.Int()
+	if version >= 2 {
+		o.ScreenCIAlpha = r.Float64()
+	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("snapshot: decoding options: %w", err)
 	}

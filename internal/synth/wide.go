@@ -1,0 +1,151 @@
+package synth
+
+import (
+	"fmt"
+
+	"pka/internal/contingency"
+	"pka/internal/dataset"
+	"pka/internal/stats"
+)
+
+// WideTruth is a ground truth for schemas far past Build's joint-space
+// cap: the distribution is a product of independent two-attribute blocks,
+// so exact probabilities and samples come from the per-pair joints and no
+// global joint is ever materialized. A 500-attribute instance needs 250
+// four-cell tables, not 2^500 cells.
+type WideTruth struct {
+	schema *dataset.Schema
+	// pairs[i] is the normalized joint of attributes (2i, 2i+1), indexed
+	// 2a+b for left value a and right value b.
+	pairs [][]float64
+}
+
+// WidePairs returns a wide binary ground truth: 2*nPairs attributes where
+// attribute 2i+1 is coupled to attribute 2i (odds ratio strength² for
+// agreeing values) and pairs are mutually independent. Base rates vary per
+// pair so the instance is not symmetric. The planted structure a perfect
+// discovery run should recover is exactly the nPairs within-pair families;
+// every cross-pair association is spurious.
+func WidePairs(nPairs int, strength float64) (*WideTruth, error) {
+	if nPairs < 1 {
+		return nil, fmt.Errorf("synth: wide truth needs at least 1 pair, got %d", nPairs)
+	}
+	if strength <= 0 {
+		return nil, fmt.Errorf("synth: non-positive coupling strength %g", strength)
+	}
+	attrs := make([]dataset.Attribute, 2*nPairs)
+	for i := range attrs {
+		attrs[i] = dataset.Attribute{
+			Name:   fmt.Sprintf("W%04d", i),
+			Values: []string{"0", "1"},
+		}
+	}
+	schema, err := dataset.NewSchema(attrs)
+	if err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	s := strength
+	pairs := make([][]float64, nPairs)
+	for i := range pairs {
+		// Mildly varied base rates, as in Survey.
+		pa := 0.30 + 0.04*float64(i%10)
+		pb := 0.35 + 0.03*float64(i%8)
+		q := []float64{
+			pa * pb * s, pa * (1 - pb) / s,
+			(1 - pa) * pb / s, (1 - pa) * (1 - pb) * s,
+		}
+		if _, err := stats.Normalize(q); err != nil {
+			return nil, fmt.Errorf("synth: pair %d: %w", i, err)
+		}
+		pairs[i] = q
+	}
+	return &WideTruth{schema: schema, pairs: pairs}, nil
+}
+
+// Schema returns the schema.
+func (t *WideTruth) Schema() *dataset.Schema { return t.schema }
+
+// NumPairs returns the number of coupled attribute pairs.
+func (t *WideTruth) NumPairs() int { return len(t.pairs) }
+
+// Planted lists the within-pair families, in attribute order.
+func (t *WideTruth) Planted() []contingency.VarSet {
+	out := make([]contingency.VarSet, len(t.pairs))
+	for i := range t.pairs {
+		out[i] = contingency.NewVarSet(2*i, 2*i+1)
+	}
+	return out
+}
+
+// PairProb returns a copy of pair i's normalized joint, indexed 2a+b.
+func (t *WideTruth) PairProb(i int) []float64 {
+	return append([]float64(nil), t.pairs[i]...)
+}
+
+// PairCond returns the exact conditional P(attr_{2i+1} = b | attr_{2i} = a),
+// the checkable answer a correctly served wide model must reproduce.
+func (t *WideTruth) PairCond(i, b, a int) float64 {
+	q := t.pairs[i]
+	return q[2*a+b] / (q[2*a] + q[2*a+1])
+}
+
+// samplers builds one categorical sampler per pair. Draw order is pair
+// 0..n-1 within each row, so samples are deterministic given the RNG.
+func (t *WideTruth) samplers(rng *stats.RNG) ([]*stats.CategoricalSampler, error) {
+	out := make([]*stats.CategoricalSampler, len(t.pairs))
+	for i, q := range t.pairs {
+		sp, err := stats.NewCategoricalSampler(rng, q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sp
+	}
+	return out, nil
+}
+
+// sampleRow fills cell with one draw from the product distribution.
+func sampleRow(samplers []*stats.CategoricalSampler, cell []int) {
+	for i, sp := range samplers {
+		off := sp.Draw()
+		cell[2*i], cell[2*i+1] = off>>1, off&1
+	}
+}
+
+// SampleSparse draws n rows directly into a sparse contingency table —
+// the wide-schema twin of GroundTruth.SampleTable.
+func (t *WideTruth) SampleSparse(rng *stats.RNG, n int) (*contingency.Sparse, error) {
+	tab, err := contingency.NewSparse(t.schema.Names(), t.schema.Cards())
+	if err != nil {
+		return nil, err
+	}
+	samplers, err := t.samplers(rng)
+	if err != nil {
+		return nil, err
+	}
+	cell := make([]int, t.schema.R())
+	for row := 0; row < n; row++ {
+		sampleRow(samplers, cell)
+		if err := tab.Observe(cell...); err != nil {
+			return nil, err
+		}
+	}
+	return tab, nil
+}
+
+// SampleDataset draws n individual records, for exercising the CSV ingest
+// path end to end on a wide schema.
+func (t *WideTruth) SampleDataset(rng *stats.RNG, n int) (*dataset.Dataset, error) {
+	samplers, err := t.samplers(rng)
+	if err != nil {
+		return nil, err
+	}
+	d := dataset.NewDataset(t.schema)
+	rec := make(dataset.Record, t.schema.R())
+	for row := 0; row < n; row++ {
+		sampleRow(samplers, rec)
+		if err := d.Append(rec); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

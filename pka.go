@@ -130,6 +130,15 @@ type Options struct {
 	// ScreenAlpha is the pairwise G² p-value threshold for ScreenPairs;
 	// 0 means the Bonferroni default 0.05 / (number of pairs).
 	ScreenAlpha float64
+	// ScreenCI refines the pairwise screen with order-1 conditional-
+	// independence tests (requires ScreenPairs): pairs whose association a
+	// common neighbor fully explains are dropped before families are
+	// enumerated. The extra pruning is what keeps the clique universe
+	// tractable on very wide (hundreds of attributes) schemas.
+	ScreenCI bool
+	// ScreenCIAlpha is the p-value above which a conditional test counts
+	// as independent (larger prunes more); 0 means 0.05.
+	ScreenCIAlpha float64
 }
 
 // Model is a discovered probabilistic knowledge base. It carries the full
@@ -212,6 +221,8 @@ func coreOptions(opts Options) core.Options {
 		Workers:        opts.Workers,
 		ScreenPairs:    opts.ScreenPairs,
 		ScreenAlpha:    opts.ScreenAlpha,
+		ScreenCI:       opts.ScreenCI,
+		ScreenCIAlpha:  opts.ScreenCIAlpha,
 	}
 	if coreOpts.MML.PriorH2 == 0 {
 		coreOpts.MML.PriorH2 = mml.DefaultConfig().PriorH2
@@ -535,6 +546,8 @@ func snapshotOptions(o Options) snapshot.DiscoveryOptions {
 		Workers:            o.Workers,
 		ScreenPairs:        o.ScreenPairs,
 		ScreenAlpha:        o.ScreenAlpha,
+		ScreenCI:           o.ScreenCI,
+		ScreenCIAlpha:      o.ScreenCIAlpha,
 	}
 }
 
@@ -549,6 +562,8 @@ func discoveryOptions(o snapshot.DiscoveryOptions) Options {
 		Workers:            o.Workers,
 		ScreenPairs:        o.ScreenPairs,
 		ScreenAlpha:        o.ScreenAlpha,
+		ScreenCI:           o.ScreenCI,
+		ScreenCIAlpha:      o.ScreenCIAlpha,
 	}
 }
 
@@ -602,10 +617,11 @@ type SparseTable = contingency.Sparse
 
 // NewSparseTable creates an empty sparse table over the schema.
 //
-// Cells are keyed by packing every attribute value into one 64-bit word,
-// so the schema must satisfy Σ ceil(log2(len(attr.Values))) <= 64 — e.g.
-// 64 binary attributes, or 16 attributes of 16 values each. Wider schemas
-// are rejected with the total bit requirement in the error.
+// Cells are keyed by packing every attribute value into as many 64-bit
+// words as Σ ceil(log2(len(attr.Values))) requires; schemas that fit one
+// word (e.g. 64 binary attributes) keep the original single-word fast
+// path, and wider schemas — hundreds of attributes — spill into
+// multi-word keys transparently.
 func NewSparseTable(schema *Schema) (*SparseTable, error) {
 	return contingency.NewSparse(schema.Names(), schema.Cards())
 }

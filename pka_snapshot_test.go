@@ -3,6 +3,8 @@ package pka_test
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"pka"
@@ -177,6 +179,11 @@ func TestSnapshotCorruptInputs(t *testing.T) {
 			c[4] = snapshot.FormatVersion + 1 // version uint16 at offset 4
 			return c
 		}, snapshot.ErrUnsupportedVersion},
+		{"version zero", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[4] = 0
+			return c
+		}, snapshot.ErrUnsupportedVersion},
 		{"payload bit flip", func(b []byte) []byte {
 			c := append([]byte(nil), b...)
 			c[20] ^= 0xFF
@@ -190,6 +197,52 @@ func TestSnapshotCorruptInputs(t *testing.T) {
 				t.Errorf("got %v, want errors.Is(err, %v)", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestSnapshotVersionSkewWide pins the cross-version failure mode the
+// header version byte exists to prevent: a multi-word (wide-schema) v2
+// payload relabeled as version 1 must be rejected by the v1 decode rules,
+// not silently misread — v1 never produced multi-word keys or member-list
+// families, so the relabeled payload cannot validate.
+func TestSnapshotVersionSkewWide(t *testing.T) {
+	attrs := make([]pka.Attribute, 70)
+	for i := range attrs {
+		attrs[i] = pka.Attribute{Name: fmt.Sprintf("W%02d", i), Values: []string{"0", "1"}}
+	}
+	schema, err := pka.NewSchema(attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := pka.NewSparseTable(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	cell := make([]int, len(attrs))
+	for n := 0; n < 300; n++ {
+		for i := range cell {
+			cell[i] = rng.Intn(2)
+		}
+		if rng.Float64() < 0.8 {
+			cell[1] = cell[0]
+		}
+		if err := tab.Observe(cell...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := pka.DiscoverSparse(tab, schema, pka.Options{MaxOrder: 2, ScreenPairs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := snapshotBytes(t, m)
+	if data[4] != snapshot.FormatVersion {
+		t.Fatalf("fresh wide snapshot declares version %d, want %d", data[4], snapshot.FormatVersion)
+	}
+	skewed := append([]byte(nil), data...)
+	skewed[4] = 1
+	if _, err := pka.LoadSnapshot(bytes.NewReader(skewed)); err == nil {
+		t.Fatal("v2 wide payload relabeled as v1 loaded without error")
 	}
 }
 

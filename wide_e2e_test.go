@@ -1,0 +1,159 @@
+package pka_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pka"
+	"pka/internal/contingency"
+	"pka/internal/stats"
+	"pka/internal/synth"
+)
+
+// TestWideSchemaEndToEnd proves the multi-word representation end to end:
+// a schema far past the old single-word 64-attribute ceiling (520
+// attributes; 200 under the race detector — see wide_scale_test.go) is
+// sampled without materializing any joint, discovered with the pairwise +
+// conditional-independence screens, fit through the factored engine,
+// snapshotted, round-tripped, and served over HTTP with answers checked
+// against the exact ground-truth conditionals.
+func TestWideSchemaEndToEnd(t *testing.T) {
+	const (
+		nPairs = wideE2EPairs
+		rows   = wideE2ERows
+	)
+	truth, err := synth.WidePairs(nPairs, 3)
+	if err != nil {
+		t.Fatalf("WidePairs: %v", err)
+	}
+	tab, err := truth.SampleSparse(stats.NewRNG(99), rows)
+	if err != nil {
+		t.Fatalf("SampleSparse: %v", err)
+	}
+	if got := tab.KeyWords(); got < 2 {
+		t.Fatalf("%d binary attributes pack into %d key words, want >= 2 (multi-word path)", 2*nPairs, got)
+	}
+	model, err := pka.DiscoverSparse(tab, truth.Schema(), pka.Options{
+		MaxOrder:       2,
+		ScreenPairs:    true,
+		ScreenCI:       true,
+		MaxConstraints: wideE2EMaxConstraints,
+	})
+	if err != nil {
+		t.Fatalf("DiscoverSparse: %v", err)
+	}
+	info := model.Info()
+	if info.Attributes != 2*nPairs {
+		t.Fatalf("model has %d attributes, want %d", info.Attributes, 2*nPairs)
+	}
+	rep := model.Screen()
+	if rep == nil {
+		t.Fatalf("no screen report")
+	}
+	if rep.PairsTotal != (2*nPairs)*(2*nPairs-1)/2 {
+		t.Errorf("screen surveyed %d pairs, want %d", rep.PairsTotal, (2*nPairs)*(2*nPairs-1)/2)
+	}
+	if rep.CIAlpha == 0 {
+		t.Errorf("screen report does not record the CI pass: %+v", rep)
+	}
+
+	// Structure: every accepted order >= 2 family must be a planted pair.
+	planted := make(map[contingency.VarSet]bool, nPairs)
+	for _, fam := range truth.Planted() {
+		planted[fam] = true
+	}
+	recovered := make(map[contingency.VarSet]bool)
+	for _, f := range model.Findings() {
+		fam := f.Constraint.Family
+		if fam.Len() < 2 {
+			continue
+		}
+		if !planted[fam] {
+			t.Errorf("discovery promoted a non-planted family %v", fam.Members())
+			continue
+		}
+		recovered[fam] = true
+	}
+	if len(recovered) < wideE2EMinRecovered {
+		t.Fatalf("only %d planted pairs recovered under the constraint cap, want >= %d", len(recovered), wideE2EMinRecovered)
+	}
+
+	// Snapshot round-trip: binary save must reload as an equivalent model.
+	var snap bytes.Buffer
+	if err := model.SaveSnapshot(&snap); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	loaded, err := pka.LoadSnapshot(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	// Save -> Load -> Save must be byte-stable at the new format version.
+	reloaded, err := pka.LoadModelSnapshot(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadModelSnapshot: %v", err)
+	}
+	var snap2 bytes.Buffer
+	if err := reloaded.SaveSnapshot(&snap2); err != nil {
+		t.Fatalf("re-SaveSnapshot: %v", err)
+	}
+	if !bytes.Equal(snap.Bytes(), snap2.Bytes()) {
+		t.Errorf("wide snapshot is not byte-stable across a round trip (%d vs %d bytes)",
+			snap.Len(), snap2.Len())
+	}
+
+	// Serve the loaded snapshot and check answers against the exact
+	// ground-truth conditionals of recovered pairs. With both first-order
+	// marginals and a pair cell pinned, the fitted 2x2 block reproduces the
+	// empirical pair joint, so the tolerance is pure sampling error.
+	srv := httptest.NewServer(pka.NewServer(loaded))
+	defer srv.Close()
+	checked := 0
+	for i := 0; i < nPairs && checked < wideE2ECheckPairs; i++ {
+		if !recovered[contingency.NewVarSet(2*i, 2*i+1)] {
+			continue
+		}
+		checked++
+		left := fmt.Sprintf("W%04d", 2*i)
+		right := fmt.Sprintf("W%04d", 2*i+1)
+		want := truth.PairCond(i, 1, 1)
+
+		got, err := loaded.Conditional(
+			[]pka.Assignment{{Attr: right, Value: "1"}},
+			[]pka.Assignment{{Attr: left, Value: "1"}},
+		)
+		if err != nil {
+			t.Fatalf("Conditional(%s|%s): %v", right, left, err)
+		}
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("pair %d: served conditional %g, ground truth %g", i, got, want)
+		}
+
+		body := fmt.Sprintf(`{"kind":"conditional","target":[{"attr":%q,"value":"1"}],"given":[{"attr":%q,"value":"1"}]}`,
+			right, left)
+		resp, err := http.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatalf("POST /v1/query: %v", err)
+		}
+		var out struct {
+			Probability float64 `json:"probability"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decoding query response: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query status %d", resp.StatusCode)
+		}
+		if math.Abs(out.Probability-got) > 1e-12 {
+			t.Errorf("HTTP answer %g differs from direct answer %g", out.Probability, got)
+		}
+	}
+	if checked < wideE2ECheckPairs {
+		t.Errorf("only %d recovered pairs checked, want %d", checked, wideE2ECheckPairs)
+	}
+}

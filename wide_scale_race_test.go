@@ -1,0 +1,15 @@
+//go:build race
+
+package pka_test
+
+// Race-build wide end-to-end workload: still far past the 64-attribute
+// single-word ceiling (200 attributes, 4 key words), but small enough that
+// the race-instrumented O(pairs × occupied) screen finishes in seconds.
+// The full 520-attribute instance runs in every non-race test pass.
+const (
+	wideE2EPairs          = 100 // 200 attributes
+	wideE2ERows           = 800
+	wideE2EMaxConstraints = 20
+	wideE2EMinRecovered   = 6
+	wideE2ECheckPairs     = 3
+)

@@ -1,0 +1,16 @@
+//go:build !race
+
+package pka_test
+
+// Full-scale wide end-to-end workload: 520 attributes, the ISSUE's
+// 500+-attribute proof. The race-instrumented build runs a smaller
+// instance (see wide_scale_race_test.go) because the O(pairs × occupied)
+// screen is ~15x slower under the detector; the representation under test
+// is identical (multi-word keys either way).
+const (
+	wideE2EPairs          = 260 // 520 attributes
+	wideE2ERows           = 1500
+	wideE2EMaxConstraints = 40
+	wideE2EMinRecovered   = 10
+	wideE2ECheckPairs     = 5
+)
