@@ -11,6 +11,8 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"pka"
@@ -35,19 +37,47 @@ import (
 // records its BENCH_<pr>.json so regressions are diffable instead of
 // anecdotal. -iters 1 is the CI smoke configuration; the committed
 // snapshots use the default iteration count.
+//
+// -workers-sweep re-measures the worker-sensitive items at each listed
+// worker count, recording name@wN entries, so one snapshot captures the
+// parallel scaling curve (meaningful on multi-core hosts; the host record
+// flags single-core runs).
+//
+// With -serve the command is an HTTP load generator instead: it reads the
+// target's schema, builds a rotating query workload, and fires it over
+// -conns connections for -duration, reporting throughput and latency
+// percentiles — the fleet-measurement harness for replicated and sharded
+// deployments.
 func cmdBench(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_7.json", "snapshot output path (empty = stdout only)")
+	out := fs.String("out", "BENCH_8.json", "snapshot output path (empty = stdout only); ignored with -serve")
 	iters := fs.Int("iters", 5, "iterations per suite item (1 = CI smoke)")
 	workers := fs.Int("workers", 0, "worker goroutines for the parallel suite items (0 = all cores, 1 = serial)")
+	sweep := fs.String("workers-sweep", "", "comma-separated worker counts: re-measure the parallel suite items at each, as name@wN entries")
+	serveURL := fs.String("serve", "", "loadgen mode: fire the query workload at this running pka server instead of the local suite")
+	conns := fs.Int("conns", 4, "with -serve: concurrent connections")
+	duration := fs.Duration("duration", 10*time.Second, "with -serve: measurement window")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *iters < 1 {
 		return fmt.Errorf("bench: -iters must be >= 1, got %d", *iters)
 	}
+	if *serveURL != "" {
+		return runLoadgen(w, *serveURL, *conns, *duration)
+	}
+	var sweepCounts []int
+	if *sweep != "" {
+		for _, s := range strings.Split(*sweep, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bench: bad -workers-sweep entry %q", s)
+			}
+			sweepCounts = append(sweepCounts, n)
+		}
+	}
 	snap := benchSnapshot{
-		Version: 7,
+		Version: 8,
 		Host: benchHost{
 			Go:         runtime.Version(),
 			OS:         runtime.GOOS,
@@ -72,6 +102,31 @@ func cmdBench(w io.Writer, args []string) error {
 		fmt.Fprintf(w, "%-28s %12.0f ns/op %10d allocs/op %12d B/op\n",
 			entry.Name, entry.NsPerOp, entry.AllocsPerOp, entry.BytesPerOp)
 	}
+	// The sweep rebuilds the suite per worker count (workloads are seeded,
+	// so the measured operations are identical) and re-measures only the
+	// items whose execution actually spreads across workers.
+	for _, wc := range sweepCounts {
+		sub, err := buildBenchSuite(wc)
+		if err != nil {
+			return err
+		}
+		for _, item := range sub.items {
+			if !item.parallel {
+				continue
+			}
+			entry, err := measureBench(item, *iters)
+			if err != nil {
+				sub.close()
+				return fmt.Errorf("bench: %s @w%d: %w", item.name, wc, err)
+			}
+			entry.Name = fmt.Sprintf("%s@w%d", item.name, wc)
+			snap.Benchmarks = append(snap.Benchmarks, entry)
+			fmt.Fprintf(w, "%-28s %12.0f ns/op %10d allocs/op %12d B/op\n",
+				entry.Name, entry.NsPerOp, entry.AllocsPerOp, entry.BytesPerOp)
+		}
+		sub.close()
+	}
+	snap.WorkersSweep = sweepCounts
 	if *out != "" {
 		data, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
@@ -88,10 +143,13 @@ func cmdBench(w io.Writer, args []string) error {
 
 // benchSnapshot is the machine-readable perf record.
 type benchSnapshot struct {
-	Version    int          `json:"version"`
-	Host       benchHost    `json:"host"`
-	Workers    int          `json:"workers"`
-	Benchmarks []benchEntry `json:"benchmarks"`
+	Version int       `json:"version"`
+	Host    benchHost `json:"host"`
+	Workers int       `json:"workers"`
+	// WorkersSweep lists the worker counts the name@wN entries were
+	// re-measured at, empty when no sweep ran.
+	WorkersSweep []int        `json:"workers_sweep,omitempty"`
+	Benchmarks   []benchEntry `json:"benchmarks"`
 }
 
 // benchHost records where the numbers were taken. MultiCore flags whether
@@ -163,10 +221,13 @@ type benchSuite struct {
 
 // benchItem is one suite entry: fn is the measured operation; prepare, if
 // set, builds a fresh operation per iteration (untimed setup) instead.
+// parallel marks items whose execution spreads across the -workers pool —
+// the set -workers-sweep re-measures.
 type benchItem struct {
-	name    string
-	fn      func() error
-	prepare func() (func() error, error)
+	name     string
+	fn       func() error
+	prepare  func() (func() error, error)
+	parallel bool
 }
 
 func (s *benchSuite) close() {
@@ -378,7 +439,7 @@ func buildBenchSuite(workers int) (*benchSuite, error) {
 		MaxConstraints: 32,
 		Workers:        workers,
 	}
-	suite.items = append(suite.items, benchItem{name: "wide_discover", fn: func() error {
+	suite.items = append(suite.items, benchItem{name: "wide_discover", parallel: true, fn: func() error {
 		_, err := pka.DiscoverSparse(wideMaster.Clone(), wideTruth.Schema(), wideOpts)
 		return err
 	}})
@@ -465,7 +526,7 @@ func buildBenchSuite(workers int) (*benchSuite, error) {
 	if err != nil {
 		return nil, err
 	}
-	suite.items = append(suite.items, benchItem{name: "fit_factored", fn: func() error {
+	suite.items = append(suite.items, benchItem{name: "fit_factored", parallel: true, fn: func() error {
 		m := factoredMaster.Clone()
 		rep, err := m.Fit(maxent.SolveOptions{Workers: workers})
 		if err != nil {
@@ -482,7 +543,7 @@ func buildBenchSuite(workers int) (*benchSuite, error) {
 		return nil, err
 	}
 	queries := benchQueryWorkload()
-	suite.items = append(suite.items, benchItem{name: "answer_batch", fn: func() error {
+	suite.items = append(suite.items, benchItem{name: "answer_batch", parallel: true, fn: func() error {
 		results, err := pka.AnswerBatchWorkers(queryModel, queries, workers)
 		if err != nil {
 			return err
@@ -511,7 +572,7 @@ func buildBenchSuite(workers int) (*benchSuite, error) {
 		return nil, err
 	}
 	client := &http.Client{}
-	suite.items = append(suite.items, benchItem{name: "http_batch", fn: func() error {
+	suite.items = append(suite.items, benchItem{name: "http_batch", parallel: true, fn: func() error {
 		resp, err := client.Post(baseURL+"/v1/query/batch", "application/json", bytes.NewReader(body))
 		if err != nil {
 			return err

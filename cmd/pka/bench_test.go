@@ -27,8 +27,8 @@ func TestCmdBenchSnapshot(t *testing.T) {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		t.Fatalf("snapshot is not valid JSON: %v", err)
 	}
-	if snap.Version != 7 {
-		t.Errorf("version = %d, want 7", snap.Version)
+	if snap.Version != 8 {
+		t.Errorf("version = %d, want 8", snap.Version)
 	}
 	if snap.Host.Go == "" || snap.Host.OS == "" || snap.Host.Arch == "" ||
 		snap.Host.NumCPU < 1 || snap.Host.GOMAXPROCS < 1 {

@@ -6,10 +6,15 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"pka"
+	"pka/internal/cluster"
+	"pka/internal/replog"
 	"pka/internal/server"
 )
 
@@ -17,12 +22,32 @@ import (
 //
 //	pka serve -kb kb.json [-addr :8080] [-max-batch N]
 //	pka serve -data data.csv [-sparse] [-screen] [-max-order N] ...
+//	pka serve -data data.csv -log observe.log            # replicated primary
+//	pka serve -replica-of http://primary:8080            # read replica
+//	pka serve -kb kb.pkas -shard 0/2                     # block shard
+//	pka serve -kb kb.pkas -shards http://s0,http://s1    # shard coordinator
 //
 // With -kb the model is loaded from a saved file and served read-only.
 // With -data the model is discovered from the CSV at startup and served
 // with streaming ingest enabled: POST /v1/observe folds new observation
 // rows into the model (incremental refit, atomic engine swap) while
 // queries keep flowing. SIGINT/SIGTERM trigger a graceful shutdown.
+//
+// The cluster modes compose the same server:
+//
+//   - -log turns the ingest server into a replicated primary: every applied
+//     observe batch is appended to the CRC-framed log and served to
+//     replicas via GET /v1/log and GET /v1/snapshot. On restart the log is
+//     replayed over the freshly discovered seed, so the primary resumes at
+//     its exact pre-crash version (the seed discovery is deterministic —
+//     keep -data pointed at the same CSV).
+//   - -replica-of boots from the primary's snapshot, tails its log, and
+//     serves reads that are bit-identical to the primary at the applied
+//     offset; writes answer 501. GET /readyz reports catch-up lag.
+//   - -shard i/n serves the i-th slice of a factored model's constraint
+//     blocks (block b belongs to shard b mod n); -shards assembles the
+//     fleet back into one query surface whose answers are bit-identical to
+//     serving the snapshot in one process.
 func cmdServe(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	cfg := serveConfig{}
@@ -39,6 +64,11 @@ func cmdServe(w io.Writer, args []string) error {
 	fs.Float64Var(&cfg.screenAlpha, "screen-alpha", 0, "with -data: screen p-value threshold (0 = Bonferroni)")
 	fs.BoolVar(&cfg.screenCI, "screen-ci", false, "with -data: refine -screen with conditional-independence triple tests")
 	fs.Float64Var(&cfg.screenCIAlpha, "screen-ci-alpha", 0, "with -data: independence p-value for -screen-ci (0 = 0.05)")
+	fs.StringVar(&cfg.logPath, "log", "", "with -data: replicated-primary mode — append applied observe batches to this log and serve /v1/log + /v1/snapshot for replicas")
+	fs.StringVar(&cfg.replicaOf, "replica-of", "", "read-replica mode: boot from this primary's snapshot and follow its observe log")
+	fs.DurationVar(&cfg.poll, "poll", 200*time.Millisecond, "with -replica-of: log tail poll interval")
+	fs.StringVar(&cfg.shard, "shard", "", "with -kb: serve one slice i/n of a factored model's constraint blocks (e.g. 0/2)")
+	fs.StringVar(&cfg.shardURLs, "shards", "", "with -kb: coordinate a comma-separated shard fleet into one query surface")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,14 +91,53 @@ type serveConfig struct {
 	screenAlpha       float64
 	screenCI          bool
 	screenCIAlpha     float64
+
+	// Cluster modes.
+	logPath   string
+	replicaOf string
+	poll      time.Duration
+	shard     string
+	shardURLs string
+}
+
+func (c serveConfig) serverOptions() server.Options {
+	return server.Options{
+		MaxBatch:       c.maxBatch,
+		MaxObserveRows: c.maxObserve,
+		Workers:        c.workers,
+	}
 }
 
 // runServe is cmdServe minus flag and signal handling, so tests can drive
 // it with their own context and capture the bound address.
 func runServe(ctx context.Context, w io.Writer, cfg serveConfig, ready func(net.Addr)) error {
-	if (cfg.kbPath == "") == (cfg.dataPath == "") {
-		return fmt.Errorf("serve: exactly one of -kb (read-only) or -data (streaming ingest) is required")
+	sources := 0
+	for _, s := range []string{cfg.kbPath, cfg.dataPath, cfg.replicaOf} {
+		if s != "" {
+			sources++
+		}
 	}
+	if sources != 1 {
+		return fmt.Errorf("serve: exactly one of -kb (read-only), -data (streaming ingest), or -replica-of (follower) is required")
+	}
+	if cfg.shard != "" && cfg.shardURLs != "" {
+		return fmt.Errorf("serve: -shard serves a slice, -shards coordinates a fleet — pick one")
+	}
+	if (cfg.shard != "" || cfg.shardURLs != "") && cfg.kbPath == "" {
+		return fmt.Errorf("serve: -shard/-shards need the snapshot via -kb (every process loads the same file)")
+	}
+	if cfg.logPath != "" && cfg.dataPath == "" {
+		return fmt.Errorf("serve: -log (replicated primary) needs -data for the seed model")
+	}
+	switch {
+	case cfg.replicaOf != "":
+		return runServeReplica(ctx, w, cfg, ready)
+	case cfg.shard != "":
+		return runServeShard(ctx, w, cfg, ready)
+	case cfg.shardURLs != "":
+		return runServeCoordinator(ctx, w, cfg, ready)
+	}
+
 	var model pka.Querier
 	source := cfg.kbPath
 	mode := "read-only"
@@ -99,12 +168,31 @@ func runServe(ctx context.Context, w io.Writer, cfg serveConfig, ready func(net.
 			return err
 		}
 	}
+	handler := server.NewWithOptions(model, cfg.serverOptions())
+	if cfg.logPath != "" {
+		// Replicated primary: replay the log over the deterministic seed
+		// (a restart resumes exactly where it stopped), then route every
+		// observe through the apply+append critical section.
+		bank, ok := model.(cluster.Bank)
+		if !ok {
+			return fmt.Errorf("serve: -log needs an ingest-capable model")
+		}
+		lg, err := replog.Open(cfg.logPath)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		defer lg.Close()
+		if _, err := cluster.Replay(lg, bank, 0); err != nil {
+			return fmt.Errorf("serve: replaying %s: %w", cfg.logPath, err)
+		}
+		p, err := cluster.NewPrimary(bank, lg)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		handler = p.Handler(server.NewWithOptions(p, cfg.serverOptions()))
+		mode = fmt.Sprintf("primary, log %s at offset %d", cfg.logPath, lg.Next())
+	}
 	info := model.(interface{ Info() pka.Info }).Info()
-	handler := server.NewWithOptions(model, server.Options{
-		MaxBatch:       cfg.maxBatch,
-		MaxObserveRows: cfg.maxObserve,
-		Workers:        cfg.workers,
-	})
 	announce := func(a net.Addr) {
 		fmt.Fprintf(w, "serving %s (%d attributes, %d constraints, %s) on %s\n",
 			source, info.Attributes, info.Constraints, mode, a)
@@ -113,6 +201,92 @@ func runServe(ctx context.Context, w io.Writer, cfg serveConfig, ready func(net.
 		}
 	}
 	if err := server.ListenAndServe(ctx, cfg.addr, handler, announce); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintln(w, "server stopped")
+	return nil
+}
+
+// runServeReplica boots from the primary's snapshot, follows its log in
+// the background, and serves reads.
+func runServeReplica(ctx context.Context, w io.Writer, cfg serveConfig, ready func(net.Addr)) error {
+	load := func(r io.Reader) (cluster.Bank, error) { return pka.LoadModelSnapshot(r) }
+	rep, err := cluster.BootReplica(ctx, strings.TrimRight(cfg.replicaOf, "/"), load, cfg.poll, http.DefaultClient)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	go func() {
+		if err := rep.Follow(ctx); err != nil {
+			// The replica keeps serving its last consistent state but
+			// reports unready; surface the fault for the operator.
+			fmt.Fprintf(w, "replica: log stream broken: %v\n", err)
+		}
+	}()
+	announce := func(a net.Addr) {
+		fmt.Fprintf(w, "serving replica of %s (boot version %d, read-only) on %s\n",
+			cfg.replicaOf, rep.Version(), a)
+		if ready != nil {
+			ready(a)
+		}
+	}
+	if err := server.ListenAndServe(ctx, cfg.addr, server.NewWithOptions(rep, cfg.serverOptions()), announce); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintln(w, "server stopped")
+	return nil
+}
+
+// runServeShard serves one slice of a factored snapshot's blocks.
+func runServeShard(ctx context.Context, w io.Writer, cfg serveConfig, ready func(net.Addr)) error {
+	var index, total int
+	if n, err := fmt.Sscanf(cfg.shard, "%d/%d", &index, &total); n != 2 || err != nil {
+		return fmt.Errorf("serve: -shard wants i/n (e.g. 0/2), got %q", cfg.shard)
+	}
+	qm, err := loadKB(cfg.kbPath)
+	if err != nil {
+		return err
+	}
+	sh, err := cluster.NewShard(qm.KnowledgeBase(), index, total)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	announce := func(a net.Addr) {
+		fmt.Fprintf(w, "serving shard %d/%d of %s (%d of %d blocks) on %s\n",
+			index, total, cfg.kbPath, len(sh.Meta().Owned), sh.Meta().Blocks, a)
+		if ready != nil {
+			ready(a)
+		}
+	}
+	if err := server.ListenAndServe(ctx, cfg.addr, sh.Handler(), announce); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintln(w, "server stopped")
+	return nil
+}
+
+// runServeCoordinator assembles a shard fleet into one query surface.
+func runServeCoordinator(ctx context.Context, w io.Writer, cfg serveConfig, ready func(net.Addr)) error {
+	urls := strings.Split(cfg.shardURLs, ",")
+	for i := range urls {
+		urls[i] = strings.TrimRight(strings.TrimSpace(urls[i]), "/")
+	}
+	qm, err := loadKB(cfg.kbPath)
+	if err != nil {
+		return err
+	}
+	coord, err := cluster.NewCoordinator(qm.KnowledgeBase(), urls, http.DefaultClient)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	info := qm.Info()
+	announce := func(a net.Addr) {
+		fmt.Fprintf(w, "serving %s (%d attributes, %d constraints) across %d shards on %s\n",
+			cfg.kbPath, info.Attributes, info.Constraints, len(urls), a)
+		if ready != nil {
+			ready(a)
+		}
+	}
+	if err := server.ListenAndServe(ctx, cfg.addr, server.NewWithOptions(coord, cfg.serverOptions()), announce); err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
 	fmt.Fprintln(w, "server stopped")

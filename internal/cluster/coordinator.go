@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"pka/internal/contingency"
+	"pka/internal/dataset"
+	"pka/internal/kb"
+	"pka/internal/maxent"
+	"pka/internal/query"
+	"pka/internal/rules"
+)
+
+// shardClient speaks one shard's eval protocol.
+type shardClient struct {
+	base   string
+	client *http.Client
+}
+
+func (c *shardClient) meta() (ShardMeta, error) {
+	resp, err := c.client.Get(c.base + "/v1/shard/meta")
+	if err != nil {
+		return ShardMeta{}, fmt.Errorf("cluster: fetching %s meta: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ShardMeta{}, fmt.Errorf("cluster: %s meta returned %s", c.base, resp.Status)
+	}
+	var m ShardMeta
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return ShardMeta{}, fmt.Errorf("cluster: decoding %s meta: %w", c.base, err)
+	}
+	return m, nil
+}
+
+// eval posts one op and returns its result. The engine's combination loops
+// call block primitives one at a time, so one op per request keeps the
+// client exactly as wide as the evaluation seam.
+func (c *shardClient) eval(op EvalOp) (EvalResult, error) {
+	body, err := json.Marshal(EvalRequest{Ops: []EvalOp{op}})
+	if err != nil {
+		return EvalResult{}, fmt.Errorf("cluster: encoding eval: %w", err)
+	}
+	resp, err := c.client.Post(c.base+"/v1/shard/eval", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return EvalResult{}, fmt.Errorf("cluster: shard %s: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(msg, &eb) == nil && eb.Error != "" {
+			return EvalResult{}, fmt.Errorf("cluster: shard %s: %s", c.base, eb.Error)
+		}
+		return EvalResult{}, fmt.Errorf("cluster: shard %s returned %s", c.base, resp.Status)
+	}
+	var er EvalResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		return EvalResult{}, fmt.Errorf("cluster: decoding shard %s response: %w", c.base, err)
+	}
+	if len(er.Results) != 1 {
+		return EvalResult{}, fmt.Errorf("cluster: shard %s answered %d results for 1 op", c.base, len(er.Results))
+	}
+	return er.Results[0], nil
+}
+
+// remoteBlock is the coordinator-side maxent.BlockEngine: each primitive is
+// one eval op against the owning shard, with every float crossing the wire
+// as IEEE-754 bits. Sum never leaves the process — the shard advertised it
+// in its meta and it is constant while serving.
+type remoteBlock struct {
+	c     *shardClient
+	block int
+	sum   float64
+}
+
+func (r remoteBlock) Sum() (float64, error) { return r.sum, nil }
+
+func (r remoteBlock) SumPinned(vars, values []int) (float64, error) {
+	res, err := r.c.eval(EvalOp{Op: opSumPinned, Block: r.block, Vars: vars, Values: values})
+	if err != nil {
+		return 0, err
+	}
+	return res.Scalar.Float(), nil
+}
+
+func (r remoteBlock) SumFixed(fixed []int) (float64, error) {
+	res, err := r.c.eval(EvalOp{Op: opSumFixed, Block: r.block, Fixed: fixed})
+	if err != nil {
+		return 0, err
+	}
+	return res.Scalar.Float(), nil
+}
+
+func (r remoteBlock) MarginalFixed(vars, fixed []int) ([]float64, error) {
+	res, err := r.c.eval(EvalOp{Op: opMarginalFixed, Block: r.block, Vars: vars, Fixed: fixed})
+	if err != nil {
+		return nil, err
+	}
+	return Floats(res.Array), nil
+}
+
+func (r remoteBlock) CellValue(init float64, cell []int) (float64, error) {
+	res, err := r.c.eval(EvalOp{Op: opCellValue, Block: r.block, Acc: FromFloat(init), Cell: cell})
+	if err != nil {
+		return 0, err
+	}
+	return res.Scalar.Float(), nil
+}
+
+func (r remoteBlock) ArgmaxFixed(fixed []int) ([]int, error) {
+	res, err := r.c.eval(EvalOp{Op: opArgmaxFixed, Block: r.block, Fixed: fixed})
+	if err != nil {
+		return nil, err
+	}
+	return res.Cell, nil
+}
+
+// Coordinator serves one factored knowledge base whose block evaluation is
+// spread across shard processes. It compiles its own copy of the snapshot
+// to know the model's exact shape, validates every shard's advertised slice
+// bit for bit against that shape, then assembles a distributed engine whose
+// combination loops are the in-process factored code — so every answer is
+// bit-identical to single-process serving of the same snapshot.
+type Coordinator struct {
+	kbase  *kb.KnowledgeBase // remote-engined kb every query runs on
+	shards int
+}
+
+// NewCoordinator connects a local snapshot to its shard fleet. urls[i] must
+// serve `-shard i/len(urls)` of the same snapshot; any mismatch in block
+// structure, a0, or block sums (compared as raw bits) is refused before a
+// single query is routed.
+func NewCoordinator(kbase *kb.KnowledgeBase, urls []string, client *http.Client) (*Coordinator, error) {
+	if kbase == nil {
+		return nil, fmt.Errorf("cluster: nil knowledge base")
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("cluster: coordinator needs at least one shard URL")
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	local, err := kbase.Model().Compile()
+	if err != nil {
+		return nil, err
+	}
+	if !local.Factored() {
+		return nil, fmt.Errorf("cluster: model is dense (single block) — sharding needs a factored model; serve it whole instead")
+	}
+	n := local.NumBlocks()
+	blocks := make([]maxent.RemoteBlock, n)
+	seen := make([]bool, n)
+	for i, url := range urls {
+		sc := &shardClient{base: url, client: client}
+		m, err := sc.meta()
+		if err != nil {
+			return nil, err
+		}
+		if m.Shard != i || m.Shards != len(urls) {
+			return nil, fmt.Errorf("cluster: %s serves shard %d/%d, coordinator expected %d/%d", url, m.Shard, m.Shards, i, len(urls))
+		}
+		if m.Attributes != local.R() || m.Blocks != n {
+			return nil, fmt.Errorf("cluster: %s model shape %d attrs/%d blocks != local %d/%d (different snapshot?)", url, m.Attributes, m.Blocks, local.R(), n)
+		}
+		if m.A0 != FromFloat(local.A0()) {
+			return nil, fmt.Errorf("cluster: %s a0 differs from local snapshot (different fit?)", url)
+		}
+		for _, bm := range m.Owned {
+			if bm.Index < 0 || bm.Index >= n {
+				return nil, fmt.Errorf("cluster: %s claims block %d of %d", url, bm.Index, n)
+			}
+			if bm.Index%len(urls) != i {
+				return nil, fmt.Errorf("cluster: %s claims block %d, owned by shard %d", url, bm.Index, bm.Index%len(urls))
+			}
+			if seen[bm.Index] {
+				return nil, fmt.Errorf("cluster: block %d claimed twice", bm.Index)
+			}
+			want := local.BlockVars(bm.Index)
+			if len(bm.Vars) != len(want) {
+				return nil, fmt.Errorf("cluster: %s block %d has %d vars, local has %d", url, bm.Index, len(bm.Vars), len(want))
+			}
+			for j, v := range bm.Vars {
+				if v != want[j] {
+					return nil, fmt.Errorf("cluster: %s block %d vars %v != local %v", url, bm.Index, bm.Vars, want)
+				}
+			}
+			if bm.Sum != FromFloat(local.BlockSum(bm.Index)) {
+				return nil, fmt.Errorf("cluster: %s block %d sum differs from local snapshot bitwise", url, bm.Index)
+			}
+			seen[bm.Index] = true
+			blocks[bm.Index] = maxent.RemoteBlock{
+				Vars: want,
+				Sum:  bm.Sum.Float(),
+				Eng:  remoteBlock{c: sc, block: bm.Index, sum: bm.Sum.Float()},
+			}
+		}
+	}
+	for b, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("cluster: block %d not claimed by any shard", b)
+		}
+	}
+	eng, err := maxent.NewDistributed(local.Names(), local.Cards(), local.A0(), blocks)
+	if err != nil {
+		return nil, err
+	}
+	rkb, err := kb.NewWithEngine(kbase.Schema(), kbase.Model(), eng)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{kbase: rkb, shards: len(urls)}, nil
+}
+
+var _ query.Querier = (*Coordinator)(nil)
+
+// Schema returns the attribute layout queries are expressed against.
+func (c *Coordinator) Schema() *dataset.Schema { return c.kbase.Schema() }
+
+// Probability returns the joint probability of the assignments.
+func (c *Coordinator) Probability(assigns ...kb.Assignment) (float64, error) {
+	return c.kbase.Probability(assigns...)
+}
+
+// Conditional returns P(target | given).
+func (c *Coordinator) Conditional(target, given []kb.Assignment) (float64, error) {
+	return c.kbase.Conditional(target, given)
+}
+
+// Distribution returns the conditional distribution of attr given evidence.
+func (c *Coordinator) Distribution(attr string, given ...kb.Assignment) (map[string]float64, error) {
+	return c.kbase.Distribution(attr, given...)
+}
+
+// MostLikely returns attr's most probable value given the evidence.
+func (c *Coordinator) MostLikely(attr string, given ...kb.Assignment) (string, float64, error) {
+	return c.kbase.MostLikely(attr, given...)
+}
+
+// Lift returns P(target|given)/P(target).
+func (c *Coordinator) Lift(target kb.Assignment, given ...kb.Assignment) (float64, error) {
+	return c.kbase.Lift(target, given...)
+}
+
+// MostProbableExplanation returns the most likely full completion of the
+// evidence.
+func (c *Coordinator) MostProbableExplanation(given ...kb.Assignment) (kb.Explanation, error) {
+	return c.kbase.MostProbableExplanation(given...)
+}
+
+// Rules extracts IF-THEN rules from the stored constraints. Rule mining
+// reads only the model's constraint structure plus block marginals, so it
+// runs through the same distributed engine.
+func (c *Coordinator) Rules(opts rules.Options) ([]rules.Rule, error) {
+	return rules.FromKnowledgeBase(c.kbase, opts)
+}
+
+// Explain renders the stored probability formula with value labels.
+func (c *Coordinator) Explain() string { return c.kbase.Explain() }
+
+// LogLoss scores validation counts through the distributed engine.
+func (c *Coordinator) LogLoss(counts contingency.Counts) (float64, error) {
+	return c.kbase.LogLoss(counts)
+}
+
+// KnowledgeBase keeps the batch endpoint's shared-session fast path: batch
+// sessions share denominators and conditional sweeps exactly as in-process,
+// each priced once over the shard fleet instead of once per query.
+func (c *Coordinator) KnowledgeBase() *kb.KnowledgeBase { return c.kbase }
+
+// Readiness: a coordinator is ready once constructed — every shard's meta
+// was validated before NewCoordinator returned.
+func (c *Coordinator) Readiness() query.Readiness {
+	return query.Readiness{Ready: true, Role: "coordinator"}
+}

@@ -1,0 +1,5 @@
+package cluster
+
+// RetargetForTest points a replica's tail at a different primary URL — the
+// fault-injection hook for poisoned-log tests.
+func RetargetForTest(r *Replica, url string) { r.primary = url }

@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"pka/internal/kb"
+	"pka/internal/maxent"
+	"pka/internal/query"
+)
+
+// maxEvalOps bounds one eval request.
+const maxEvalOps = 4096
+
+// Shard serves a slice of a factored model's constraint blocks: block i
+// belongs to shard i mod n under the `-shard i/n` spec, a deterministic
+// partition every process computes identically from the model's block
+// order. Each shard loads the full snapshot (blocks are small — the model
+// already factors because the joint is too wide, so per-block state is a
+// fraction of it) but evaluates only its owned blocks, keeping its working
+// set and query load to 1/n of the fleet's.
+type Shard struct {
+	eng   *maxent.Compiled
+	index int
+	total int
+	owned map[int]bool
+	// cards[b] is owned block b's local cardinalities, for validating op
+	// arguments before they reach the engine (whose fast paths index
+	// without bounds checks a network peer should be able to trip).
+	cards map[int][]int
+	meta  ShardMeta
+}
+
+// NewShard slices a compiled knowledge base for shard index of total. The
+// engine must be factored — a dense model has exactly one "block" (the
+// joint) and nothing to shard.
+func NewShard(kbase *kb.KnowledgeBase, index, total int) (*Shard, error) {
+	if kbase == nil {
+		return nil, fmt.Errorf("cluster: nil knowledge base")
+	}
+	if total < 1 || index < 0 || index >= total {
+		return nil, fmt.Errorf("cluster: shard %d/%d out of range", index, total)
+	}
+	eng, err := kbase.Model().Compile()
+	if err != nil {
+		return nil, err
+	}
+	if !eng.Factored() {
+		return nil, fmt.Errorf("cluster: model is dense (single block) — sharding needs a factored model; serve it whole instead")
+	}
+	s := &Shard{
+		eng:   eng,
+		index: index,
+		total: total,
+		owned: make(map[int]bool),
+		cards: make(map[int][]int),
+		meta: ShardMeta{
+			Shard:      index,
+			Shards:     total,
+			Attributes: eng.R(),
+			Blocks:     eng.NumBlocks(),
+			A0:         FromFloat(eng.A0()),
+		},
+	}
+	for b := 0; b < eng.NumBlocks(); b++ {
+		if b%total != index {
+			continue
+		}
+		s.owned[b] = true
+		vars := eng.BlockVars(b)
+		cards := eng.Cards()
+		local := make([]int, len(vars))
+		for i, p := range vars {
+			local[i] = cards[p]
+		}
+		s.cards[b] = local
+		s.meta.Owned = append(s.meta.Owned, BlockMeta{
+			Index: b,
+			Vars:  vars,
+			Sum:   FromFloat(eng.BlockSum(b)),
+		})
+	}
+	return s, nil
+}
+
+// Meta returns the shard's advertised slice of the model.
+func (s *Shard) Meta() ShardMeta { return s.meta }
+
+// Readiness: a shard is ready once constructed (the snapshot loaded and
+// compiled before the listener bound).
+func (s *Shard) Readiness() query.Readiness {
+	return query.Readiness{Ready: true, Role: "shard"}
+}
+
+// Handler returns the shard's HTTP surface:
+//
+//	GET  /healthz         liveness
+//	GET  /readyz          readiness
+//	GET  /v1/shard/meta   which blocks this shard owns, with sums
+//	POST /v1/shard/eval   batched block-engine ops
+func (s *Shard) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte("{\"status\":\"ok\"}\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.Readiness())
+	})
+	mux.HandleFunc("GET /v1/shard/meta", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.meta)
+	})
+	mux.HandleFunc("POST /v1/shard/eval", s.serveEval)
+	return mux
+}
+
+func (s *Shard) serveEval(w http.ResponseWriter, r *http.Request) {
+	var req EvalRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Errorf("cluster: decoding eval request: %w", err))
+		return
+	}
+	if len(req.Ops) == 0 || len(req.Ops) > maxEvalOps {
+		writeJSONError(w, http.StatusBadRequest, fmt.Errorf("cluster: eval request carries %d ops (want 1..%d)", len(req.Ops), maxEvalOps))
+		return
+	}
+	resp := EvalResponse{Results: make([]EvalResult, len(req.Ops))}
+	for i, op := range req.Ops {
+		res, err := s.eval(op)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, fmt.Errorf("cluster: op %d: %w", i, err))
+			return
+		}
+		resp.Results[i] = res
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// eval dispatches one op to the owned block's engine — the same localBlock
+// adapter the in-process factored engine uses, so a sharded evaluation is
+// the identical arithmetic behind one HTTP hop.
+func (s *Shard) eval(op EvalOp) (EvalResult, error) {
+	if !s.owned[op.Block] {
+		return EvalResult{}, fmt.Errorf("block %d not owned by shard %d/%d", op.Block, s.index, s.total)
+	}
+	if err := s.checkOp(op); err != nil {
+		return EvalResult{}, err
+	}
+	eng := s.eng.Block(op.Block)
+	switch op.Op {
+	case opSumPinned:
+		v, err := eng.SumPinned(op.Vars, op.Values)
+		return EvalResult{Scalar: FromFloat(v)}, err
+	case opSumFixed:
+		v, err := eng.SumFixed(op.Fixed)
+		return EvalResult{Scalar: FromFloat(v)}, err
+	case opMarginalFixed:
+		arr, err := eng.MarginalFixed(op.Vars, op.Fixed)
+		if err != nil {
+			return EvalResult{}, err
+		}
+		return EvalResult{Array: FromFloats(arr)}, nil
+	case opCellValue:
+		v, err := eng.CellValue(op.Acc.Float(), op.Cell)
+		return EvalResult{Scalar: FromFloat(v)}, err
+	case opArgmaxFixed:
+		cell, err := eng.ArgmaxFixed(op.Fixed)
+		if err != nil {
+			return EvalResult{}, err
+		}
+		return EvalResult{Cell: cell}, nil
+	default:
+		return EvalResult{}, fmt.Errorf("unknown op %q", op.Op)
+	}
+}
+
+// checkOp bounds-checks an op's positions and values against the block's
+// local shape: the engine's hot paths index without the defensive checks a
+// network peer must not be able to trip.
+func (s *Shard) checkOp(op EvalOp) error {
+	cards := s.cards[op.Block]
+	w := len(cards)
+	if op.Op == opSumPinned && len(op.Vars) != len(op.Values) {
+		return fmt.Errorf("%d vars with %d values", len(op.Vars), len(op.Values))
+	}
+	for i, v := range op.Vars {
+		if v < 0 || v >= w {
+			return fmt.Errorf("var %d out of block range [0,%d)", v, w)
+		}
+		// marginal_fixed sends kept vars without values; sum_pinned pairs them.
+		if i < len(op.Values) && (op.Values[i] < 0 || op.Values[i] >= cards[v]) {
+			return fmt.Errorf("value %d out of range for block var %d", op.Values[i], v)
+		}
+	}
+	if len(op.Fixed) > w {
+		return fmt.Errorf("%d pins for %d block vars", len(op.Fixed), w)
+	}
+	for v, f := range op.Fixed {
+		if f >= cards[v] {
+			return fmt.Errorf("pin %d out of range for block var %d", f, v)
+		}
+	}
+	if op.Op == opCellValue {
+		if len(op.Cell) != w {
+			return fmt.Errorf("cell has %d coordinates, block has %d vars", len(op.Cell), w)
+		}
+		for v, x := range op.Cell {
+			if x < 0 || x >= cards[v] {
+				return fmt.Errorf("cell coordinate %d out of range for block var %d", x, v)
+			}
+		}
+	}
+	return nil
+}

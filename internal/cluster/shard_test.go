@@ -1,0 +1,249 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pka"
+	"pka/internal/cluster"
+	"pka/internal/kb"
+	"pka/internal/query"
+	"pka/internal/rules"
+	"pka/internal/stats"
+	"pka/internal/synth"
+)
+
+// wideModel discovers a factored model: 24 binary attributes put the joint
+// (2^24 cells) past the dense ceiling, so the engine splits into per-pair
+// constraint blocks — the shape sharding exists for.
+func wideModel(t testing.TB) *pka.Model {
+	t.Helper()
+	truth, err := synth.WidePairs(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := truth.SampleSparse(stats.NewRNG(7), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := pka.DiscoverSparse(tab, truth.Schema(), pka.Options{
+		MaxOrder:       2,
+		ScreenPairs:    true,
+		ScreenCI:       true,
+		MaxConstraints: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// startShards serves the model's blocks across n shard processes (httptest
+// servers standing in), returning their URLs.
+func startShards(t testing.TB, kbase *kb.KnowledgeBase, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		sh, err := cluster.NewShard(kbase, i, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(sh.Handler())
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+// wideQueries is one of every query kind over the wide schema.
+func wideQueries() []query.Query {
+	return []query.Query{
+		{Kind: query.KindProbability, Target: []kb.Assignment{{Attr: "W0000", Value: "1"}}},
+		{Kind: query.KindProbability, Target: []kb.Assignment{{Attr: "W0000", Value: "0"}, {Attr: "W0001", Value: "1"}}},
+		{Kind: query.KindProbability, Target: []kb.Assignment{{Attr: "W0002", Value: "1"}, {Attr: "W0005", Value: "0"}}}, // spans blocks
+		{Kind: query.KindConditional, Target: []kb.Assignment{{Attr: "W0001", Value: "1"}}, Given: []kb.Assignment{{Attr: "W0000", Value: "0"}}},
+		{Kind: query.KindConditional, Target: []kb.Assignment{{Attr: "W0003", Value: "1"}}, Given: []kb.Assignment{{Attr: "W0002", Value: "1"}, {Attr: "W0008", Value: "0"}}},
+		{Kind: query.KindDistribution, Attr: "W0004", Given: []kb.Assignment{{Attr: "W0005", Value: "1"}}},
+		{Kind: query.KindMostLikely, Attr: "W0007", Given: []kb.Assignment{{Attr: "W0006", Value: "0"}}},
+		{Kind: query.KindLift, Target: []kb.Assignment{{Attr: "W0009", Value: "1"}}, Given: []kb.Assignment{{Attr: "W0008", Value: "1"}}},
+		{Kind: query.KindMPE, Given: []kb.Assignment{{Attr: "W0000", Value: "1"}, {Attr: "W0011", Value: "0"}}},
+		{Kind: query.KindMPE},
+	}
+}
+
+// TestCoordinatorBitIdenticalToLocal: every query kind answered through a
+// two-shard fleet returns the exact wire bytes of in-process serving.
+func TestCoordinatorBitIdenticalToLocal(t *testing.T) {
+	model := wideModel(t)
+	kbase := model.KnowledgeBase()
+	urls := startShards(t, kbase, 2)
+	coord, err := cluster.NewCoordinator(kbase, urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd := coord.Readiness(); !rd.Ready || rd.Role != "coordinator" {
+		t.Fatalf("coordinator readiness %+v", rd)
+	}
+
+	queries := wideQueries()
+	local := answerSet(t, model, queries)
+	remote := answerSet(t, coord, queries)
+	if !bytes.Equal(local, remote) {
+		t.Fatalf("sharded answers diverge from local:\n%s\nvs\n%s", remote, local)
+	}
+
+	// The batch fast path (shared sessions over the remote engine) returns
+	// the same bytes too.
+	batch, err := query.AnswerBatchWorkers(coord, queries, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for i, res := range batch {
+		if res.Error != "" {
+			t.Fatalf("batch query %d failed: %s", i, res.Error)
+		}
+		if err := query.EncodeResult(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(local, buf.Bytes()) {
+		t.Fatalf("sharded batch answers diverge from local:\n%s\nvs\n%s", buf.Bytes(), local)
+	}
+
+	// Rules mine through block marginals; Explain and LogLoss close the
+	// Querier surface.
+	lr, err := model.Rules(rules.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := coord.Rules(rules.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lj, _ := json.Marshal(lr)
+	rj, _ := json.Marshal(rr)
+	if !bytes.Equal(lj, rj) {
+		t.Fatalf("sharded rules diverge:\n%s\nvs\n%s", rj, lj)
+	}
+	if model.Explain() != coord.Explain() {
+		t.Fatal("sharded Explain diverges")
+	}
+
+	truth, err := synth.WidePairs(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdout, err := truth.SampleSparse(stats.NewRNG(8), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, err := model.LogLoss(holdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := coord.LogLoss(holdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(lw) != math.Float64bits(rw) {
+		t.Fatalf("sharded LogLoss %v != local %v", rw, lw)
+	}
+}
+
+// TestCoordinatorRejectsMismatchedFleet: every validation gate refuses a
+// wrong fleet before a query is routed.
+func TestCoordinatorRejectsMismatchedFleet(t *testing.T) {
+	model := wideModel(t)
+	kbase := model.KnowledgeBase()
+	urls := startShards(t, kbase, 2)
+
+	if _, err := cluster.NewCoordinator(kbase, urls[:1], nil); err == nil || !strings.Contains(err.Error(), "expected") {
+		t.Errorf("undersized fleet accepted: %v", err)
+	}
+	if _, err := cluster.NewCoordinator(kbase, []string{urls[1], urls[0]}, nil); err == nil || !strings.Contains(err.Error(), "expected") {
+		t.Errorf("swapped fleet accepted: %v", err)
+	}
+
+	// A shard fleet cut from a different snapshot: same shape command but
+	// different fitted floats must be refused bitwise.
+	other := func(t *testing.T) *pka.Model {
+		truth, err := synth.WidePairs(12, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := truth.SampleSparse(stats.NewRNG(99), 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := pka.DiscoverSparse(tab, truth.Schema(), pka.Options{
+			MaxOrder: 2, ScreenPairs: true, ScreenCI: true, MaxConstraints: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}(t)
+	otherURLs := startShards(t, other.KnowledgeBase(), 2)
+	if _, err := cluster.NewCoordinator(kbase, otherURLs, nil); err == nil {
+		t.Error("fleet from a different snapshot accepted")
+	}
+
+	// Dense models have nothing to shard.
+	dense := newBank(t)
+	if _, err := cluster.NewShard(dense.KnowledgeBase(), 0, 2); err == nil || !strings.Contains(err.Error(), "dense") {
+		t.Errorf("dense shard accepted: %v", err)
+	}
+	if _, err := cluster.NewCoordinator(dense.KnowledgeBase(), urls, nil); err == nil || !strings.Contains(err.Error(), "dense") {
+		t.Errorf("dense coordinator accepted: %v", err)
+	}
+}
+
+// TestShardRejectsBadOps: ownership and argument bounds are enforced at the
+// shard boundary with 400s, never panics.
+func TestShardRejectsBadOps(t *testing.T) {
+	model := wideModel(t)
+	urls := startShards(t, model.KnowledgeBase(), 2)
+
+	post := func(t *testing.T, ops string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(urls[0]+"/v1/shard/eval", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"ops":[%s]}`, ops)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var eb struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		return resp.StatusCode, eb.Error
+	}
+	cases := []struct {
+		name string
+		op   string
+		want string
+	}{
+		{"unowned block", `{"op":"sum_fixed","block":1}`, "not owned"},
+		{"unknown op", `{"op":"explode","block":0}`, "unknown op"},
+		{"var out of range", `{"op":"sum_pinned","block":0,"vars":[99],"values":[0]}`, "out of block range"},
+		{"value out of range", `{"op":"sum_pinned","block":0,"vars":[0],"values":[7]}`, "out of range"},
+		{"pin out of range", `{"op":"argmax_fixed","block":0,"fixed":[9]}`, "out of range"},
+		{"cell shape", `{"op":"cell_value","block":0,"cell":[0]}`, "coordinates"},
+		{"vars values mismatch", `{"op":"sum_pinned","block":0,"vars":[0]}`, "values"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, msg := post(t, tc.op)
+			if code != http.StatusBadRequest || !strings.Contains(msg, tc.want) {
+				t.Errorf("got %d %q, want 400 containing %q", code, msg, tc.want)
+			}
+		})
+	}
+}

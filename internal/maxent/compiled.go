@@ -33,12 +33,16 @@ type Compiled struct {
 	blockScratch sync.Pool
 }
 
-// compiledBlock is one constraint block's dense sub-engine.
+// compiledBlock is one constraint block's sub-engine. eng is an interface
+// (see engine.go): in-process snapshots wrap a dense sumprod engine, the
+// shard coordinator substitutes RPC clients — either way the combination
+// loops below run unchanged, which is what keeps distributed answers
+// bit-identical to local ones.
 type compiledBlock struct {
 	vars  []int // global attribute positions, ascending
 	cards []int // cardinalities of vars
 	local []int // local index per global position; -1 when not a member
-	eng   *sumprod.Compiled
+	eng   BlockEngine
 	sum   float64 // cached unnormalized block sum Σ Π coeffs
 }
 
@@ -108,7 +112,9 @@ func (m *Model) compileBlocks() ([]*compiledBlock, error) {
 		if err != nil {
 			return nil, err
 		}
-		b.sum = b.eng.Sum()
+		if b.sum, err = b.eng.Sum(); err != nil {
+			return nil, err
+		}
 		out = append(out, b)
 	}
 	return out, nil
@@ -204,7 +210,7 @@ func (m *Model) buildBlock(blk []int, fams []*familyTerm, ar *blockArena) (*comp
 	if err != nil {
 		return nil, err
 	}
-	b.eng = eng
+	b.eng = localBlock{eng}
 	return b, nil
 }
 
@@ -263,7 +269,11 @@ func (c *Compiled) Prob(vars contingency.VarSet, values []int) (float64, error) 
 		if len(lv) == 0 {
 			res *= b.sum
 		} else {
-			res *= b.eng.SumPinned(lv, lvals)
+			s, err := b.eng.SumPinned(lv, lvals)
+			if err != nil {
+				return 0, err
+			}
+			res *= s
 		}
 	}
 	return res, nil
@@ -366,7 +376,11 @@ func (c *Compiled) factoredMarginal(members []int, fixed []int) ([]float64, erro
 			}
 			parts = append(parts, part{midx: midx, dims: dims, arr: arr})
 		case localFixed != nil:
-			scalar *= b.eng.SumFixed(localFixed)
+			s, err := b.eng.SumFixed(localFixed)
+			if err != nil {
+				return nil, err
+			}
+			scalar *= s
 		default:
 			scalar *= b.sum
 		}
@@ -421,7 +435,11 @@ func (c *Compiled) CellProb(cell []int) (float64, error) {
 		for li, gp := range b.vars {
 			localCell[li] = cell[gp]
 		}
-		p = b.eng.CellValue(p, localCell)
+		var err error
+		if p, err = b.eng.CellValue(p, localCell); err != nil {
+			c.blockScratch.Put(scratch)
+			return 0, err
+		}
 	}
 	c.blockScratch.Put(scratch)
 	return p, nil
@@ -484,38 +502,21 @@ func (c *Compiled) MaxCell(fixed []int) ([]int, float64, error) {
 		return best, bestP, nil
 	}
 	// Per-block argmax in local row-major order: within a block the local
-	// order is the block's attributes ascending, so the strict > keeps the
-	// block-lexicographically smallest maximizer — which composes to the
-	// globally lexicographically smallest one, blocks being independent.
+	// order is the block's attributes ascending, so ArgmaxFixed's tie-break
+	// keeps the block-lexicographically smallest maximizer — which composes
+	// to the globally lexicographically smallest one, blocks being
+	// independent.
 	for _, b := range c.blocks {
-		local := make([]int, len(b.vars))
-		var free []int
+		localFixed := make([]int, len(b.vars))
 		for li, p := range b.vars {
+			localFixed[li] = -1
 			if fixed[p] >= 0 {
-				local[li] = fixed[p]
-			} else {
-				free = append(free, li)
+				localFixed[li] = fixed[p]
 			}
 		}
-		bestLocal := make([]int, len(local))
-		bestV := -1.0
-		for {
-			if v := b.eng.CellValue(1, local); v > bestV {
-				bestV = v
-				copy(bestLocal, local)
-			}
-			i := len(free) - 1
-			for i >= 0 {
-				local[free[i]]++
-				if local[free[i]] < b.cards[free[i]] {
-					break
-				}
-				local[free[i]] = 0
-				i--
-			}
-			if i < 0 || len(free) == 0 {
-				break
-			}
+		bestLocal, err := b.eng.ArgmaxFixed(localFixed)
+		if err != nil {
+			return nil, 0, err
 		}
 		for li, p := range b.vars {
 			best[p] = bestLocal[li]
@@ -601,7 +602,10 @@ func (c *Compiled) constraintRatio(cons Constraint, sum float64) float64 {
 			}
 		}
 		if len(lv) > 0 {
-			ratio *= b.eng.SumPinned(lv, lvals) / b.sum
+			// Fitting only ever runs over in-process engines, whose
+			// SumPinned cannot fail.
+			s, _ := b.eng.SumPinned(lv, lvals)
+			ratio *= s / b.sum
 		}
 	}
 	return ratio

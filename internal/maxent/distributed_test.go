@@ -1,0 +1,200 @@
+package maxent
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pka/internal/contingency"
+)
+
+// compileFactoredTestModel fits the block test model under a lowered dense
+// ceiling and returns its factored compiled engine.
+func compileFactoredTestModel(t *testing.T) *Compiled {
+	t.Helper()
+	_, factored, _ := buildBlockTestModels(t)
+	forceFactored(t, 16)
+	if _, err := factored.Fit(SolveOptions{Tol: 1e-12}); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := factored.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cf.Factored() {
+		t.Fatal("test model compiled dense under the lowered ceiling")
+	}
+	return cf
+}
+
+// remoteOf reassembles a factored engine through NewDistributed, with each
+// block's own local engine standing in for the remote side — the pure
+// plumbing check that the distributed assembly changes nothing.
+func remoteOf(t *testing.T, cf *Compiled) *Compiled {
+	t.Helper()
+	blocks := make([]RemoteBlock, cf.NumBlocks())
+	for i := range blocks {
+		blocks[i] = RemoteBlock{Vars: cf.BlockVars(i), Sum: cf.BlockSum(i), Eng: cf.Block(i)}
+	}
+	dist, err := NewDistributed(cf.Names(), cf.Cards(), cf.A0(), blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dist
+}
+
+// TestNewDistributedMatchesLocal: a distributed engine assembled from the
+// local engine's own blocks answers every evaluation surface bit-identically
+// to the original — the invariant the shard coordinator rests on.
+func TestNewDistributedMatchesLocal(t *testing.T) {
+	cf := compileFactoredTestModel(t)
+	dist := remoteOf(t, cf)
+
+	cards := cf.Cards()
+	odo := make([]int, len(cards))
+	for {
+		want, err := cf.CellProb(odo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dist.CellProb(odo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("CellProb(%v): distributed %v != local %v", odo, got, want)
+		}
+		i := len(odo) - 1
+		for ; i >= 0; i-- {
+			odo[i]++
+			if odo[i] < cards[i] {
+				break
+			}
+			odo[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+
+	// Marginals and pinned probabilities across and within blocks.
+	for _, tc := range []struct {
+		vars []int
+		vals []int
+	}{
+		{[]int{0}, []int{2}},
+		{[]int{1, 2}, []int{1, 0}}, // spans both blocks
+		{[]int{0, 1}, []int{1, 1}},
+		{[]int{2, 3}, []int{0, 2}},
+		{[]int{0, 3}, []int{2, 1}},
+	} {
+		vs := contingency.NewVarSet(tc.vars...)
+		want, err := cf.Prob(vs, tc.vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dist.Prob(vs, tc.vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("Prob(%v=%v): distributed %v != local %v", tc.vars, tc.vals, got, want)
+		}
+		wm, err := cf.Marginal(vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gm, err := dist.Marginal(vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wm {
+			if math.Float64bits(wm[i]) != math.Float64bits(gm[i]) {
+				t.Fatalf("Marginal(%v)[%d]: distributed %v != local %v", tc.vars, i, gm[i], wm[i])
+			}
+		}
+	}
+
+	// Conditional marginal with evidence in the other block.
+	fixed := []int{-1, -1, 1, -1}
+	wm, err := cf.MarginalGiven(contingency.NewVarSet(0, 1), fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := dist.MarginalGiven(contingency.NewVarSet(0, 1), fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wm {
+		if math.Float64bits(wm[i]) != math.Float64bits(gm[i]) {
+			t.Fatalf("MarginalGiven[%d]: distributed %v != local %v", i, gm[i], wm[i])
+		}
+	}
+
+	// MPE under several evidence patterns, ties and all.
+	for _, fixed := range [][]int{nil, {-1, 1, -1, -1}, {2, -1, -1, 1}, {-1, -1, 0, -1}} {
+		wc, wp, err := cf.MaxCell(fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gc, gp, err := dist.MaxCell(fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(wp) != math.Float64bits(gp) {
+			t.Fatalf("MaxCell(%v) prob: distributed %v != local %v", fixed, gp, wp)
+		}
+		for i := range wc {
+			if wc[i] != gc[i] {
+				t.Fatalf("MaxCell(%v): distributed %v != local %v", fixed, gc, wc)
+			}
+		}
+	}
+
+	if math.Float64bits(cf.Sum()) != math.Float64bits(dist.Sum()) {
+		t.Fatalf("Sum: distributed %v != local %v", dist.Sum(), cf.Sum())
+	}
+}
+
+// TestNewDistributedValidation: malformed block sets are refused up front.
+func TestNewDistributedValidation(t *testing.T) {
+	cf := compileFactoredTestModel(t)
+	ok := func() []RemoteBlock {
+		blocks := make([]RemoteBlock, cf.NumBlocks())
+		for i := range blocks {
+			blocks[i] = RemoteBlock{Vars: cf.BlockVars(i), Sum: cf.BlockSum(i), Eng: cf.Block(i)}
+		}
+		return blocks
+	}
+	cases := []struct {
+		name   string
+		mutate func([]RemoteBlock) []RemoteBlock
+		want   string
+	}{
+		{"nil engine", func(b []RemoteBlock) []RemoteBlock { b[0].Eng = nil; return b }, "no engine"},
+		{"empty block", func(b []RemoteBlock) []RemoteBlock { b[0].Vars = nil; return b }, "empty"},
+		{"descending vars", func(b []RemoteBlock) []RemoteBlock {
+			v := b[0].Vars
+			v[0], v[1] = v[1], v[0]
+			return b
+		}, "not ascending"},
+		{"attribute out of range", func(b []RemoteBlock) []RemoteBlock {
+			b[0].Vars = []int{0, 99}
+			return b
+		}, "out of range"},
+		{"overlapping blocks", func(b []RemoteBlock) []RemoteBlock {
+			b[1].Vars = b[0].Vars
+			return b
+		}, "claimed by"},
+		{"missing attribute", func(b []RemoteBlock) []RemoteBlock { return b[:1] }, "not covered"},
+		{"no blocks", func(b []RemoteBlock) []RemoteBlock { return nil }, "at least one block"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewDistributed(cf.Names(), cf.Cards(), cf.A0(), tc.mutate(ok()))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -32,6 +32,11 @@ type IngestReport struct {
 	// TotalSamples is N after the batch — the data-bank size queries are
 	// now answered against.
 	TotalSamples int64 `json:"total_samples"`
+	// Version is the monotonic model version after the batch applied. On a
+	// replicated primary it equals the batch's log offset + 1, so a client
+	// holding it can poll a replica's readiness or schema endpoint until
+	// the replica's version catches up — read-your-writes across the fleet.
+	Version int64 `json:"version"`
 }
 
 // Ingestor is the optional streaming-ingest surface of a served model: a
@@ -42,4 +47,40 @@ type IngestReport struct {
 // their discovery counts and therefore do not implement it.
 type Ingestor interface {
 	ObserveLabeled(rows [][]string) (IngestReport, error)
+}
+
+// Versioned is the optional model-version surface of a served Querier. The
+// version is a monotonic count of applied observe batches (0 for a model
+// that has only ever been loaded), comparable across a replication fleet:
+// a primary's version after a batch equals the replica version at which
+// that batch is visible.
+type Versioned interface {
+	Version() int64
+}
+
+// Readiness is the GET /readyz answer: whether this process should receive
+// traffic, and where it stands in the replication stream.
+type Readiness struct {
+	// Ready reports the process is serving a loaded, caught-up model.
+	Ready bool `json:"ready"`
+	// Role names the process's cluster role: "standalone", "primary",
+	// "replica", "shard", or "coordinator".
+	Role string `json:"role"`
+	// Version is the monotonic model version (applied log offset).
+	Version int64 `json:"version"`
+	// Target is the latest known primary offset (replicas only).
+	Target int64 `json:"target,omitempty"`
+	// Lag is Target - Version: how many observe batches behind the primary
+	// this replica is serving (replicas only).
+	Lag int64 `json:"lag,omitempty"`
+	// Error carries the fault that marked an unready process broken, if
+	// any.
+	Error string `json:"error,omitempty"`
+}
+
+// ReadyReporter is the optional readiness surface of a served Querier.
+// Queriers that do not implement it are ready as soon as they exist — the
+// model loaded before serving started.
+type ReadyReporter interface {
+	Readiness() Readiness
 }

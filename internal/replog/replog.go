@@ -1,0 +1,259 @@
+// Package replog implements the replicated observe log: an append-only,
+// CRC-framed file of opaque record payloads with dense monotonic offsets.
+// A serving primary appends one record per applied /v1/observe batch and
+// replicas replay records in offset order — observe batches are atomic and
+// order-insensitive for net counts, so replay is exact and N replicas
+// converge bit-identically on the primary's data bank.
+//
+// File layout:
+//
+//	header:  magic "PKAL" | u16 version | u64 base offset
+//	record:  u32 payload length | u32 CRC-32C(payload) | payload bytes
+//
+// All integers are little-endian. The base offset is the offset of the
+// first record in the file (always 0 today; the field exists so a future
+// compaction can truncate the prefix a snapshot already covers). Open scans
+// the whole file, verifying every frame, and rejects corruption with named
+// errors in the style of internal/snapshot: a torn tail write surfaces as
+// ErrTruncated, a damaged payload as ErrChecksum — either way the operator
+// knows the log cannot be served from.
+package replog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Magic is the 4-byte file signature every log starts with.
+const Magic = "PKAL"
+
+// FormatVersion is the current log container version.
+const FormatVersion = 1
+
+// headerLen is the fixed file header size: magic, version, base offset.
+const headerLen = 4 + 2 + 8
+
+// frameLen is the per-record frame overhead: payload length + CRC.
+const frameLen = 4 + 4
+
+// MaxRecordBytes bounds a single record payload; the server bounds observe
+// request bodies far below this, so hitting it means a corrupt length
+// field, which Open reports as ErrChecksum-class damage.
+const MaxRecordBytes = 1 << 30
+
+// Named failures a caller can test with errors.Is, mirroring
+// internal/snapshot's error surface.
+var (
+	ErrBadMagic           = errors.New("replog: not a PKAL log (bad magic)")
+	ErrUnsupportedVersion = errors.New("replog: unsupported format version")
+	ErrChecksum           = errors.New("replog: record checksum mismatch (corrupt log)")
+	ErrTruncated          = errors.New("replog: truncated record (torn write)")
+	ErrOutOfRange         = errors.New("replog: offset out of log range")
+)
+
+// castagnoli is the CRC-32C table shared by writer and reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an open observe log. Appends are serialized by an internal mutex;
+// reads go through ReadAt against positions indexed at Open or Append time,
+// so any number of tail-serving goroutines can read concurrently with the
+// single appender.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	base uint64
+	pos  []int64 // pos[i] = file position of record base+i's frame
+	end  int64   // file position past the last valid record
+}
+
+// Create creates a new empty log at path, failing if the file exists.
+func Create(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("replog: %w", err)
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:4], Magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], FormatVersion)
+	binary.LittleEndian.PutUint64(hdr[6:14], 0)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("replog: writing header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("replog: %w", err)
+	}
+	return &Log{f: f, end: headerLen}, nil
+}
+
+// Open opens an existing log at path, or creates an empty one when the file
+// does not exist. The whole file is scanned and every record frame verified:
+// a log that fails verification is refused outright — the named error says
+// whether the damage is a torn tail (ErrTruncated) or payload corruption
+// (ErrChecksum) — rather than silently serving a prefix.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if errors.Is(err, os.ErrNotExist) {
+		return Create(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("replog: %w", err)
+	}
+	l, err := open(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// open scans an opened file, building the record position index.
+func open(f *os.File) (*Log, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: file shorter than header", ErrTruncated)
+		}
+		return nil, fmt.Errorf("replog: reading header: %w", err)
+	}
+	if string(hdr[:4]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: file has version %d, reader supports %d",
+			ErrUnsupportedVersion, v, FormatVersion)
+	}
+	l := &Log{f: f, base: binary.LittleEndian.Uint64(hdr[6:14]), end: headerLen}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, fmt.Errorf("replog: %w", err)
+	}
+	var frame [frameLen]byte
+	buf := []byte(nil)
+	for l.end < size {
+		if size-l.end < frameLen {
+			return nil, fmt.Errorf("%w: %d stray bytes at offset %d",
+				ErrTruncated, size-l.end, l.base+uint64(len(l.pos)))
+		}
+		if _, err := f.ReadAt(frame[:], l.end); err != nil {
+			return nil, fmt.Errorf("replog: reading frame: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(frame[:4])
+		if n > MaxRecordBytes {
+			return nil, fmt.Errorf("%w: implausible record length %d at offset %d",
+				ErrChecksum, n, l.base+uint64(len(l.pos)))
+		}
+		if size-l.end-frameLen < int64(n) {
+			return nil, fmt.Errorf("%w: record at offset %d wants %d bytes, %d remain",
+				ErrTruncated, l.base+uint64(len(l.pos)), n, size-l.end-frameLen)
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := f.ReadAt(buf, l.end+frameLen); err != nil {
+			return nil, fmt.Errorf("replog: reading record: %w", err)
+		}
+		if crc32.Checksum(buf, castagnoli) != binary.LittleEndian.Uint32(frame[4:8]) {
+			return nil, fmt.Errorf("%w: record at offset %d",
+				ErrChecksum, l.base+uint64(len(l.pos)))
+		}
+		l.pos = append(l.pos, l.end)
+		l.end += frameLen + int64(n)
+	}
+	return l, nil
+}
+
+// Close closes the underlying file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// Base returns the offset of the log's first record.
+func (l *Log) Base() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// Next returns the offset the next appended record will receive — equally,
+// one past the last stored record.
+func (l *Log) Next() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base + uint64(len(l.pos))
+}
+
+// Append stores one record payload and returns its assigned offset. The
+// record is framed, written, and fsynced before the offset is published, so
+// a record handed to a tail reader is always durable.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > MaxRecordBytes {
+		return 0, fmt.Errorf("replog: record of %d bytes exceeds limit %d", len(payload), MaxRecordBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	buf := make([]byte, frameLen+len(payload))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[frameLen:], payload)
+	if _, err := l.f.WriteAt(buf, l.end); err != nil {
+		return 0, fmt.Errorf("replog: appending record: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, fmt.Errorf("replog: syncing record: %w", err)
+	}
+	off := l.base + uint64(len(l.pos))
+	l.pos = append(l.pos, l.end)
+	l.end += int64(len(buf))
+	return off, nil
+}
+
+// Read returns up to max record payloads starting at offset from, plus the
+// offset following the last returned record. Reading exactly at the end of
+// the log returns no records and next == from — the poll-again case for a
+// caught-up tail reader. Reading before Base or past Next fails with
+// ErrOutOfRange. Payloads are freshly allocated and re-verified against
+// their stored CRCs; reads are safe concurrently with appends.
+func (l *Log) Read(from uint64, max int) ([][]byte, uint64, error) {
+	l.mu.Lock()
+	base, n := l.base, len(l.pos)
+	var positions []int64
+	if from >= base && from <= base+uint64(n) {
+		take := base + uint64(n) - from
+		if take > uint64(max) {
+			take = uint64(max)
+		}
+		start := int(from - base)
+		positions = l.pos[start : start+int(take)]
+	}
+	l.mu.Unlock()
+	if from < base || from > base+uint64(n) {
+		return nil, 0, fmt.Errorf("%w: offset %d outside [%d,%d]", ErrOutOfRange, from, base, base+uint64(n))
+	}
+	out := make([][]byte, 0, len(positions))
+	var frame [frameLen]byte
+	for i, pos := range positions {
+		if _, err := l.f.ReadAt(frame[:], pos); err != nil {
+			return nil, 0, fmt.Errorf("replog: reading frame: %w", err)
+		}
+		sz := binary.LittleEndian.Uint32(frame[:4])
+		payload := make([]byte, sz)
+		if _, err := l.f.ReadAt(payload, pos+frameLen); err != nil {
+			return nil, 0, fmt.Errorf("replog: reading record: %w", err)
+		}
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(frame[4:8]) {
+			return nil, 0, fmt.Errorf("%w: record at offset %d", ErrChecksum, from+uint64(i))
+		}
+		out = append(out, payload)
+	}
+	return out, from + uint64(len(out)), nil
+}

@@ -8,6 +8,7 @@
 // Endpoints:
 //
 //	GET  /healthz         liveness probe
+//	GET  /readyz          readiness: model loaded and (replicas) caught up
 //	GET  /v1/schema       the attribute layout queries are expressed against
 //	POST /v1/query        one Query value -> one Result
 //	POST /v1/query/batch  {"queries": [...]} -> {"results": [...]}
@@ -99,8 +100,11 @@ func NewWithOptions(q query.Querier, opts Options) http.Handler {
 	}
 	h.workerTokens = make(chan struct{}, budget)
 	h.ingest, _ = q.(query.Ingestor)
+	h.versioned, _ = q.(query.Versioned)
+	h.ready, _ = q.(query.ReadyReporter)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /readyz", h.readyz)
 	mux.HandleFunc("GET /v1/schema", h.schema)
 	mux.HandleFunc("POST /v1/query", h.query)
 	mux.HandleFunc("POST /v1/query/batch", h.queryBatch)
@@ -115,7 +119,13 @@ type handler struct {
 	// ingest is the model's streaming-ingest surface; nil when the served
 	// model is read-only (loaded from a file, counts not retained).
 	ingest query.Ingestor
-	opts   Options
+	// versioned exposes the monotonic model version when the Querier
+	// carries one; nil otherwise.
+	versioned query.Versioned
+	// ready is the Querier's readiness surface (replicas report catch-up
+	// lag through it); nil means ready-once-constructed.
+	ready query.ReadyReporter
+	opts  Options
 	// workerTokens is the server-wide batch-parallelism budget (capacity =
 	// Options.Workers, GOMAXPROCS by default): each batch request grabs
 	// whatever tokens are free, runs its evidence-group fan-out on that
@@ -206,6 +216,27 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
 }
 
+// readyz is the routing probe, distinct from healthz's liveness: healthz
+// says the process is up, readyz says it should receive traffic. A
+// standalone model is ready the moment it serves (the model loaded before
+// the listener bound); cluster roles report through query.ReadyReporter —
+// a replica mid-catch-up or a broken primary answers 503 with its lag or
+// fault, so load balancers drain it without killing the process.
+func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
+	rd := query.Readiness{Ready: true, Role: "standalone"}
+	if h.versioned != nil {
+		rd.Version = h.versioned.Version()
+	}
+	if h.ready != nil {
+		rd = h.ready.Readiness()
+	}
+	status := http.StatusOK
+	if !rd.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeBody(w, status, rd)
+}
+
 // attrJSON mirrors the knowledge-base file's attribute encoding.
 type attrJSON struct {
 	Name   string   `json:"name"`
@@ -219,7 +250,14 @@ func (h *handler) schema(w http.ResponseWriter, r *http.Request) {
 		a := s.Attr(i)
 		attrs[i] = attrJSON{Name: a.Name, Values: append([]string(nil), a.Values...)}
 	}
-	writeJSON(w, map[string]any{"attributes": attrs})
+	body := map[string]any{"attributes": attrs}
+	if h.versioned != nil {
+		// The monotonic model version rides along so clients can gate
+		// read-your-writes: poll a replica's schema (or readyz) until its
+		// version reaches the one /v1/observe returned.
+		body["version"] = h.versioned.Version()
+	}
+	writeJSON(w, body)
 }
 
 // decodeBody decodes one JSON value, rejecting trailing garbage.

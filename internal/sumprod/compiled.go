@@ -317,6 +317,57 @@ func (c *Compiled) CellValue(init float64, cell []int) float64 {
 	return p
 }
 
+// ArgmaxFixed returns the cell maximizing CellValue(1, ·) among cells
+// agreeing with fixed (fixed[v] >= 0 pins variable v; a negative entry or
+// an out-of-length position leaves it free; nil leaves every variable
+// free), breaking ties toward the lexicographically smallest cell. The
+// enumeration visits free variables odometer-style, last position fastest —
+// row-major lexicographic order — with a strict > keeping the first
+// maximizer, so the tie-break is deterministic.
+func (c *Compiled) ArgmaxFixed(fixed []int) ([]int, error) {
+	r := len(c.cards)
+	if len(fixed) > r {
+		return nil, fmt.Errorf("sumprod: %d pins for %d variables", len(fixed), r)
+	}
+	cell := make([]int, r)
+	var free []int
+	for v := 0; v < r; v++ {
+		fv := -1
+		if v < len(fixed) {
+			fv = fixed[v]
+		}
+		if fv >= c.cards[v] {
+			return nil, fmt.Errorf("sumprod: value %d out of range for variable %d", fv, v)
+		}
+		if fv >= 0 {
+			cell[v] = fv
+		} else {
+			free = append(free, v)
+		}
+	}
+	best := make([]int, r)
+	bestV := -1.0
+	for {
+		if v := c.CellValue(1, cell); v > bestV {
+			bestV = v
+			copy(best, cell)
+		}
+		i := len(free) - 1
+		for i >= 0 {
+			cell[free[i]]++
+			if cell[free[i]] < c.cards[free[i]] {
+				break
+			}
+			cell[free[i]] = 0
+			i--
+		}
+		if i < 0 || len(free) == 0 {
+			break
+		}
+	}
+	return best, nil
+}
+
 // FullJoint materializes the complete (unnormalized) product over every cell
 // in row-major order, bit-identical to Evaluator.FullJoint.
 func (c *Compiled) FullJoint() []float64 {

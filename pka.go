@@ -314,6 +314,10 @@ func (m *Model) Update(rows []Record) (UpdateReport, error) {
 	rep.Refit = out.Refit
 	rep.Sweeps = out.FitSweeps
 	rep.TotalSamples = m.counts.Total()
+	// Every applied batch bumps the model version, net-zero batches
+	// included: replication replays batches in log order, so version must
+	// advance in lockstep with applied records, not with engine swaps.
+	rep.Version = m.version.Add(1)
 	if !out.Refit {
 		// Net-zero batch: the previous engine still answers bit-identically.
 		return rep, nil

@@ -128,6 +128,11 @@ var (
 // query path.
 type queryCore struct {
 	kbase atomic.Pointer[kb.KnowledgeBase]
+	// version counts successfully applied observe batches — the monotonic
+	// model version replication compares across processes. A freshly
+	// discovered or loaded model starts at 0; on a replicated primary the
+	// version equals the observe log's next offset at all times.
+	version atomic.Int64
 }
 
 // kb returns the current knowledge-base snapshot.
@@ -207,6 +212,12 @@ func (c *queryCore) Entropy() (float64, error) { return c.kb().Model().Entropy()
 // marginals included) — the model's parameter size.
 func (c *queryCore) NumConstraints() int { return c.kb().Model().NumConstraints() }
 
+// Version returns the monotonic model version: how many observe batches
+// have been applied since this process loaded or discovered the model. It
+// satisfies the serving layer's query.Versioned, so /v1/schema and
+// /v1/observe expose it for read-your-writes against replicas.
+func (c *queryCore) Version() int64 { return c.version.Load() }
+
 // KnowledgeBase exposes the query layer for advanced use. AnswerBatch also
 // keys on it to route batches through the shared-engine fast path; note
 // that a streaming update swaps the returned snapshot out from under
@@ -226,6 +237,9 @@ type Info struct {
 	Constraints int
 	// MaxOrder is the highest stored constraint order.
 	MaxOrder int
+	// Version is the monotonic model version: applied observe batches since
+	// load (on a replicated primary, the observe log's next offset).
+	Version int64
 }
 
 // Info returns the knowledge base's metadata digest.
@@ -235,6 +249,7 @@ func (c *queryCore) Info() Info {
 	info := Info{
 		Attributes:  m.R(),
 		Constraints: m.NumConstraints(),
+		Version:     c.version.Load(),
 	}
 	cells := 1
 	for i := 0; i < info.Attributes; i++ {
