@@ -1,0 +1,77 @@
+// Command pkalint runs the repo's invariant analyzers (internal/analysis)
+// over Go packages. It speaks two protocols:
+//
+//	pkalint ./...                     standalone: load, analyze, report
+//	go vet -vettool=$(which pkalint)  the cmd/go vet-tool protocol
+//
+// The vet-tool protocol is the one CI uses: cmd/go hands the tool one
+// .cfg file per package (absolute file list, import map, export-data
+// paths) plus the -V=full and -flags handshakes. Both modes print
+// findings as file:line:col: message [analyzer] and exit 2 when any
+// finding survives suppression.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"pka/internal/analysis"
+)
+
+const version = "v1.0.0"
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			// cmd/go's tool-ID handshake: "<name> version <semver>".
+			fmt.Printf("pkalint version %s\n", version)
+			return
+		case "-flags", "--flags":
+			// cmd/go asks which analyzer flags the tool accepts: none.
+			fmt.Println("[]")
+			return
+		case "-h", "-help", "--help":
+			fmt.Fprintf(os.Stderr, "usage: pkalint [packages]\n       go vet -vettool=$(which pkalint) [packages]\n\nAnalyzers:\n")
+			for _, an := range analysis.Analyzers() {
+				fmt.Fprintf(os.Stderr, "  %-12s %s\n", an.Name, an.Doc)
+			}
+			os.Exit(0)
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetTool(args[0]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+// runStandalone loads packages by pattern relative to the working
+// directory and analyzes them.
+func runStandalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.LoadPatterns(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pkalint: %v\n", err)
+		return 1
+	}
+	found := false
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analysis.Analyzers())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pkalint: %v\n", err)
+			return 1
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
+	if found {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"pka/internal/analysis"
+)
+
+// vetConfig mirrors the JSON cmd/go writes for each vetted package (see
+// $GOROOT/src/cmd/go/internal/work/exec.go, type vetConfig). Fields the
+// tool does not consume are omitted; unknown JSON keys are ignored.
+type vetConfig struct {
+	ID         string
+	ImportPath string
+	GoFiles    []string // absolute paths
+
+	ImportMap   map[string]string // source import path -> canonical package path
+	PackageFile map[string]string // canonical package path -> export data file
+
+	VetxOnly   bool   // only facts wanted; we produce none
+	VetxOutput string // file to write facts to (must exist afterwards)
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetTool executes one package analysis under the cmd/go vet
+// protocol and returns the process exit code.
+func runVetTool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pkalint: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "pkalint: parsing vet config %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The suite exports no facts, so an empty vetx file satisfies the
+	// protocol, and fact-only runs (dependencies of the vetted targets)
+	// need no analysis at all.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "pkalint: writing vetx output: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Test files are outside the suite's contracts (tests seed rand and
+	// read clocks deliberately); dropping them still leaves a
+	// self-consistent package to type-check.
+	files := make([]string, 0, len(cfg.GoFiles))
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return 0 // external test package: nothing but test files
+	}
+	pkg, err := analysis.CheckPackage(cfg.ImportPath, files, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "pkalint: %v\n", err)
+		return 1
+	}
+	diags, err := analysis.Run(pkg, analysis.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pkalint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

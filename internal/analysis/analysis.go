@@ -1,0 +1,191 @@
+// Package analysis is a stdlib-only static-analysis framework plus a
+// suite of repo-specific analyzers ("pkalint") that enforce contracts
+// the compiler cannot see:
+//
+//   - determinism: parallel paths are bit-identical to their serial
+//     twins, so the numeric core must not iterate maps in accumulation
+//     order, read clocks, or draw random numbers (mapiterdet, nondeterm)
+//   - pooling: sync.Pool scratch never escapes the hot path and is
+//     returned on every exit (poolhygiene)
+//   - publication: engines published through atomic.Pointer[T] are
+//     immutable; mutation goes through clone-and-swap (atomicpub)
+//   - named failures: load/decode errors in the persistence packages
+//     wrap with %w and surface as Err* sentinels (namederr)
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, analysistest fixtures) so the suite can migrate onto x/tools
+// unchanged if the dependency ever lands; until then everything here is
+// built on go/ast, go/types, and `go list -export` alone.
+//
+// A finding is suppressed by a comment on the flagged line or the line
+// above it:
+//
+//	//pkalint:<key> <justification>
+//
+// where <key> is the analyzer's suppression key (its name, except
+// mapiterdet which uses "ordered"). The justification is mandatory: an
+// empty reason string is itself a diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	Name string // command-line and diagnostic label
+	Doc  string // one-paragraph description of the invariant
+
+	// SuppressKey is the <key> accepted in //pkalint:<key> comments.
+	// Empty means Name.
+	SuppressKey string
+
+	// Run reports findings on one package via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+func (a *Analyzer) suppressKey() string {
+	if a.SuppressKey != "" {
+		return a.SuppressKey
+	}
+	return a.Name
+}
+
+// A Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags       *[]Diagnostic
+	suppression map[string]map[int]suppression // filename -> line -> comment
+}
+
+// suppression is one parsed //pkalint:<key> comment.
+type suppression struct {
+	key    string
+	reason string
+}
+
+var suppressRx = regexp.MustCompile(`^//pkalint:([a-z]+)\b[ \t]*(.*)$`)
+
+// buildSuppressionIndex records every //pkalint: comment by file and line.
+func buildSuppressionIndex(fset *token.FileSet, files []*ast.File) map[string]map[int]suppression {
+	idx := make(map[string]map[int]suppression)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := suppressRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]suppression)
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = suppression{key: m[1], reason: strings.TrimSpace(m[2])}
+			}
+		}
+	}
+	return idx
+}
+
+// Reportf records a finding at pos unless a justified //pkalint:<key>
+// comment covers that line (same line or the line above). A matching
+// suppression with an empty reason re-reports the finding with a note
+// that the justification is missing.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	where := p.Fset.Position(pos)
+	key := p.Analyzer.suppressKey()
+	if byLine, ok := p.suppression[where.Filename]; ok {
+		for _, line := range [2]int{where.Line, where.Line - 1} {
+			s, ok := byLine[line]
+			if !ok || s.key != key {
+				continue
+			}
+			if s.reason != "" {
+				return // justified suppression
+			}
+			*p.diags = append(*p.diags, Diagnostic{
+				Pos:      where,
+				Analyzer: p.Analyzer.Name,
+				Message:  fmt.Sprintf(format, args...) + fmt.Sprintf(" (//pkalint:%s requires a non-empty justification)", key),
+			})
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      where,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to pkg and returns the findings sorted by
+// position. Test files (*_test.go) never participate: the contracts the
+// suite encodes bind production code; tests seed their own rand and
+// spawn their own clocks on purpose.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	files := make([]*ast.File, 0, len(pkg.Syntax))
+	for _, f := range pkg.Syntax {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	suppIdx := buildSuppressionIndex(pkg.Fset, files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:    a,
+			Fset:        pkg.Fset,
+			Files:       files,
+			Pkg:         pkg.Types,
+			TypesInfo:   pkg.Info,
+			diags:       &diags,
+			suppression: suppIdx,
+		}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		di, dj := diags[i], diags[j]
+		if di.Pos.Filename != dj.Pos.Filename {
+			return di.Pos.Filename < dj.Pos.Filename
+		}
+		if di.Pos.Line != dj.Pos.Line {
+			return di.Pos.Line < dj.Pos.Line
+		}
+		if di.Pos.Column != dj.Pos.Column {
+			return di.Pos.Column < dj.Pos.Column
+		}
+		return di.Analyzer < dj.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,108 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their findings against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the stdlib-only
+// framework in internal/analysis.
+//
+// A fixture is one directory of Go files under testdata/src/<name>.
+// Every line that should produce a finding carries a trailing comment:
+//
+//	total += v // want `floating-point accumulation`
+//
+// The regexp must match a diagnostic reported on that line; diagnostics
+// on lines without a want comment, and want comments without a matching
+// diagnostic, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"pka/internal/analysis"
+)
+
+var wantRx = regexp.MustCompile("// want `([^`]*)`|// want \"([^\"]*)\"")
+
+// expectation is one // want comment.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+}
+
+// Run loads the fixture package rooted at dir, applies the analyzer,
+// and diffs findings against the fixture's want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers over %s: %v", dir, err)
+	}
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// collectWants re-parses the fixture files for // want comments.
+func collectWants(pkg *analysis.Package) ([]expectation, error) {
+	var wants []expectation
+	fset := token.NewFileSet()
+	for _, f := range pkg.Syntax {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		parsed, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, cg := range parsed.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				for _, m := range wantRx.FindAllStringSubmatch(text, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %w", name, pat, err)
+					}
+					pos := fset.Position(c.Pos())
+					if !strings.Contains(text, "// want") {
+						continue
+					}
+					wants = append(wants, expectation{file: name, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

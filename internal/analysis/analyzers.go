@@ -1,0 +1,12 @@
+package analysis
+
+// Analyzers returns the pkalint suite in its fixed reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AtomicPub,
+		MapIterDet,
+		NamedErr,
+		NonDeterm,
+		PoolHygiene,
+	}
+}

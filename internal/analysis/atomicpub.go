@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicPub enforces the clone-and-swap publication discipline: a struct
+// type that is published through atomic.Pointer[T] is an immutable
+// snapshot once stored, so a value obtained from Load must never have
+// its fields written. Mutation builds a fresh clone and Stores it.
+var AtomicPub = &Analyzer{
+	Name: "atomicpub",
+	Doc: "flag field writes to values loaded from an atomic.Pointer[T]: published " +
+		"snapshots are immutable; mutate a clone and swap it in with Store",
+	Run: runAtomicPub,
+}
+
+func runAtomicPub(pass *Pass) error {
+	published := publishedTypes(pass.TypesInfo)
+	if len(published) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// loadVars accumulates variables assigned from a published Load
+		// anywhere in the file; types.Object identity keeps the map
+		// function-scoped in practice.
+		loadVars := make(map[types.Object]string)
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.AssignStmt:
+				recordLoadVars(pass.TypesInfo, node, published, loadVars)
+				checkFieldWrites(pass, node, published, loadVars)
+			case *ast.IncDecStmt:
+				checkMutatedBase(pass, node.X, node.Pos(), published, loadVars)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// publishedTypes collects every named struct type T that appears in the
+// package as an atomic.Pointer[T] element.
+func publishedTypes(info *types.Info) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	for _, tv := range info.Types {
+		elem, ok := isAtomicPointer(tv.Type)
+		if !ok {
+			continue
+		}
+		n := namedOrigin(elem)
+		if n == nil {
+			continue
+		}
+		if _, isStruct := n.Underlying().(*types.Struct); isStruct {
+			out[n.Obj()] = true
+		}
+	}
+	return out
+}
+
+// recordLoadVars tracks `v := ptr.Load()` assignments whose pointer
+// element type is published.
+func recordLoadVars(info *types.Info, as *ast.AssignStmt, published map[*types.TypeName]bool, loadVars map[types.Object]string) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	typeName, ok := publishedLoadCall(info, as.Rhs[0], published)
+	if !ok {
+		return
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj := info.Defs[id]; obj != nil {
+		loadVars[obj] = typeName
+	} else if obj := info.Uses[id]; obj != nil {
+		loadVars[obj] = typeName
+	}
+}
+
+// publishedLoadCall reports whether e is a call to Load on an
+// atomic.Pointer whose element is a published struct, returning the
+// element type name.
+func publishedLoadCall(info *types.Info, e ast.Expr, published map[*types.TypeName]bool) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return "", false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return "", false
+	}
+	elem, ok := isAtomicPointer(selection.Recv())
+	if !ok {
+		return "", false
+	}
+	n := namedOrigin(elem)
+	if n == nil || !published[n.Obj()] {
+		return "", false
+	}
+	return n.Obj().Name(), true
+}
+
+// checkFieldWrites flags assignments whose left side is a field selector
+// rooted at a Load-derived variable or at a direct Load call.
+func checkFieldWrites(pass *Pass, as *ast.AssignStmt, published map[*types.TypeName]bool, loadVars map[types.Object]string) {
+	for _, lhs := range as.Lhs {
+		if _, ok := ast.Unparen(lhs).(*ast.SelectorExpr); !ok {
+			continue
+		}
+		checkMutatedBase(pass, lhs, as.Pos(), published, loadVars)
+	}
+}
+
+// checkMutatedBase reports a write to expr when its base is a published
+// Load result.
+func checkMutatedBase(pass *Pass, expr ast.Expr, pos token.Pos, published map[*types.TypeName]bool, loadVars map[types.Object]string) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// Direct form: p.Load().Field = v.
+	base := ast.Unparen(sel.X)
+	if typeName, ok := publishedLoadCall(pass.TypesInfo, base, published); ok {
+		pass.Reportf(pos,
+			"field write to %s loaded from atomic.Pointer[%s]: published snapshots are immutable — clone, mutate the clone, and Store it", typeName, typeName)
+		return
+	}
+	// Indirect form: v := p.Load(); ...; v.Field = x.
+	if id := rootIdent(sel.X); id != nil {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			if typeName, tracked := loadVars[obj]; tracked {
+				pass.Reportf(pos,
+					"field write through %s, which was loaded from atomic.Pointer[%s]: published snapshots are immutable — clone, mutate the clone, and Store it", id.Name, typeName)
+			}
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIterDet flags `range` over a map inside the determinism-contracted
+// packages when the loop body does something iteration-order can leak
+// into: accumulating floating point (addition does not commute bitwise),
+// appending to a result slice, or writing output. Collecting into a
+// slice that is sorted later in the same function is the blessed
+// sorted-keys idiom and is allowed; anything else needs a
+// //pkalint:ordered comment with a justification.
+var MapIterDet = &Analyzer{
+	Name:        "mapiterdet",
+	SuppressKey: "ordered",
+	Doc: "flag order-sensitive work inside map iteration in the determinism-contracted packages " +
+		"(maxent, sumprod, core, contingency, kb, query); parallel paths must be bit-identical " +
+		"to their serial twins, and map iteration order is randomized per run",
+	Run: runMapIterDet,
+}
+
+var mapIterDetPkgs = map[string]bool{
+	"maxent": true, "sumprod": true, "core": true,
+	"contingency": true, "kb": true, "query": true,
+}
+
+func runMapIterDet(pass *Pass) error {
+	if !mapIterDetPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isMapType(pass.TypesInfo.Types[rng.X].Type) {
+				return true
+			}
+			checkMapRangeBody(pass, rng, enclosingFunc(stack))
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingFunc returns the innermost function node on the stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// checkMapRangeBody reports at the loop's `for` keyword — that is the
+// line a //pkalint:ordered justification attaches to — at most once per
+// violation category.
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, fn ast.Node) {
+	mapStr := types.ExprString(rng.X)
+	seen := make(map[string]bool)
+	report := func(category, format string, args ...any) {
+		if !seen[category] {
+			seen[category] = true
+			pass.Reportf(rng.For, format, args...)
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			if floatAccumulation(pass.TypesInfo, stmt) {
+				report("float",
+					"floating-point accumulation (line %d) inside range over map %s: map iteration order is randomized, so the sum is not bit-stable — iterate sorted keys instead",
+					pass.Fset.Position(stmt.Pos()).Line, mapStr)
+			}
+		case *ast.CallExpr:
+			if target, ok := appendTarget(pass.TypesInfo, stmt, n); ok {
+				if !sortedLaterInFunc(pass, fn, rng.End(), target) {
+					report("append:"+target,
+						"append to %s inside range over map %s: element order follows randomized map iteration — iterate sorted keys or sort the slice afterwards", target, mapStr)
+				}
+				return true
+			}
+			if isOutputCall(pass.TypesInfo, stmt) {
+				report("output",
+					"output written (line %d) inside range over map %s: byte order follows randomized map iteration — iterate sorted keys instead",
+					pass.Fset.Position(stmt.Pos()).Line, mapStr)
+			}
+		}
+		return true
+	})
+}
+
+// floatAccumulation reports whether stmt accumulates into a float lvalue:
+// either a compound assignment (x += v) or the self-referential form
+// x = x + v.
+func floatAccumulation(info *types.Info, stmt *ast.AssignStmt) bool {
+	if len(stmt.Lhs) != 1 {
+		return false
+	}
+	lhs := stmt.Lhs[0]
+	if !isFloat(info.Types[lhs].Type) {
+		return false
+	}
+	switch stmt.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	case token.ASSIGN:
+		bin, ok := ast.Unparen(stmt.Rhs[0]).(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			l := types.ExprString(lhs)
+			return types.ExprString(bin.X) == l || types.ExprString(bin.Y) == l
+		}
+	}
+	return false
+}
+
+// appendTarget recognizes append calls that accumulate into a variable
+// and returns the rendered slice expression. Appends onto a fresh value
+// — the clone idiom append([]T(nil), src...) — carry no iteration-order
+// dependence and are ignored.
+func appendTarget(info *types.Info, call *ast.CallExpr, _ ast.Node) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin || b.Name() != "append" {
+		return "", false
+	}
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	switch ast.Unparen(call.Args[0]).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return types.ExprString(call.Args[0]), true
+	}
+	return "", false
+}
+
+// sortedLaterInFunc reports whether fn contains, after pos, a recognized
+// sort call whose first argument renders identically to target — the
+// collect-then-sort idiom that makes map-order collection deterministic.
+func sortedLaterInFunc(pass *Pass, fn ast.Node, pos token.Pos, target string) bool {
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		pkg := funcPkgPath(pass.TypesInfo, call)
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		name := calleeFunc(pass.TypesInfo, call).Name()
+		if !strings.HasPrefix(name, "Sort") && !isSortHelper(pkg, name) {
+			return true
+		}
+		if len(call.Args) > 0 && types.ExprString(call.Args[0]) == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortHelper covers the non-Sort-prefixed sorting entry points.
+func isSortHelper(pkg, name string) bool {
+	if pkg != "sort" {
+		return false
+	}
+	switch name {
+	case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Stable":
+		return true
+	}
+	return false
+}
+
+// isOutputCall reports whether call writes wire-visible output: a method
+// on a type from the wire package, or an fmt print call.
+func isOutputCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if path == "fmt" && (strings.HasPrefix(fn.Name(), "Fprint") || strings.HasPrefix(fn.Name(), "Print")) {
+		return true
+	}
+	if strings.HasSuffix(path, "/wire") || path == "wire" {
+		return fn.Type().(*types.Signature).Recv() != nil
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// NamedErr enforces the persistence-layer failure contracts established
+// by the snapshot and replog packages: load/decode failures surface as
+// Err* sentinels callers can errors.Is against, and wrapping never drops
+// the chain — fmt.Errorf with an error argument must use %w.
+var NamedErr = &Analyzer{
+	Name: "namederr",
+	Doc: "in internal/snapshot, internal/replog, and internal/kb: fmt.Errorf calls " +
+		"that pass an error but no %w lose the errors.Is chain, and exported error " +
+		"sentinels must be named Err*",
+	Run: runNamedErr,
+}
+
+var namedErrPkgs = map[string]bool{"snapshot": true, "replog": true, "kb": true}
+
+func runNamedErr(pass *Pass) error {
+	if !namedErrPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			checkSentinelNames(pass, gd)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok {
+				checkErrorfWrap(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSentinelNames flags exported package-level error values whose
+// names do not start with Err.
+func checkSentinelNames(pass *Pass, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil || !name.IsExported() || strings.HasPrefix(name.Name, "Err") {
+				continue
+			}
+			if implementsError(obj.Type()) {
+				pass.Reportf(name.Pos(),
+					"exported error sentinel %s must be named Err* so callers can find it with errors.Is", name.Name)
+			}
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass an error value but
+// format it with something other than %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !isPkgFunc(pass.TypesInfo, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv := pass.TypesInfo.Types[call.Args[0]]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	if strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := pass.TypesInfo.Types[arg].Type
+		if t != nil && implementsError(t) {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf formats an error without %%w: the errors.Is/errors.As chain is dropped, so Err* sentinels stop matching")
+			return
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// NonDeterm flags sources of nondeterminism in the numeric core: clock
+// reads, random draws, and fmt-formatting of maps. The core's contract
+// is that every result is a pure function of the counts and options —
+// that is what makes parallel paths bit-comparable to serial ones and
+// replicas bit-comparable to their primary.
+var NonDeterm = &Analyzer{
+	Name: "nondeterm",
+	Doc: "flag time.Now, math/rand, and map formatting in the numeric core " +
+		"(maxent, sumprod, core, contingency, mml); results there must be pure " +
+		"functions of counts and options",
+	Run: runNonDeterm,
+}
+
+var nonDetermPkgs = map[string]bool{
+	"maxent": true, "sumprod": true, "core": true,
+	"contingency": true, "mml": true,
+}
+
+// fmtFormatters are the fmt entry points checked for map arguments.
+// Errorf is deliberately absent: error paths may render small maps for
+// humans, and namederr owns the error-construction contracts.
+var fmtFormatters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runNonDeterm(pass *Pass) error {
+	if !nonDetermPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgFunc(pass.TypesInfo, call, "time", "Now") {
+				pass.Reportf(call.Pos(), "time.Now in the deterministic numeric core: results must be pure functions of counts and options")
+				return true
+			}
+			switch funcPkgPath(pass.TypesInfo, call) {
+			case "math/rand", "math/rand/v2":
+				fn := calleeFunc(pass.TypesInfo, call)
+				pass.Reportf(call.Pos(), "math/rand.%s in the deterministic numeric core: randomness breaks bit-identical replay", fn.Name())
+				return true
+			case "fmt":
+				fn := calleeFunc(pass.TypesInfo, call)
+				if !fmtFormatters[fn.Name()] {
+					return true
+				}
+				for _, arg := range call.Args {
+					if isMapType(pass.TypesInfo.Types[arg].Type) {
+						pass.Reportf(call.Pos(), "fmt.%s formats a map in the numeric core: spell the iteration order explicitly instead of relying on fmt's internal sort", fn.Name())
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

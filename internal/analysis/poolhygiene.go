@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolHygiene enforces the hot-path pooling discipline: every
+// sync.Pool.Get in a function is matched by a Put on the same pool —
+// deferred, or present on every return path after the Get — and the
+// pooled value never escapes the function through a return value or a
+// struct-field store. Pool-accessor helpers that intentionally hand the
+// value to their caller carry a //pkalint:poolhygiene justification.
+var PoolHygiene = &Analyzer{
+	Name: "poolhygiene",
+	Doc: "flag sync.Pool.Get calls without a matching Put on every return path, " +
+		"and pooled values escaping via return values or struct-field stores",
+	Run: runPoolHygiene,
+}
+
+// poolGet records one sync.Pool.Get call site.
+type poolGet struct {
+	pos  token.Pos
+	recv string       // rendered pool expression, e.g. "c.scratch"
+	obj  types.Object // variable the result was assigned to, if any
+}
+
+// poolPut records one sync.Pool.Put call site.
+type poolPut struct {
+	pos      token.Pos
+	recv     string
+	deferred bool
+}
+
+func runPoolHygiene(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolUse(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkPoolUse(pass *Pass, fd *ast.FuncDecl) {
+	var (
+		gets    []poolGet
+		puts    []poolPut
+		returns []*ast.ReturnStmt // returns of fd itself, not nested literals
+		fields  []*ast.AssignStmt // assignments whose LHS is a field selector
+	)
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isMethodFullName(pass.TypesInfo, node, "(*sync.Pool).Get"):
+				gets = append(gets, poolGet{
+					pos:  node.Pos(),
+					recv: types.ExprString(sel.X),
+					obj:  assignedObject(pass.TypesInfo, stack),
+				})
+			case isMethodFullName(pass.TypesInfo, node, "(*sync.Pool).Put"):
+				puts = append(puts, poolPut{
+					pos:      node.Pos(),
+					recv:     types.ExprString(sel.X),
+					deferred: underDefer(stack),
+				})
+			}
+		case *ast.ReturnStmt:
+			if enclosingFunc(stack) == nil { // stack is rooted at fd.Body
+				returns = append(returns, node)
+			}
+		case *ast.AssignStmt:
+			if len(node.Lhs) > 0 {
+				if _, ok := ast.Unparen(node.Lhs[0]).(*ast.SelectorExpr); ok {
+					fields = append(fields, node)
+				}
+			}
+		}
+		return true
+	})
+
+	for _, g := range gets {
+		if pos, ok := escapeSite(pass.TypesInfo, g, returns, fields); ok {
+			pass.Reportf(pos,
+				"pooled value from %s.Get escapes this function: a value handed out of the hot path can be reused concurrently once pooled", g.recv)
+			continue
+		}
+		var matched []poolPut
+		anyDeferred := false
+		for _, p := range puts {
+			if p.recv == g.recv {
+				matched = append(matched, p)
+				anyDeferred = anyDeferred || p.deferred
+			}
+		}
+		if len(matched) == 0 {
+			pass.Reportf(g.pos, "%s.Get without a matching %s.Put in this function: the buffer leaks from the pool", g.recv, g.recv)
+			continue
+		}
+		if anyDeferred {
+			continue
+		}
+		for _, ret := range returns {
+			if ret.Pos() < g.pos {
+				continue
+			}
+			released := false
+			for _, p := range matched {
+				if g.pos < p.pos && p.pos <= ret.Pos() {
+					released = true
+					break
+				}
+			}
+			if !released {
+				pass.Reportf(ret.Pos(), "return without %s.Put: this path leaks the buffer taken at line %d (defer the Put or release before every return)",
+					g.recv, pass.Fset.Position(g.pos).Line)
+			}
+		}
+	}
+}
+
+// assignedObject walks outward from a Get call through type assertions
+// and parens to the assignment it feeds, returning the variable object.
+func assignedObject(info *types.Info, stack []ast.Node) types.Object {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch node := stack[i].(type) {
+		case *ast.TypeAssertExpr, *ast.ParenExpr:
+			continue
+		case *ast.AssignStmt:
+			if len(node.Lhs) == 1 && len(node.Rhs) == 1 {
+				if id, ok := node.Lhs[0].(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						return obj
+					}
+					return info.Uses[id]
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// underDefer reports whether any ancestor is a defer statement — either
+// `defer pool.Put(v)` directly or a Put inside a deferred closure.
+func underDefer(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// escapeSite reports where the pooled value leaves the function: a
+// return statement whose results use it, or a store into a struct field.
+func escapeSite(info *types.Info, g poolGet, returns []*ast.ReturnStmt, fields []*ast.AssignStmt) (token.Pos, bool) {
+	if g.obj == nil {
+		return token.NoPos, false
+	}
+	for _, ret := range returns {
+		for _, res := range ret.Results {
+			if usesObject(info, res, g.obj) {
+				return ret.Pos(), true
+			}
+		}
+	}
+	for _, as := range fields {
+		for _, rhs := range as.Rhs {
+			if usesObject(info, rhs, g.obj) {
+				return as.Pos(), true
+			}
+		}
+	}
+	return token.NoPos, false
+}

@@ -1,0 +1,55 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pka/internal/analysis"
+	"pka/internal/analysis/analysistest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestMapIterDet(t *testing.T) {
+	analysistest.Run(t, fixture("mapiterdet"), analysis.MapIterDet)
+}
+
+func TestPoolHygiene(t *testing.T) {
+	analysistest.Run(t, fixture("poolhygiene"), analysis.PoolHygiene)
+}
+
+func TestAtomicPub(t *testing.T) {
+	analysistest.Run(t, fixture("atomicpub"), analysis.AtomicPub)
+}
+
+func TestNamedErr(t *testing.T) {
+	analysistest.Run(t, fixture("namederr"), analysis.NamedErr)
+}
+
+func TestNonDeterm(t *testing.T) {
+	analysistest.Run(t, fixture("nondeterm"), analysis.NonDeterm)
+}
+
+// TestPackageGates proves the determinism analyzers stay silent outside
+// their contracted packages: the ungated fixture repeats the violations
+// of the gated ones in a package named "other" and must produce nothing.
+func TestPackageGates(t *testing.T) {
+	analysistest.Run(t, fixture("ungated"), analysis.MapIterDet, analysis.NonDeterm)
+}
+
+// TestSuiteOrder pins the registry: five analyzers, stable order, so
+// diagnostics sort identically everywhere.
+func TestSuiteOrder(t *testing.T) {
+	want := []string{"atomicpub", "mapiterdet", "namederr", "nondeterm", "poolhygiene"}
+	got := analysis.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Fixture for the atomicpub analyzer (ungated: any package that
+// publishes a struct through atomic.Pointer is covered).
+package pub
+
+import "sync/atomic"
+
+type engine struct {
+	coeff []float64
+	n     int
+}
+
+type server struct {
+	live atomic.Pointer[engine]
+}
+
+func (s *server) mutateLoaded() {
+	e := s.live.Load()
+	e.n = 4 // want `loaded from atomic.Pointer\[engine\]`
+}
+
+func (s *server) mutateDirect() {
+	s.live.Load().n = 5 // want `loaded from atomic.Pointer\[engine\]`
+}
+
+func (s *server) increment() {
+	e := s.live.Load()
+	e.n++ // want `loaded from atomic.Pointer\[engine\]`
+}
+
+// cloneAndSwap is the blessed discipline: reads of the loaded snapshot
+// are fine, writes go to a fresh clone that is swapped in atomically.
+func (s *server) cloneAndSwap(next []float64) {
+	old := s.live.Load()
+	clone := &engine{coeff: append([]float64(nil), old.coeff...), n: old.n}
+	clone.coeff = next
+	clone.n++
+	s.live.Store(clone)
+}
+
+func (s *server) justified() {
+	e := s.live.Load()
+	//pkalint:atomicpub single-writer startup path, runs before the pointer is shared
+	e.n = 9
+}

@@ -1,0 +1,83 @@
+// Fixture for the mapiterdet analyzer. The package is named maxent so
+// the determinism gate applies; the dir name only labels the fixture.
+package maxent
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func sumWeights(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `floating-point accumulation`
+		total += v
+	}
+	return total
+}
+
+func sumViaSelfAssign(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `floating-point accumulation`
+		total = total + v
+	}
+	return total
+}
+
+// sumSortedKeys is the blessed idiom: collect keys, sort, then range
+// the slice. The collecting loop appends only into a slice that is
+// sorted before use, and the second loop ranges a slice, not a map.
+func sumSortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `append to out inside range over map`
+		out = append(out, k)
+	}
+	return out
+}
+
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `output written`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// countInts accumulates integers: addition commutes exactly, so map
+// order cannot leak into the result.
+func countInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func justified(m map[string]float64) float64 {
+	total := 0.0
+	//pkalint:ordered values are exact powers of two, addition order cannot change the sum
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func badJustification(m map[string]float64) float64 {
+	total := 0.0
+	//pkalint:ordered
+	for _, v := range m { // want `requires a non-empty justification`
+		total += v
+	}
+	return total
+}

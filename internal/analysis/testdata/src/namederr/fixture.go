@@ -1,0 +1,35 @@
+// Fixture for the namederr analyzer. The package is named snapshot so
+// the persistence-layer gate applies.
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrChecksum = errors.New("snapshot: checksum mismatch")
+
+var Corrupt = errors.New("snapshot: corrupt") // want `exported error sentinel Corrupt must be named Err\*`
+
+// errInternal is unexported: the sentinel contract binds the public surface.
+var errInternal = errors.New("snapshot: internal")
+
+func loadBad(err error) error {
+	return fmt.Errorf("snapshot: load failed: %v", err) // want `fmt.Errorf formats an error without %w`
+}
+
+func loadGood(err error) error {
+	return fmt.Errorf("snapshot: load failed: %w", err)
+}
+
+// formatOnly has no error argument: nothing to wrap.
+func formatOnly(n int) error {
+	return fmt.Errorf("snapshot: unknown section ID %d", n)
+}
+
+func alias() error { return errInternal }
+
+func justified(err error) error {
+	//pkalint:namederr checksum detail is advisory, callers match the sentinel returned alongside
+	return fmt.Errorf("snapshot: advisory detail: %v", err)
+}

@@ -1,0 +1,35 @@
+// Fixture for the nondeterm analyzer. The package is named core so the
+// numeric-core gate applies.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in the deterministic numeric core`
+}
+
+func jitter() float64 {
+	return rand.Float64() // want `math/rand.Float64 in the deterministic numeric core`
+}
+
+func shuffled(r *rand.Rand, n int) []int {
+	return r.Perm(n) // want `math/rand.Perm in the deterministic numeric core`
+}
+
+func describe(m map[string]int) string {
+	return fmt.Sprintf("%v", m) // want `fmt.Sprintf formats a map`
+}
+
+// describeSlice formats a slice: order is the slice's own, fine.
+func describeSlice(s []int) string {
+	return fmt.Sprintf("%v", s)
+}
+
+func justified() int64 {
+	//pkalint:nondeterm trace timestamps are observability-only and never reach results
+	return time.Now().UnixNano()
+}

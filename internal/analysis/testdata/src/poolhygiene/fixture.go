@@ -1,0 +1,74 @@
+// Fixture for the poolhygiene analyzer (ungated: pooling discipline
+// applies to every package).
+package pools
+
+import (
+	"bytes"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func leaks() {
+	buf := bufPool.Get().(*bytes.Buffer) // want `bufPool.Get without a matching bufPool.Put`
+	buf.Reset()
+}
+
+func deferredOK() {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+}
+
+func deferredClosureOK() {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() < 1<<20 {
+			bufPool.Put(buf)
+		}
+	}()
+	buf.Reset()
+}
+
+func earlyReturn(cond bool) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	if cond {
+		return // want `return without bufPool.Put`
+	}
+	bufPool.Put(buf)
+}
+
+func orderedOK(cond bool) int {
+	buf := bufPool.Get().(*bytes.Buffer)
+	if cond {
+		bufPool.Put(buf)
+		return 0
+	}
+	bufPool.Put(buf)
+	return 1
+}
+
+func escapes() *bytes.Buffer {
+	buf := bufPool.Get().(*bytes.Buffer)
+	return buf // want `pooled value from bufPool.Get escapes this function`
+}
+
+type holder struct{ b *bytes.Buffer }
+
+func fieldStore(h *holder) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	h.b = buf // want `pooled value from bufPool.Get escapes this function`
+	bufPool.Put(buf)
+}
+
+// accessor is the pool-accessor pattern: the caller owns the value and
+// must release it. The justification carries the contract.
+func accessor() *bytes.Buffer {
+	buf := bufPool.Get().(*bytes.Buffer)
+	//pkalint:poolhygiene accessor contract: every caller releases via release() on all paths
+	return buf
+}
+
+func release(buf *bytes.Buffer) {
+	bufPool.Put(buf)
+}

@@ -1,0 +1,20 @@
+// Fixture proving the package gates: the same violations that fire in
+// the contracted packages are silent in a package outside them.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func sumWeights(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() + int64(rand.Int())
+}

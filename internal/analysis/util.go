@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// inspectStack walks root like ast.Inspect but hands the visitor the
+// stack of ancestor nodes (outermost first, not including n itself).
+func inspectStack(root ast.Node, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := visit(n, stack)
+		stack = append(stack, n)
+		if !descend {
+			// ast.Inspect still sends the closing nil for this node.
+			return false
+		}
+		return true
+	})
+}
+
+// calleeFunc returns the called *types.Func for a call expression, or nil
+// for builtins, conversions, and indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified call: fmt.Errorf, time.Now, ...
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (methods excluded).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// funcPkgPath returns the defining package path of the function a call
+// invokes ("" when unknown or a builtin).
+func funcPkgPath(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isMethodFullName reports whether call invokes a method whose
+// types.Func.FullName matches full, e.g. "(*sync.Pool).Get".
+func isMethodFullName(info *types.Info, call *ast.CallExpr, full string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.FullName() == full
+}
+
+// namedOrigin returns the origin *types.Named behind t, unwrapping one
+// level of pointer and any instantiation; nil when t is not named.
+func namedOrigin(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n.Origin()
+}
+
+// isAtomicPointer reports whether t is sync/atomic.Pointer[E] (or *that),
+// returning the element type.
+func isAtomicPointer(t types.Type) (elem types.Type, ok bool) {
+	n := namedOrigin(t)
+	if n == nil {
+		return nil, false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || obj.Name() != "Pointer" {
+		return nil, false
+	}
+	inst := t
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		inst = p.Elem()
+	}
+	named, isNamed := inst.(*types.Named)
+	if !isNamed || named.TypeArgs().Len() != 1 {
+		return nil, false
+	}
+	return named.TypeArgs().At(0), true
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorType) || types.Implements(types.NewPointer(t), errorType)
+}
+
+// isFloat reports whether t's core type is a floating-point basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// rootIdent unwraps parens, stars, and selectors down to the base
+// identifier of an lvalue-ish expression: (*v).f.g -> v.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			id, _ := e.(*ast.Ident)
+			return id
+		}
+	}
+}
+
+// usesObject reports whether any identifier inside e resolves to obj.
+func usesObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -146,9 +146,9 @@ type ShardMeta struct {
 	Shards int `json:"shards"`
 	// Attributes and Blocks describe the full model so mismatched
 	// snapshots are caught even when the owned set happens to align.
-	Attributes int `json:"attributes"`
-	Blocks     int `json:"blocks"`
-	A0         F64 `json:"a0"`
+	Attributes int         `json:"attributes"`
+	Blocks     int         `json:"blocks"`
+	A0         F64         `json:"a0"`
 	Owned      []BlockMeta `json:"owned"`
 }
 

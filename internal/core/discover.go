@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"pka/internal/contingency"
 	"pka/internal/maxent"
@@ -273,7 +274,15 @@ func impliedZeros(table contingency.Counts, model *maxent.Model, family continge
 		for _, c := range cells {
 			sums[c.values[mi]] += c.count
 		}
-		for val, sum := range sums {
+		// Constraint order feeds block construction and therefore the
+		// fit: visit member values in sorted order, never map order.
+		vals := make([]int, 0, len(sums))
+		for val := range sums {
+			vals = append(vals, val)
+		}
+		sort.Ints(vals)
+		for _, val := range vals {
+			sum := sums[val]
 			margin, err := table.MarginalCount(contingency.NewVarSet(pos), []int{val})
 			if err != nil {
 				return nil, err

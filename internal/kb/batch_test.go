@@ -143,8 +143,14 @@ func TestBatchErrorParity(t *testing.T) {
 		bat  func() error
 	}{
 		{"unknown evidence attr",
-			func() error { _, err := k.Conditional([]Assignment{{Attr: "CANCER", Value: "Yes"}}, []Assignment{{Attr: "NOPE", Value: "x"}}); return err },
-			func() error { _, err := b.Conditional([]Assignment{{Attr: "CANCER", Value: "Yes"}}, []Assignment{{Attr: "NOPE", Value: "x"}}); return err }},
+			func() error {
+				_, err := k.Conditional([]Assignment{{Attr: "CANCER", Value: "Yes"}}, []Assignment{{Attr: "NOPE", Value: "x"}})
+				return err
+			},
+			func() error {
+				_, err := b.Conditional([]Assignment{{Attr: "CANCER", Value: "Yes"}}, []Assignment{{Attr: "NOPE", Value: "x"}})
+				return err
+			}},
 		{"unknown target value",
 			func() error { _, err := k.Conditional([]Assignment{{Attr: "CANCER", Value: "Maybe"}}, nil); return err },
 			func() error { _, err := b.Conditional([]Assignment{{Attr: "CANCER", Value: "Maybe"}}, nil); return err }},

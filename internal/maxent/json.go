@@ -3,6 +3,7 @@ package maxent
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"pka/internal/contingency"
 )
@@ -57,11 +58,7 @@ func sortedFamilies(fams map[contingency.VarSet]*familyTerm) []contingency.VarSe
 	for k := range fams {
 		keys = append(keys, k)
 	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j].Less(keys[j-1]); j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
 	return keys
 }
 

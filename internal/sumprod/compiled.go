@@ -109,6 +109,7 @@ func (c *Compiled) getScratch() *foldScratch {
 		sc.fixed[v] = -1
 		sc.keep[v] = false
 	}
+	//pkalint:poolhygiene accessor contract: every caller pairs getScratch with c.scratch.Put once the fold result is consumed
 	return sc
 }
 
