@@ -50,7 +50,7 @@ import (
 // deployments.
 func cmdBench(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_8.json", "snapshot output path (empty = stdout only); ignored with -serve")
+	out := fs.String("out", "BENCH_9.json", "snapshot output path (empty = stdout only); ignored with -serve")
 	iters := fs.Int("iters", 5, "iterations per suite item (1 = CI smoke)")
 	workers := fs.Int("workers", 0, "worker goroutines for the parallel suite items (0 = all cores, 1 = serial)")
 	sweep := fs.String("workers-sweep", "", "comma-separated worker counts: re-measure the parallel suite items at each, as name@wN entries")
@@ -77,7 +77,7 @@ func cmdBench(w io.Writer, args []string) error {
 		}
 	}
 	snap := benchSnapshot{
-		Version: 8,
+		Version: 9,
 		Host: benchHost{
 			Go:         runtime.Version(),
 			OS:         runtime.GOOS,
@@ -213,10 +213,10 @@ func measureBench(item benchItem, iters int) (benchEntry, error) {
 	}, nil
 }
 
-// benchSuite carries the prepared workloads plus any server to tear down.
+// benchSuite carries the prepared workloads plus any servers to tear down.
 type benchSuite struct {
 	items []benchItem
-	srv   *http.Server
+	srvs  []*http.Server
 }
 
 // benchItem is one suite entry: fn is the measured operation; prepare, if
@@ -231,8 +231,8 @@ type benchItem struct {
 }
 
 func (s *benchSuite) close() {
-	if s.srv != nil {
-		_ = s.srv.Close()
+	for _, srv := range s.srvs {
+		_ = srv.Close()
 	}
 }
 
@@ -562,8 +562,9 @@ func buildBenchSuite(workers int) (*benchSuite, error) {
 	if err != nil {
 		return nil, fmt.Errorf("binding loopback listener: %w", err)
 	}
-	suite.srv = &http.Server{Handler: pka.NewServerWithOptions(queryModel, pka.ServerOptions{Workers: workers})}
-	go func() { _ = suite.srv.Serve(l) }()
+	srv := &http.Server{Handler: pka.NewServerWithOptions(queryModel, pka.ServerOptions{Workers: workers})}
+	suite.srvs = append(suite.srvs, srv)
+	go func() { _ = srv.Serve(l) }()
 	baseURL := "http://" + l.Addr().String()
 	body, err := json.Marshal(struct {
 		Queries []pka.Query `json:"queries"`
@@ -572,20 +573,121 @@ func buildBenchSuite(workers int) (*benchSuite, error) {
 		return nil, err
 	}
 	client := &http.Client{}
-	suite.items = append(suite.items, benchItem{name: "http_batch", parallel: true, fn: func() error {
-		resp, err := client.Post(baseURL+"/v1/query/batch", "application/json", bytes.NewReader(body))
+	httpBatch := func(url string) func() error {
+		return func() error {
+			resp, err := client.Post(url+"/v1/query/batch", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				return err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("http batch status %d", resp.StatusCode)
+			}
+			return nil
+		}
+	}
+	suite.items = append(suite.items, benchItem{name: "http_batch", parallel: true, fn: httpBatch(baseURL)})
+
+	// The serving-cache measurement pair: the identical single query driven
+	// straight through the HTTP handler (no TCP stack — both sides of the
+	// ratio shed the same socket overhead, so the numbers isolate the
+	// serving path itself). The model is the 24-attribute wide factored
+	// snapshot — the shape caching exists for. The miss side evaluates and
+	// re-encodes every request against a cache-off handler; the hit side
+	// hits a fully warmed wire tier. Each measured op is a fixed burst so
+	// the per-request cost stands clear of the measurement floor.
+	missModel, err := pka.LoadSnapshot(bytes.NewReader(snapBytes))
+	if err != nil {
+		return nil, err
+	}
+	hitModel, err := pka.LoadSnapshot(bytes.NewReader(snapBytes))
+	if err != nil {
+		return nil, err
+	}
+	hitModel.EnableCache(32 << 20)
+	missHandler := pka.NewServerWithOptions(missModel, pka.ServerOptions{Workers: workers})
+	hitHandler := pka.NewServerWithOptions(hitModel, pka.ServerOptions{Workers: workers, CacheBytes: 32 << 20})
+	singleBody := []byte(`{"kind":"mpe","given":[{"attr":"W0","value":"1"}]}`)
+	// One request object per handler, its body rewound between calls: the
+	// burst measures the handler, not request construction.
+	const queryBurst = 512
+	burst := func(h http.Handler) (func() error, error) {
+		rd := bytes.NewReader(singleBody)
+		req, err := http.NewRequest(http.MethodPost, "/v1/query", nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		defer resp.Body.Close()
-		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-			return err
-		}
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("http batch status %d", resp.StatusCode)
-		}
-		return nil
-	}})
+		req.Body = rewindCloser{rd}
+		req.ContentLength = int64(len(singleBody))
+		rec := &benchResponseWriter{header: make(http.Header)}
+		return func() error {
+			for i := 0; i < queryBurst; i++ {
+				if _, err := rd.Seek(0, io.SeekStart); err != nil {
+					return err
+				}
+				// Re-arm the body every call: decodeBody wraps r.Body in a
+				// MaxBytesReader, so leaving it would stack one wrapper per
+				// iteration on the shared request.
+				req.Body = rewindCloser{rd}
+				rec.status = 0
+				h.ServeHTTP(rec, req)
+				if rec.status != 0 && rec.status != http.StatusOK {
+					return fmt.Errorf("http query status %d", rec.status)
+				}
+			}
+			return nil
+		}, nil
+	}
+	missBurst, err := burst(missHandler)
+	if err != nil {
+		return nil, err
+	}
+	hitBurst, err := burst(hitHandler)
+	if err != nil {
+		return nil, err
+	}
+	if err := hitBurst(); err != nil {
+		return nil, fmt.Errorf("warming the cached handler: %w", err)
+	}
+	suite.items = append(suite.items, benchItem{name: "http_query_miss", fn: missBurst})
+	suite.items = append(suite.items, benchItem{name: "http_query_hit", fn: hitBurst})
+
+	// The cache-on side of the batch sweep: same workload, same real
+	// loopback server shape as http_batch, but with the engine tier warm —
+	// cross-request reuse of denominators and marginals that http_batch can
+	// only exploit within one request.
+	cachedBatchModel, err := pka.DiscoverTable(denseTab.Clone(), denseSchema, discoverOpts)
+	if err != nil {
+		return nil, err
+	}
+	cachedBatchModel.EnableCache(32 << 20)
+	lc, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("binding loopback listener: %w", err)
+	}
+	cachedSrv := &http.Server{Handler: pka.NewServerWithOptions(cachedBatchModel, pka.ServerOptions{Workers: workers, CacheBytes: 32 << 20})}
+	suite.srvs = append(suite.srvs, cachedSrv)
+	go func() { _ = cachedSrv.Serve(lc) }()
+	suite.items = append(suite.items, benchItem{name: "http_batch_cached", parallel: true, fn: httpBatch("http://" + lc.Addr().String())})
 
 	return suite, nil
 }
+
+// benchResponseWriter is the minimal ResponseWriter the handler-direct
+// bench items write into: headers kept, body discarded, status recorded.
+type benchResponseWriter struct {
+	header http.Header
+	status int
+}
+
+func (w *benchResponseWriter) Header() http.Header         { return w.header }
+func (w *benchResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *benchResponseWriter) WriteHeader(status int)      { w.status = status }
+
+// rewindCloser lets one request body serve every burst iteration.
+type rewindCloser struct{ *bytes.Reader }
+
+func (rewindCloser) Close() error { return nil }

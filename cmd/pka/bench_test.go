@@ -27,8 +27,8 @@ func TestCmdBenchSnapshot(t *testing.T) {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		t.Fatalf("snapshot is not valid JSON: %v", err)
 	}
-	if snap.Version != 8 {
-		t.Errorf("version = %d, want 8", snap.Version)
+	if snap.Version != 9 {
+		t.Errorf("version = %d, want 9", snap.Version)
 	}
 	if snap.Host.Go == "" || snap.Host.OS == "" || snap.Host.Arch == "" ||
 		snap.Host.NumCPU < 1 || snap.Host.GOMAXPROCS < 1 {
@@ -39,6 +39,7 @@ func TestCmdBenchSnapshot(t *testing.T) {
 		"incremental_refit",
 		"cold_start_json", "cold_start_snapshot",
 		"fit_factored", "answer_batch", "http_batch",
+		"http_query_miss", "http_query_hit", "http_batch_cached",
 	}
 	if len(snap.Benchmarks) != len(want) {
 		t.Fatalf("%d suite items, want %d", len(snap.Benchmarks), len(want))

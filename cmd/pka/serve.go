@@ -56,6 +56,7 @@ func cmdServe(w io.Writer, args []string) error {
 	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	fs.IntVar(&cfg.maxBatch, "max-batch", 0, "max queries per batch request (0 = default)")
 	fs.IntVar(&cfg.maxObserve, "max-observe", 0, "max rows per observe request (0 = default)")
+	fs.Int64Var(&cfg.cacheBytes, "cache-bytes", 32<<20, "serving-cache capacity in bytes per tier (0 disables, negative unbounded)")
 	fs.IntVar(&cfg.workers, "workers", 0, "server-wide worker budget for batch queries, plus startup-discovery parallelism (0 = all cores, 1 = serial)")
 	fs.IntVar(&cfg.maxCard, "max-card", 64, "with -data: reject CSV columns with more distinct values than this")
 	fs.IntVar(&cfg.maxOrder, "max-order", 0, "with -data: highest attribute-family order to scan (0 = all)")
@@ -84,6 +85,7 @@ type serveConfig struct {
 	addr              string
 	maxBatch          int
 	maxObserve        int
+	cacheBytes        int64
 	workers           int
 	maxCard, maxOrder int
 	sparse            bool
@@ -105,6 +107,7 @@ func (c serveConfig) serverOptions() server.Options {
 		MaxBatch:       c.maxBatch,
 		MaxObserveRows: c.maxObserve,
 		Workers:        c.workers,
+		CacheBytes:     c.cacheBytes,
 	}
 }
 
@@ -168,6 +171,9 @@ func runServe(ctx context.Context, w io.Writer, cfg serveConfig, ready func(net.
 			return err
 		}
 	}
+	if ce, ok := model.(interface{ EnableCache(capacityBytes int64) }); ok {
+		ce.EnableCache(cfg.cacheBytes)
+	}
 	handler := server.NewWithOptions(model, cfg.serverOptions())
 	if cfg.logPath != "" {
 		// Replicated primary: replay the log over the deterministic seed
@@ -210,7 +216,14 @@ func runServe(ctx context.Context, w io.Writer, cfg serveConfig, ready func(net.
 // runServeReplica boots from the primary's snapshot, follows its log in
 // the background, and serves reads.
 func runServeReplica(ctx context.Context, w io.Writer, cfg serveConfig, ready func(net.Addr)) error {
-	load := func(r io.Reader) (cluster.Bank, error) { return pka.LoadModelSnapshot(r) }
+	load := func(r io.Reader) (cluster.Bank, error) {
+		m, err := pka.LoadModelSnapshot(r)
+		if err != nil {
+			return nil, err
+		}
+		m.EnableCache(cfg.cacheBytes)
+		return m, nil
+	}
 	rep, err := cluster.BootReplica(ctx, strings.TrimRight(cfg.replicaOf, "/"), load, cfg.poll, http.DefaultClient)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
@@ -278,6 +291,7 @@ func runServeCoordinator(ctx context.Context, w io.Writer, cfg serveConfig, read
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
+	coord.EnableCache(cfg.cacheBytes)
 	info := qm.Info()
 	announce := func(a net.Addr) {
 		fmt.Fprintf(w, "serving %s (%d attributes, %d constraints) across %d shards on %s\n",

@@ -8,7 +8,9 @@
 //   - pooling: sync.Pool scratch never escapes the hot path and is
 //     returned on every exit (poolhygiene)
 //   - publication: engines published through atomic.Pointer[T] are
-//     immutable; mutation goes through clone-and-swap (atomicpub)
+//     immutable; mutation goes through clone-and-swap (atomicpub), and
+//     values resident in a memo cache are never written through after
+//     Get or Put (memoimmut)
 //   - named failures: load/decode errors in the persistence packages
 //     wrap with %w and surface as Err* sentinels (namederr)
 //

@@ -5,6 +5,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		AtomicPub,
 		MapIterDet,
+		MemoImmut,
 		NamedErr,
 		NonDeterm,
 		PoolHygiene,

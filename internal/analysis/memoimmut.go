@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MemoImmut enforces the memo-cache immutability contract: a value is
+// shared the moment it enters a cache — Get hands the same object to
+// every concurrent reader, and Put publishes it without copying — so a
+// function that obtains a cached value (from Get, or the value it just
+// Put) must not write through it afterwards. Field stores, element
+// stores, and increments on such a value are flagged; rebinding the
+// variable is fine. The one sanctioned exception (a cache whose owner
+// maintains entries in place under an exclusive-mutation lock) carries
+// a //pkalint:memoimmut justification.
+//
+// Cache calls are recognized structurally — a method named Get with
+// signature func([]byte, int64) (any, bool), or Put with
+// func([]byte, int64, any, int64), on a type named Cache — which covers
+// internal/memo without the fixture needing to import it.
+var MemoImmut = &Analyzer{
+	Name: "memoimmut",
+	Doc: "flag writes through a memo-cached value after it was obtained from " +
+		"Get or handed to Put: cache entries are shared across goroutines and must stay immutable",
+	Run: runMemoImmut,
+}
+
+func runMemoImmut(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMemoImmut(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isMemoCacheCall reports whether call invokes a memo-cache method:
+// name and signature must match, and the receiver's named type (behind
+// a pointer) must be called Cache.
+func isMemoCacheCall(info *types.Info, call *ast.CallExpr, name string, params, results []types.Type) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := namedOrigin(sig.Recv().Type())
+	if recv == nil || recv.Obj().Name() != "Cache" {
+		return false
+	}
+	if sig.Params().Len() != len(params) || sig.Results().Len() != len(results) {
+		return false
+	}
+	for i, want := range params {
+		if !types.Identical(sig.Params().At(i).Type(), want) {
+			return false
+		}
+	}
+	for i, want := range results {
+		if !types.Identical(sig.Results().At(i).Type(), want) {
+			return false
+		}
+	}
+	return true
+}
+
+var (
+	memoByteSlice = types.NewSlice(types.Typ[types.Uint8])
+	memoInt64     = types.Typ[types.Int64]
+	memoAny       = types.Universe.Lookup("any").Type()
+	memoBool      = types.Typ[types.Bool]
+
+	memoGetParams  = []types.Type{memoByteSlice, memoInt64}
+	memoGetResults = []types.Type{memoAny, memoBool}
+	memoPutParams  = []types.Type{memoByteSlice, memoInt64, memoAny, memoInt64}
+)
+
+// cachedOrigin unwraps parens, type assertions, derefs, selectors, and
+// index expressions down to the base identifier of an expression rooted
+// in a cached value: v.(*entry).xs[0] -> v. Unlike rootIdent it sees
+// through type assertions, which is how memo's any values are used.
+func cachedOrigin(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			id, _ := e.(*ast.Ident)
+			return id
+		}
+	}
+}
+
+func checkMemoImmut(pass *Pass, fd *ast.FuncDecl) {
+	// tracked maps a variable holding a cache-resident value to the
+	// position where it became resident. The walk visits statements in
+	// source order, so aliases picked up later (e := v.(*entry)) join the
+	// set before the writes that follow them.
+	tracked := make(map[types.Object]token.Pos)
+
+	trackedObj := func(e ast.Expr) (types.Object, bool) {
+		id := cachedOrigin(e)
+		if id == nil {
+			return nil, false
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return nil, false
+		}
+		_, ok := tracked[obj]
+		return obj, ok
+	}
+	define := func(id *ast.Ident, at token.Pos) {
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			tracked[obj] = at
+		} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			tracked[obj] = at
+		}
+	}
+	flagWrite := func(lhs ast.Expr, pos token.Pos) {
+		target := ast.Unparen(lhs)
+		switch target.(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		default:
+			return // plain rebinding of the variable, not a write through it
+		}
+		if obj, ok := trackedObj(target); ok && pos > tracked[obj] {
+			pass.Reportf(pos,
+				"write through memo-cached value %s: cache entries are shared across goroutines; build a fresh value and re-Put it instead",
+				obj.Name())
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			// v, ok := cache.Get(key, version) marks v resident.
+			if len(node.Rhs) == 1 {
+				if call, ok := ast.Unparen(node.Rhs[0]).(*ast.CallExpr); ok &&
+					isMemoCacheCall(pass.TypesInfo, call, "Get", memoGetParams, memoGetResults) {
+					if len(node.Lhs) >= 1 {
+						if id, ok := node.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+							define(id, call.Pos())
+						}
+					}
+					break
+				}
+			}
+			// Aliases propagate residency: e := v, e := v.(*entry),
+			// e, ok := v.(*entry). Writes through a field or index are
+			// mutation sites instead.
+			for i, lhs := range node.Lhs {
+				var rhs ast.Expr
+				switch {
+				case len(node.Rhs) == len(node.Lhs):
+					rhs = node.Rhs[i]
+				case len(node.Rhs) == 1 && i == 0:
+					rhs = node.Rhs[0]
+				}
+				if rhs != nil {
+					if id, isIdent := lhs.(*ast.Ident); isIdent && id.Name != "_" {
+						if obj, ok := trackedObj(rhs); ok {
+							define(id, tracked[obj])
+							continue
+						}
+					}
+				}
+				flagWrite(lhs, node.Pos())
+			}
+		case *ast.IncDecStmt:
+			flagWrite(node.X, node.Pos())
+		case *ast.CallExpr:
+			// cache.Put(key, version, v, cost) marks v resident from here on.
+			if isMemoCacheCall(pass.TypesInfo, node, "Put", memoPutParams, nil) && len(node.Args) == 4 {
+				if id := cachedOrigin(node.Args[2]); id != nil {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						tracked[obj] = node.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+}

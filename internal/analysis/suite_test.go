@@ -28,6 +28,10 @@ func TestNamedErr(t *testing.T) {
 	analysistest.Run(t, fixture("namederr"), analysis.NamedErr)
 }
 
+func TestMemoImmut(t *testing.T) {
+	analysistest.Run(t, fixture("memoimmut"), analysis.MemoImmut)
+}
+
 func TestNonDeterm(t *testing.T) {
 	analysistest.Run(t, fixture("nondeterm"), analysis.NonDeterm)
 }
@@ -39,10 +43,10 @@ func TestPackageGates(t *testing.T) {
 	analysistest.Run(t, fixture("ungated"), analysis.MapIterDet, analysis.NonDeterm)
 }
 
-// TestSuiteOrder pins the registry: five analyzers, stable order, so
+// TestSuiteOrder pins the registry: six analyzers, stable order, so
 // diagnostics sort identically everywhere.
 func TestSuiteOrder(t *testing.T) {
-	want := []string{"atomicpub", "mapiterdet", "namederr", "nondeterm", "poolhygiene"}
+	want := []string{"atomicpub", "mapiterdet", "memoimmut", "namederr", "nondeterm", "poolhygiene"}
 	got := analysis.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))

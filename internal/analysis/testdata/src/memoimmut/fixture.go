@@ -1,0 +1,89 @@
+// Fixture for the memoimmut analyzer (ungated: the memo immutability
+// contract binds every package that touches a cache). The local Cache
+// mirrors internal/memo's Get/Put signatures, which is what the
+// analyzer matches on.
+package memoimm
+
+type Cache struct{}
+
+func (c *Cache) Get(key []byte, version int64) (any, bool)            { return nil, false }
+func (c *Cache) Put(key []byte, version int64, value any, cost int64) {}
+
+type entry struct {
+	n  int
+	xs []int
+}
+
+func getThenFieldWrite(c *Cache, key []byte) {
+	v, ok := c.Get(key, 1)
+	if !ok {
+		return
+	}
+	e := v.(*entry)
+	e.n = 4 // want `write through memo-cached value e`
+}
+
+func getThenIndexWrite(c *Cache, key []byte) {
+	v, _ := c.Get(key, 1)
+	e, ok := v.(*entry)
+	if !ok {
+		return
+	}
+	e.xs[0] = 9 // want `write through memo-cached value e`
+}
+
+func getThenIncrement(c *Cache, key []byte) {
+	v, ok := c.Get(key, 1)
+	if ok {
+		v.(*entry).n++ // want `write through memo-cached value v`
+	}
+}
+
+func putThenMutate(c *Cache, key []byte) {
+	e := &entry{n: 1}
+	c.Put(key, 1, e, 32)
+	e.n = 2 // want `write through memo-cached value e`
+}
+
+func readOnlyOK(c *Cache, key []byte) int {
+	v, ok := c.Get(key, 1)
+	if !ok {
+		return 0
+	}
+	return v.(*entry).n
+}
+
+func mutateBeforePutOK(c *Cache, key []byte) {
+	e := &entry{}
+	e.n = 7 // the value is private until Put publishes it
+	c.Put(key, 1, e, 32)
+}
+
+func rebindOK(c *Cache, key []byte) {
+	v, _ := c.Get(key, 1)
+	v = nil // rebinding the variable is not a write through the entry
+	_ = v
+}
+
+func justifiedException(c *Cache, key []byte) {
+	v, ok := c.Get(key, 1)
+	if !ok {
+		return
+	}
+	e := v.(*entry)
+	//pkalint:memoimmut entries are maintained in place under this type's exclusive-mutation lock
+	e.n = 4
+}
+
+// Registry has a Get of the same shape but is not a Cache: the contract
+// is about memo caches, so nothing here is flagged.
+type Registry struct{}
+
+func (r *Registry) Get(key []byte, version int64) (any, bool) { return nil, false }
+
+func notACache(r *Registry, key []byte) {
+	v, ok := r.Get(key, 1)
+	if ok {
+		v.(*entry).n = 4
+	}
+}

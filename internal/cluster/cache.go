@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"pka/internal/memo"
+	"pka/internal/query"
+)
+
+// The cluster tier: a coordinator memoizes remote POST /v1/shard/eval
+// responses keyed (op, block, args). A coordinator's model is an
+// immutable snapshot — shards refuse to serve a different fit — so the
+// entries live at version 0 and only LRU pressure retires them. Every
+// repeated block primitive (the same pinned sum, the same marginal sweep)
+// becomes a map lookup instead of a network round-trip.
+
+// evalCacheHolder shares one optional remote-eval cache across every
+// shardClient of a coordinator; the pointer is atomic so EnableCache can
+// arm it after construction without racing in-flight evals.
+type evalCacheHolder struct {
+	c atomic.Pointer[memo.Cache]
+}
+
+// evalKeyPool recycles the eval-key rendering scratch.
+var evalKeyPool = sync.Pool{New: func() any { return new(evalKeyBuf) }}
+
+type evalKeyBuf struct{ buf []byte }
+
+// appendEvalKey renders one EvalOp canonically: op and block, then every
+// argument slice length-prefixed so adjacent fields cannot collide, with
+// the accumulator as raw bits.
+func appendEvalKey(dst []byte, op EvalOp) []byte {
+	dst = append(dst, op.Op...)
+	dst = append(dst, '|')
+	dst = strconv.AppendInt(dst, int64(op.Block), 10)
+	for _, part := range [3][]int{op.Vars, op.Values, op.Fixed} {
+		dst = append(dst, '|')
+		for _, v := range part {
+			dst = strconv.AppendInt(dst, int64(v), 10)
+			dst = append(dst, ',')
+		}
+	}
+	dst = append(dst, '|')
+	dst = strconv.AppendUint(dst, uint64(op.Acc), 16)
+	dst = append(dst, '|')
+	for _, v := range op.Cell {
+		dst = strconv.AppendInt(dst, int64(v), 10)
+		dst = append(dst, ',')
+	}
+	return dst
+}
+
+// copyEvalResult guards a cached result's mutable Cell slice from caller
+// mutation; Array is only ever read through Floats (which copies), so it
+// may be shared.
+func copyEvalResult(r EvalResult) EvalResult {
+	if r.Cell != nil {
+		r.Cell = append([]int(nil), r.Cell...)
+	}
+	return r
+}
+
+// evalResultCost estimates a result's resident bytes.
+func evalResultCost(r EvalResult) int64 {
+	return int64(16 + 8*len(r.Array) + 8*len(r.Cell))
+}
+
+// EnableCache arms the coordinator's serving caches: an engine-tier memo
+// on its knowledge base (evidence denominators, marginal sweeps, MPE
+// completions) and the remote-eval memo above. capacityBytes sizes each
+// tier; 0 is a no-op, negative means unbounded. Call before serving —
+// the knowledge-base swap is not synchronized with in-flight queries.
+func (c *Coordinator) EnableCache(capacityBytes int64) {
+	if capacityBytes == 0 {
+		return
+	}
+	engine := memo.New(capacityBytes)
+	c.kbase = c.kbase.WithCache(engine, 0)
+	remote := memo.New(capacityBytes)
+	c.evalCache.c.Store(remote)
+}
+
+// CacheStats forwards the bank's cache tiers: Primary embeds Bank as an
+// interface, so the concrete model's optional reporter method is not
+// promoted and must be surfaced by hand.
+func (p *Primary) CacheStats() []query.CacheTierStats {
+	if cs, ok := p.Bank.(query.CacheStatsReporter); ok {
+		return cs.CacheStats()
+	}
+	return nil
+}
+
+// CacheStats forwards the booted bank's cache tiers (see Primary's note).
+func (r *Replica) CacheStats() []query.CacheTierStats {
+	if cs, ok := r.bank.(query.CacheStatsReporter); ok {
+		return cs.CacheStats()
+	}
+	return nil
+}
+
+// CacheStats reports the coordinator's cache tiers for GET /v1/stats.
+func (c *Coordinator) CacheStats() []query.CacheTierStats {
+	var out []query.CacheTierStats
+	if ec := c.kbase.Cache(); ec != nil {
+		out = append(out, query.CacheTierStats{Tier: "engine", Stats: ec.Stats()})
+	}
+	if rc := c.evalCache.c.Load(); rc != nil {
+		out = append(out, query.CacheTierStats{Tier: "cluster", Stats: rc.Stats()})
+	}
+	return out
+}

@@ -19,6 +19,9 @@ import (
 type shardClient struct {
 	base   string
 	client *http.Client
+	// cache, when armed, memoizes eval responses (see cache.go); shared
+	// by every client of one coordinator.
+	cache *evalCacheHolder
 }
 
 func (c *shardClient) meta() (ShardMeta, error) {
@@ -37,10 +40,31 @@ func (c *shardClient) meta() (ShardMeta, error) {
 	return m, nil
 }
 
-// eval posts one op and returns its result. The engine's combination loops
-// call block primitives one at a time, so one op per request keeps the
-// client exactly as wide as the evaluation seam.
+// eval posts one op and returns its result, short-circuiting through the
+// coordinator's remote-eval memo when it is armed. The engine's
+// combination loops call block primitives one at a time, so one op per
+// request keeps the client exactly as wide as the evaluation seam.
 func (c *shardClient) eval(op EvalOp) (EvalResult, error) {
+	if cc := c.cache.c.Load(); cc != nil {
+		ks := evalKeyPool.Get().(*evalKeyBuf)
+		key := appendEvalKey(ks.buf[:0], op)
+		ks.buf = key
+		if v, ok := cc.Get(key, 0); ok {
+			evalKeyPool.Put(ks)
+			return copyEvalResult(v.(EvalResult)), nil
+		}
+		res, err := c.evalRemote(op)
+		if err == nil {
+			cc.Put(key, 0, copyEvalResult(res), evalResultCost(res))
+		}
+		evalKeyPool.Put(ks)
+		return res, err
+	}
+	return c.evalRemote(op)
+}
+
+// evalRemote is the uncached wire call behind eval.
+func (c *shardClient) evalRemote(op EvalOp) (EvalResult, error) {
 	body, err := json.Marshal(EvalRequest{Ops: []EvalOp{op}})
 	if err != nil {
 		return EvalResult{}, fmt.Errorf("cluster: encoding eval: %w", err)
@@ -129,6 +153,9 @@ func (r remoteBlock) ArgmaxFixed(fixed []int) ([]int, error) {
 type Coordinator struct {
 	kbase  *kb.KnowledgeBase // remote-engined kb every query runs on
 	shards int
+	// evalCache is the shared remote-eval memo holder every shardClient
+	// consults; empty until EnableCache arms it.
+	evalCache *evalCacheHolder
 }
 
 // NewCoordinator connects a local snapshot to its shard fleet. urls[i] must
@@ -155,8 +182,9 @@ func NewCoordinator(kbase *kb.KnowledgeBase, urls []string, client *http.Client)
 	n := local.NumBlocks()
 	blocks := make([]maxent.RemoteBlock, n)
 	seen := make([]bool, n)
+	holder := &evalCacheHolder{}
 	for i, url := range urls {
-		sc := &shardClient{base: url, client: client}
+		sc := &shardClient{base: url, client: client, cache: holder}
 		m, err := sc.meta()
 		if err != nil {
 			return nil, err
@@ -213,7 +241,7 @@ func NewCoordinator(kbase *kb.KnowledgeBase, urls []string, client *http.Client)
 	if err != nil {
 		return nil, err
 	}
-	return &Coordinator{kbase: rkb, shards: len(urls)}, nil
+	return &Coordinator{kbase: rkb, shards: len(urls), evalCache: holder}, nil
 }
 
 var _ query.Querier = (*Coordinator)(nil)

@@ -2,7 +2,6 @@ package contingency
 
 import (
 	"fmt"
-	"sort"
 
 	"pka/internal/wire"
 )
@@ -104,21 +103,15 @@ func EncodeSparse(w *wire.Writer, s *Sparse) {
 		}
 		w.Uvarint(uint64(c))
 	})
-	s.projMu.RLock()
-	masks := make([]VarSet, 0, len(s.projs))
-	for vs := range s.projs {
-		masks = append(masks, vs)
-	}
-	sort.Slice(masks, func(i, j int) bool { return masks[i].Less(masks[j]) })
-	w.Int(len(masks))
-	for _, vs := range masks {
-		w.Ints(vs.Members())
+	entries := s.projectionEntries()
+	w.Int(len(entries))
+	for _, e := range entries {
+		w.Ints(e.members)
 		// Shape is derivable from the parent table, so only counts travel.
-		for _, c := range s.projs[vs].counts {
+		for _, c := range e.t.counts {
 			w.Uvarint(uint64(c))
 		}
 	}
-	s.projMu.RUnlock()
 }
 
 // DecodeSparse reads a sparse table written by EncodeSparse (or, for
@@ -237,10 +230,7 @@ func DecodeSparse(r *wire.Reader, version int) (*Sparse, error) {
 		if t.total != s.total {
 			return nil, fmt.Errorf("contingency: projection %v total %d != table total %d", vs, t.total, s.total)
 		}
-		if s.projs == nil {
-			s.projs = make(map[VarSet]*Table)
-		}
-		s.projs[vs] = t
+		s.publishProjection(vs, t)
 	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("contingency: decoding projection cache: %w", err)

@@ -6,6 +6,8 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+
+	"pka/internal/memo"
 )
 
 // Sparse is a contingency table held as a hash of occupied cells — the
@@ -37,25 +39,50 @@ type Sparse struct {
 	// mutation must not overlap any other call (see the contract below).
 	subScratch []int
 
-	// projMu guards projs, the per-family dense-projection cache behind
+	// projCache is the per-family dense-projection cache behind
 	// MarginalCount: the first marginal query over an attribute family
 	// projects the occupied cells onto that family once (O(occupied)),
 	// and every later query over the same family is a dense O(1) lookup.
 	// Mutation (Observe/Add/ApplyBatch/ObserveBatch) maintains every cached
 	// projection in place — O(families) per changed cell instead of an
 	// O(occupied) re-projection per family on the next read — so the cache
-	// survives streaming ingest.
+	// survives streaming ingest. Capacity pressure can retire entries
+	// (SetProjectionCacheBytes); a retired family simply re-projects on its
+	// next query. projMu serializes publication so a family only ever has
+	// one live table (first publication wins) — a requirement of in-place
+	// maintenance, which updates the cached table, not copies of it.
 	// Concurrency contract: mutation must not overlap any other call — it
-	// writes cached tables without locking — while read-only use,
-	// MarginalCount included, is safe from any number of goroutines.
-	projMu sync.RWMutex
-	projs  map[VarSet]*Table
+	// writes cached tables in place — while read-only use, MarginalCount
+	// included, is safe from any number of goroutines.
+	projMu    sync.Mutex
+	projCache *memo.Cache
 }
 
 // maxCachedProjCells bounds the dense size of a cached projection; marginal
 // queries over families wider than this fall back to scanning the occupied
 // cells instead of materializing a large dense table per family.
 const maxCachedProjCells = 1 << 16
+
+// defaultProjCacheBytes is the projection cache's capacity when
+// SetProjectionCacheBytes was never called — generous enough that realistic
+// discovery scans never feel it, while still bounding a pathological
+// many-family workload.
+const defaultProjCacheBytes = 256 << 20
+
+// projEntry is one cached projection: the family, its member positions
+// (pre-expanded so the per-cell mutation path need not re-derive them), and
+// the dense table. The table is deliberately mutated in place after
+// insertion — safe under the Sparse concurrency contract, which gives
+// mutation exclusive access.
+type projEntry struct {
+	vs      VarSet
+	members []int
+	t       *Table
+}
+
+// projEntryOverhead approximates a projEntry's bookkeeping bytes beyond the
+// table counts and member list.
+const projEntryOverhead = 96
 
 // keyField locates one attribute's coordinate inside the packed multi-word
 // cell key.
@@ -116,6 +143,7 @@ func NewSparse(names []string, cards []int) (*Sparse, error) {
 		fields:     fields,
 		keyWords:   nwords,
 		subScratch: make([]int, len(cards)),
+		projCache:  memo.New(defaultProjCacheBytes),
 	}
 	switch nwords {
 	case 1:
@@ -216,21 +244,18 @@ func (s *Sparse) Add(delta int64, cell ...int) error {
 // applyToProjections folds one cell delta into every cached projection. The
 // coordinates must already be validated; projection coordinates are a subset
 // of the cell's, so the dense adds cannot fail — if one somehow does, the
-// stale table is dropped rather than left wrong.
+// stale table is dropped rather than left wrong (Each deletes on false).
+// The in-place table writes are safe because mutation holds exclusive
+// access to the Sparse by contract.
 func (s *Sparse) applyToProjections(cell []int, delta int64) {
-	if len(s.projs) == 0 {
-		return
-	}
 	sub := s.subScratch
-	for vs, t := range s.projs {
-		members := vs.Members()
-		for i, p := range members {
+	s.projCache.Each(func(_ string, v any) bool {
+		e := v.(*projEntry)
+		for i, p := range e.members {
 			sub[i] = cell[p]
 		}
-		if err := t.Add(delta, sub[:len(members)]...); err != nil {
-			delete(s.projs, vs)
-		}
-	}
+		return e.t.Add(delta, sub[:len(e.members)]...) == nil
+	})
 }
 
 // CellDelta is one batched sparse-table mutation: a full-width cell and a
@@ -377,6 +402,7 @@ func (s *Sparse) Clone() *Sparse {
 		store:      s.store.clone(),
 		total:      s.total,
 		subScratch: make([]int, len(s.cards)),
+		projCache:  memo.New(s.projCache.Capacity()),
 	}
 }
 
@@ -455,28 +481,72 @@ func (s *Sparse) projection(vars VarSet, members []int) *Table {
 			return nil
 		}
 	}
-	s.projMu.RLock()
-	t := s.projs[vars]
-	s.projMu.RUnlock()
-	if t != nil {
-		return t
+	var keyArr [48]byte
+	key := vars.AppendKey(keyArr[:0])
+	if v, ok := s.projCache.Get(key, 0); ok {
+		return v.(*projEntry).t
 	}
 	t, err := s.Project(vars)
 	if err != nil {
 		// Unreachable after the validations above; fall back to scanning.
 		return nil
 	}
+	return s.publishProjection(vars, t)
+}
+
+// publishProjection installs a projection unless a racing builder got there
+// first: the double-checked lock keeps one live table per family, which
+// in-place maintenance depends on. Returns the table that won.
+func (s *Sparse) publishProjection(vars VarSet, t *Table) *Table {
+	var keyArr [48]byte
+	key := vars.AppendKey(keyArr[:0])
 	s.projMu.Lock()
-	if prev, ok := s.projs[vars]; ok {
-		t = prev
-	} else {
-		if s.projs == nil {
-			s.projs = make(map[VarSet]*Table)
-		}
-		s.projs[vars] = t
+	defer s.projMu.Unlock()
+	if v, ok := s.projCache.Get(key, 0); ok {
+		return v.(*projEntry).t
 	}
-	s.projMu.Unlock()
+	e := &projEntry{vs: vars, members: vars.Members(), t: t}
+	cost := int64(8*len(t.counts)+8*len(e.members)) + projEntryOverhead
+	s.projCache.Put(key, 0, e, cost)
 	return t
+}
+
+// projectionEntries snapshots the cached projections in ascending family
+// order — the canonical enumeration the snapshot codec and the verifier
+// walk.
+func (s *Sparse) projectionEntries() []*projEntry {
+	var out []*projEntry
+	s.projCache.Each(func(_ string, v any) bool {
+		out = append(out, v.(*projEntry))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].vs.Less(out[j].vs) })
+	return out
+}
+
+// SetProjectionCacheBytes bounds the projection cache: n > 0 caps its
+// resident bytes (LRU eviction under pressure — an evicted family is not an
+// error, its next marginal query re-projects from the live counts), n <= 0
+// removes the bound (the pre-knob behavior). Resizing starts the cache
+// cold. Call it before sharing the table across goroutines, like mutation.
+//
+// Caveat for ProjectCached callers holding a returned table across
+// mutation: that contract only holds while the family stays cached —
+// eviction plus re-projection yields a new table, and the retained pointer
+// stops being maintained. Retain tables only with the cache unbounded.
+func (s *Sparse) SetProjectionCacheBytes(n int64) {
+	if n == 0 {
+		n = -1
+	}
+	s.projMu.Lock()
+	s.projCache = memo.New(n)
+	s.projMu.Unlock()
+}
+
+// ProjectionCacheEvictions reports how many cached projections capacity
+// pressure has retired — observability for sizing the cache bound.
+func (s *Sparse) ProjectionCacheEvictions() int64 {
+	return s.projCache.Stats().Evictions
 }
 
 // EachCellSorted visits every occupied cell in ascending packed-key order —
@@ -516,15 +586,13 @@ func (s *Sparse) CheckConsistency() error {
 // O(cached families × occupied); tests and debugging call it, hot paths
 // call CheckConsistency.
 func (s *Sparse) VerifyProjections() error {
-	s.projMu.RLock()
-	defer s.projMu.RUnlock()
-	for vs, cached := range s.projs {
-		rebuilt, err := s.Project(vs)
+	for _, e := range s.projectionEntries() {
+		rebuilt, err := s.Project(e.vs)
 		if err != nil {
-			return fmt.Errorf("contingency: rebuilding projection %v: %w", vs, err)
+			return fmt.Errorf("contingency: rebuilding projection %v: %w", e.vs, err)
 		}
-		if !cached.Equal(rebuilt) {
-			return fmt.Errorf("contingency: cached projection %v diverged from rebuilt counts", vs)
+		if !e.t.Equal(rebuilt) {
+			return fmt.Errorf("contingency: cached projection %v diverged from rebuilt counts", e.vs)
 		}
 	}
 	return nil
@@ -534,9 +602,7 @@ func (s *Sparse) VerifyProjections() error {
 // currently cached — observability for the streaming-ingest invariant that
 // mutation maintains caches instead of dropping them.
 func (s *Sparse) CachedProjections() int {
-	s.projMu.RLock()
-	defer s.projMu.RUnlock()
-	return len(s.projs)
+	return int(s.projCache.Stats().Entries)
 }
 
 // ---------------------------------------------------------------------------

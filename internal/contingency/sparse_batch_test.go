@@ -277,3 +277,58 @@ func TestObserveBatchMatchesLoopObserve(t *testing.T) {
 		}
 	})
 }
+
+// TestProjectionCacheBound: under a tight byte budget the projection cache
+// evicts least-recently-used families instead of growing without bound, the
+// eviction counter advances, and every marginal — cached, evicted, or
+// rebuilt — still matches the occupied-cell scan.
+func TestProjectionCacheBound(t *testing.T) {
+	cards := []int{3, 3, 3, 3, 3, 3}
+	s, err := NewSparse(nil, cards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, row := range randomRows(rng, cards, 200) {
+		if err := s.Observe(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each pair entry costs ~200 bytes and the cache spreads its budget
+	// over its shards: this budget fits one entry per shard, so shards
+	// that attract two or more of the 15 families must evict.
+	s.SetProjectionCacheBytes(5 << 10)
+	if got := s.CachedProjections(); got != 0 {
+		t.Fatalf("resize did not start cold: %d entries", got)
+	}
+	var families []VarSet
+	for i := 0; i < s.R(); i++ {
+		for j := i + 1; j < s.R(); j++ {
+			families = append(families, NewVarSet(i, j))
+		}
+	}
+	for round := 0; round < 3; round++ {
+		for _, vs := range families {
+			members := vs.Members()
+			values := []int{rng.Intn(cards[members[0]]), rng.Intn(cards[members[1]])}
+			got, err := s.MarginalCount(vs, values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := s.marginalCountScan(members, values); got != want {
+				t.Fatalf("marginal %v%v = %d, scan says %d", vs, values, got, want)
+			}
+		}
+	}
+	if ev := s.ProjectionCacheEvictions(); ev == 0 {
+		t.Error("cycling more families than fit evicted nothing")
+	}
+	if err := s.VerifyProjections(); err != nil {
+		t.Error(err)
+	}
+	// The bound holds: cached entries cost more than 0 bytes each, so the
+	// entry count cannot exceed capacity/cost; sanity-check it is small.
+	if got := s.CachedProjections(); got >= len(families) {
+		t.Errorf("%d of %d families cached despite a 1 KiB budget", got, len(families))
+	}
+}

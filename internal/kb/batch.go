@@ -119,17 +119,21 @@ func (b *Batch) evidenceFor(given []Assignment) (*batchEvidence, error) {
 	return ev, nil
 }
 
-// prob evaluates eng.Prob once per canonical assignment.
+// prob evaluates eng.Prob once per canonical assignment, consulting the
+// knowledge base's cross-request cache before touching the engine (a
+// cross-request hit does not count as an engine eval).
 func (b *Batch) prob(vs contingency.VarSet, values []int) (float64, error) {
 	key := b.canonKey(vs, values)
 	if p, ok := b.probs[string(key)]; ok { // no-copy lookup
 		return p, nil
 	}
-	p, err := b.k.eng.Prob(vs, values)
+	p, hit, err := b.k.cachedProb(vs, values)
 	if err != nil {
 		return 0, err
 	}
-	b.evals++
+	if !hit {
+		b.evals++
+	}
 	b.probs[string(key)] = p
 	return p, nil
 }
@@ -158,11 +162,13 @@ func (b *Batch) distNums(ev *batchEvidence, pos int) ([]float64, error) {
 	if nums, ok := b.dists[string(key)]; ok { // no-copy lookup
 		return nums, nil
 	}
-	nums, err := b.k.eng.MarginalGiven(contingency.NewVarSet(pos), b.clampVector(ev))
+	nums, hit, err := b.k.cachedMarginal(ev.vs, ev.values, pos, func() []int { return b.clampVector(ev) })
 	if err != nil {
 		return nil, err
 	}
-	b.evals++
+	if !hit {
+		b.evals++
+	}
 	b.dists[string(key)] = nums
 	return nums, nil
 }
@@ -307,12 +313,13 @@ func (b *Batch) MostProbableExplanation(given ...Assignment) (Explanation, error
 	if pEvidence == 0 {
 		return Explanation{}, fmt.Errorf("kb: evidence %v has zero probability", given)
 	}
-	best, bestP, err := b.k.eng.MaxCell(b.clampVector(ev))
+	exp, hit, err := b.k.cachedMPE(ev.vs, ev.values, func() []int { return b.clampVector(ev) })
 	if err != nil {
 		return Explanation{}, err
 	}
-	b.evals++
-	exp := b.k.explanationFrom(best, bestP)
+	if !hit {
+		b.evals++
+	}
 	b.mpes[ev.key] = exp
 	return copyExplanation(exp), nil
 }

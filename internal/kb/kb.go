@@ -8,6 +8,7 @@ import (
 	"pka/internal/contingency"
 	"pka/internal/dataset"
 	"pka/internal/maxent"
+	"pka/internal/memo"
 )
 
 // KnowledgeBase is a queryable probabilistic model bound to a schema. It
@@ -18,6 +19,11 @@ type KnowledgeBase struct {
 	schema *dataset.Schema
 	model  *maxent.Model
 	eng    *maxent.Compiled
+	// cache, when non-nil, memoizes engine primitives across requests
+	// under cacheVersion — see WithCache in cache.go. Both fields are set
+	// only at construction of a view; a KnowledgeBase never mutates.
+	cache        *memo.Cache
+	cacheVersion int64
 }
 
 // New binds a fitted model to its schema and compiles the model's inference
@@ -135,7 +141,8 @@ func (k *KnowledgeBase) Probability(assigns ...Assignment) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return k.eng.Prob(vs, values)
+	p, _, err := k.cachedProb(vs, values)
+	return p, err
 }
 
 // errZeroEvidence is the one rendering of the zero-probability-evidence
@@ -187,7 +194,7 @@ func (k *KnowledgeBase) Distribution(attr string, given ...Assignment) (map[stri
 	}
 	denom := 1.0
 	if len(given) > 0 {
-		denom, err = k.eng.Prob(gvs, gvals)
+		denom, _, err = k.cachedProb(gvs, gvals)
 		if err != nil {
 			return nil, err
 		}
@@ -195,14 +202,16 @@ func (k *KnowledgeBase) Distribution(attr string, given ...Assignment) (map[stri
 			return nil, errZeroEvidence(given)
 		}
 	}
-	fixed := make([]int, k.schema.R())
-	for i := range fixed {
-		fixed[i] = -1
-	}
-	for i, p := range gvs.Members() {
-		fixed[p] = gvals[i]
-	}
-	nums, err := k.eng.MarginalGiven(contingency.NewVarSet(pos), fixed)
+	nums, _, err := k.cachedMarginal(gvs, gvals, pos, func() []int {
+		fixed := make([]int, k.schema.R())
+		for i := range fixed {
+			fixed[i] = -1
+		}
+		for i, p := range gvs.Members() {
+			fixed[p] = gvals[i]
+		}
+		return fixed
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -25,27 +25,24 @@ func (k *KnowledgeBase) MostProbableExplanation(given ...Assignment) (Explanatio
 	if err != nil {
 		return Explanation{}, err
 	}
-	pEvidence, err := k.eng.Prob(vs, values)
+	pEvidence, _, err := k.cachedProb(vs, values)
 	if err != nil {
 		return Explanation{}, err
 	}
 	if pEvidence == 0 {
 		return Explanation{}, fmt.Errorf("kb: evidence %v has zero probability", given)
 	}
-	r := k.schema.R()
-	fixed := make([]int, r)
-	for i := range fixed {
-		fixed[i] = -1
-	}
-	members := vs.Members()
-	for mi, pos := range members {
-		fixed[pos] = values[mi]
-	}
-	best, bestP, err := k.eng.MaxCell(fixed)
-	if err != nil {
-		return Explanation{}, err
-	}
-	return k.explanationFrom(best, bestP), nil
+	exp, _, err := k.cachedMPE(vs, values, func() []int {
+		fixed := make([]int, k.schema.R())
+		for i := range fixed {
+			fixed[i] = -1
+		}
+		for mi, pos := range vs.Members() {
+			fixed[pos] = values[mi]
+		}
+		return fixed
+	})
+	return exp, err
 }
 
 // explanationFrom labels a full cell as an Explanation — shared by the

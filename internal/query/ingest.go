@@ -1,6 +1,10 @@
 package query
 
-import "errors"
+import (
+	"errors"
+
+	"pka/internal/memo"
+)
 
 // ErrRejectedRows marks an ingest failure caused by the submitted rows
 // themselves (wrong width, unknown label, bad coordinate) rather than by
@@ -83,4 +87,20 @@ type Readiness struct {
 // model loaded before serving started.
 type ReadyReporter interface {
 	Readiness() Readiness
+}
+
+// CacheTierStats is one cache tier's counters in the GET /v1/stats wire
+// format: the tier name ("wire", "engine", "cluster") plus the memo
+// counters inlined.
+type CacheTierStats struct {
+	Tier string `json:"tier"`
+	memo.Stats
+}
+
+// CacheStatsReporter is the optional cache-observability surface of a
+// served Querier: the tiers it carries beyond the server's own wire tier
+// (the engine-tier memo, a coordinator's remote-eval memo). A nil slice
+// means caching is off.
+type CacheStatsReporter interface {
+	CacheStats() []CacheTierStats
 }

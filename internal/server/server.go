@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"pka/internal/kb"
+	"pka/internal/memo"
 	"pka/internal/query"
 	"pka/internal/rules"
 )
@@ -67,6 +68,13 @@ type Options struct {
 	// sequential execution for every request. Results are bit-identical at
 	// any setting.
 	Workers int
+	// CacheBytes sizes the wire-tier response cache: exact encoded 200
+	// bodies of /v1/query, /v1/rules, and /v1/explain, keyed by canonical
+	// request + model version so every observe batch invalidates
+	// implicitly. 0 (the default) disables; negative means unbounded. An
+	// updatable model that exposes no version surface cannot carry the
+	// tier (nothing to invalidate on) and serves uncached regardless.
+	CacheBytes int64
 }
 
 // DefaultMaxBatch bounds batch requests when Options.MaxBatch is 0.
@@ -102,10 +110,13 @@ func NewWithOptions(q query.Querier, opts Options) http.Handler {
 	h.ingest, _ = q.(query.Ingestor)
 	h.versioned, _ = q.(query.Versioned)
 	h.ready, _ = q.(query.ReadyReporter)
+	h.cacheStats, _ = q.(query.CacheStatsReporter)
+	h.wire = newWireCache(opts, h.ingest, h.versioned)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /readyz", h.readyz)
 	mux.HandleFunc("GET /v1/schema", h.schema)
+	mux.HandleFunc("GET /v1/stats", h.stats)
 	mux.HandleFunc("POST /v1/query", h.query)
 	mux.HandleFunc("POST /v1/query/batch", h.queryBatch)
 	mux.HandleFunc("POST /v1/observe", h.observe)
@@ -125,7 +136,12 @@ type handler struct {
 	// ready is the Querier's readiness surface (replicas report catch-up
 	// lag through it); nil means ready-once-constructed.
 	ready query.ReadyReporter
-	opts  Options
+	// cacheStats is the Querier's cache-observability surface (engine and
+	// cluster tiers for /v1/stats); nil when it carries none.
+	cacheStats query.CacheStatsReporter
+	// wire is the L1 response-byte cache (see cache.go); nil when off.
+	wire *memo.Cache
+	opts Options
 	// workerTokens is the server-wide batch-parallelism budget (capacity =
 	// Options.Workers, GOMAXPROCS by default): each batch request grabs
 	// whatever tokens are free, runs its evidence-group fan-out on that
@@ -308,6 +324,29 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeStatus(err), "", err)
 		return
 	}
+	if h.wire != nil {
+		// The version is read BEFORE answering: the engine swap publishes
+		// before the version bump, so the bytes computed below come from an
+		// engine at least this fresh — safe to file under this version.
+		version := h.version()
+		ks := wireKeyPool.Get().(*wireKeyBuf)
+		key := appendQueryKey(ks.buf[:0], qu)
+		ks.buf = key
+		if v, ok := h.wire.Get(key, version); ok {
+			wireKeyPool.Put(ks)
+			writeCachedJSON(w, v.([]byte))
+			return
+		}
+		res, err := query.Answer(h.q, *qu)
+		if err != nil {
+			wireKeyPool.Put(ks)
+			writeError(w, http.StatusBadRequest, qu.Kind, err)
+			return
+		}
+		h.writeJSONCaching(w, key, version, res)
+		wireKeyPool.Put(ks)
+		return
+	}
 	// Answer copies nothing out of the query: every Result field comes from
 	// the model, so the scratch can be pooled as soon as we return.
 	res, err := query.Answer(h.q, *qu)
@@ -455,6 +494,26 @@ func (h *handler) rules(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if h.wire != nil {
+		version := h.version()
+		ks := wireKeyPool.Get().(*wireKeyBuf)
+		key := appendRulesKey(ks.buf[:0], opts)
+		ks.buf = key
+		if v, ok := h.wire.Get(key, version); ok {
+			wireKeyPool.Put(ks)
+			writeCachedJSON(w, v.([]byte))
+			return
+		}
+		h.rulesUncached(w, opts, key, version)
+		wireKeyPool.Put(ks)
+		return
+	}
+	h.rulesUncached(w, opts, nil, 0)
+}
+
+// rulesUncached extracts, encodes, and (when key is non-nil) caches the
+// rules response — the shared tail of the hit-missed and cache-off paths.
+func (h *handler) rulesUncached(w http.ResponseWriter, opts rules.Options, key []byte, version int64) {
 	rs, err := h.q.Rules(opts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "", err)
@@ -472,7 +531,11 @@ func (h *handler) rules(w http.ResponseWriter, r *http.Request) {
 			Text:        rule.String(),
 		})
 	}
-	writeJSON(w, rulesResponse{Rules: out})
+	if key != nil {
+		h.writeJSONCaching(w, key, version, rulesResponse{Rules: out})
+	} else {
+		writeJSON(w, rulesResponse{Rules: out})
+	}
 	// Drop the rule references before pooling so the scratch does not pin
 	// the extracted rules (and their assignment slices) across requests.
 	clear(out)
@@ -498,7 +561,20 @@ const maxPooledRules = 4096
 func (h *handler) explain(w http.ResponseWriter, r *http.Request) {
 	// One counted write: the client gets Content-Length instead of chunked
 	// encoding, and WriteString skips fmt's []byte conversion copy.
-	s := h.q.Explain()
+	var s string
+	if h.wire != nil {
+		// Explain re-renders the whole constraint list per call; the wire
+		// tier keeps the rendered text until the next version bump.
+		version := h.version()
+		if v, ok := h.wire.Get(explainKey, version); ok {
+			s = v.(string)
+		} else {
+			s = h.q.Explain()
+			h.wire.Put(explainKey, version, s, int64(len(s)))
+		}
+	} else {
+		s = h.q.Explain()
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Header().Set("Content-Length", strconv.Itoa(len(s)))
 	_, _ = io.WriteString(w, s)

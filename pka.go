@@ -139,6 +139,13 @@ type Options struct {
 	// ScreenCIAlpha is the p-value above which a conditional test counts
 	// as independent (larger prunes more); 0 means 0.05.
 	ScreenCIAlpha float64
+	// CacheBytes sizes the engine-tier serving cache: cross-request
+	// memoization of evidence denominators, conditional-slice sweeps, and
+	// MPE completions, keyed by model version so every Update invalidates
+	// implicitly. 0 (the default) disables caching; negative means
+	// unbounded. The knob is serving configuration, not model state — it
+	// does not travel in snapshots (call EnableCache after loading).
+	CacheBytes int64
 }
 
 // Model is a discovered probabilistic knowledge base. It carries the full
@@ -250,6 +257,9 @@ func discoverCounts(table contingency.Counts, schema *Schema, opts Options) (*Mo
 	}
 	m := &Model{result: res, fit: fit, counts: table, opts: opts}
 	m.kbase.Store(kbase)
+	if opts.CacheBytes != 0 {
+		m.enableCache(opts.CacheBytes)
+	}
 	return m, nil
 }
 
@@ -317,9 +327,9 @@ func (m *Model) Update(rows []Record) (UpdateReport, error) {
 	// Every applied batch bumps the model version, net-zero batches
 	// included: replication replays batches in log order, so version must
 	// advance in lockstep with applied records, not with engine swaps.
-	rep.Version = m.version.Add(1)
 	if !out.Refit {
 		// Net-zero batch: the previous engine still answers bit-identically.
+		rep.Version = m.version.Add(1)
 		return rep, nil
 	}
 	kbase, err := kb.New(m.Schema(), out.Result.Model)
@@ -332,8 +342,29 @@ func (m *Model) Update(rows []Record) (UpdateReport, error) {
 	}
 	m.result = out.Result
 	m.fit = fit
+	if c := m.cache.Load(); c != nil {
+		kbase = kbase.WithCache(c, m.version.Load()+1)
+	}
+	// Swap before bump: storing the engine first keeps Version() at or
+	// below the version of the engine actually serving, so a concurrent
+	// reader that snapshots the version and then answers computes from an
+	// engine at least that fresh. The serving cache keys entries by that
+	// pre-read version; this ordering is what makes a post-observe query
+	// at version v unable to surface v-1 bytes (read-your-writes).
 	m.kbase.Store(kbase) // in-flight queries finish on the old snapshot
+	rep.Version = m.version.Add(1)
 	return rep, nil
+}
+
+// EnableCache sizes the engine-tier serving cache on a live model (the
+// Options.CacheBytes knob, applied after construction — e.g. on a model
+// restored with LoadModelSnapshot). capacityBytes == 0 is a no-op;
+// negative means unbounded. Safe to call while the model serves queries;
+// it serializes with Update.
+func (m *Model) EnableCache(capacityBytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.enableCache(capacityBytes)
 }
 
 // observeCounts routes a validated batch into the retained counts backend.

@@ -9,6 +9,7 @@ import (
 
 	"pka/internal/contingency"
 	"pka/internal/kb"
+	"pka/internal/memo"
 	"pka/internal/query"
 	"pka/internal/rules"
 	"pka/internal/server"
@@ -132,7 +133,18 @@ type queryCore struct {
 	// model version replication compares across processes. A freshly
 	// discovered or loaded model starts at 0; on a replicated primary the
 	// version equals the observe log's next offset at all times.
+	//
+	// Ordering contract with kbase: an engine swap stores the new knowledge
+	// base BEFORE bumping version, so at every instant Version() is at most
+	// the version of the engine actually serving. A caller that reads the
+	// version first and then answers therefore computes from an engine at
+	// least that fresh — the invariant the serving cache's read-your-writes
+	// guarantee rests on.
 	version atomic.Int64
+	// cache is the engine-tier memoization cache shared across engine
+	// swaps (entries are version-keyed, so a swap invalidates implicitly);
+	// nil until EnableCache.
+	cache atomic.Pointer[memo.Cache]
 }
 
 // kb returns the current knowledge-base snapshot.
@@ -217,6 +229,36 @@ func (c *queryCore) NumConstraints() int { return c.kb().Model().NumConstraints(
 // satisfies the serving layer's query.Versioned, so /v1/schema and
 // /v1/observe expose it for read-your-writes against replicas.
 func (c *queryCore) Version() int64 { return c.version.Load() }
+
+// enableCache attaches an engine-tier memoization cache of the given byte
+// capacity to the current knowledge base. capacityBytes == 0 leaves
+// caching off; negative means unbounded. Model wraps this under its
+// update lock; QueryModel (never swapped) calls it directly.
+func (c *queryCore) enableCache(capacityBytes int64) {
+	if capacityBytes == 0 {
+		return
+	}
+	cc := memo.New(capacityBytes)
+	c.cache.Store(cc)
+	c.kbase.Store(c.kb().WithCache(cc, c.version.Load()))
+}
+
+// CacheStats reports the engine-tier cache counters (nil when caching is
+// off). It satisfies query.CacheStatsReporter, so a server built over the
+// model folds this tier into GET /v1/stats.
+func (c *queryCore) CacheStats() []query.CacheTierStats {
+	cc := c.cache.Load()
+	if cc == nil {
+		return nil
+	}
+	return []query.CacheTierStats{{Tier: "engine", Stats: cc.Stats()}}
+}
+
+// EnableCache sizes the engine-tier memoization cache: cross-request
+// reuse of evidence denominators, conditional-slice sweeps, and MPE
+// completions, keyed by model version. capacityBytes == 0 disables (the
+// default), negative means unbounded.
+func (q *QueryModel) EnableCache(capacityBytes int64) { q.enableCache(capacityBytes) }
 
 // KnowledgeBase exposes the query layer for advanced use. AnswerBatch also
 // keys on it to route batches through the shared-engine fast path; note
